@@ -1,0 +1,89 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! tabu aspiration, diversification, and the neighbourhood cap. Each
+//! variant runs the same bounded search; Criterion reports the cost,
+//! and the resulting schedule lengths are printed once so the quality
+//! impact is visible alongside the throughput.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftdes_bench::{run_strategy, synthetic_problem};
+use ftdes_core::{Goal, SearchConfig, Strategy};
+use ftdes_model::time::Time;
+
+fn variant(name: &str) -> SearchConfig {
+    let base = SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: None,
+        max_tabu_iterations: 40,
+        ..SearchConfig::default()
+    };
+    match name {
+        "full" => base,
+        "no_aspiration" => SearchConfig {
+            aspiration: false,
+            ..base
+        },
+        "no_diversification" => SearchConfig {
+            diversification: false,
+            ..base
+        },
+        "tight_cap" => SearchConfig {
+            max_moves_per_iteration: 24,
+            ..base
+        },
+        "unstaged" => SearchConfig {
+            staged_tabu: false,
+            ..base
+        },
+        _ => unreachable!("unknown variant"),
+    }
+}
+
+static PRINT_QUALITY: Once = Once::new();
+
+fn bench_tabu_ablation(c: &mut Criterion) {
+    let problem = synthetic_problem(20, 2, 3, Time::from_ms(5), 4);
+
+    PRINT_QUALITY.call_once(|| {
+        eprintln!("\nablation schedule quality (40 tabu iterations, 20p/2n/k3):");
+        for name in [
+            "full",
+            "no_aspiration",
+            "no_diversification",
+            "tight_cap",
+            "unstaged",
+        ] {
+            let outcome = run_strategy(&problem, Strategy::Mxr, &variant(name));
+            eprintln!(
+                "  {name:20} delta = {:>9}  evaluations = {}",
+                outcome.length().to_string(),
+                outcome.stats.evaluations
+            );
+        }
+        eprintln!();
+    });
+
+    let mut group = c.benchmark_group("tabu_ablation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for name in [
+        "full",
+        "no_aspiration",
+        "no_diversification",
+        "tight_cap",
+        "unstaged",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let cfg = variant(name);
+            b.iter(|| run_strategy(&problem, Strategy::Mxr, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tabu_ablation);
+criterion_main!(benches);

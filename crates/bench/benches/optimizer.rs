@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the optimization layers: neighbourhood
+//! generation, a single greedy pass, and a bounded tabu search.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftdes_bench::synthetic_problem;
+use ftdes_core::{greedy, initial, moves, tabu, Goal, PolicySpace, SearchConfig, SearchStats};
+use ftdes_model::time::Time;
+
+fn quick_cfg(iterations: usize) -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: None,
+        max_tabu_iterations: iterations,
+        ..SearchConfig::default()
+    }
+}
+
+fn bench_neighbourhood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_moves");
+    for &procs in &[20usize, 60] {
+        let problem = synthetic_problem(procs, 4, 3, Time::from_ms(5), 2);
+        let design = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+        let schedule = problem.evaluate(&design).expect("schedulable");
+        let cp = schedule.critical_path(problem.graph());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(procs),
+            &(problem, design, cp),
+            |b, (problem, design, cp)| {
+                b.iter(|| moves::generate_moves(problem, PolicySpace::Mixed, design, cp));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_mpa");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    let problem = synthetic_problem(20, 2, 3, Time::from_ms(5), 0);
+    group.bench_function("20p_2n_k3", |b| {
+        b.iter(|| {
+            let mut stats = SearchStats::default();
+            let start = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+            greedy::greedy_mpa(
+                &problem,
+                PolicySpace::Mixed,
+                start,
+                &quick_cfg(0),
+                None,
+                &mut stats,
+            )
+            .expect("greedy runs")
+        });
+    });
+    group.finish();
+}
+
+fn bench_tabu_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tabu_10_iterations");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    let problem = synthetic_problem(20, 2, 3, Time::from_ms(5), 0);
+    let start = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+    let schedule = problem.evaluate(&start).expect("schedulable");
+    group.bench_function("20p_2n_k3", |b| {
+        b.iter(|| {
+            let mut stats = SearchStats::default();
+            tabu::tabu_search_mpa(
+                &problem,
+                PolicySpace::Mixed,
+                (start.clone(), schedule.clone()),
+                &quick_cfg(10),
+                None,
+                &mut stats,
+            )
+            .expect("tabu runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbourhood,
+    bench_greedy_step,
+    bench_tabu_iterations
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the list scheduler — the inner loop
+//! of the whole optimization (it runs once per candidate move).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftdes_bench::synthetic_problem;
+use ftdes_core::{initial, PolicySpace};
+use ftdes_model::time::Time;
+
+fn bench_list_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_schedule");
+    for &(procs, nodes, k) in &[(20usize, 2usize, 3u32), (60, 4, 5), (100, 6, 7)] {
+        let problem = synthetic_problem(procs, nodes, k, Time::from_ms(5), 1);
+        let design = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}p_{nodes}n_k{k}")),
+            &(problem, design),
+            |b, (problem, design)| {
+                b.iter(|| problem.evaluate(design).expect("schedulable inputs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replicated_schedule(c: &mut Criterion) {
+    // Replica-heavy designs are the expensive end of the move
+    // evaluation: schedule the fully replicated variant.
+    let mut group = c.benchmark_group("list_schedule_replicated");
+    for &(procs, nodes) in &[(20usize, 3usize), (60, 4)] {
+        let k = nodes as u32 - 1; // full replication feasible
+        let problem = synthetic_problem(procs, nodes, k, Time::from_ms(5), 1);
+        let design =
+            initial::initial_mpa(&problem, PolicySpace::ReplicationOnly).expect("placeable");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}p_{nodes}n_k{k}")),
+            &(problem, design),
+            |b, (problem, design)| {
+                b.iter(|| problem.evaluate(design).expect("schedulable inputs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_schedule, bench_replicated_schedule);
+criterion_main!(benches);

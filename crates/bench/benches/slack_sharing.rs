@@ -1,0 +1,88 @@
+//! Ablation benchmark of the shared re-execution slack (paper
+//! Fig. 3b): compares worst-case schedule lengths with sharing on
+//! (the paper's scheduler) and off (naive per-process reserves) on
+//! the same designs, and measures the analysis cost of both.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftdes_bench::synthetic_problem;
+use ftdes_core::{initial, PolicySpace};
+use ftdes_model::time::Time;
+use ftdes_sched::{list_schedule_with, ScheduleOptions};
+
+static PRINT_QUALITY: Once = Once::new();
+
+fn bench_slack_sharing(c: &mut Criterion) {
+    let configs = [(20usize, 2usize, 3u32), (60, 4, 5)];
+
+    PRINT_QUALITY.call_once(|| {
+        eprintln!("\nslack-sharing ablation (same initial design):");
+        for &(procs, nodes, k) in &configs {
+            let problem = synthetic_problem(procs, nodes, k, Time::from_ms(5), 3);
+            let design = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+            let mut lengths = [Time::ZERO; 2];
+            for (i, sharing) in [true, false].into_iter().enumerate() {
+                let s = list_schedule_with(
+                    problem.graph(),
+                    problem.arch(),
+                    problem.wcet(),
+                    problem.fault_model(),
+                    problem.bus(),
+                    &design,
+                    ScheduleOptions {
+                        slack_sharing: sharing,
+                    },
+                )
+                .expect("schedulable inputs");
+                lengths[i] = s.length();
+            }
+            let gain = 100.0 * (lengths[1].as_us() as f64 - lengths[0].as_us() as f64)
+                / lengths[0].as_us() as f64;
+            eprintln!(
+                "  {procs}p/{nodes}n/k{k}: shared {} vs unshared {} (+{gain:.1}%)",
+                lengths[0], lengths[1]
+            );
+        }
+        eprintln!();
+    });
+
+    let mut group = c.benchmark_group("slack_sharing");
+    group.measurement_time(Duration::from_secs(6));
+    for &(procs, nodes, k) in &configs {
+        let problem = synthetic_problem(procs, nodes, k, Time::from_ms(5), 3);
+        let design = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+        for sharing in [true, false] {
+            let label = format!(
+                "{procs}p_k{k}_{}",
+                if sharing { "shared" } else { "unshared" }
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(problem.clone(), design.clone(), sharing),
+                |b, (problem, design, sharing)| {
+                    b.iter(|| {
+                        list_schedule_with(
+                            problem.graph(),
+                            problem.arch(),
+                            problem.wcet(),
+                            problem.fault_model(),
+                            problem.bus(),
+                            design,
+                            ScheduleOptions {
+                                slack_sharing: *sharing,
+                            },
+                        )
+                        .expect("schedulable inputs")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slack_sharing);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Downsized Criterion versions of the paper's table experiments:
+//! one MXR-vs-NFT overhead measurement per table, small enough to run
+//! inside `cargo bench` (the full sweeps live in the `table1a` /
+//! `table1b` / `table1c` / `fig10` binaries).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ftdes_bench::{run_strategy, synthetic_problem};
+use ftdes_core::{overhead_percent, Goal, SearchConfig, Strategy};
+use ftdes_model::time::Time;
+
+fn tiny_cfg() -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(Duration::from_millis(40)),
+        max_tabu_iterations: 10,
+        ..SearchConfig::default()
+    }
+}
+
+fn bench_table1a_cell(c: &mut Criterion) {
+    // Table 1a's first cell: 20 processes / 2 nodes / k = 3.
+    let mut group = c.benchmark_group("table1a_cell_20p");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    let problem = synthetic_problem(20, 2, 3, Time::from_ms(5), 0);
+    group.bench_function("mxr_vs_nft", |b| {
+        b.iter(|| {
+            let cfg = tiny_cfg();
+            let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+            let nft = run_strategy(&problem, Strategy::Nft, &cfg);
+            overhead_percent(&mxr, &nft)
+        });
+    });
+    group.finish();
+}
+
+fn bench_table1b_cell(c: &mut Criterion) {
+    // Table 1b's k = 4 cell on a downsized 30-process application.
+    let mut group = c.benchmark_group("table1b_cell_k4");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    let problem = synthetic_problem(30, 4, 4, Time::from_ms(5), 0);
+    group.bench_function("mxr_vs_nft", |b| {
+        b.iter(|| {
+            let cfg = tiny_cfg();
+            let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+            let nft = run_strategy(&problem, Strategy::Nft, &cfg);
+            overhead_percent(&mxr, &nft)
+        });
+    });
+    group.finish();
+}
+
+fn bench_table1c_cell(c: &mut Criterion) {
+    // Table 1c's µ = 20 ms cell.
+    let mut group = c.benchmark_group("table1c_cell_mu20");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    let problem = synthetic_problem(20, 2, 3, Time::from_ms(20), 0);
+    group.bench_function("mxr_vs_nft", |b| {
+        b.iter(|| {
+            let cfg = tiny_cfg();
+            let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+            let nft = run_strategy(&problem, Strategy::Nft, &cfg);
+            overhead_percent(&mxr, &nft)
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig10_point(c: &mut Criterion) {
+    // One Fig. 10 point: MX deviation from MXR at 20 processes.
+    let mut group = c.benchmark_group("fig10_point_20p");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    let problem = synthetic_problem(20, 2, 1, Time::from_ms(5), 0);
+    group.bench_function("mx_vs_mxr", |b| {
+        b.iter(|| {
+            let cfg = tiny_cfg();
+            let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+            let mx = run_strategy(&problem, Strategy::Mx, &cfg);
+            (mx.length().as_us() as f64 - mxr.length().as_us() as f64) / mxr.length().as_us() as f64
+        });
+    });
+    group.finish();
+}
+
+fn bench_cruise_controller(c: &mut Criterion) {
+    // The CC case study under a tight budget.
+    let mut group = c.benchmark_group("cruise_controller");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12));
+    let cc = ftdes_gen::cruise_controller();
+    let bus = ftdes_ttp::BusConfig::initial(&cc.arch, 3, Time::from_us(500)).expect("3 nodes");
+    let problem = ftdes_core::Problem::new(
+        cc.graph.clone(),
+        cc.arch.clone(),
+        cc.wcet.clone(),
+        cc.fault_model,
+        bus,
+    )
+    .with_constraints(cc.constraints.clone());
+    group.bench_function("mxr", |b| {
+        b.iter(|| run_strategy(&problem, Strategy::Mxr, &tiny_cfg()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1a_cell,
+    bench_table1b_cell,
+    bench_table1c_cell,
+    bench_fig10_point,
+    bench_cruise_controller
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Reproduces paper Fig. 10: average percentage deviation of MX, MR
+//! and SFX from MXR as the application size grows.
+//!
+//! The expected shape: MR worst (replication alone wastes the most),
+//! SFX in between (fault-oblivious mapping), MX closest to MXR but
+//! still dominated — "considering re-execution at the same time with
+//! replication leads to significant improvements".
+
+use ftdes_bench::{experiment_config, run_strategy, seeds, synthetic_problem, time_budget};
+use ftdes_core::Strategy;
+use ftdes_model::time::Time;
+
+fn main() {
+    let cfg = experiment_config();
+    println!("Fig. 10 — avg % deviation from MXR (higher = worse)");
+    println!(
+        "(seeds per point: {}, search budget: {:?} per strategy)\n",
+        seeds(),
+        time_budget()
+    );
+    println!("{:>6} | {:>8} | {:>8} | {:>8}", "procs", "MR", "SFX", "MX");
+    println!("{}", "-".repeat(40));
+    // Same size/node/k pairing as Table 1a. MR needs k + 1 <= nodes,
+    // so like the paper we keep k small enough for replication to be
+    // feasible at all sizes: k = min(paper k, nodes - 1).
+    for (procs, nodes, k) in [(20, 2, 3), (40, 3, 4), (60, 4, 5), (80, 5, 6), (100, 6, 7)] {
+        let k_feasible = k.min(nodes as u32 - 1);
+        let mu = Time::from_ms(5);
+        let mut sums = [0.0f64; 3]; // MR, SFX, MX
+        let mut count = 0usize;
+        for seed in 0..seeds() as u64 {
+            let problem = synthetic_problem(procs, nodes, k_feasible, mu, seed);
+            let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+            let d_mxr = mxr.length().as_us() as f64;
+            if d_mxr <= 0.0 {
+                continue;
+            }
+            for (slot, strategy) in [Strategy::Mr, Strategy::Sfx, Strategy::Mx]
+                .into_iter()
+                .enumerate()
+            {
+                let other = run_strategy(&problem, strategy, &cfg);
+                sums[slot] += 100.0 * (other.length().as_us() as f64 - d_mxr) / d_mxr;
+            }
+            count += 1;
+        }
+        let avg = |s: f64| if count == 0 { 0.0 } else { s / count as f64 };
+        println!(
+            "{procs:>6} | {:>8.2} | {:>8.2} | {:>8.2}",
+            avg(sums[0]),
+            avg(sums[1]),
+            avg(sums[2])
+        );
+    }
+    println!("\npaper reference (averages over all sizes): MR 77%, SFX large, MX 17.6%");
+}

@@ -1,0 +1,25 @@
+//! Reproduces paper Table 1a: fault-tolerance overheads of MXR vs NFT
+//! as the application size grows.
+//!
+//! Configurations: 20/40/60/80/100 processes on 2/3/4/5/6 nodes with
+//! k = 3/4/5/6/7 faults, µ = 5 ms.
+
+use ftdes_bench::{experiment_config, overhead_samples, print_header, print_row, PercentRow};
+use ftdes_model::time::Time;
+
+fn main() {
+    let cfg = experiment_config();
+    println!("Table 1a — MXR overhead vs NFT by application size");
+    println!(
+        "(seeds per row: {}, search budget: {:?} per strategy)\n",
+        ftdes_bench::seeds(),
+        ftdes_bench::time_budget()
+    );
+    print_header("procs/k");
+    for (procs, nodes, k) in [(20, 2, 3), (40, 3, 4), (60, 4, 5), (80, 5, 6), (100, 6, 7)] {
+        let samples = overhead_samples(procs, nodes, k, Time::from_ms(5), &cfg);
+        let row = PercentRow::from_samples(&samples);
+        print_row(&format!("{procs}/{k}"), &row);
+    }
+    println!("\npaper reference (avg): 70.67 / 84.78 / 99.59 / 120.55 / 149.47");
+}

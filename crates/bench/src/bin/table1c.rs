@@ -1,0 +1,25 @@
+//! Reproduces paper Table 1c: fault-tolerance overheads of MXR vs NFT
+//! as the fault duration µ grows.
+//!
+//! Configuration: 20 processes on 2 nodes, k = 3,
+//! µ ∈ {1, 5, 10, 15, 20} ms.
+
+use ftdes_bench::{experiment_config, overhead_samples, print_header, print_row, PercentRow};
+use ftdes_model::time::Time;
+
+fn main() {
+    let cfg = experiment_config();
+    println!("Table 1c — MXR overhead vs NFT by fault duration (20 procs, 2 nodes, k=3)");
+    println!(
+        "(seeds per row: {}, search budget: {:?} per strategy)\n",
+        ftdes_bench::seeds(),
+        ftdes_bench::time_budget()
+    );
+    print_header("mu (ms)");
+    for mu in [1u64, 5, 10, 15, 20] {
+        let samples = overhead_samples(20, 2, 3, Time::from_ms(mu), &cfg);
+        let row = PercentRow::from_samples(&samples);
+        print_row(&mu.to_string(), &row);
+    }
+    println!("\npaper reference (avg): 57.26 / 70.67 / 89.24 / 107.26 / 125.18");
+}

@@ -1,0 +1,241 @@
+//! # ftdes-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the paper's evaluation (§6):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `cargo run -p ftdes-bench --release --bin table1a` | Table 1a — overhead vs application size |
+//! | `... --bin table1b` | Table 1b — overhead vs number of faults |
+//! | `... --bin table1c` | Table 1c — overhead vs fault duration µ |
+//! | `... --bin fig10` | Fig. 10 — MX / MR / SFX deviation from MXR |
+//! | `... --bin cruise_control` | the CC case study |
+//! | `cargo bench -p ftdes-bench` | Criterion micro-benchmarks |
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `FTDES_SEEDS` — applications per configuration (paper: 15,
+//!   default here: 5 to keep runs minutes-scale),
+//! * `FTDES_TIME_MS` — search budget per strategy run in
+//!   milliseconds (default 500; the paper used minutes-to-hours on
+//!   2005 hardware).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::Duration;
+
+use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_gen::paper_workload;
+use ftdes_model::architecture::Architecture;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::time::Time;
+use ftdes_ttp::config::BusConfig;
+
+/// Per-byte bus transmission time used by all experiments: 2.5 ms per
+/// byte makes a 4-byte slot 10 ms long, matching the paper's figures.
+pub const BYTE_TIME: Time = Time::from_us(2_500);
+
+/// Reads an experiment knob from the environment.
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Number of random applications per configuration (paper: 15).
+#[must_use]
+pub fn seeds() -> usize {
+    env_usize("FTDES_SEEDS", 5)
+}
+
+/// Search budget per strategy run.
+#[must_use]
+pub fn time_budget() -> Duration {
+    Duration::from_millis(env_usize("FTDES_TIME_MS", 500) as u64)
+}
+
+/// The search configuration of the experiments: minimize δ within
+/// the time budget (the paper "derived the shortest schedule within
+/// an imposed time limit").
+#[must_use]
+pub fn experiment_config() -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(time_budget()),
+        max_tabu_iterations: 10_000,
+        ..SearchConfig::default()
+    }
+}
+
+/// Builds the problem instance for one synthetic application.
+#[must_use]
+pub fn synthetic_problem(processes: usize, nodes: usize, k: u32, mu: Time, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let workload = paper_workload(processes, &arch, seed);
+    let largest = workload
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.message.size)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bus = BusConfig::initial(&arch, largest, BYTE_TIME)
+        .expect("synthetic architectures are non-empty");
+    Problem::new(
+        workload.graph,
+        arch,
+        workload.wcet,
+        FaultModel::new(k, mu),
+        bus,
+    )
+}
+
+/// Runs one strategy on one problem.
+///
+/// # Panics
+///
+/// Panics when the strategy cannot produce any design (e.g. MR on an
+/// architecture with fewer than `k + 1` nodes) — experiment
+/// configurations avoid this.
+#[must_use]
+pub fn run_strategy(problem: &Problem, strategy: Strategy, cfg: &SearchConfig) -> Outcome {
+    optimize(problem, strategy, cfg).unwrap_or_else(|e| panic!("{strategy} failed: {e}"))
+}
+
+/// Summary statistics of a set of per-seed percentages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentRow {
+    /// Largest value.
+    pub max: f64,
+    /// Mean value.
+    pub avg: f64,
+    /// Smallest value.
+    pub min: f64,
+}
+
+impl PercentRow {
+    /// Aggregates raw percentages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples collected");
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        let avg = samples.iter().sum::<f64>() / samples.len() as f64;
+        PercentRow { max, avg, min }
+    }
+}
+
+/// The fault-tolerance overhead samples (MXR vs NFT) for one
+/// configuration — one percentage per seed (paper Table 1).
+#[must_use]
+pub fn overhead_samples(
+    processes: usize,
+    nodes: usize,
+    k: u32,
+    mu: Time,
+    cfg: &SearchConfig,
+) -> Vec<f64> {
+    (0..seeds() as u64)
+        .map(|seed| {
+            let problem = synthetic_problem(processes, nodes, k, mu, seed);
+            let mxr = run_strategy(&problem, Strategy::Mxr, cfg);
+            let nft = run_strategy(&problem, Strategy::Nft, cfg);
+            ftdes_core::overhead_percent(&mxr, &nft)
+        })
+        .collect()
+}
+
+/// Average percentage deviation of `strategy`'s schedule length from
+/// MXR's over the seeds of one configuration (paper Fig. 10).
+#[must_use]
+pub fn deviation_from_mxr(
+    processes: usize,
+    nodes: usize,
+    k: u32,
+    mu: Time,
+    strategy: Strategy,
+    cfg: &SearchConfig,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for seed in 0..seeds() as u64 {
+        let problem = synthetic_problem(processes, nodes, k, mu, seed);
+        let mxr = run_strategy(&problem, Strategy::Mxr, cfg);
+        let other = run_strategy(&problem, strategy, cfg);
+        let d_mxr = mxr.length().as_us() as f64;
+        let d_other = other.length().as_us() as f64;
+        if d_mxr > 0.0 {
+            total += 100.0 * (d_other - d_mxr) / d_mxr;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Prints a three-column overhead table row.
+pub fn print_row(label: &str, row: &PercentRow) {
+    println!(
+        "{label:>10} | {max:>8.2} | {avg:>8.2} | {min:>8.2}",
+        max = row.max,
+        avg = row.avg,
+        min = row.min
+    );
+}
+
+/// Prints the standard table header.
+pub fn print_header(first: &str) {
+    println!(
+        "{first:>10} | {:>8} | {:>8} | {:>8}",
+        "%max", "%avg", "%min"
+    );
+    println!("{}", "-".repeat(44));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_row_aggregates() {
+        let row = PercentRow::from_samples(&[10.0, 30.0, 20.0]);
+        assert_eq!(row.max, 30.0);
+        assert_eq!(row.min, 10.0);
+        assert!((row.avg - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_problem_is_well_formed() {
+        let p = synthetic_problem(20, 2, 3, Time::from_ms(5), 0);
+        assert_eq!(p.process_count(), 20);
+        p.graph().validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_overhead_run_is_positive() {
+        // A minimal smoke test of the full experiment pipeline.
+        let cfg = SearchConfig {
+            goal: Goal::MinimizeLength,
+            time_limit: Some(Duration::from_millis(50)),
+            max_tabu_iterations: 5,
+            ..SearchConfig::default()
+        };
+        let problem = synthetic_problem(10, 2, 2, Time::from_ms(5), 1);
+        let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+        let nft = run_strategy(&problem, Strategy::Nft, &cfg);
+        assert!(
+            mxr.length() >= nft.length(),
+            "fault tolerance cannot be free"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Search configuration and statistics.
+
+use std::time::Duration;
+
+/// What the search optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Goal {
+    /// Stop as soon as a schedulable (all deadlines guaranteed)
+    /// implementation is found — the paper's synthesis use case
+    /// (Fig. 6 stops after any schedulable step).
+    #[default]
+    MeetDeadline,
+    /// Keep minimizing the worst-case schedule length δ until the
+    /// limits are exhausted — the paper's experimental setup ("we
+    /// have derived the shortest schedule within an imposed time
+    /// limit").
+    MinimizeLength,
+}
+
+/// Tunable limits of the greedy and tabu searches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// The optimization goal.
+    pub goal: Goal,
+    /// Wall-clock budget for the whole strategy (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Upper bound on tabu-search iterations.
+    pub max_tabu_iterations: usize,
+    /// Tabu tenure (iterations a moved process stays tabu);
+    /// `None` derives `max(2, √|Γ|)`.
+    pub tabu_tenure: Option<usize>,
+    /// Enable the aspiration criterion (accept tabu moves that beat
+    /// the best-so-far, paper Fig. 9 line 9).
+    pub aspiration: bool,
+    /// Enable diversification by waiting time (paper Fig. 9 line 12).
+    pub diversification: bool,
+    /// Upper bound on the moves evaluated per tabu iteration. Large
+    /// policy spaces (MXR on big graphs) produce neighbourhoods of
+    /// several hundred candidates; evaluating all of them trades
+    /// search depth for breadth under a wall-clock budget. When the
+    /// neighbourhood exceeds the cap, a deterministic rotating window
+    /// of it is evaluated instead (all moves still get their turn
+    /// across iterations).
+    pub max_moves_per_iteration: usize,
+    /// Minimum number of processes to generate moves for: when the
+    /// critical-path binding chain is shorter, it is padded with the
+    /// processes of the largest worst-case completions so the
+    /// neighbourhood never starves.
+    pub min_move_candidates: usize,
+    /// Stage the mixed-space (MXR) tabu search: spend the first half
+    /// of the budget in the cheap re-execution-only subspace, then
+    /// refine with the full mixed neighbourhood. Matches the paper's
+    /// all-re-executed initialization and converges much faster on
+    /// large instances; disable for ablation studies.
+    pub staged_tabu: bool,
+}
+
+impl SearchConfig {
+    /// Limits suited to the synthetic experiments: a few seconds per
+    /// application.
+    #[must_use]
+    pub fn experiments() -> Self {
+        SearchConfig {
+            goal: Goal::MinimizeLength,
+            time_limit: Some(Duration::from_millis(2_000)),
+            ..SearchConfig::default()
+        }
+    }
+
+    /// The tenure to use for `n` processes.
+    #[must_use]
+    pub fn tenure_for(&self, n: usize) -> usize {
+        self.tabu_tenure
+            .unwrap_or_else(|| ((n as f64).sqrt() as usize).max(2))
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            goal: Goal::MeetDeadline,
+            time_limit: Some(Duration::from_secs(10)),
+            max_tabu_iterations: 1_000,
+            tabu_tenure: None,
+            aspiration: true,
+            diversification: true,
+            max_moves_per_iteration: 120,
+            min_move_candidates: 8,
+            staged_tabu: true,
+        }
+    }
+}
+
+/// Counters reported by a finished search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Schedules evaluated (`ListScheduling` invocations).
+    pub evaluations: usize,
+    /// Accepted greedy improvement steps.
+    pub greedy_steps: usize,
+    /// Tabu-search iterations performed.
+    pub tabu_iterations: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_deadline_goal() {
+        let cfg = SearchConfig::default();
+        assert_eq!(cfg.goal, Goal::MeetDeadline);
+        assert!(cfg.aspiration && cfg.diversification);
+    }
+
+    #[test]
+    fn tenure_derivation() {
+        let cfg = SearchConfig::default();
+        assert_eq!(cfg.tenure_for(100), 10);
+        assert_eq!(cfg.tenure_for(1), 2, "floor at 2");
+        let fixed = SearchConfig {
+            tabu_tenure: Some(7),
+            ..SearchConfig::default()
+        };
+        assert_eq!(fixed.tenure_for(100), 7);
+    }
+
+    #[test]
+    fn experiments_preset_minimizes_length() {
+        assert_eq!(SearchConfig::experiments().goal, Goal::MinimizeLength);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types of the optimization layer.
+
+use std::error::Error;
+use std::fmt;
+
+use ftdes_model::ids::ProcessId;
+use ftdes_sched::SchedError;
+
+/// Errors raised by the design-optimization strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// Scheduling a candidate failed (inconsistent problem).
+    Sched(SchedError),
+    /// No admissible placement exists for a process (e.g. replication
+    /// requires more distinct eligible nodes than exist).
+    NoFeasiblePlacement {
+        /// The unplaceable process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Sched(e) => write!(f, "schedule evaluation failed: {e}"),
+            OptError::NoFeasiblePlacement { process } => {
+                write!(f, "no feasible placement for process {process}")
+            }
+        }
+    }
+}
+
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptError::Sched(e) => Some(e),
+            OptError::NoFeasiblePlacement { .. } => None,
+        }
+    }
+}
+
+impl From<SchedError> for OptError {
+    fn from(e: SchedError) -> Self {
+        OptError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptError::NoFeasiblePlacement {
+            process: ProcessId::new(3),
+        };
+        assert!(e.to_string().contains("P3"));
+        assert!(e.source().is_none());
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<OptError>();
+    }
+}

@@ -1,0 +1,154 @@
+//! The greedy improvement heuristic `GreedyMPA` (paper §5.2, Fig. 6
+//! step 2).
+//!
+//! In each iteration all moves for the processes on the critical path
+//! are evaluated and the best one is applied — until no move improves
+//! the cost (a local optimum, which step 3's tabu search then tries
+//! to escape) or the goal is reached.
+
+use std::time::Instant;
+
+use ftdes_model::design::Design;
+use ftdes_sched::Schedule;
+
+use crate::config::{Goal, SearchConfig, SearchStats};
+use crate::error::OptError;
+use crate::moves::generate_moves;
+use crate::problem::Problem;
+use crate::space::PolicySpace;
+
+/// Runs the greedy heuristic from `start`, returning the improved
+/// design and its schedule.
+///
+/// # Errors
+///
+/// Propagates [`OptError::Sched`] when a candidate cannot be
+/// evaluated (inconsistent problem).
+pub fn greedy_mpa(
+    problem: &Problem,
+    space: PolicySpace,
+    start: Design,
+    cfg: &SearchConfig,
+    cutoff: Option<Instant>,
+    stats: &mut SearchStats,
+) -> Result<(Design, Schedule), OptError> {
+    let mut design = start;
+    let mut schedule = problem.evaluate(&design)?;
+    stats.evaluations += 1;
+
+    loop {
+        if cfg.goal == Goal::MeetDeadline && schedule.is_schedulable() {
+            return Ok((design, schedule));
+        }
+        if cutoff.is_some_and(|c| Instant::now() >= c) {
+            return Ok((design, schedule));
+        }
+        let cp = schedule.move_candidates(problem.graph(), cfg.min_move_candidates);
+        let moves = generate_moves(problem, space, &design, &cp);
+        let mut best: Option<(Design, Schedule)> = None;
+        for mv in moves {
+            let cand = mv.apply(&design);
+            let sched = problem.evaluate(&cand)?;
+            stats.evaluations += 1;
+            if best.as_ref().is_none_or(|(_, s)| sched.cost() < s.cost()) {
+                best = Some((cand, sched));
+            }
+            if cutoff.is_some_and(|c| Instant::now() >= c) {
+                break;
+            }
+        }
+        match best {
+            Some((cand, sched)) if sched.cost() < schedule.cost() => {
+                design = cand;
+                schedule = sched;
+                stats.greedy_steps += 1;
+            }
+            _ => return Ok((design, schedule)), // local optimum
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::initial_mpa;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::fault::FaultModel;
+    use ftdes_model::graph::{Message, ProcessGraph};
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::time::Time;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_ttp::config::BusConfig;
+
+    /// Paper Fig. 5: the best non-fault-tolerant mapping spreads the
+    /// diamond over two nodes, but with k = 1 re-execution the greedy
+    /// search should discover that clustering everything on one node
+    /// (or replicating) shortens the worst case.
+    fn fig5_problem() -> Problem {
+        let ms = Time::from_ms;
+        let mut g = ProcessGraph::new(0.into());
+        let p: Vec<_> = g.add_processes(4);
+        g.add_edge(p[0], p[1], Message::new(4)).unwrap();
+        g.add_edge(p[0], p[2], Message::new(4)).unwrap();
+        g.add_edge(p[1], p[3], Message::new(4)).unwrap();
+        g.add_edge(p[2], p[3], Message::new(4)).unwrap();
+        let wcet: WcetTable = [
+            (p[0], NodeId::new(0), ms(40)),
+            (p[1], NodeId::new(0), ms(60)),
+            (p[1], NodeId::new(1), ms(60)),
+            (p[2], NodeId::new(0), ms(40)),
+            (p[2], NodeId::new(1), ms(70)),
+            (p[3], NodeId::new(1), ms(70)),
+            (p[3], NodeId::new(0), ms(40)),
+        ]
+        .into_iter()
+        .collect();
+        let arch = Architecture::with_node_count(2);
+        let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+        Problem::new(g, arch, wcet, FaultModel::new(1, ms(10)), bus)
+    }
+
+    #[test]
+    fn greedy_improves_initial_solution() {
+        let problem = fig5_problem();
+        let cfg = SearchConfig {
+            goal: Goal::MinimizeLength,
+            ..SearchConfig::default()
+        };
+        let mut stats = SearchStats::default();
+        let start = initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+        let start_cost = problem.evaluate(&start).unwrap().cost();
+        let (_, sched) =
+            greedy_mpa(&problem, PolicySpace::Mixed, start, &cfg, None, &mut stats).unwrap();
+        assert!(sched.cost() <= start_cost, "greedy never worsens");
+        assert!(stats.evaluations > 1, "neighbourhood explored");
+    }
+
+    #[test]
+    fn deadline_goal_stops_early() {
+        let problem = fig5_problem();
+        // Generous deadline: the initial solution is already fine.
+        let mut g = problem.graph().clone();
+        for i in 0..4 {
+            g.process_mut(ftdes_model::ids::ProcessId::new(i)).deadline =
+                Some(Time::from_ms(100_000));
+        }
+        let problem = Problem::new(
+            g,
+            problem.arch().clone(),
+            problem.wcet().clone(),
+            *problem.fault_model(),
+            problem.bus().clone(),
+        );
+        let cfg = SearchConfig::default();
+        let mut stats = SearchStats::default();
+        let start = initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+        let (_, sched) =
+            greedy_mpa(&problem, PolicySpace::Mixed, start, &cfg, None, &mut stats).unwrap();
+        assert!(sched.is_schedulable());
+        assert_eq!(
+            stats.evaluations, 1,
+            "stopped right after the first evaluation"
+        );
+    }
+}

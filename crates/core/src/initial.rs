@@ -1,0 +1,181 @@
+//! Initial mapping and policy assignment, `InitialMPA` (paper Fig. 6
+//! line 2).
+//!
+//! The first step of the optimization strategy decides *quickly* on a
+//! starting point: every free process gets the space's initial policy
+//! (re-execution for MXR/MX, replication for MR), and the mapping
+//! balances the estimated utilization over the nodes.
+
+use ftdes_model::design::{Design, ProcessDesign};
+use ftdes_model::ids::{NodeId, ProcessId};
+use ftdes_model::policy::{FtPolicy, MappingConstraint, PolicyConstraint};
+use ftdes_model::time::Time;
+
+use crate::error::OptError;
+use crate::problem::Problem;
+use crate::space::PolicySpace;
+
+/// Builds the initial design ψ0.
+///
+/// Processes are visited in decreasing average-WCET order (largest
+/// first gives the balancer the most freedom) and every replica is
+/// assigned to the eligible node with the least accumulated load,
+/// where the load of a node is the sum of `C · (e + 1)` over the
+/// instances placed there — re-execution budgets weigh a process as
+/// heavily as the slack it may claim.
+///
+/// # Errors
+///
+/// Returns [`OptError::NoFeasiblePlacement`] when a process cannot be
+/// placed (not enough distinct eligible nodes for its replication
+/// level, or a mapping constraint contradicts eligibility).
+pub fn initial_mpa(problem: &Problem, space: PolicySpace) -> Result<Design, OptError> {
+    let fm = problem.fault_model();
+    let wcet = problem.wcet();
+    let constraints = problem.constraints();
+    let n = problem.process_count();
+
+    // Visit order: big processes first.
+    let mut order: Vec<ProcessId> = (0..n).map(|i| ProcessId::new(i as u32)).collect();
+    order.sort_by_key(|&p| std::cmp::Reverse(wcet.average(p).unwrap_or(Time::ZERO)));
+
+    let mut load = vec![Time::ZERO; problem.arch().node_count()];
+    let mut decisions: Vec<Option<ProcessDesign>> = vec![None; n];
+
+    for p in order {
+        let mut eligible: Vec<(NodeId, Time)> = wcet.eligible_nodes(p).collect();
+        if eligible.is_empty() {
+            return Err(OptError::NoFeasiblePlacement { process: p });
+        }
+        let level = match constraints.policy(p) {
+            PolicyConstraint::Free => space.initial_level(fm),
+            PolicyConstraint::Reexecution => 1,
+            PolicyConstraint::Replication => fm.max_replicas(),
+        };
+        // A process eligible on fewer nodes than the requested
+        // replication level falls back to the largest feasible level;
+        // the policy algebra covers the difference with re-executions
+        // (the CC's pinned sensors under MR are the canonical case).
+        let level = level.min(eligible.len() as u32);
+        let policy =
+            FtPolicy::new(level, fm).map_err(|_| OptError::NoFeasiblePlacement { process: p })?;
+        // Least-loaded-first, breaking ties by WCET then id.
+        eligible.sort_by_key(|&(node, c)| (load[node.index()], c, node));
+
+        // Primary: respect a fixed mapping, otherwise least loaded.
+        let primary = match constraints.mapping(p) {
+            MappingConstraint::Fixed(node) => {
+                if !wcet.is_eligible(p, node) {
+                    return Err(OptError::NoFeasiblePlacement { process: p });
+                }
+                node
+            }
+            MappingConstraint::Free => eligible[0].0,
+        };
+        let mut mapping = vec![primary];
+        mapping.extend(
+            eligible
+                .iter()
+                .map(|&(node, _)| node)
+                .filter(|&node| node != primary)
+                .take(level as usize - 1),
+        );
+        if mapping.len() != level as usize {
+            return Err(OptError::NoFeasiblePlacement { process: p });
+        }
+        for (replica, &node) in mapping.iter().enumerate() {
+            let c = wcet.get(p, node).expect("eligibility checked");
+            let weight = u64::from(policy.budget_of_instance(replica as u32)) + 1;
+            load[node.index()] += c * weight;
+        }
+        decisions[p.index()] = Some(
+            ProcessDesign::new(policy, mapping)
+                .map_err(|_| OptError::NoFeasiblePlacement { process: p })?,
+        );
+    }
+
+    Ok(Design::from_decisions(
+        decisions
+            .into_iter()
+            .map(|d| d.expect("all processes visited"))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::DesignConstraints;
+    use ftdes_model::fault::FaultModel;
+    use ftdes_model::graph::ProcessGraph;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_ttp::config::BusConfig;
+
+    fn problem(nodes: usize, procs: usize, k: u32) -> Problem {
+        let mut g = ProcessGraph::new(0.into());
+        let ps = g.add_processes(procs);
+        let mut wcet = WcetTable::new();
+        for &p in &ps {
+            for node in 0..nodes {
+                wcet.set(p, NodeId::new(node as u32), Time::from_ms(10));
+            }
+        }
+        let arch = Architecture::with_node_count(nodes);
+        let bus = BusConfig::initial(&arch, 4, Time::from_ms(1)).unwrap();
+        Problem::new(g, arch, wcet, FaultModel::new(k, Time::from_ms(5)), bus)
+    }
+
+    #[test]
+    fn balances_load_across_nodes() {
+        let p = problem(2, 4, 1);
+        let d = initial_mpa(&p, PolicySpace::Mixed).unwrap();
+        let on_node0 = d
+            .iter()
+            .filter(|(_, dec)| dec.primary_node() == NodeId::new(0))
+            .count();
+        assert_eq!(on_node0, 2, "4 identical processes split 2/2");
+        assert!(
+            d.iter().all(|(_, dec)| dec.policy.replicas() == 1),
+            "MXR starts re-executed"
+        );
+    }
+
+    #[test]
+    fn mr_starts_fully_replicated() {
+        let p = problem(3, 2, 2);
+        let d = initial_mpa(&p, PolicySpace::ReplicationOnly).unwrap();
+        assert!(d.iter().all(|(_, dec)| dec.policy.replicas() == 3));
+        // Design must be valid.
+        d.validate(p.arch(), p.wcet(), p.fault_model(), p.constraints())
+            .unwrap();
+    }
+
+    #[test]
+    fn respects_fixed_mapping() {
+        let mut c = DesignConstraints::free(2);
+        c.set_mapping(ProcessId::new(1), MappingConstraint::Fixed(NodeId::new(1)));
+        let p = problem(2, 2, 1).with_constraints(c);
+        let d = initial_mpa(&p, PolicySpace::Mixed).unwrap();
+        assert_eq!(d.decision(ProcessId::new(1)).primary_node(), NodeId::new(1));
+    }
+
+    #[test]
+    fn respects_policy_constraints() {
+        let mut c = DesignConstraints::free(2);
+        c.set_policy(ProcessId::new(0), PolicyConstraint::Replication);
+        let p = problem(2, 2, 1).with_constraints(c);
+        let d = initial_mpa(&p, PolicySpace::Mixed).unwrap();
+        assert_eq!(d.decision(ProcessId::new(0)).policy.replicas(), 2);
+        assert_eq!(d.decision(ProcessId::new(1)).policy.replicas(), 1);
+    }
+
+    #[test]
+    fn infeasible_replication_falls_back_to_max_level() {
+        let p = problem(2, 1, 2); // full replication needs 3 nodes, only 2 exist
+        let d = initial_mpa(&p, PolicySpace::ReplicationOnly).unwrap();
+        let dec = d.decision(ProcessId::new(0));
+        assert_eq!(dec.policy.replicas(), 2, "largest feasible level");
+        assert_eq!(dec.policy.reexecutions(), 1, "budget covers the rest");
+    }
+}

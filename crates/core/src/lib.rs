@@ -1,0 +1,82 @@
+//! # ftdes-core
+//!
+//! Design optimization of time- and cost-constrained fault-tolerant
+//! distributed embedded systems — the core contribution of Izosimov,
+//! Pop, Eles & Peng (DATE 2005).
+//!
+//! Given an application (merged process graph), an architecture of
+//! nodes on a TTP bus, a WCET table and a `(k, µ)` transient-fault
+//! model, the crate searches for a system configuration
+//! ψ = ⟨F, M, S⟩: a fault-tolerance policy `F` (re-execution /
+//! replication mix) and a mapping `M` per process such that the
+//! static schedule `S` tolerates any `k` faults and meets all
+//! deadlines — without extra hardware.
+//!
+//! The search is the paper's three-step strategy (Fig. 6):
+//! [`initial::initial_mpa`] → [`greedy::greedy_mpa`] →
+//! [`tabu::tabu_search_mpa`], exposed through
+//! [`strategy::optimize`] with the policy spaces
+//! MXR / MX / MR and the SFX / NFT baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftdes_core::prelude::*;
+//! use ftdes_model::prelude::*;
+//! use ftdes_ttp::BusConfig;
+//!
+//! // Two-process chain, two nodes, one fault to tolerate.
+//! let mut g = ProcessGraph::new(0.into());
+//! let a = g.add_process();
+//! let b = g.add_process();
+//! g.add_edge(a, b, Message::new(4))?;
+//! let wcet: WcetTable = [
+//!     (a, NodeId::new(0), Time::from_ms(20)),
+//!     (a, NodeId::new(1), Time::from_ms(25)),
+//!     (b, NodeId::new(0), Time::from_ms(30)),
+//!     (b, NodeId::new(1), Time::from_ms(35)),
+//! ]
+//! .into_iter()
+//! .collect();
+//! let arch = Architecture::with_node_count(2);
+//! let fm = FaultModel::new(1, Time::from_ms(5));
+//! let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500))?;
+//! let problem = Problem::new(g, arch, wcet, fm, bus);
+//! let outcome = optimize(&problem, Strategy::Mxr, &SearchConfig::experiments())?;
+//! assert!(outcome.length() > Time::ZERO);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bus_opt;
+pub mod config;
+pub mod error;
+pub mod greedy;
+pub mod initial;
+pub mod moves;
+pub mod problem;
+pub mod space;
+pub mod strategy;
+pub mod sweep;
+pub mod tabu;
+
+/// Convenience re-exports of the optimization entry points.
+pub mod prelude {
+    pub use crate::bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
+    pub use crate::config::{Goal, SearchConfig, SearchStats};
+    pub use crate::error::OptError;
+    pub use crate::problem::Problem;
+    pub use crate::space::PolicySpace;
+    pub use crate::strategy::{optimize, overhead_percent, Outcome, Strategy};
+    pub use crate::sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};
+}
+
+pub use bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
+pub use config::{Goal, SearchConfig, SearchStats};
+pub use error::OptError;
+pub use problem::Problem;
+pub use space::PolicySpace;
+pub use strategy::{optimize, overhead_percent, Outcome, Strategy};
+pub use sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};

@@ -1,0 +1,234 @@
+//! The design-optimization problem instance (paper §4).
+//!
+//! Bundles everything that stays fixed during a search: the merged
+//! application graph, the architecture, the WCET table, the fault
+//! model, the bus configuration and the designer constraints
+//! (`PX`, `PR`, `PM`).
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::{Design, DesignConstraints};
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+use ftdes_sched::{list_schedule, SchedError, Schedule};
+use ftdes_ttp::config::BusConfig;
+
+/// A complete problem instance.
+///
+/// # Examples
+///
+/// ```
+/// use ftdes_core::problem::Problem;
+/// use ftdes_model::prelude::*;
+/// use ftdes_ttp::BusConfig;
+///
+/// let mut g = ProcessGraph::new(0.into());
+/// let a = g.add_process();
+/// let wcet: WcetTable =
+///     [(a, NodeId::new(0), Time::from_ms(10))].into_iter().collect();
+/// let arch = Architecture::with_node_count(1);
+/// let fm = FaultModel::new(1, Time::from_ms(5));
+/// let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500))?;
+/// let problem = Problem::new(g, arch, wcet, fm, bus);
+/// assert_eq!(problem.process_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    graph: ProcessGraph,
+    arch: Architecture,
+    wcet: WcetTable,
+    fault_model: FaultModel,
+    bus: BusConfig,
+    constraints: DesignConstraints,
+}
+
+impl Problem {
+    /// Creates a problem without designer constraints (all processes
+    /// in `P+` and `P*`).
+    #[must_use]
+    pub fn new(
+        graph: ProcessGraph,
+        arch: Architecture,
+        wcet: WcetTable,
+        fault_model: FaultModel,
+        bus: BusConfig,
+    ) -> Self {
+        let n = graph.process_count();
+        Problem {
+            graph,
+            arch,
+            wcet,
+            fault_model,
+            bus,
+            constraints: DesignConstraints::free(n),
+        }
+    }
+
+    /// Sets designer constraints (builder style).
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: DesignConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Returns a copy of the problem under a different fault model
+    /// (used to derive the NFT reference and the SFX pre-pass).
+    #[must_use]
+    pub fn with_fault_model(&self, fault_model: FaultModel) -> Self {
+        Problem {
+            fault_model,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different bus configuration (used by the
+    /// bus-access optimization).
+    #[must_use]
+    pub fn with_bus(&self, bus: BusConfig) -> Self {
+        Problem {
+            bus,
+            ..self.clone()
+        }
+    }
+
+    /// The merged application graph Γ.
+    #[must_use]
+    pub fn graph(&self) -> &ProcessGraph {
+        &self.graph
+    }
+
+    /// The architecture.
+    #[must_use]
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The WCET table.
+    #[must_use]
+    pub fn wcet(&self) -> &WcetTable {
+        &self.wcet
+    }
+
+    /// The fault model.
+    #[must_use]
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.fault_model
+    }
+
+    /// The bus configuration.
+    #[must_use]
+    pub fn bus(&self) -> &BusConfig {
+        &self.bus
+    }
+
+    /// The designer constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &DesignConstraints {
+        &self.constraints
+    }
+
+    /// Number of processes in Γ.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.graph.process_count()
+    }
+
+    /// Largest message size over all edges (drives the initial slot
+    /// length, paper Fig. 6 line 1). Defaults to 1 for message-less
+    /// graphs.
+    #[must_use]
+    pub fn largest_message(&self) -> u32 {
+        self.graph
+            .edges()
+            .iter()
+            .map(|e| e.message.size)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Runs `ListScheduling` for `design` — the cost function of the
+    /// whole optimization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`] for designs inconsistent with the
+    /// problem.
+    pub fn evaluate(&self, design: &Design) -> Result<Schedule, SchedError> {
+        list_schedule(
+            &self.graph,
+            &self.arch,
+            &self.wcet,
+            &self.fault_model,
+            &self.bus,
+            design,
+        )
+    }
+
+    /// The sum over processes of the average WCET — a scale for
+    /// relative comparisons in reports.
+    #[must_use]
+    pub fn total_average_wcet(&self) -> Time {
+        self.graph
+            .processes()
+            .iter()
+            .filter_map(|p| self.wcet.average(p.id))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::design::ProcessDesign;
+    use ftdes_model::graph::Message;
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+
+    fn tiny_problem() -> Problem {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(3)).unwrap();
+        let wcet: WcetTable = [
+            (a, NodeId::new(0), Time::from_ms(10)),
+            (b, NodeId::new(0), Time::from_ms(20)),
+        ]
+        .into_iter()
+        .collect();
+        let arch = Architecture::with_node_count(1);
+        let fm = FaultModel::new(1, Time::from_ms(5));
+        let bus = BusConfig::initial(&arch, 3, Time::from_ms(1)).unwrap();
+        Problem::new(g, arch, wcet, fm, bus)
+    }
+
+    #[test]
+    fn evaluate_schedules_design() {
+        let p = tiny_problem();
+        let fm = *p.fault_model();
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+        ]);
+        let sched = p.evaluate(&design).unwrap();
+        // ff = 30, shared slack = 20 + 5.
+        assert_eq!(sched.length(), Time::from_ms(55));
+    }
+
+    #[test]
+    fn largest_message_and_scale() {
+        let p = tiny_problem();
+        assert_eq!(p.largest_message(), 3);
+        assert_eq!(p.total_average_wcet(), Time::from_ms(30));
+    }
+
+    #[test]
+    fn fault_model_substitution() {
+        let p = tiny_problem();
+        let nft = p.with_fault_model(FaultModel::none());
+        assert!(nft.fault_model().is_fault_free());
+        assert_eq!(p.fault_model().k(), 1, "original untouched");
+    }
+}

@@ -1,0 +1,70 @@
+//! Policy spaces: which fault-tolerance techniques a search may use.
+//!
+//! The paper evaluates three optimization variants that share the
+//! same search but differ in the policies they may assign (§6):
+//! `MXR` combines re-execution and replication, `MX` only
+//! re-executes, `MR` only replicates.
+
+use ftdes_model::fault::FaultModel;
+
+/// The admissible replication levels of a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicySpace {
+    /// MXR: any level `1 ..= k + 1` (re-execution, replication and
+    /// re-executed replicas).
+    Mixed,
+    /// MX: pure re-execution only (`r = 1`).
+    ReexecutionOnly,
+    /// MR: pure replication only (`r = k + 1`).
+    ReplicationOnly,
+}
+
+impl PolicySpace {
+    /// The replication levels this space admits under `fm`.
+    #[must_use]
+    pub fn allowed_levels(self, fm: &FaultModel) -> Vec<u32> {
+        match self {
+            PolicySpace::Mixed => (1..=fm.max_replicas()).collect(),
+            PolicySpace::ReexecutionOnly => vec![1],
+            PolicySpace::ReplicationOnly => vec![fm.max_replicas()],
+        }
+    }
+
+    /// The default initial replication level (paper Fig. 6 line 2
+    /// assigns re-execution initially; MR must start replicated).
+    #[must_use]
+    pub fn initial_level(self, fm: &FaultModel) -> u32 {
+        match self {
+            PolicySpace::Mixed | PolicySpace::ReexecutionOnly => 1,
+            PolicySpace::ReplicationOnly => fm.max_replicas(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::time::Time;
+
+    #[test]
+    fn levels_per_space() {
+        let fm = FaultModel::new(2, Time::from_ms(5));
+        assert_eq!(PolicySpace::Mixed.allowed_levels(&fm), vec![1, 2, 3]);
+        assert_eq!(PolicySpace::ReexecutionOnly.allowed_levels(&fm), vec![1]);
+        assert_eq!(PolicySpace::ReplicationOnly.allowed_levels(&fm), vec![3]);
+    }
+
+    #[test]
+    fn initial_levels() {
+        let fm = FaultModel::new(2, Time::from_ms(5));
+        assert_eq!(PolicySpace::Mixed.initial_level(&fm), 1);
+        assert_eq!(PolicySpace::ReplicationOnly.initial_level(&fm), 3);
+    }
+
+    #[test]
+    fn fault_free_degenerates() {
+        let fm = FaultModel::none();
+        assert_eq!(PolicySpace::Mixed.allowed_levels(&fm), vec![1]);
+        assert_eq!(PolicySpace::ReplicationOnly.allowed_levels(&fm), vec![1]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Parameter sweeps over the fault hypothesis — library support for
+//! Table-1b/1c-style studies (overhead as a function of `k` or `µ`).
+
+use ftdes_model::fault::FaultModel;
+use ftdes_model::time::Time;
+
+use crate::config::SearchConfig;
+use crate::error::OptError;
+use crate::problem::Problem;
+use crate::strategy::{optimize, overhead_percent, Outcome, Strategy};
+
+/// One point of a fault-hypothesis sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The fault model of this point.
+    pub fault_model: FaultModel,
+    /// The optimized fault-tolerant implementation.
+    pub outcome: Outcome,
+    /// Overhead vs the shared NFT reference, in percent.
+    pub overhead_percent: f64,
+}
+
+/// The result of a sweep: the NFT reference plus one point per fault
+/// model.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// The fault-oblivious reference implementation.
+    pub nft: Outcome,
+    /// The sweep points in input order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// `(k, overhead %)` pairs for quick plotting.
+    #[must_use]
+    pub fn overhead_curve(&self) -> Vec<(u32, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.fault_model.k(), p.overhead_percent))
+            .collect()
+    }
+}
+
+/// Optimizes `strategy` under every fault model in `models` on the
+/// same application, against a single NFT reference (paper Table 1b
+/// varies `k`, Table 1c varies `µ`).
+///
+/// # Errors
+///
+/// Propagates the first [`OptError`] (e.g. replication infeasible for
+/// the architecture under some `k`).
+pub fn sweep_fault_models(
+    problem: &Problem,
+    models: &[FaultModel],
+    strategy: Strategy,
+    cfg: &SearchConfig,
+) -> Result<Sweep, OptError> {
+    let nft = optimize(problem, Strategy::Nft, cfg)?;
+    let mut points = Vec::with_capacity(models.len());
+    for &fault_model in models {
+        let p = problem.with_fault_model(fault_model);
+        let outcome = optimize(&p, strategy, cfg)?;
+        let overhead = overhead_percent(&outcome, &nft);
+        points.push(SweepPoint {
+            fault_model,
+            outcome,
+            overhead_percent: overhead,
+        });
+    }
+    Ok(Sweep { nft, points })
+}
+
+/// Convenience: sweeps `k = 1..=k_max` at fixed `µ`.
+///
+/// # Errors
+///
+/// See [`sweep_fault_models`].
+pub fn sweep_k(
+    problem: &Problem,
+    k_max: u32,
+    mu: Time,
+    strategy: Strategy,
+    cfg: &SearchConfig,
+) -> Result<Sweep, OptError> {
+    let models: Vec<FaultModel> = (1..=k_max).map(|k| FaultModel::new(k, mu)).collect();
+    sweep_fault_models(problem, &models, strategy, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Goal;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::graph::{Message, ProcessGraph};
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_ttp::config::BusConfig;
+
+    fn problem() -> Problem {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(2)).unwrap();
+        let mut wcet = WcetTable::new();
+        for p in [a, b] {
+            wcet.set(p, NodeId::new(0), Time::from_ms(20));
+            wcet.set(p, NodeId::new(1), Time::from_ms(25));
+        }
+        let arch = Architecture::with_node_count(2);
+        let bus = BusConfig::initial(&arch, 2, Time::from_ms(1)).unwrap();
+        Problem::new(g, arch, wcet, FaultModel::none(), bus)
+    }
+
+    fn cfg() -> SearchConfig {
+        SearchConfig {
+            goal: Goal::MinimizeLength,
+            time_limit: Some(std::time::Duration::from_millis(100)),
+            max_tabu_iterations: 20,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn overheads_grow_with_k() {
+        let sweep = sweep_k(&problem(), 3, Time::from_ms(5), Strategy::Mxr, &cfg()).unwrap();
+        let curve = sweep.overhead_curve();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].0, 1);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "overhead must not shrink with more faults: {curve:?}"
+            );
+        }
+        assert!(curve[0].1 >= 0.0, "fault tolerance is never free");
+    }
+
+    #[test]
+    fn sweep_shares_the_nft_reference() {
+        let models = [
+            FaultModel::new(1, Time::from_ms(5)),
+            FaultModel::new(1, Time::from_ms(20)),
+        ];
+        let sweep = sweep_fault_models(&problem(), &models, Strategy::Mxr, &cfg()).unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        assert!(
+            sweep.points[1].overhead_percent >= sweep.points[0].overhead_percent,
+            "longer faults cost at least as much"
+        );
+        assert!(sweep.nft.length() <= sweep.points[0].outcome.length());
+    }
+}

@@ -1,0 +1,146 @@
+//! Convergence quality: on instances small enough to enumerate every
+//! design, the three-step strategy must find the true optimum (or
+//! get very close), and the strategy dominance relations of the paper
+//! must hold exactly.
+
+use std::time::Duration;
+
+use ftdes_core::{optimize, Goal, Problem, SearchConfig, Strategy};
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::{Design, ProcessDesign};
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::{Message, ProcessGraph};
+use ftdes_model::ids::{NodeId, ProcessId};
+use ftdes_model::policy::FtPolicy;
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+use ftdes_sched::ScheduleCost;
+use ftdes_ttp::config::BusConfig;
+
+/// Enumerates every decision for one process: all replication levels
+/// with all ordered node selections (the primary choice matters).
+fn all_decisions(problem: &Problem, p: ProcessId) -> Vec<ProcessDesign> {
+    let fm = problem.fault_model();
+    let eligible: Vec<NodeId> = problem.wcet().eligible_nodes(p).map(|(n, _)| n).collect();
+    let mut out = Vec::new();
+    for r in 1..=fm.max_replicas().min(eligible.len() as u32) {
+        // Ordered selections of r nodes out of the eligible ones.
+        let mut stack: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for _ in 0..r {
+            let mut next = Vec::new();
+            for partial in &stack {
+                for &n in &eligible {
+                    if !partial.contains(&n) {
+                        let mut ext = partial.clone();
+                        ext.push(n);
+                        next.push(ext);
+                    }
+                }
+            }
+            stack = next;
+        }
+        for mapping in stack {
+            out.push(ProcessDesign::new(FtPolicy::new(r, fm).unwrap(), mapping).unwrap());
+        }
+    }
+    out
+}
+
+/// Brute-force optimal cost over the full design space.
+fn brute_force_optimum(problem: &Problem) -> ScheduleCost {
+    let n = problem.process_count();
+    let per_process: Vec<Vec<ProcessDesign>> = (0..n)
+        .map(|i| all_decisions(problem, ProcessId::new(i as u32)))
+        .collect();
+    let mut best: Option<ScheduleCost> = None;
+    let mut indices = vec![0usize; n];
+    loop {
+        let design = Design::from_decisions(
+            indices
+                .iter()
+                .enumerate()
+                .map(|(p, &i)| per_process[p][i].clone())
+                .collect(),
+        );
+        let cost = problem
+            .evaluate(&design)
+            .expect("enumerated designs schedule")
+            .cost();
+        best = Some(match best {
+            Some(b) if b <= cost => b,
+            _ => cost,
+        });
+        // Odometer increment.
+        let mut digit = 0;
+        loop {
+            if digit == n {
+                return best.expect("space is non-empty");
+            }
+            indices[digit] += 1;
+            if indices[digit] < per_process[digit].len() {
+                break;
+            }
+            indices[digit] = 0;
+            digit += 1;
+        }
+    }
+}
+
+/// Fig. 4's diamond: four processes, two nodes, k = 1 — 36 ^ ... a
+/// few thousand designs, enumerable in well under a second.
+fn tiny_problem(seed: u64) -> Problem {
+    let mut g = ProcessGraph::new(0.into());
+    let ps: Vec<_> = g.add_processes(4);
+    g.add_edge(ps[0], ps[1], Message::new(4)).unwrap();
+    g.add_edge(ps[0], ps[2], Message::new(4)).unwrap();
+    g.add_edge(ps[1], ps[3], Message::new(4)).unwrap();
+    let mut wcet = WcetTable::new();
+    for (i, &p) in ps.iter().enumerate() {
+        let base = 30 + 10 * ((i as u64 + seed) % 4);
+        wcet.set(p, NodeId::new(0), Time::from_ms(base));
+        wcet.set(p, NodeId::new(1), Time::from_ms(base + 5 + seed % 7));
+    }
+    let arch = Architecture::with_node_count(2);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+    Problem::new(g, arch, wcet, FaultModel::new(1, Time::from_ms(10)), bus)
+}
+
+fn converged_cfg() -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(Duration::from_secs(5)),
+        max_tabu_iterations: 400,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn mxr_finds_the_brute_force_optimum_on_tiny_instances() {
+    for seed in 0..4 {
+        let problem = tiny_problem(seed);
+        let optimum = brute_force_optimum(&problem);
+        let mxr = optimize(&problem, Strategy::Mxr, &converged_cfg()).unwrap();
+        assert_eq!(
+            mxr.schedule.cost(),
+            optimum,
+            "seed {seed}: MXR {} vs optimum {}",
+            mxr.length(),
+            optimum.length
+        );
+    }
+}
+
+#[test]
+fn converged_dominance_mxr_beats_restricted_spaces() {
+    for seed in 0..4 {
+        let problem = tiny_problem(seed);
+        let cfg = converged_cfg();
+        let mxr = optimize(&problem, Strategy::Mxr, &cfg).unwrap();
+        let mx = optimize(&problem, Strategy::Mx, &cfg).unwrap();
+        let mr = optimize(&problem, Strategy::Mr, &cfg).unwrap();
+        let sfx = optimize(&problem, Strategy::Sfx, &cfg).unwrap();
+        assert!(mxr.length() <= mx.length(), "seed {seed}: MXR vs MX");
+        assert!(mxr.length() <= mr.length(), "seed {seed}: MXR vs MR");
+        assert!(mxr.length() <= sfx.length(), "seed {seed}: MXR vs SFX");
+    }
+}

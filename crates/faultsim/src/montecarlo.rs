@@ -1,0 +1,162 @@
+//! Monte-Carlo analysis of schedule robustness.
+//!
+//! The analytic worst case is a guarantee; this module answers the
+//! complementary question *"how does the system typically behave
+//! under faults?"* by replaying a large sample of random admissible
+//! scenarios and summarising the realized schedule lengths.
+
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::time::Time;
+use ftdes_sched::Schedule;
+
+use crate::engine::simulate;
+use crate::scenario::random_scenarios;
+
+/// Distribution summary of realized schedule lengths over a scenario
+/// sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LengthDistribution {
+    /// Scenarios replayed.
+    pub samples: usize,
+    /// Smallest realized length (the fault-free makespan when the
+    /// sample includes a fault-free run).
+    pub min: Time,
+    /// Mean realized length (integer microseconds).
+    pub mean: Time,
+    /// Largest realized length in the sample.
+    pub max: Time,
+    /// 50th / 90th / 99th percentiles.
+    pub p50: Time,
+    /// 90th percentile.
+    pub p90: Time,
+    /// 99th percentile.
+    pub p99: Time,
+    /// The analytic worst-case bound (δ) for reference.
+    pub bound: Time,
+    /// Scenarios in which some process missed a deadline (possible
+    /// only when the schedule is not schedulable to begin with).
+    pub deadline_miss_runs: usize,
+}
+
+impl LengthDistribution {
+    /// Fraction of the analytic bound typically used: `mean / bound`.
+    #[must_use]
+    pub fn mean_bound_ratio(&self) -> f64 {
+        if self.bound.is_zero() {
+            return 0.0;
+        }
+        self.mean.as_us() as f64 / self.bound.as_us() as f64
+    }
+}
+
+/// Replays `samples` random admissible scenarios (deterministic per
+/// `seed`) and summarises the realized lengths.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero, or if a scenario violates the
+/// analytic bound — that would be a scheduler soundness bug, and
+/// silently averaging over it would be worse than crashing.
+#[must_use]
+pub fn length_distribution(
+    schedule: &Schedule,
+    graph: &ProcessGraph,
+    fm: &FaultModel,
+    samples: usize,
+    seed: u64,
+) -> LengthDistribution {
+    assert!(samples > 0, "need at least one scenario");
+    let mut lengths: Vec<Time> = Vec::with_capacity(samples);
+    let mut deadline_miss_runs = 0usize;
+    for scenario in random_scenarios(schedule, fm, samples, seed) {
+        let report = simulate(schedule, graph, fm.mu(), &scenario);
+        assert!(
+            report.max_overrun().is_none(),
+            "analytic bound violated under {scenario:?} — scheduler bug"
+        );
+        if !report.deadline_misses().is_empty() {
+            deadline_miss_runs += 1;
+        }
+        lengths.push(report.realized_length());
+    }
+    lengths.sort_unstable();
+    let sum: u64 = lengths.iter().map(|t| t.as_us()).sum();
+    let pct = |p: usize| lengths[(lengths.len() - 1) * p / 100];
+    LengthDistribution {
+        samples,
+        min: lengths[0],
+        mean: Time::from_us(sum / lengths.len() as u64),
+        max: *lengths.last().expect("non-empty"),
+        p50: pct(50),
+        p90: pct(90),
+        p99: pct(99),
+        bound: schedule.length(),
+        deadline_miss_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::{Design, ProcessDesign};
+    use ftdes_model::graph::Message;
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_sched::list_schedule;
+    use ftdes_ttp::config::BusConfig;
+
+    fn sample_schedule() -> (ProcessGraph, Schedule, FaultModel) {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(2)).unwrap();
+        let wcet: WcetTable = [
+            (a, NodeId::new(0), Time::from_ms(30)),
+            (b, NodeId::new(0), Time::from_ms(20)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::new(2, Time::from_ms(10));
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+        ]);
+        let arch = Architecture::with_node_count(1);
+        let bus = BusConfig::initial(&arch, 2, Time::from_ms(1)).unwrap();
+        let s = list_schedule(&g, &arch, &wcet, &fm, &bus, &design).unwrap();
+        (g, s, fm)
+    }
+
+    #[test]
+    fn distribution_is_ordered_and_bounded() {
+        let (g, s, fm) = sample_schedule();
+        let d = length_distribution(&s, &g, &fm, 200, 7);
+        assert_eq!(d.samples, 200);
+        assert!(d.min <= d.p50 && d.p50 <= d.p90 && d.p90 <= d.p99 && d.p99 <= d.max);
+        assert!(d.max <= d.bound, "no realized run can beat the bound");
+        assert!(
+            d.min >= Time::from_ms(50),
+            "at least the fault-free makespan"
+        );
+        assert!(d.mean_bound_ratio() > 0.0 && d.mean_bound_ratio() <= 1.0);
+        assert_eq!(d.deadline_miss_runs, 0, "no deadlines declared");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, s, fm) = sample_schedule();
+        let a = length_distribution(&s, &g, &fm, 64, 3);
+        let b = length_distribution(&s, &g, &fm, 64, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn zero_samples_rejected() {
+        let (g, s, fm) = sample_schedule();
+        let _ = length_distribution(&s, &g, &fm, 0, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulation outcomes and their comparison against the analytic
+//! worst case.
+
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::ProcessId;
+use ftdes_model::time::Time;
+use ftdes_sched::{InstanceId, Schedule};
+
+/// What happened to one replica instance in a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceOutcome {
+    /// Actual start (None when the instance starved: all senders of
+    /// an input died — impossible under admissible scenarios).
+    pub start: Option<Time>,
+    /// Actual finish; `None` when the instance died (exhausted its
+    /// re-execution budget) or starved.
+    pub finish: Option<Time>,
+    /// Execution attempts performed (including the failed ones).
+    pub attempts: u32,
+}
+
+/// The result of replaying one fault scenario.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    outcomes: Vec<InstanceOutcome>,
+    /// Earliest surviving finish per process (`None` = no survivor).
+    completion: Vec<Option<Time>>,
+    /// Per-instance overrun of the analytic bound (positive = bug).
+    overruns: Vec<(InstanceId, Time)>,
+    /// Deadline misses `(process, completion, deadline)`.
+    deadline_misses: Vec<(ProcessId, Time, Time)>,
+    lost_messages: Vec<InstanceId>,
+}
+
+impl SimulationReport {
+    pub(crate) fn new(
+        schedule: &Schedule,
+        graph: &ProcessGraph,
+        outcomes: Vec<InstanceOutcome>,
+        lost_messages: Vec<InstanceId>,
+    ) -> Self {
+        let n = graph.process_count();
+        let mut completion: Vec<Option<Time>> = vec![None; n];
+        let mut overruns = Vec::new();
+        for (idx, out) in outcomes.iter().enumerate() {
+            let id = InstanceId::new(idx as u32);
+            let slot = schedule.slot(id);
+            if let Some(finish) = out.finish {
+                let p = slot.instance.process.index();
+                completion[p] = Some(match completion[p] {
+                    Some(t) => t.min(finish),
+                    None => finish,
+                });
+                if finish > slot.worst_finish {
+                    overruns.push((id, finish - slot.worst_finish));
+                }
+            }
+        }
+        let mut deadline_misses = Vec::new();
+        for p in graph.processes() {
+            if let (Some(d), Some(c)) = (p.deadline, completion[p.id.index()]) {
+                if c > d {
+                    deadline_misses.push((p.id, c, d));
+                }
+            }
+        }
+        SimulationReport {
+            outcomes,
+            completion,
+            overruns,
+            deadline_misses,
+            lost_messages,
+        }
+    }
+
+    /// The outcome of one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different schedule.
+    #[must_use]
+    pub fn outcome(&self, id: InstanceId) -> &InstanceOutcome {
+        &self.outcomes[id.index()]
+    }
+
+    /// All outcomes, dense by instance id.
+    #[must_use]
+    pub fn outcomes(&self) -> &[InstanceOutcome] {
+        &self.outcomes
+    }
+
+    /// Earliest surviving finish of a process, `None` if every
+    /// replica died.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn completion(&self, p: ProcessId) -> Option<Time> {
+        self.completion[p.index()]
+    }
+
+    /// Returns `true` when every process produced a result — the
+    /// fault-tolerance guarantee for admissible scenarios.
+    #[must_use]
+    pub fn all_processes_complete(&self) -> bool {
+        self.completion.iter().all(Option::is_some)
+    }
+
+    /// The largest overrun of the analytic worst-case bound, if any.
+    /// A `Some` here means the scheduler's analysis was unsound for
+    /// this scenario.
+    #[must_use]
+    pub fn max_overrun(&self) -> Option<(InstanceId, Time)> {
+        self.overruns.iter().copied().max_by_key(|&(_, t)| t)
+    }
+
+    /// All bound overruns.
+    #[must_use]
+    pub fn overruns(&self) -> &[(InstanceId, Time)] {
+        &self.overruns
+    }
+
+    /// Deadline misses observed in this run.
+    #[must_use]
+    pub fn deadline_misses(&self) -> &[(ProcessId, Time, Time)] {
+        &self.deadline_misses
+    }
+
+    /// Senders that missed their static bus slot (must be empty for a
+    /// sound schedule).
+    #[must_use]
+    pub fn lost_messages(&self) -> &[InstanceId] {
+        &self.lost_messages
+    }
+
+    /// The latest surviving finish over all instances (the realized
+    /// schedule length of this scenario).
+    #[must_use]
+    pub fn realized_length(&self) -> Time {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.finish)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+}

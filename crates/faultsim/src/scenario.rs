@@ -1,0 +1,319 @@
+//! Fault scenarios: concrete realizations of the `(k, µ)` fault
+//! hypothesis.
+//!
+//! A scenario lists which execution attempts fail: hit `(instance,
+//! occurrence)` means the `occurrence`-th attempt of that replica
+//! instance experiences a transient fault at the worst moment (the
+//! very end of the attempt, paper Fig. 2). Scenarios are *admissible*
+//! when the total number of hits does not exceed `k`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ftdes_model::fault::FaultModel;
+use ftdes_sched::{InstanceId, Schedule};
+
+/// One transient fault hitting one execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultHit {
+    /// The afflicted replica instance.
+    pub instance: InstanceId,
+    /// Which attempt fails (0 = the first execution).
+    pub occurrence: u32,
+}
+
+/// An admissible set of transient faults for one operation cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScenario {
+    hits: Vec<FaultHit>,
+}
+
+impl FaultScenario {
+    /// The fault-free scenario.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultScenario::default()
+    }
+
+    /// Builds a scenario from explicit hits. Duplicate hits are
+    /// removed (a single attempt fails at most once).
+    #[must_use]
+    pub fn from_hits(mut hits: Vec<FaultHit>) -> Self {
+        hits.sort();
+        hits.dedup();
+        FaultScenario { hits }
+    }
+
+    /// All hits, sorted.
+    #[must_use]
+    pub fn hits(&self) -> &[FaultHit] {
+        &self.hits
+    }
+
+    /// Number of faults in the scenario.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Number of hits on one instance.
+    #[must_use]
+    pub fn hits_on(&self, instance: InstanceId) -> u32 {
+        self.hits.iter().filter(|h| h.instance == instance).count() as u32
+    }
+
+    /// Returns `true` when the scenario respects the fault model
+    /// (at most `k` faults in total) and hits consecutive attempts
+    /// starting from the first (a later attempt cannot fail unless
+    /// the earlier ones did — otherwise it would never run).
+    #[must_use]
+    pub fn is_admissible(&self, fm: &FaultModel) -> bool {
+        if self.hits.len() > fm.k() as usize {
+            return false;
+        }
+        // Per instance the occurrences must be 0..h contiguous.
+        let mut i = 0;
+        while i < self.hits.len() {
+            let instance = self.hits[i].instance;
+            let mut expected = 0;
+            while i < self.hits.len() && self.hits[i].instance == instance {
+                if self.hits[i].occurrence != expected {
+                    return false;
+                }
+                expected += 1;
+                i += 1;
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<FaultHit> for FaultScenario {
+    fn from_iter<I: IntoIterator<Item = FaultHit>>(iter: I) -> Self {
+        FaultScenario::from_hits(iter.into_iter().collect())
+    }
+}
+
+/// Enumerates *all* admissible scenarios of up to `k` faults for
+/// `schedule` — feasible for small instances (the count grows as
+/// `(instances + 1)^k`).
+///
+/// Hits are generated as contiguous attempt prefixes per instance,
+/// capped at `budget + 1` attempts (further hits are meaningless: the
+/// instance is already dead).
+#[must_use]
+pub fn enumerate_scenarios(schedule: &Schedule, fm: &FaultModel) -> Vec<FaultScenario> {
+    let instances = schedule.expanded().instances();
+    let mut out = vec![FaultScenario::none()];
+    let mut frontier = vec![Vec::<FaultHit>::new()];
+    for _round in 0..fm.k() {
+        let mut next = Vec::new();
+        for partial in &frontier {
+            for inst in instances {
+                let already = partial.iter().filter(|h| h.instance == inst.id).count() as u32;
+                if already > inst.budget {
+                    continue; // instance already dead
+                }
+                // Keep scenarios canonical (sorted construction) to
+                // avoid duplicates: only extend with instances >= the
+                // last hit instance.
+                if let Some(last) = partial.last() {
+                    if inst.id < last.instance {
+                        continue;
+                    }
+                }
+                let mut hits = partial.clone();
+                hits.push(FaultHit {
+                    instance: inst.id,
+                    occurrence: already,
+                });
+                next.push(hits);
+            }
+        }
+        out.extend(next.iter().cloned().map(FaultScenario::from_hits));
+        frontier = next;
+    }
+    out
+}
+
+/// Samples `count` random admissible scenarios (deterministic per
+/// `seed`).
+#[must_use]
+pub fn random_scenarios(
+    schedule: &Schedule,
+    fm: &FaultModel,
+    count: usize,
+    seed: u64,
+) -> Vec<FaultScenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instances = schedule.expanded().instances();
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let faults = rng.gen_range(0..=fm.k());
+        let mut hits: Vec<FaultHit> = Vec::new();
+        for _ in 0..faults {
+            let inst = &instances[rng.gen_range(0..instances.len())];
+            let already = hits.iter().filter(|h| h.instance == inst.id).count() as u32;
+            if already > inst.budget {
+                continue; // would hit a dead instance; drop the fault
+            }
+            hits.push(FaultHit {
+                instance: inst.id,
+                occurrence: already,
+            });
+        }
+        out.push(FaultScenario::from_hits(hits));
+    }
+    out
+}
+
+/// A greedy adversarial scenario: spend the whole fault budget on the
+/// instances with the largest re-execution cost, preferring
+/// re-executable instances (they delay their whole node).
+#[must_use]
+pub fn adversarial_scenario(schedule: &Schedule, fm: &FaultModel) -> FaultScenario {
+    let mut instances: Vec<_> = schedule.expanded().instances().to_vec();
+    instances.sort_by_key(|i| std::cmp::Reverse((i.budget > 0, i.wcet)));
+    let mut hits = Vec::new();
+    let mut remaining = fm.k();
+    for inst in instances {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(inst.budget.max(1));
+        for occurrence in 0..take {
+            hits.push(FaultHit {
+                instance: inst.id,
+                occurrence,
+            });
+        }
+        remaining -= take;
+    }
+    FaultScenario::from_hits(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::time::Time;
+
+    fn hit(i: u32, o: u32) -> FaultHit {
+        FaultHit {
+            instance: InstanceId::new(i),
+            occurrence: o,
+        }
+    }
+
+    #[test]
+    fn admissibility_checks_budget_and_contiguity() {
+        let fm = FaultModel::new(2, Time::from_ms(5));
+        assert!(FaultScenario::none().is_admissible(&fm));
+        assert!(FaultScenario::from_hits(vec![hit(0, 0), hit(0, 1)]).is_admissible(&fm));
+        assert!(
+            !FaultScenario::from_hits(vec![hit(0, 1)]).is_admissible(&fm),
+            "gap"
+        );
+        assert!(
+            !FaultScenario::from_hits(vec![hit(0, 0), hit(1, 0), hit(2, 0)]).is_admissible(&fm),
+            "three faults exceed k = 2"
+        );
+    }
+
+    #[test]
+    fn from_hits_dedups() {
+        let s = FaultScenario::from_hits(vec![hit(0, 0), hit(0, 0)]);
+        assert_eq!(s.fault_count(), 1);
+        assert_eq!(s.hits_on(InstanceId::new(0)), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: FaultScenario = [hit(1, 0), hit(0, 0)].into_iter().collect();
+        assert_eq!(s.hits()[0], hit(0, 0), "sorted");
+    }
+}
+
+#[cfg(test)]
+mod generator_tests {
+    use super::*;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::{Design, ProcessDesign};
+    use ftdes_model::graph::{Message, ProcessGraph};
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+    use ftdes_model::time::Time;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_sched::list_schedule;
+    use ftdes_ttp::config::BusConfig;
+
+    fn schedule(k: u32) -> (Schedule, FaultModel) {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(2)).unwrap();
+        let wcet: WcetTable = [
+            (a, NodeId::new(0), Time::from_ms(10)),
+            (b, NodeId::new(0), Time::from_ms(20)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::new(k, Time::from_ms(5));
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+        ]);
+        let arch = Architecture::with_node_count(1);
+        let bus = BusConfig::initial(&arch, 2, Time::from_ms(1)).unwrap();
+        (
+            list_schedule(&g, &arch, &wcet, &fm, &bus, &design).unwrap(),
+            fm,
+        )
+    }
+
+    #[test]
+    fn enumeration_count_matches_combinatorics() {
+        // Two instances with budget k each: scenarios of up to k
+        // contiguous-prefix hits. k = 2 over 2 instances:
+        // 1 (none) + 2 (one hit) + 3 (two hits: {a,a},{a,b},{b,b}).
+        let (s, fm) = schedule(2);
+        let scenarios = enumerate_scenarios(&s, &fm);
+        assert_eq!(scenarios.len(), 6);
+        for sc in &scenarios {
+            assert!(sc.is_admissible(&fm), "{sc:?}");
+        }
+        // All distinct.
+        let mut sorted: Vec<_> = scenarios.iter().map(|s| format!("{s:?}")).collect();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn random_scenarios_admissible_and_deterministic() {
+        let (s, fm) = schedule(3);
+        let a = random_scenarios(&s, &fm, 40, 9);
+        let b = random_scenarios(&s, &fm, 40, 9);
+        assert_eq!(a, b);
+        for sc in &a {
+            assert!(sc.is_admissible(&fm), "{sc:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_spends_whole_budget_on_the_biggest() {
+        let (s, fm) = schedule(2);
+        let sc = adversarial_scenario(&s, &fm);
+        assert!(sc.is_admissible(&fm));
+        assert_eq!(sc.fault_count(), 2);
+        // The 20 ms process (instance 1) is the juiciest target.
+        let b0 = s.expanded().of_process(1.into())[0];
+        assert_eq!(sc.hits_on(b0), 2);
+    }
+
+    #[test]
+    fn fault_free_enumeration_for_k0() {
+        let (s, fm) = schedule(0);
+        let scenarios = enumerate_scenarios(&s, &fm);
+        assert_eq!(scenarios, vec![FaultScenario::none()]);
+    }
+}

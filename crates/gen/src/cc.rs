@@ -1,0 +1,522 @@
+//! The cruise-controller (CC) case study (paper §6).
+//!
+//! The paper's real-life example is a vehicle cruise controller of 32
+//! processes mapped on three nodes — the Electronic Throttle Module
+//! (ETM), the Anti-lock Braking System (ABS) and the Transmission
+//! Control Module (TCM) — with a deadline of 250 ms, `k = 2` and
+//! `µ = 2` ms. The original graph lives in Pop's thesis \[18\], which
+//! is not publicly archived; this module reconstructs a CC with the
+//! same published characteristics: 32 processes spanning sensor
+//! acquisition, filtering, fusion, mode logic, the speed controller
+//! and actuation, with sensor/actuator processes pre-mapped to their
+//! hardware unit (the paper's `PM` set).
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::DesignConstraints;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::{Message, ProcessGraph};
+use ftdes_model::ids::{GraphId, NodeId, ProcessId};
+use ftdes_model::policy::MappingConstraint;
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+
+/// Node index of the Electronic Throttle Module.
+pub const ETM: NodeId = NodeId::new(0);
+/// Node index of the Anti-lock Braking System.
+pub const ABS: NodeId = NodeId::new(1);
+/// Node index of the Transmission Control Module.
+pub const TCM: NodeId = NodeId::new(2);
+
+/// The full cruise-controller problem instance.
+#[derive(Debug, Clone)]
+pub struct CruiseController {
+    /// The 32-process graph.
+    pub graph: ProcessGraph,
+    /// WCETs (sensor/actuator processes only on their unit).
+    pub wcet: WcetTable,
+    /// ETM / ABS / TCM.
+    pub arch: Architecture,
+    /// Pre-mapped sensor/actuator processes (the `PM` set).
+    pub constraints: DesignConstraints,
+    /// `k = 2`, `µ = 2` ms.
+    pub fault_model: FaultModel,
+    /// 250 ms.
+    pub deadline: Time,
+    /// Activation period (= deadline; the CC runs one activation per
+    /// cycle).
+    pub period: Time,
+}
+
+/// Per-node speed factors: the ABS unit is the slowest CPU, the TCM
+/// the fastest (arbitrary but fixed heterogeneity).
+const SPEED: [f64; 3] = [1.0, 1.15, 0.9];
+
+struct Spec {
+    name: &'static str,
+    /// Base WCET in hundreds of microseconds (0.1 ms resolution).
+    base_100us: u64,
+    /// `Some(node)` pins the process (sensor / actuator).
+    fixed: Option<NodeId>,
+    /// Predecessor indices into the spec table.
+    preds: &'static [(usize, u32)], // (index, message bytes)
+}
+
+/// The 32-process table. Index = position.
+const SPECS: [Spec; 32] = [
+    /* 0 */
+    Spec {
+        name: "throttle_pos_sense",
+        base_100us: 30,
+        fixed: Some(ETM),
+        preds: &[],
+    },
+    /* 1 */
+    Spec {
+        name: "pedal_pos_sense",
+        base_100us: 30,
+        fixed: Some(ETM),
+        preds: &[],
+    },
+    /* 2 */
+    Spec {
+        name: "engine_rpm_sense",
+        base_100us: 30,
+        fixed: Some(ETM),
+        preds: &[],
+    },
+    /* 3 */
+    Spec {
+        name: "driver_buttons",
+        base_100us: 20,
+        fixed: Some(ETM),
+        preds: &[],
+    },
+    /* 4 */
+    Spec {
+        name: "wheel_fl_sense",
+        base_100us: 20,
+        fixed: Some(ABS),
+        preds: &[],
+    },
+    /* 5 */
+    Spec {
+        name: "wheel_fr_sense",
+        base_100us: 20,
+        fixed: Some(ABS),
+        preds: &[],
+    },
+    /* 6 */
+    Spec {
+        name: "wheel_rl_sense",
+        base_100us: 20,
+        fixed: Some(ABS),
+        preds: &[],
+    },
+    /* 7 */
+    Spec {
+        name: "wheel_rr_sense",
+        base_100us: 20,
+        fixed: Some(ABS),
+        preds: &[],
+    },
+    /* 8 */
+    Spec {
+        name: "brake_pedal_sense",
+        base_100us: 30,
+        fixed: Some(ABS),
+        preds: &[],
+    },
+    /* 9 */
+    Spec {
+        name: "gear_pos_sense",
+        base_100us: 30,
+        fixed: Some(TCM),
+        preds: &[],
+    },
+    /* 10 */
+    Spec {
+        name: "shaft_speed_sense",
+        base_100us: 30,
+        fixed: Some(TCM),
+        preds: &[],
+    },
+    /* 11 */
+    Spec {
+        name: "throttle_filter",
+        base_100us: 40,
+        fixed: None,
+        preds: &[(0, 2)],
+    },
+    /* 12 */
+    Spec {
+        name: "pedal_filter",
+        base_100us: 40,
+        fixed: None,
+        preds: &[(1, 2)],
+    },
+    /* 13 */
+    Spec {
+        name: "rpm_filter",
+        base_100us: 40,
+        fixed: None,
+        preds: &[(2, 2)],
+    },
+    /* 14 */
+    Spec {
+        name: "button_debounce",
+        base_100us: 30,
+        fixed: None,
+        preds: &[(3, 1)],
+    },
+    /* 15 */
+    Spec {
+        name: "wheel_speed_fusion",
+        base_100us: 60,
+        fixed: Some(ABS),
+        preds: &[(4, 2), (5, 2), (6, 2), (7, 2)],
+    },
+    /* 16 */
+    Spec {
+        name: "brake_filter",
+        base_100us: 30,
+        fixed: None,
+        preds: &[(8, 2)],
+    },
+    /* 17 */
+    Spec {
+        name: "gear_filter",
+        base_100us: 30,
+        fixed: None,
+        preds: &[(9, 1)],
+    },
+    /* 18 */
+    Spec {
+        name: "shaft_filter",
+        base_100us: 30,
+        fixed: None,
+        preds: &[(10, 2)],
+    },
+    /* 19 */
+    Spec {
+        name: "vehicle_speed_estimate",
+        base_100us: 80,
+        fixed: None,
+        preds: &[(15, 3), (18, 2)],
+    },
+    /* 20 */
+    Spec {
+        name: "mode_logic",
+        base_100us: 60,
+        fixed: None,
+        preds: &[(14, 1), (16, 1), (12, 2)],
+    },
+    /* 21 */
+    Spec {
+        name: "setpoint_manager",
+        base_100us: 50,
+        fixed: None,
+        preds: &[(20, 2)],
+    },
+    /* 22 */
+    Spec {
+        name: "speed_error",
+        base_100us: 30,
+        fixed: None,
+        preds: &[(21, 2), (19, 2)],
+    },
+    /* 23 */
+    Spec {
+        name: "pi_controller",
+        base_100us: 130,
+        fixed: None,
+        preds: &[(22, 2)],
+    },
+    /* 24 */
+    Spec {
+        name: "accel_limiter",
+        base_100us: 40,
+        fixed: None,
+        preds: &[(23, 2), (19, 2)],
+    },
+    /* 25 */
+    Spec {
+        name: "throttle_arbiter",
+        base_100us: 50,
+        fixed: Some(ETM),
+        preds: &[(24, 2), (11, 2), (13, 2)],
+    },
+    /* 26 */
+    Spec {
+        name: "gear_hint",
+        base_100us: 40,
+        fixed: Some(TCM),
+        preds: &[(24, 2), (17, 1)],
+    },
+    /* 27 */
+    Spec {
+        name: "diag_monitor",
+        base_100us: 60,
+        fixed: None,
+        preds: &[(20, 1), (15, 2)],
+    },
+    /* 28 */
+    Spec {
+        name: "throttle_cmd",
+        base_100us: 30,
+        fixed: Some(ETM),
+        preds: &[(25, 2)],
+    },
+    /* 29 */
+    Spec {
+        name: "gearshift_cmd",
+        base_100us: 30,
+        fixed: Some(TCM),
+        preds: &[(26, 2)],
+    },
+    /* 30 */
+    Spec {
+        name: "display_update",
+        base_100us: 40,
+        fixed: None,
+        preds: &[(20, 1), (27, 2)],
+    },
+    /* 31 */
+    Spec {
+        name: "datalog",
+        base_100us: 50,
+        fixed: None,
+        preds: &[(27, 2), (19, 2)],
+    },
+];
+
+/// Builds the cruise-controller instance.
+///
+/// # Panics
+///
+/// Never panics for the built-in table (exercised by the unit tests).
+#[must_use]
+pub fn cruise_controller() -> CruiseController {
+    let arch = Architecture::with_names(["ETM", "ABS", "TCM"]);
+    let mut graph = ProcessGraph::new(GraphId::new(0));
+    let ids: Vec<ProcessId> = SPECS
+        .iter()
+        .map(|spec| {
+            let id = graph.add_process();
+            graph.process_mut(id).name = spec.name.to_owned();
+            id
+        })
+        .collect();
+    for (i, spec) in SPECS.iter().enumerate() {
+        for &(pred, bytes) in spec.preds {
+            graph
+                .add_edge(ids[pred], ids[i], Message::new(bytes))
+                .expect("the CC table is acyclic and duplicate-free");
+        }
+    }
+
+    let mut wcet = WcetTable::new();
+    let mut constraints = DesignConstraints::free(SPECS.len());
+    for (i, spec) in SPECS.iter().enumerate() {
+        match spec.fixed {
+            Some(node) => {
+                wcet.set(ids[i], node, scaled(spec.base_100us, node));
+                constraints.set_mapping(ids[i], MappingConstraint::Fixed(node));
+            }
+            None => {
+                for node in arch.node_ids() {
+                    wcet.set(ids[i], node, scaled(spec.base_100us, node));
+                }
+            }
+        }
+    }
+
+    CruiseController {
+        graph,
+        wcet,
+        arch,
+        constraints,
+        fault_model: FaultModel::new(2, Time::from_ms(2)),
+        deadline: Time::from_ms(250),
+        period: Time::from_ms(250),
+    }
+}
+
+fn scaled(base_100us: u64, node: NodeId) -> Time {
+    let us = (base_100us * 230) as f64 * SPEED[node.index()];
+    Time::from_us(us.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_32_processes_like_the_paper() {
+        let cc = cruise_controller();
+        assert_eq!(cc.graph.process_count(), 32);
+        cc.graph.validate().unwrap();
+        assert_eq!(cc.arch.node_count(), 3);
+        assert_eq!(cc.fault_model.k(), 2);
+        assert_eq!(cc.fault_model.mu(), Time::from_ms(2));
+        assert_eq!(cc.deadline, Time::from_ms(250));
+    }
+
+    #[test]
+    fn sensors_and_actuators_are_pinned() {
+        let cc = cruise_controller();
+        let pinned = (0..32)
+            .filter(|&i| {
+                matches!(
+                    cc.constraints.mapping(ProcessId::new(i)),
+                    MappingConstraint::Fixed(_)
+                )
+            })
+            .count();
+        assert_eq!(pinned, 16, "11 sensors + 2 actuators + 3 pinned stages");
+        // Pinned processes are eligible exactly on their node.
+        assert_eq!(cc.wcet.eligible_nodes(ProcessId::new(0)).count(), 1);
+        // Free processes run anywhere.
+        assert_eq!(cc.wcet.eligible_nodes(ProcessId::new(23)).count(), 3);
+    }
+
+    #[test]
+    fn graph_is_connected_enough() {
+        let cc = cruise_controller();
+        // Eleven sensor sources, a handful of sinks.
+        assert_eq!(cc.graph.sources().len(), 11);
+        assert!(cc.graph.sinks().len() <= 4);
+        assert!(cc.graph.depth().unwrap() >= 7, "long control chain");
+    }
+
+    #[test]
+    fn wcet_reflects_node_speed() {
+        let cc = cruise_controller();
+        // pi_controller: 29.9 ms base on the ETM; the ABS is 15%
+        // slower, the TCM 10% faster.
+        let p = ProcessId::new(23);
+        assert_eq!(cc.wcet.get(p, ETM), Some(Time::from_us(29_900)));
+        assert_eq!(cc.wcet.get(p, ABS), Some(Time::from_us(34_385)));
+        assert_eq!(cc.wcet.get(p, TCM), Some(Time::from_us(26_910)));
+    }
+
+    #[test]
+    fn fusion_and_arbitration_pinned_to_their_units() {
+        let cc = cruise_controller();
+        // wheel_speed_fusion (15) on the ABS, throttle_arbiter (25)
+        // on the ETM, gear_hint (26) on the TCM: the forced crossings
+        // that make the policy trade-off interesting.
+        for (idx, node) in [(15u32, ABS), (25, ETM), (26, TCM)] {
+            assert_eq!(
+                cc.constraints.mapping(ProcessId::new(idx)),
+                MappingConstraint::Fixed(node)
+            );
+        }
+    }
+}
+
+/// A multi-rate extension of the cruise controller: the 32-process
+/// control application (250 ms) is joined by a fast wheel-speed
+/// watchdog graph running at twice the rate (125 ms), exercising the
+/// hyper-period merge path (paper §3) on the case study.
+///
+/// The watchdog samples the four wheel sensors' raw counters on the
+/// ABS and raises a flag consumed locally — a short chain pinned to
+/// the ABS unit.
+#[derive(Debug, Clone)]
+pub struct MultiRateCc {
+    /// The main 250 ms cruise-control instance.
+    pub cc: CruiseController,
+    /// The 125 ms watchdog graph (3 processes, ABS-pinned ends).
+    pub watchdog: ProcessGraph,
+    /// WCET table of the watchdog processes.
+    pub watchdog_wcet: WcetTable,
+    /// Watchdog period and deadline (125 ms each).
+    pub watchdog_period: Time,
+}
+
+/// Builds the multi-rate cruise-controller application.
+#[must_use]
+pub fn cruise_controller_multirate() -> MultiRateCc {
+    let cc = cruise_controller();
+    let mut watchdog = ProcessGraph::new(GraphId::new(1));
+    let sample = watchdog.add_process();
+    let check = watchdog.add_process();
+    let flag = watchdog.add_process();
+    watchdog.process_mut(sample).name = "wd_sample".into();
+    watchdog.process_mut(check).name = "wd_check".into();
+    watchdog.process_mut(flag).name = "wd_flag".into();
+    watchdog
+        .add_edge(sample, check, Message::new(2))
+        .expect("fresh graph takes edges");
+    watchdog
+        .add_edge(check, flag, Message::new(1))
+        .expect("fresh graph takes edges");
+
+    let mut watchdog_wcet = WcetTable::new();
+    // Sampling and flagging touch ABS hardware; the check may float.
+    watchdog_wcet.set(sample, ABS, Time::from_ms(1));
+    for node in cc.arch.node_ids() {
+        watchdog_wcet.set(check, node, scaled(15, node)); // 1.5 ms base
+    }
+    watchdog_wcet.set(flag, ABS, Time::from_ms(1));
+
+    MultiRateCc {
+        cc,
+        watchdog,
+        watchdog_wcet,
+        watchdog_period: Time::from_ms(125),
+    }
+}
+
+#[cfg(test)]
+mod multirate_tests {
+    use super::*;
+    use ftdes_model::application::{Application, GraphSpec};
+    use ftdes_model::merge::MergedApplication;
+
+    #[test]
+    fn multirate_merges_to_two_watchdog_activations() {
+        let mr = cruise_controller_multirate();
+        let mut app = Application::new();
+        app.push(GraphSpec::new(
+            mr.cc.graph.clone(),
+            mr.cc.period,
+            mr.cc.deadline,
+        ));
+        app.push(GraphSpec::new(
+            mr.watchdog.clone(),
+            mr.watchdog_period,
+            mr.watchdog_period,
+        ));
+        let merged = MergedApplication::merge(&app).unwrap();
+        assert_eq!(merged.hyperperiod(), Time::from_ms(250));
+        // 32 CC processes + 2 x 3 watchdog processes.
+        assert_eq!(merged.process_count(), 38);
+        // Second watchdog activation released at 125 ms.
+        let late = merged
+            .graph()
+            .processes()
+            .iter()
+            .filter(|p| merged.origin(p.id).graph_index == 1)
+            .filter(|p| merged.origin(p.id).activation == 1)
+            .count();
+        assert_eq!(late, 3);
+    }
+
+    #[test]
+    fn watchdog_ends_pinned_to_abs() {
+        let mr = cruise_controller_multirate();
+        assert_eq!(
+            mr.watchdog_wcet.eligible_nodes(ProcessId::new(0)).count(),
+            1
+        );
+        assert_eq!(
+            mr.watchdog_wcet.eligible_nodes(ProcessId::new(1)).count(),
+            3
+        );
+        assert_eq!(
+            mr.watchdog_wcet.eligible_nodes(ProcessId::new(2)).count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Workload generation parameters (paper §6).
+//!
+//! The paper's synthetic applications: 20–100 processes, random /
+//! tree / chain-group structures, execution times from uniform and
+//! exponential distributions within 10–100 ms, message sizes within
+//! 1–4 bytes.
+
+use ftdes_model::time::Time;
+
+/// Shape of the generated process graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphStructure {
+    /// Layered random DAG.
+    Random,
+    /// Out-tree (every process except the root has one parent).
+    Tree,
+    /// Groups of parallel chains with occasional cross edges.
+    ChainGroups,
+}
+
+impl GraphStructure {
+    /// The three structures of the paper's evaluation.
+    pub const ALL: [GraphStructure; 3] = [
+        GraphStructure::Random,
+        GraphStructure::Tree,
+        GraphStructure::ChainGroups,
+    ];
+}
+
+/// Distribution of execution times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcetDistribution {
+    /// Uniform over `[min, max]`.
+    Uniform,
+    /// Exponential with mean `(min + max) / 2`, clamped to
+    /// `[min, max]` (the paper samples "within the 10 to 100 ms
+    /// range").
+    Exponential,
+}
+
+/// Parameters of one synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of processes.
+    pub processes: usize,
+    /// Graph shape.
+    pub structure: GraphStructure,
+    /// WCET distribution.
+    pub distribution: WcetDistribution,
+    /// Smallest WCET (paper: 10 ms).
+    pub wcet_min: Time,
+    /// Largest WCET (paper: 100 ms).
+    pub wcet_max: Time,
+    /// Smallest message size in bytes (paper: 1).
+    pub msg_min: u32,
+    /// Largest message size in bytes (paper: 4).
+    pub msg_max: u32,
+    /// Per-node speed variation applied to a process's base WCET
+    /// (±fraction, so heterogeneous architectures emerge; 0 gives a
+    /// homogeneous platform).
+    pub node_speed_spread: f64,
+}
+
+impl WorkloadParams {
+    /// The paper's parameter set for `processes` processes with a
+    /// random structure and uniform WCETs.
+    #[must_use]
+    pub fn paper(processes: usize) -> Self {
+        WorkloadParams {
+            processes,
+            structure: GraphStructure::Random,
+            distribution: WcetDistribution::Uniform,
+            wcet_min: Time::from_ms(10),
+            wcet_max: Time::from_ms(100),
+            msg_min: 1,
+            msg_max: 4,
+            node_speed_spread: 0.25,
+        }
+    }
+
+    /// Selects the structure (builder style).
+    #[must_use]
+    pub fn with_structure(mut self, structure: GraphStructure) -> Self {
+        self.structure = structure;
+        self
+    }
+
+    /// Selects the WCET distribution (builder style).
+    #[must_use]
+    pub fn with_distribution(mut self, distribution: WcetDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = WorkloadParams::paper(60);
+        assert_eq!(p.processes, 60);
+        assert_eq!(p.wcet_min, Time::from_ms(10));
+        assert_eq!(p.wcet_max, Time::from_ms(100));
+        assert_eq!((p.msg_min, p.msg_max), (1, 4));
+    }
+
+    #[test]
+    fn builders() {
+        let p = WorkloadParams::paper(20)
+            .with_structure(GraphStructure::Tree)
+            .with_distribution(WcetDistribution::Exponential);
+        assert_eq!(p.structure, GraphStructure::Tree);
+        assert_eq!(p.distribution, WcetDistribution::Exponential);
+    }
+}

@@ -1,0 +1,119 @@
+//! Workload characterization: the structural metrics that explain
+//! why a given application favours one fault-tolerance policy over
+//! another (communication-heavy chains reward replication, wide
+//! independent graphs reward re-execution with shared slack).
+
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+
+/// Structural metrics of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of processes.
+    pub processes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Longest path length in vertices.
+    pub depth: usize,
+    /// Width: the largest antichain approximation
+    /// (processes / depth, rounded up) — how much parallelism exists.
+    pub width: usize,
+    /// Sum of average WCETs over all processes.
+    pub total_computation: Time,
+    /// Sum of message bytes over all edges.
+    pub total_message_bytes: u64,
+    /// Average out-degree.
+    pub avg_out_degree: f64,
+    /// Number of sources (no predecessors).
+    pub sources: usize,
+    /// Number of sinks (no successors).
+    pub sinks: usize,
+}
+
+impl WorkloadStats {
+    /// Computes the metrics of `graph` with `wcet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic (generated workloads never are).
+    #[must_use]
+    pub fn of(graph: &ProcessGraph, wcet: &WcetTable) -> Self {
+        let processes = graph.process_count();
+        let edges = graph.edge_count();
+        let depth = graph.depth().expect("generated graphs are acyclic");
+        let total_computation = graph
+            .processes()
+            .iter()
+            .filter_map(|p| wcet.average(p.id))
+            .sum();
+        let total_message_bytes = graph
+            .edges()
+            .iter()
+            .map(|e| u64::from(e.message.size))
+            .sum();
+        WorkloadStats {
+            processes,
+            edges,
+            depth,
+            width: processes.div_ceil(depth.max(1)),
+            total_computation,
+            total_message_bytes,
+            avg_out_degree: if processes == 0 {
+                0.0
+            } else {
+                edges as f64 / processes as f64
+            },
+            sources: graph.sources().len(),
+            sinks: graph.sinks().len(),
+        }
+    }
+
+    /// Communication-to-computation ratio in bytes per millisecond of
+    /// average computation — a rough predictor of how much the bus
+    /// matters for this workload.
+    #[must_use]
+    pub fn comm_compute_ratio(&self) -> f64 {
+        let ms = self.total_computation.as_ms_f64();
+        if ms == 0.0 {
+            return 0.0;
+        }
+        self.total_message_bytes as f64 / ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{GraphStructure, WorkloadParams};
+    use crate::random::generate;
+    use ftdes_model::architecture::Architecture;
+
+    #[test]
+    fn stats_of_generated_workloads_are_consistent() {
+        let arch = Architecture::with_node_count(3);
+        for structure in GraphStructure::ALL {
+            let params = WorkloadParams::paper(30).with_structure(structure);
+            let w = generate(&params, &arch, 9);
+            let stats = WorkloadStats::of(&w.graph, &w.wcet);
+            assert_eq!(stats.processes, 30);
+            assert!(stats.depth >= 1 && stats.depth <= 30);
+            assert!(stats.width >= 1);
+            assert!(stats.total_computation > Time::ZERO);
+            assert!(stats.sources >= 1);
+            assert!(stats.sinks >= 1);
+            assert!(stats.comm_compute_ratio() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_stats() {
+        let arch = Architecture::with_node_count(2);
+        let params = WorkloadParams::paper(20).with_structure(GraphStructure::Tree);
+        let w = generate(&params, &arch, 1);
+        let stats = WorkloadStats::of(&w.graph, &w.wcet);
+        assert_eq!(stats.edges, 19, "a tree has n - 1 edges");
+        assert_eq!(stats.sources, 1, "a single root");
+        assert!((stats.avg_out_degree - 19.0 / 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! The `ftdes` command-line driver.
+//!
+//! ```text
+//! ftdes solve <problem.ftd> [--strategy mxr|mx|mr|sfx|nft]
+//!                           [--time-ms N] [--goal deadline|length]
+//!                           [--json <out.json>] [--gantt] [--bus-opt]
+//! ftdes inject <problem.ftd> [--strategy ...] [--scenarios N] [--seed S]
+//! ftdes info  <problem.ftd>
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ftdes_core::{optimize, optimize_bus, BusOptConfig, Goal, SearchConfig, Strategy};
+use ftdes_faultsim::{adversarial_scenario, random_scenarios, simulate};
+use ftdes_io::format::parse_problem;
+use ftdes_io::report::{solution_report, to_json};
+use ftdes_sched::render::{render_gantt, render_medl, render_tables};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    strategy: Strategy,
+    time_ms: u64,
+    goal: Goal,
+    json: Option<String>,
+    gantt: bool,
+    bus_opt: bool,
+    scenarios: usize,
+    seed: u64,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            strategy: Strategy::Mxr,
+            time_ms: 2_000,
+            goal: Goal::MeetDeadline,
+            json: None,
+            gantt: false,
+            bus_opt: false,
+            scenarios: 100,
+            seed: 0,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--strategy" => {
+                    o.strategy = match value("--strategy")?.to_lowercase().as_str() {
+                        "mxr" => Strategy::Mxr,
+                        "mx" => Strategy::Mx,
+                        "mr" => Strategy::Mr,
+                        "sfx" => Strategy::Sfx,
+                        "nft" => Strategy::Nft,
+                        other => return Err(format!("unknown strategy {other:?}")),
+                    };
+                }
+                "--time-ms" => {
+                    o.time_ms = value("--time-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --time-ms".to_owned())?;
+                }
+                "--goal" => {
+                    o.goal = match value("--goal")?.as_str() {
+                        "deadline" => Goal::MeetDeadline,
+                        "length" => Goal::MinimizeLength,
+                        other => return Err(format!("unknown goal {other:?}")),
+                    };
+                }
+                "--json" => o.json = Some(value("--json")?),
+                "--gantt" => o.gantt = true,
+                "--bus-opt" => o.bus_opt = true,
+                "--scenarios" => {
+                    o.scenarios = value("--scenarios")?
+                        .parse()
+                        .map_err(|_| "invalid --scenarios".to_owned())?;
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "invalid --seed".to_owned())?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            goal: self.goal,
+            time_limit: Some(Duration::from_millis(self.time_ms)),
+            ..SearchConfig::default()
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let Some((path, flags)) = rest.split_first() else {
+        return Err(usage());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec = parse_problem(&text).map_err(|e| format!("{path}: {e}"))?;
+    let node_names: Vec<String> = spec.arch.nodes().iter().map(|n| n.name.clone()).collect();
+    let options = Options::parse(flags)?;
+    let (problem, _merged) = spec.into_problem().map_err(|e| e.to_string())?;
+
+    match command.as_str() {
+        "info" => {
+            println!(
+                "processes: {}, edges: {}, nodes: {}, k = {}, mu = {}",
+                problem.process_count(),
+                problem.graph().edge_count(),
+                problem.arch().node_count(),
+                problem.fault_model().k(),
+                problem.fault_model().mu()
+            );
+            println!(
+                "bus: {} slots of {} ({} bytes each), round {}",
+                problem.bus().slots_per_round(),
+                problem.bus().slot_length(),
+                problem.bus().slot_bytes(),
+                problem.bus().round_length()
+            );
+            Ok(())
+        }
+        "solve" => {
+            let mut outcome = optimize(&problem, options.strategy, &options.search_config())
+                .map_err(|e| e.to_string())?;
+            if options.bus_opt {
+                let bused = optimize_bus(&problem, &outcome.design, &BusOptConfig::default())
+                    .map_err(|e| e.to_string())?;
+                if bused.schedule.cost() < outcome.schedule.cost() {
+                    println!(
+                        "bus-access optimization improved delta: {} -> {}",
+                        outcome.schedule.length(),
+                        bused.schedule.length()
+                    );
+                    outcome.schedule = bused.schedule;
+                }
+            }
+            println!(
+                "{}: delta = {}, schedulable: {}",
+                options.strategy,
+                outcome.length(),
+                outcome.is_schedulable()
+            );
+            print!("{}", render_tables(&outcome.schedule, problem.graph()));
+            print!("{}", render_medl(&outcome.schedule));
+            if options.gantt {
+                print!("{}", render_gantt(&outcome.schedule, problem.graph(), 72));
+            }
+            if let Some(out) = &options.json {
+                let report = solution_report(
+                    options.strategy.name(),
+                    problem.graph(),
+                    &node_names,
+                    &outcome,
+                );
+                std::fs::write(out, to_json(&report)).map_err(|e| format!("writing {out}: {e}"))?;
+                println!("report written to {out}");
+            }
+            Ok(())
+        }
+        "inject" => {
+            let outcome = optimize(&problem, options.strategy, &options.search_config())
+                .map_err(|e| e.to_string())?;
+            let schedule = &outcome.schedule;
+            let fm = problem.fault_model();
+            let mut scenarios = random_scenarios(schedule, fm, options.scenarios, options.seed);
+            scenarios.push(adversarial_scenario(schedule, fm));
+            let mut worst = ftdes_model::time::Time::ZERO;
+            for scenario in &scenarios {
+                let report = simulate(schedule, problem.graph(), fm.mu(), scenario);
+                if !report.all_processes_complete() {
+                    return Err(format!("a process died under {scenario:?}"));
+                }
+                if let Some(over) = report.max_overrun() {
+                    return Err(format!("worst-case bound violated: {over:?}"));
+                }
+                worst = worst.max(report.realized_length());
+            }
+            println!(
+                "{} scenarios replayed: worst realized length {} <= bound {}",
+                scenarios.len(),
+                worst,
+                outcome.length()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: ftdes <solve|inject|info> <problem.ftd> [flags]\n\
+     flags: --strategy mxr|mx|mr|sfx|nft  --time-ms N  --goal deadline|length\n\
+     \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S"
+        .to_owned()
+}

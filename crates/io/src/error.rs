@@ -1,0 +1,43 @@
+//! Error type for problem-file parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProblemError {
+    /// 1-based line where the error occurred (0 = end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseProblemError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseProblemError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseProblemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_line_numbers() {
+        let e = ParseProblemError::new(7, "unknown directive");
+        assert_eq!(e.to_string(), "line 7: unknown directive");
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParseProblemError>();
+    }
+}

@@ -1,0 +1,667 @@
+//! The `ftdes` problem-file format.
+//!
+//! A line-oriented text format in the spirit of TGFF task-graph
+//! files, covering everything the optimizer needs:
+//!
+//! ```text
+//! # comments run to end of line
+//! architecture ETM ABS TCM
+//! fault_model k=2 mu=2ms
+//! bus slot_bytes=4 byte_time=500us         # order=ABS,ETM,TCM optional
+//!
+//! graph period=250ms deadline=250ms
+//!   process sense release=0ms
+//!   process compute deadline=200ms
+//!   process act
+//!   edge sense compute bytes=2
+//!   edge compute act bytes=4
+//!
+//! wcet sense ETM 3ms        # node name or * for every node
+//! wcet compute * 10ms
+//! wcet act TCM 4ms
+//! fix_mapping sense ETM
+//! fix_policy compute replication
+//! ```
+//!
+//! Times accept `ms` and `us` suffixes (a bare number means
+//! milliseconds).
+
+use std::collections::HashMap;
+
+use ftdes_core::problem::Problem;
+use ftdes_model::application::{Application, GraphSpec};
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::DesignConstraints;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::{Message, ProcessGraph};
+use ftdes_model::ids::{GraphId, NodeId, ProcessId};
+use ftdes_model::merge::MergedApplication;
+use ftdes_model::policy::{MappingConstraint, PolicyConstraint};
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+use ftdes_ttp::config::BusConfig;
+
+use crate::error::ParseProblemError;
+
+/// A fully parsed problem file, before graph merging.
+#[derive(Debug, Clone)]
+pub struct ProblemSpec {
+    /// The architecture (node names in declaration order).
+    pub arch: Architecture,
+    /// The fault hypothesis.
+    pub fault_model: FaultModel,
+    /// The bus configuration.
+    pub bus: BusConfig,
+    /// The application graphs with periods/deadlines.
+    pub application: Application,
+    /// Per-graph WCET tables (indexed like the application's specs).
+    pub wcet: Vec<WcetTable>,
+    /// Constraints as `(graph index, local process, ...)`.
+    pub fixed_mappings: Vec<(usize, ProcessId, NodeId)>,
+    /// Policy constraints per `(graph index, local process)`.
+    pub fixed_policies: Vec<(usize, ProcessId, PolicyConstraint)>,
+}
+
+impl ProblemSpec {
+    /// Merges the application and assembles the [`Problem`] plus the
+    /// merge bookkeeping (to map results back to source names).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseProblemError`] (line 0) when the model is
+    /// structurally invalid (cyclic graphs, deadline beyond period).
+    pub fn into_problem(self) -> Result<(Problem, MergedApplication), ParseProblemError> {
+        let merged = MergedApplication::merge(&self.application)
+            .map_err(|e| ParseProblemError::new(0, e.to_string()))?;
+        let wcet = merged.remap_wcet(&self.wcet);
+        let mut constraints = DesignConstraints::free(merged.process_count());
+        for global in 0..merged.process_count() {
+            let gid = ProcessId::new(global as u32);
+            let origin = merged.origin(gid);
+            for &(graph_index, local, node) in &self.fixed_mappings {
+                if origin.graph_index == graph_index && origin.local == local {
+                    constraints.set_mapping(gid, MappingConstraint::Fixed(node));
+                }
+            }
+            for &(graph_index, local, policy) in &self.fixed_policies {
+                if origin.graph_index == graph_index && origin.local == local {
+                    constraints.set_policy(gid, policy);
+                }
+            }
+        }
+        let problem = Problem::new(
+            merged.graph().clone(),
+            self.arch,
+            wcet,
+            self.fault_model,
+            self.bus,
+        )
+        .with_constraints(constraints);
+        Ok((problem, merged))
+    }
+}
+
+/// Parses a problem file.
+///
+/// # Errors
+///
+/// Returns a [`ParseProblemError`] pointing at the offending line.
+pub fn parse_problem(input: &str) -> Result<ProblemSpec, ParseProblemError> {
+    Parser::new(input).run()
+}
+
+struct GraphDraft {
+    graph: ProcessGraph,
+    period: Time,
+    deadline: Time,
+    names: HashMap<String, ProcessId>,
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    node_names: HashMap<String, NodeId>,
+    arch: Option<Architecture>,
+    fault_model: Option<FaultModel>,
+    bus_slot_bytes: u32,
+    bus_byte_time: Time,
+    bus_order: Option<Vec<NodeId>>,
+    graphs: Vec<GraphDraft>,
+    wcet_lines: Vec<(usize, String, Option<String>, Time)>,
+    fixed_mappings: Vec<(usize, String, String)>,
+    fixed_policies: Vec<(usize, String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        let lines = input
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let body = l.split('#').next().unwrap_or("").trim();
+                (i + 1, body)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser {
+            lines,
+            node_names: HashMap::new(),
+            arch: None,
+            fault_model: None,
+            bus_slot_bytes: 0,
+            bus_byte_time: Time::ZERO,
+            bus_order: None,
+            graphs: Vec::new(),
+            wcet_lines: Vec::new(),
+            fixed_mappings: Vec::new(),
+            fixed_policies: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<ProblemSpec, ParseProblemError> {
+        let lines = std::mem::take(&mut self.lines);
+        for (ln, line) in lines {
+            let mut tokens = line.split_whitespace();
+            let directive = tokens.next().expect("non-empty line");
+            let rest: Vec<&str> = tokens.collect();
+            match directive {
+                "architecture" => self.architecture(ln, &rest)?,
+                "fault_model" => self.fault_model(ln, &rest)?,
+                "bus" => self.bus(ln, &rest)?,
+                "graph" => self.graph(ln, &rest)?,
+                "process" => self.process(ln, &rest)?,
+                "edge" => self.edge(ln, &rest)?,
+                "wcet" => self.wcet(ln, &rest)?,
+                "fix_mapping" => self.fix_mapping(ln, &rest)?,
+                "fix_policy" => self.fix_policy(ln, &rest)?,
+                other => {
+                    return Err(ParseProblemError::new(
+                        ln,
+                        format!("unknown directive {other:?}"),
+                    ))
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn architecture(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        if rest.is_empty() {
+            return Err(ParseProblemError::new(
+                ln,
+                "architecture needs at least one node name",
+            ));
+        }
+        for (i, name) in rest.iter().enumerate() {
+            if self
+                .node_names
+                .insert((*name).to_owned(), NodeId::new(i as u32))
+                .is_some()
+            {
+                return Err(ParseProblemError::new(
+                    ln,
+                    format!("duplicate node name {name:?}"),
+                ));
+            }
+        }
+        self.arch = Some(Architecture::with_names(rest.iter().copied()));
+        Ok(())
+    }
+
+    fn fault_model(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let mut k = None;
+        let mut mu = None;
+        for tok in rest {
+            let (key, value) = split_kv(ln, tok)?;
+            match key {
+                "k" => {
+                    k = Some(value.parse::<u32>().map_err(|_| {
+                        ParseProblemError::new(ln, format!("invalid fault count {value:?}"))
+                    })?);
+                }
+                "mu" => mu = Some(parse_time(ln, value)?),
+                _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
+            }
+        }
+        let k = k.ok_or_else(|| ParseProblemError::new(ln, "fault_model needs k="))?;
+        let mu = mu.ok_or_else(|| ParseProblemError::new(ln, "fault_model needs mu="))?;
+        self.fault_model = Some(FaultModel::new(k, mu));
+        Ok(())
+    }
+
+    fn bus(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        for tok in rest {
+            let (key, value) = split_kv(ln, tok)?;
+            match key {
+                "slot_bytes" => {
+                    self.bus_slot_bytes = value.parse().map_err(|_| {
+                        ParseProblemError::new(ln, format!("invalid slot_bytes {value:?}"))
+                    })?;
+                }
+                "byte_time" => self.bus_byte_time = parse_time(ln, value)?,
+                "order" => {
+                    let order = value
+                        .split(',')
+                        .map(|name| self.node(ln, name))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    self.bus_order = Some(order);
+                }
+                _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn graph(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let mut period = None;
+        let mut deadline = None;
+        for tok in rest {
+            let (key, value) = split_kv(ln, tok)?;
+            match key {
+                "period" => period = Some(parse_time(ln, value)?),
+                "deadline" => deadline = Some(parse_time(ln, value)?),
+                _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
+            }
+        }
+        let period = period.ok_or_else(|| ParseProblemError::new(ln, "graph needs period="))?;
+        let deadline = deadline.unwrap_or(period);
+        self.graphs.push(GraphDraft {
+            graph: ProcessGraph::new(GraphId::new(self.graphs.len() as u32)),
+            period,
+            deadline,
+            names: HashMap::new(),
+        });
+        Ok(())
+    }
+
+    fn current_graph(&mut self, ln: usize) -> Result<&mut GraphDraft, ParseProblemError> {
+        self.graphs
+            .last_mut()
+            .ok_or_else(|| ParseProblemError::new(ln, "directive before any graph"))
+    }
+
+    fn process(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let Some((name, opts)) = rest.split_first() else {
+            return Err(ParseProblemError::new(ln, "process needs a name"));
+        };
+        let mut release = Time::ZERO;
+        let mut deadline = None;
+        for tok in opts {
+            let (key, value) = split_kv(ln, tok)?;
+            match key {
+                "release" => release = parse_time(ln, value)?,
+                "deadline" => deadline = Some(parse_time(ln, value)?),
+                _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
+            }
+        }
+        let name = (*name).to_owned();
+        let draft = self.current_graph(ln)?;
+        if draft.names.contains_key(&name) {
+            return Err(ParseProblemError::new(
+                ln,
+                format!("duplicate process {name:?}"),
+            ));
+        }
+        let id = draft.graph.add_process();
+        let p = draft.graph.process_mut(id);
+        p.name.clone_from(&name);
+        p.release = release;
+        p.deadline = deadline;
+        draft.names.insert(name, id);
+        Ok(())
+    }
+
+    fn edge(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let [from, to, opts @ ..] = rest else {
+            return Err(ParseProblemError::new(ln, "edge needs <from> <to>"));
+        };
+        let mut bytes = 1u32;
+        for tok in opts {
+            let (key, value) = split_kv(ln, tok)?;
+            match key {
+                "bytes" => {
+                    bytes = value.parse().map_err(|_| {
+                        ParseProblemError::new(ln, format!("invalid bytes {value:?}"))
+                    })?;
+                }
+                _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
+            }
+        }
+        let draft = self.current_graph(ln)?;
+        let f = *draft
+            .names
+            .get(*from)
+            .ok_or_else(|| ParseProblemError::new(ln, format!("unknown process {from:?}")))?;
+        let t = *draft
+            .names
+            .get(*to)
+            .ok_or_else(|| ParseProblemError::new(ln, format!("unknown process {to:?}")))?;
+        draft
+            .graph
+            .add_edge(f, t, Message::new(bytes))
+            .map_err(|e| ParseProblemError::new(ln, e.to_string()))?;
+        Ok(())
+    }
+
+    fn wcet(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let [process, node, time] = rest else {
+            return Err(ParseProblemError::new(
+                ln,
+                "wcet needs <process> <node|*> <time>",
+            ));
+        };
+        let t = parse_time(ln, time)?;
+        let node = if *node == "*" {
+            None
+        } else {
+            Some((*node).to_owned())
+        };
+        self.wcet_lines.push((ln, (*process).to_owned(), node, t));
+        Ok(())
+    }
+
+    fn fix_mapping(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let [process, node] = rest else {
+            return Err(ParseProblemError::new(
+                ln,
+                "fix_mapping needs <process> <node>",
+            ));
+        };
+        self.fixed_mappings
+            .push((ln, (*process).to_owned(), (*node).to_owned()));
+        Ok(())
+    }
+
+    fn fix_policy(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
+        let [process, policy] = rest else {
+            return Err(ParseProblemError::new(
+                ln,
+                "fix_policy needs <process> <policy>",
+            ));
+        };
+        self.fixed_policies
+            .push((ln, (*process).to_owned(), (*policy).to_owned()));
+        Ok(())
+    }
+
+    fn node(&self, ln: usize, name: &str) -> Result<NodeId, ParseProblemError> {
+        self.node_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseProblemError::new(ln, format!("unknown node {name:?}")))
+    }
+
+    /// Finds the unique graph declaring `name`.
+    fn resolve(&self, ln: usize, name: &str) -> Result<(usize, ProcessId), ParseProblemError> {
+        let mut found = None;
+        for (gi, draft) in self.graphs.iter().enumerate() {
+            if let Some(&p) = draft.names.get(name) {
+                if found.is_some() {
+                    return Err(ParseProblemError::new(
+                        ln,
+                        format!("process name {name:?} is ambiguous across graphs"),
+                    ));
+                }
+                found = Some((gi, p));
+            }
+        }
+        found.ok_or_else(|| ParseProblemError::new(ln, format!("unknown process {name:?}")))
+    }
+
+    fn finish(self) -> Result<ProblemSpec, ParseProblemError> {
+        let arch = self
+            .arch
+            .clone()
+            .ok_or_else(|| ParseProblemError::new(0, "missing architecture directive"))?;
+        let fault_model = self
+            .fault_model
+            .ok_or_else(|| ParseProblemError::new(0, "missing fault_model directive"))?;
+        if self.graphs.is_empty() {
+            return Err(ParseProblemError::new(0, "missing graph directive"));
+        }
+
+        // WCET tables per graph.
+        let mut wcet: Vec<WcetTable> = self.graphs.iter().map(|_| WcetTable::new()).collect();
+        for (ln, process, node, t) in &self.wcet_lines {
+            let (gi, p) = self.resolve(*ln, process)?;
+            match node {
+                Some(name) => {
+                    wcet[gi].set(p, self.node(*ln, name)?, *t);
+                }
+                None => {
+                    for n in arch.node_ids() {
+                        wcet[gi].set(p, n, *t);
+                    }
+                }
+            }
+        }
+
+        // Bus configuration: default the slot size to the largest
+        // message, the byte time to 2.5 ms (the paper's figures).
+        let largest = self
+            .graphs
+            .iter()
+            .flat_map(|d| d.graph.edges())
+            .map(|e| e.message.size)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let slot_bytes = if self.bus_slot_bytes == 0 {
+            largest
+        } else {
+            self.bus_slot_bytes
+        };
+        let byte_time = if self.bus_byte_time.is_zero() {
+            ftdes_ttp::DEFAULT_BYTE_TIME
+        } else {
+            self.bus_byte_time
+        };
+        let bus = match &self.bus_order {
+            Some(order) => BusConfig::with_order(order.clone(), slot_bytes, byte_time),
+            None => BusConfig::initial(&arch, slot_bytes, byte_time),
+        }
+        .map_err(|e| ParseProblemError::new(0, e.to_string()))?;
+
+        // Constraints.
+        let mut fixed_mappings = Vec::new();
+        for (ln, process, node) in &self.fixed_mappings {
+            let (gi, p) = self.resolve(*ln, process)?;
+            fixed_mappings.push((gi, p, self.node(*ln, node)?));
+        }
+        let mut fixed_policies = Vec::new();
+        for (ln, process, policy) in &self.fixed_policies {
+            let (gi, p) = self.resolve(*ln, process)?;
+            let c = match policy.as_str() {
+                "reexecution" => PolicyConstraint::Reexecution,
+                "replication" => PolicyConstraint::Replication,
+                other => {
+                    return Err(ParseProblemError::new(
+                        *ln,
+                        format!("unknown policy {other:?} (use reexecution or replication)"),
+                    ))
+                }
+            };
+            fixed_policies.push((gi, p, c));
+        }
+
+        let application: Application = self
+            .graphs
+            .into_iter()
+            .map(|d| GraphSpec::new(d.graph, d.period, d.deadline))
+            .collect();
+
+        Ok(ProblemSpec {
+            arch,
+            fault_model,
+            bus,
+            application,
+            wcet,
+            fixed_mappings,
+            fixed_policies,
+        })
+    }
+}
+
+fn split_kv(ln: usize, tok: &str) -> Result<(&str, &str), ParseProblemError> {
+    tok.split_once('=')
+        .ok_or_else(|| ParseProblemError::new(ln, format!("expected key=value, got {tok:?}")))
+}
+
+fn parse_time(ln: usize, value: &str) -> Result<Time, ParseProblemError> {
+    let (digits, scale) = if let Some(v) = value.strip_suffix("us") {
+        (v, 1u64)
+    } else if let Some(v) = value.strip_suffix("ms") {
+        (v, 1_000)
+    } else {
+        (value, 1_000)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| ParseProblemError::new(ln, format!("invalid time {value:?}")))?;
+    Ok(Time::from_us(n * scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# a tiny two-node system
+architecture N1 N2
+fault_model k=1 mu=10ms
+bus slot_bytes=4 byte_time=2500us
+
+graph period=300ms deadline=260ms
+  process src
+  process mid release=5ms
+  process dst deadline=250ms
+  edge src mid bytes=2
+  edge mid dst bytes=4
+
+wcet src * 20ms
+wcet mid N1 30ms
+wcet mid N2 35ms
+wcet dst * 25ms
+fix_mapping src N1
+fix_policy dst reexecution
+";
+
+    #[test]
+    fn parses_complete_file() {
+        let spec = parse_problem(SAMPLE).unwrap();
+        assert_eq!(spec.arch.node_count(), 2);
+        assert_eq!(spec.fault_model.k(), 1);
+        assert_eq!(spec.application.process_count(), 3);
+        assert_eq!(spec.bus.slot_length(), Time::from_ms(10));
+        assert_eq!(spec.wcet[0].len(), 2 + 2 + 2);
+        assert_eq!(spec.fixed_mappings.len(), 1);
+        assert_eq!(spec.fixed_policies.len(), 1);
+    }
+
+    #[test]
+    fn converts_to_problem() {
+        let spec = parse_problem(SAMPLE).unwrap();
+        let (problem, merged) = spec.into_problem().unwrap();
+        assert_eq!(problem.process_count(), 3);
+        assert_eq!(merged.hyperperiod(), Time::from_ms(300));
+        // Constraint carried over to the merged process.
+        let src = ProcessId::new(0);
+        assert_eq!(
+            problem.constraints().mapping(src),
+            MappingConstraint::Fixed(NodeId::new(0))
+        );
+        // Individual deadline tightened the graph deadline.
+        let dst = merged
+            .graph()
+            .processes()
+            .iter()
+            .find(|p| p.name == "dst")
+            .unwrap();
+        assert_eq!(dst.deadline, Some(Time::from_ms(250)));
+        // Release times survive.
+        let mid = merged
+            .graph()
+            .processes()
+            .iter()
+            .find(|p| p.name == "mid")
+            .unwrap();
+        assert_eq!(mid.release, Time::from_ms(5));
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = parse_problem("flux_capacitor on").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn rejects_unknown_process_in_edge() {
+        let text = "architecture A\nfault_model k=0 mu=0ms\ngraph period=10ms\nprocess x\nedge x y";
+        let err = parse_problem(text).unwrap_err();
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn rejects_duplicate_node() {
+        let err = parse_problem("architecture A A").unwrap_err();
+        assert!(err.message.contains("duplicate node"));
+    }
+
+    #[test]
+    fn default_bus_sizes_to_largest_message() {
+        let text = "
+architecture A B
+fault_model k=0 mu=0ms
+graph period=10ms
+process x
+process y
+edge x y bytes=3
+wcet x * 1ms
+wcet y * 1ms
+";
+        let spec = parse_problem(text).unwrap();
+        assert_eq!(spec.bus.slot_bytes(), 3);
+        assert_eq!(spec.bus.byte_time(), ftdes_ttp::DEFAULT_BYTE_TIME);
+    }
+
+    #[test]
+    fn time_suffixes() {
+        assert_eq!(parse_time(1, "5ms").unwrap(), Time::from_ms(5));
+        assert_eq!(parse_time(1, "1500us").unwrap(), Time::from_us(1500));
+        assert_eq!(parse_time(1, "7").unwrap(), Time::from_ms(7));
+        assert!(parse_time(1, "abc").is_err());
+    }
+
+    #[test]
+    fn bus_order_override() {
+        let text = "
+architecture A B
+fault_model k=0 mu=0ms
+bus order=B,A
+graph period=10ms
+process x
+wcet x * 1ms
+";
+        let spec = parse_problem(text).unwrap();
+        assert_eq!(spec.bus.slot_of_node(NodeId::new(1)), 0, "B first");
+    }
+
+    #[test]
+    fn multi_graph_resolution() {
+        let text = "
+architecture A
+fault_model k=0 mu=0ms
+graph period=20ms
+process x
+graph period=40ms
+process y
+wcet x * 1ms
+wcet y * 2ms
+";
+        let spec = parse_problem(text).unwrap();
+        let (problem, merged) = spec.into_problem().unwrap();
+        assert_eq!(merged.hyperperiod(), Time::from_ms(40));
+        // x activates twice, y once.
+        assert_eq!(problem.process_count(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ftdes-io
+//!
+//! Problem-file parsing and result reporting for the `ftdes` tool
+//! suite:
+//!
+//! * [`mod@format`] — a TGFF-style text format describing an
+//!   architecture, a fault model, periodic process graphs, WCETs and
+//!   designer constraints (see the module docs for the grammar),
+//! * [`report`] — stable JSON serialization of optimization results,
+//! * the `ftdes` binary — `solve` / `inject` / `info` commands over
+//!   problem files.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftdes_io::format::parse_problem;
+//!
+//! let spec = parse_problem(r"
+//! architecture A B
+//! fault_model k=1 mu=5ms
+//! graph period=100ms
+//!   process x
+//!   process y
+//!   edge x y bytes=2
+//! wcet x * 10ms
+//! wcet y * 20ms
+//! ")?;
+//! let (problem, _merged) = spec.into_problem()?;
+//! assert_eq!(problem.process_count(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod format;
+pub mod report;
+pub mod write;
+
+pub use error::ParseProblemError;
+pub use format::{parse_problem, ProblemSpec};
+pub use report::{solution_report, to_json, SolutionReport};
+pub use write::write_problem;

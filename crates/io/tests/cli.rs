@@ -1,0 +1,114 @@
+//! End-to-end tests of the `ftdes` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_problem(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftdes-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write problem");
+    path
+}
+
+const PIPELINE: &str = r"
+architecture A B
+fault_model k=1 mu=5ms
+graph period=500ms deadline=400ms
+  process x
+  process y
+  edge x y bytes=2
+wcet x * 20ms
+wcet y * 30ms
+";
+
+fn ftdes(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ftdes"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn info_prints_summary() {
+    let path = write_problem("info.ftd", PIPELINE);
+    let out = ftdes(&["info", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("processes: 2"));
+    assert!(stdout.contains("k = 1"));
+}
+
+#[test]
+fn solve_emits_tables_and_json() {
+    let path = write_problem("solve.ftd", PIPELINE);
+    let json = std::env::temp_dir()
+        .join("ftdes-cli-tests")
+        .join("solve.json");
+    let out = ftdes(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--strategy",
+        "mxr",
+        "--time-ms",
+        "200",
+        "--gantt",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("schedulable: true"));
+    assert!(stdout.contains("x/1"));
+    assert!(stdout.contains("bus"), "gantt includes a bus row");
+    let report = std::fs::read_to_string(&json).expect("json written");
+    assert!(report.contains("\"strategy\": \"MXR\""));
+}
+
+#[test]
+fn inject_validates_schedule() {
+    let path = write_problem("inject.ftd", PIPELINE);
+    let out = ftdes(&[
+        "inject",
+        path.to_str().unwrap(),
+        "--scenarios",
+        "50",
+        "--time-ms",
+        "200",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scenarios replayed"));
+}
+
+#[test]
+fn bad_file_reports_line() {
+    let path = write_problem("bad.ftd", "architecture A\nbogus directive\n");
+    let out = ftdes(&["info", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let path = write_problem("flags.ftd", PIPELINE);
+    let out = ftdes(&["solve", path.to_str().unwrap(), "--warp-speed"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn missing_arguments_show_usage() {
+    let out = ftdes(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,90 @@
+//! Property test: generated workloads survive a full
+//! write-problem / parse-problem / solve round trip.
+
+use proptest::prelude::*;
+
+use ftdes_core::problem::Problem;
+use ftdes_gen::paper_workload;
+use ftdes_io::format::{parse_problem, ProblemSpec};
+use ftdes_io::write::write_problem;
+use ftdes_model::application::Application;
+use ftdes_model::architecture::Architecture;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::time::Time;
+use ftdes_ttp::config::BusConfig;
+
+/// Wraps a generated workload in a `ProblemSpec` the writer accepts.
+fn spec_from_workload(processes: usize, nodes: usize, k: u32, seed: u64) -> ProblemSpec {
+    let arch = Architecture::with_node_count(nodes);
+    let mut w = paper_workload(processes, &arch, seed);
+    // The writer needs unique names; generated graphs use P<i>.
+    for i in 0..w.graph.process_count() {
+        let id = ftdes_model::ids::ProcessId::new(i as u32);
+        w.graph.process_mut(id).name = format!("p{i}");
+    }
+    let largest = w
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.message.size)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bus = BusConfig::initial(&arch, largest, Time::from_us(2_500)).unwrap();
+    let period = Time::from_ms(100_000);
+    ProblemSpec {
+        arch,
+        fault_model: FaultModel::new(k, Time::from_ms(5)),
+        bus,
+        application: Application::single(w.graph, period, period),
+        wcet: vec![w.wcet],
+        fixed_mappings: Vec::new(),
+        fixed_policies: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn write_parse_round_trip(
+        processes in 2usize..16,
+        nodes in 1usize..5,
+        k in 0u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let spec = spec_from_workload(processes, nodes, k, seed);
+        let text = write_problem(&spec);
+        let reparsed = parse_problem(&text)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{text}"));
+        prop_assert_eq!(&reparsed.arch, &spec.arch);
+        prop_assert_eq!(reparsed.fault_model, spec.fault_model);
+        prop_assert_eq!(&reparsed.bus, &spec.bus);
+        prop_assert_eq!(&reparsed.wcet, &spec.wcet);
+        prop_assert_eq!(
+            &reparsed.application.specs()[0].graph,
+            &spec.application.specs()[0].graph
+        );
+    }
+
+    #[test]
+    fn round_tripped_problems_schedule_identically(
+        processes in 2usize..12,
+        nodes in 1usize..4,
+        k in 0u32..3,
+        seed in 0u64..1_000,
+    ) {
+        let spec = spec_from_workload(processes, nodes, k, seed);
+        let text = write_problem(&spec);
+        let (p1, _) = spec.into_problem().unwrap();
+        let (p2, _) = parse_problem(&text).unwrap().into_problem().unwrap();
+        // Schedule the same deterministic initial design on both.
+        let d1 = ftdes_core::initial::initial_mpa(&p1, ftdes_core::PolicySpace::Mixed).unwrap();
+        let d2 = ftdes_core::initial::initial_mpa(&p2, ftdes_core::PolicySpace::Mixed).unwrap();
+        prop_assert_eq!(&d1, &d2, "identical problems give identical initial designs");
+        let s1 = Problem::evaluate(&p1, &d1).unwrap();
+        let s2 = Problem::evaluate(&p2, &d2).unwrap();
+        prop_assert_eq!(s1.length(), s2.length());
+        prop_assert_eq!(s1.cost(), s2.cost());
+    }
+}

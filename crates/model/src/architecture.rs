@@ -1,0 +1,144 @@
+//! Hardware architecture model (paper §2.1).
+//!
+//! The architecture is a set of nodes sharing a broadcast TTP bus.
+//! Each node consists of a CPU and a communication controller; only
+//! the identity and count of nodes matter to the optimization — the
+//! timing behaviour of the bus lives in the `ftdes-ttp` crate and the
+//! per-node execution speed is captured by the WCET table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::NodeId;
+
+/// A computation node of the distributed architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier, dense within the architecture.
+    pub id: NodeId,
+    /// Human-readable name (e.g. `"ETM"`, `"ABS"`, `"TCM"` for the
+    /// cruise-controller example).
+    pub name: String,
+}
+
+/// The set of nodes `N` connected by the TTP bus.
+///
+/// # Examples
+///
+/// ```
+/// use ftdes_model::architecture::Architecture;
+///
+/// let arch = Architecture::with_node_count(4);
+/// assert_eq!(arch.node_count(), 4);
+/// assert_eq!(arch.node(1.into()).name, "N1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Architecture {
+    nodes: Vec<Node>,
+}
+
+impl Architecture {
+    /// Creates an architecture of `n` anonymous nodes named `N0..`.
+    #[must_use]
+    pub fn with_node_count(n: usize) -> Self {
+        Architecture {
+            nodes: (0..n)
+                .map(|i| {
+                    let id = NodeId::new(i as u32);
+                    Node {
+                        id,
+                        name: format!("{id}"),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Creates an architecture from named nodes (in slot order).
+    #[must_use]
+    pub fn with_names<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Architecture {
+            nodes: names
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| Node {
+                    id: NodeId::new(i as u32),
+                    name: name.into(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes in id order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Iterates over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Validates the architecture (non-empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if there are no nodes.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.nodes.is_empty() {
+            return Err(ModelError::Empty { what: "nodes" });
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if `id` refers to a node of this architecture.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_names() {
+        let arch = Architecture::with_node_count(3);
+        assert_eq!(arch.node(NodeId::new(0)).name, "N0");
+        assert_eq!(arch.node(NodeId::new(2)).name, "N2");
+        assert_eq!(arch.node_ids().count(), 3);
+    }
+
+    #[test]
+    fn named_nodes_keep_order() {
+        let arch = Architecture::with_names(["ETM", "ABS", "TCM"]);
+        assert_eq!(arch.node_count(), 3);
+        assert_eq!(arch.node(NodeId::new(1)).name, "ABS");
+        assert!(arch.contains(NodeId::new(2)));
+        assert!(!arch.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn empty_is_invalid() {
+        let arch = Architecture::with_node_count(0);
+        assert!(matches!(arch.validate(), Err(ModelError::Empty { .. })));
+    }
+}

@@ -1,0 +1,127 @@
+//! Transient fault model (paper §2.1).
+//!
+//! At most `k` transient faults may occur anywhere in the system
+//! during one operation cycle of the application — several faults may
+//! hit different processors simultaneously, and several faults may
+//! hit the *same* processor (even the same process repeatedly). Each
+//! fault costs a worst-case detection/recovery overhead `µ` from
+//! detection until normal operation resumes, and is confined to a
+//! single process.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// The transient fault hypothesis `(k, µ)`.
+///
+/// # Examples
+///
+/// ```
+/// use ftdes_model::fault::FaultModel;
+/// use ftdes_model::time::Time;
+///
+/// // The cruise-controller experiment: k = 2 faults of µ = 2 ms.
+/// let fm = FaultModel::new(2, Time::from_ms(2));
+/// assert_eq!(fm.k(), 2);
+/// // A process tolerating all faults by pure replication needs k + 1
+/// // replicas (Fig. 2b).
+/// assert_eq!(fm.max_replicas(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultModel {
+    k: u32,
+    mu: Time,
+}
+
+impl FaultModel {
+    /// Creates a fault model tolerating `k` transient faults of
+    /// worst-case duration `mu` each.
+    #[must_use]
+    pub const fn new(k: u32, mu: Time) -> Self {
+        FaultModel { k, mu }
+    }
+
+    /// A fault model with no faults — used to derive the non-fault-
+    /// tolerant (NFT) reference implementation of the experiments.
+    #[must_use]
+    pub const fn none() -> Self {
+        FaultModel {
+            k: 0,
+            mu: Time::ZERO,
+        }
+    }
+
+    /// The maximum number of transient faults per operation cycle.
+    #[must_use]
+    pub const fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The worst-case fault duration µ (detection + recovery switch).
+    #[must_use]
+    pub const fn mu(&self) -> Time {
+        self.mu
+    }
+
+    /// Returns `true` if no fault tolerance is required.
+    #[must_use]
+    pub const fn is_fault_free(&self) -> bool {
+        self.k == 0
+    }
+
+    /// The number of replicas needed to tolerate all `k` faults by
+    /// space redundancy alone (paper Fig. 2b): `k + 1`.
+    #[must_use]
+    pub const fn max_replicas(&self) -> u32 {
+        self.k + 1
+    }
+
+    /// Worst-case time to run a process of WCET `c` with `e`
+    /// re-execution attempts all used (paper Fig. 2a): the initial
+    /// run plus `e` times (µ + c).
+    #[must_use]
+    pub fn worst_case_reexecution(&self, c: Time, e: u32) -> Time {
+        c + (self.mu + c) * u64::from(e)
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_worst_case() {
+        // C1 = 30 ms, k = 2, µ = 10 ms => P1, P1/2, P1/3 finish at 110 ms.
+        let fm = FaultModel::new(2, Time::from_ms(10));
+        assert_eq!(
+            fm.worst_case_reexecution(Time::from_ms(30), 2),
+            Time::from_ms(110)
+        );
+    }
+
+    #[test]
+    fn none_is_fault_free() {
+        let fm = FaultModel::none();
+        assert!(fm.is_fault_free());
+        assert_eq!(fm.max_replicas(), 1);
+        assert_eq!(fm, FaultModel::default());
+        assert_eq!(
+            fm.worst_case_reexecution(Time::from_ms(30), 0),
+            Time::from_ms(30)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let fm = FaultModel::new(3, Time::from_ms(5));
+        assert_eq!(fm.k(), 3);
+        assert_eq!(fm.mu(), Time::from_ms(5));
+        assert!(!fm.is_fault_free());
+    }
+}

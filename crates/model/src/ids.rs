@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers for model entities.
+//!
+//! Newtypes ([`ProcessId`], [`NodeId`], [`GraphId`], [`EdgeId`])
+//! prevent the classic index-confusion bugs when the optimizer juggles
+//! processes, nodes and graphs at once (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index (useful for dense `Vec` storage).
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[must_use]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a process (a vertex `Pi` of a process graph).
+    ///
+    /// Process ids are dense per [`crate::application::Application`]:
+    /// after graph merging all processes of the merged graph Γ are
+    /// numbered `0..n`.
+    ProcessId,
+    "P"
+);
+
+id_type!(
+    /// Identifies a computation node `Ni` of the architecture.
+    NodeId,
+    "N"
+);
+
+id_type!(
+    /// Identifies one process graph `Gi` within an application.
+    GraphId,
+    "G"
+);
+
+id_type!(
+    /// Identifies a data-dependency edge (and its message) `eij`.
+    EdgeId,
+    "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(ProcessId::new(1).to_string(), "P1");
+        assert_eq!(NodeId::new(2).to_string(), "N2");
+        assert_eq!(GraphId::new(0).to_string(), "G0");
+        assert_eq!(EdgeId::new(3).to_string(), "m3");
+    }
+
+    #[test]
+    fn round_trips_index() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.raw(), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(0) < NodeId::new(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! # ftdes-model
+//!
+//! Application, architecture and fault models for the design
+//! optimization of fault-tolerant distributed embedded systems,
+//! following Izosimov, Pop, Eles & Peng, *“Design Optimization of
+//! Time- and Cost-Constrained Fault-Tolerant Distributed Embedded
+//! Systems”*, DATE 2005.
+//!
+//! The crate provides the vocabulary shared by the scheduler
+//! (`ftdes-sched`), the TTP bus model (`ftdes-ttp`), the fault
+//! simulator (`ftdes-faultsim`) and the optimizer (`ftdes-core`):
+//!
+//! * [`graph::ProcessGraph`] — directed acyclic process graphs with
+//!   messages on the edges (paper §3),
+//! * [`application::Application`] and [`merge::MergedApplication`] —
+//!   periodic graph sets merged over the hyper-period (paper §5.1),
+//! * [`architecture::Architecture`] and [`wcet::WcetTable`] — the
+//!   node set and per-node worst-case execution times,
+//! * [`fault::FaultModel`] — the `(k, µ)` transient-fault hypothesis
+//!   (paper §2.1),
+//! * [`policy::FtPolicy`] — re-execution / replication mixes
+//!   (paper §2.2, Fig. 2),
+//! * [`design::Design`] — a full system configuration ψ = ⟨F, M⟩
+//!   (paper §4).
+//!
+//! # Examples
+//!
+//! Build the two-process application of the paper's Fig. 3 and a
+//! design that re-executes everything on node `N1`:
+//!
+//! ```
+//! use ftdes_model::prelude::*;
+//!
+//! let mut g = ProcessGraph::new(0.into());
+//! let p1 = g.add_process();
+//! let p2 = g.add_process();
+//! g.add_edge(p1, p2, Message::new(4))?;
+//!
+//! let app = Application::single(g, Time::from_ms(200), Time::from_ms(160));
+//! let merged = MergedApplication::merge(&app)?;
+//!
+//! let fm = FaultModel::new(1, Time::from_ms(10));
+//! let design = Design::from_decisions(
+//!     (0..merged.process_count())
+//!         .map(|_| ProcessDesign::new(FtPolicy::reexecution(&fm), vec![0.into()]))
+//!         .collect::<Result<_, _>>()?,
+//! );
+//! assert_eq!(design.process_count(), 2);
+//! # Ok::<(), ftdes_model::error::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod application;
+pub mod architecture;
+pub mod design;
+pub mod error;
+pub mod fault;
+pub mod graph;
+pub mod ids;
+pub mod merge;
+pub mod policy;
+pub mod time;
+pub mod wcet;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::application::{Application, GraphSpec};
+    pub use crate::architecture::{Architecture, Node};
+    pub use crate::design::{Design, DesignConstraints, ProcessDesign};
+    pub use crate::error::ModelError;
+    pub use crate::fault::FaultModel;
+    pub use crate::graph::{Edge, Message, Process, ProcessGraph};
+    pub use crate::ids::{EdgeId, GraphId, NodeId, ProcessId};
+    pub use crate::merge::MergedApplication;
+    pub use crate::policy::{FtPolicy, MappingConstraint, PolicyConstraint};
+    pub use crate::time::Time;
+    pub use crate::wcet::WcetTable;
+}

@@ -1,0 +1,261 @@
+//! Merging an application into a single graph Γ (paper §5.1).
+//!
+//! Before list scheduling, all process graphs are merged into one
+//! graph with a period equal to the LCM of the constituent periods:
+//! a graph of period `T` is instantiated `H / T` times within the
+//! hyper-period `H`, the `a`-th activation being released at `a · T`
+//! and due at `a · T + D`.
+//!
+//! After merging, releases and deadlines are absolute offsets within
+//! the hyper-period attached to the merged processes; downstream
+//! crates (scheduler, optimizer) only ever see the merged graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::application::Application;
+use crate::error::ModelError;
+use crate::graph::ProcessGraph;
+use crate::ids::{GraphId, ProcessId};
+use crate::time::Time;
+use crate::wcet::WcetTable;
+
+/// Where a merged process came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessOrigin {
+    /// Index of the graph spec within the application.
+    pub graph_index: usize,
+    /// Activation number within the hyper-period (0-based).
+    pub activation: u32,
+    /// Process id local to the original graph.
+    pub local: ProcessId,
+}
+
+/// The merged application graph Γ with origin bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedApplication {
+    graph: ProcessGraph,
+    hyperperiod: Time,
+    origins: Vec<ProcessOrigin>,
+}
+
+impl MergedApplication {
+    /// Merges `app` into a single graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`Application::validate`].
+    pub fn merge(app: &Application) -> Result<Self, ModelError> {
+        app.validate()?;
+        let hyperperiod = app.hyperperiod();
+        let mut graph = ProcessGraph::new(GraphId::new(u32::MAX));
+        let mut origins = Vec::new();
+
+        for (graph_index, spec) in app.specs().iter().enumerate() {
+            let activations = hyperperiod / spec.period;
+            for activation in 0..activations {
+                let offset = spec.period * activation;
+                // Map local ids to fresh global ids for this activation.
+                let mut global = Vec::with_capacity(spec.graph.process_count());
+                for local in spec.graph.processes() {
+                    let gid = graph.add_process();
+                    origins.push(ProcessOrigin {
+                        graph_index,
+                        activation: activation as u32,
+                        local: local.id,
+                    });
+                    let p = graph.process_mut(gid);
+                    p.name = if activations > 1 {
+                        format!("{}@{}", local.name, activation)
+                    } else {
+                        local.name.clone()
+                    };
+                    p.release = offset + local.release;
+                    // The graph deadline applies to every process of the
+                    // activation; an individual deadline tightens it.
+                    let graph_dl = offset + spec.deadline;
+                    p.deadline = Some(match local.deadline {
+                        Some(d) => graph_dl.min(offset + d),
+                        None => graph_dl,
+                    });
+                    global.push(gid);
+                }
+                for edge in spec.graph.edges() {
+                    graph
+                        .add_edge(
+                            global[edge.from.index()],
+                            global[edge.to.index()],
+                            edge.message,
+                        )
+                        .expect("merged edge cannot duplicate or dangle");
+                }
+            }
+        }
+        Ok(MergedApplication {
+            graph,
+            hyperperiod,
+            origins,
+        })
+    }
+
+    /// The merged graph Γ.
+    #[must_use]
+    pub fn graph(&self) -> &ProcessGraph {
+        &self.graph
+    }
+
+    /// The hyper-period (LCM of all constituent periods).
+    #[must_use]
+    pub fn hyperperiod(&self) -> Time {
+        self.hyperperiod
+    }
+
+    /// The origin of a merged process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a process of the merged graph.
+    #[must_use]
+    pub fn origin(&self, p: ProcessId) -> ProcessOrigin {
+        self.origins[p.index()]
+    }
+
+    /// Number of processes in Γ.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.graph.process_count()
+    }
+
+    /// Builds the merged WCET table from per-graph tables (indexed by
+    /// graph spec position): every activation of a process inherits
+    /// the WCETs of its template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` has fewer entries than the application has
+    /// graphs.
+    #[must_use]
+    pub fn remap_wcet(&self, tables: &[WcetTable]) -> WcetTable {
+        let mut merged = WcetTable::new();
+        for (idx, origin) in self.origins.iter().enumerate() {
+            let global = ProcessId::new(idx as u32);
+            for (node, c) in tables[origin.graph_index].eligible_nodes(origin.local) {
+                merged.set(global, node, c);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::GraphSpec;
+    use crate::graph::Message;
+    use crate::ids::NodeId;
+
+    fn chain(id: u32, n: usize) -> ProcessGraph {
+        let mut g = ProcessGraph::new(GraphId::new(id));
+        let ps = g.add_processes(n);
+        for w in ps.windows(2) {
+            g.add_edge(w[0], w[1], Message::new(1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn single_graph_merge_is_identity_shaped() {
+        let app = Application::single(chain(0, 3), Time::from_ms(100), Time::from_ms(90));
+        let merged = MergedApplication::merge(&app).unwrap();
+        assert_eq!(merged.process_count(), 3);
+        assert_eq!(merged.graph().edge_count(), 2);
+        assert_eq!(merged.hyperperiod(), Time::from_ms(100));
+        assert_eq!(
+            merged.graph().process(ProcessId::new(0)).deadline,
+            Some(Time::from_ms(90))
+        );
+    }
+
+    #[test]
+    fn multi_period_duplicates_activations() {
+        let mut app = Application::new();
+        app.push(GraphSpec::new(
+            chain(0, 2),
+            Time::from_ms(20),
+            Time::from_ms(15),
+        ));
+        app.push(GraphSpec::new(
+            chain(1, 3),
+            Time::from_ms(40),
+            Time::from_ms(40),
+        ));
+        let merged = MergedApplication::merge(&app).unwrap();
+        // Hyper-period 40: first graph twice (2x2 processes), second once (3).
+        assert_eq!(merged.hyperperiod(), Time::from_ms(40));
+        assert_eq!(merged.process_count(), 2 * 2 + 3);
+        assert_eq!(merged.graph().edge_count(), 2 + 2);
+
+        // Second activation of the first graph released at 20 ms and due 35 ms.
+        let p = merged
+            .graph()
+            .processes()
+            .iter()
+            .find(|p| {
+                let o = merged.origin(p.id);
+                o.graph_index == 0 && o.activation == 1 && o.local == ProcessId::new(0)
+            })
+            .unwrap();
+        assert_eq!(p.release, Time::from_ms(20));
+        assert_eq!(p.deadline, Some(Time::from_ms(35)));
+        assert!(p.name.contains("@1"));
+    }
+
+    #[test]
+    fn individual_deadline_tightens_graph_deadline() {
+        let mut g = chain(0, 2);
+        let first = ProcessId::new(0);
+        g.process_mut(first).deadline = Some(Time::from_ms(10));
+        let app = Application::single(g, Time::from_ms(100), Time::from_ms(90));
+        let merged = MergedApplication::merge(&app).unwrap();
+        assert_eq!(
+            merged.graph().process(first).deadline,
+            Some(Time::from_ms(10))
+        );
+    }
+
+    #[test]
+    fn remap_wcet_copies_per_activation() {
+        let mut app = Application::new();
+        app.push(GraphSpec::new(
+            chain(0, 1),
+            Time::from_ms(10),
+            Time::from_ms(10),
+        ));
+        app.push(GraphSpec::new(
+            chain(1, 1),
+            Time::from_ms(20),
+            Time::from_ms(20),
+        ));
+        let merged = MergedApplication::merge(&app).unwrap();
+        // Graph 0 activates twice, graph 1 once: 3 merged processes.
+        let t0: WcetTable = [(ProcessId::new(0), NodeId::new(0), Time::from_ms(5))]
+            .into_iter()
+            .collect();
+        let t1: WcetTable = [(ProcessId::new(0), NodeId::new(0), Time::from_ms(7))]
+            .into_iter()
+            .collect();
+        let merged_wcet = merged.remap_wcet(&[t0, t1]);
+        assert_eq!(merged_wcet.len(), 3);
+        // Find the graph-1 process and check it got 7 ms.
+        let g1p = (0..3)
+            .map(ProcessId::new)
+            .find(|&p| merged.origin(p).graph_index == 1)
+            .unwrap();
+        assert_eq!(merged_wcet.get(g1p, NodeId::new(0)), Some(Time::from_ms(7)));
+    }
+
+    #[test]
+    fn merge_rejects_invalid_application() {
+        let app = Application::new();
+        assert!(MergedApplication::merge(&app).is_err());
+    }
+}

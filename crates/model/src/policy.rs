@@ -1,0 +1,267 @@
+//! Fault-tolerance policies and their algebra (paper §2.2, §4).
+//!
+//! For every process the designer (or the optimizer) picks a
+//! combination of *active replication* and *re-execution*. We encode
+//! the combination by the replication level `r` (number of replicas,
+//! `1 ≤ r ≤ k + 1`); the remaining fault budget `e = k + 1 − r` is
+//! covered by re-executions. The three cases of paper Fig. 2 map to:
+//!
+//! * `r = 1` — pure re-execution (`e = k` re-execution slots),
+//! * `r = k + 1` — pure replication (no re-execution),
+//! * `1 < r < k + 1` — re-executed replicas (Fig. 2c).
+//!
+//! In the scheduler the whole re-execution budget is carried by the
+//! *primary* (first) replica; the remaining replicas are pure. This
+//! matches Fig. 2c, where `P1/1` is re-executed while `P1/2` is not.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use crate::ids::{NodeId, ProcessId};
+
+/// The fault-tolerance technique mix chosen for one process.
+///
+/// # Examples
+///
+/// ```
+/// use ftdes_model::policy::FtPolicy;
+/// use ftdes_model::fault::FaultModel;
+/// use ftdes_model::time::Time;
+///
+/// let fm = FaultModel::new(2, Time::from_ms(10));
+/// let combined = FtPolicy::new(2, &fm)?; // Fig. 2c: two replicas
+/// assert_eq!(combined.replicas(), 2);
+/// assert_eq!(combined.reexecutions(), 1); // primary re-executed once
+/// # Ok::<(), ftdes_model::error::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FtPolicy {
+    /// Replication level `r` (total number of instances).
+    replicas: u32,
+    /// Re-execution budget `e = k + 1 - r`.
+    reexecutions: u32,
+}
+
+impl FtPolicy {
+    /// Creates the policy with `replicas` instances under fault model
+    /// `fm`; the re-execution budget is derived as `k + 1 - replicas`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPolicy`] when `replicas` is zero
+    /// or exceeds `k + 1`. (The anonymous [`ProcessId`] 0 is reported
+    /// since the policy is not yet attached to a process.)
+    pub fn new(replicas: u32, fm: &FaultModel) -> Result<Self, ModelError> {
+        if replicas == 0 || replicas > fm.max_replicas() {
+            return Err(ModelError::InvalidPolicy {
+                process: ProcessId::new(0),
+                reason: format!(
+                    "replication level {replicas} outside 1..={}",
+                    fm.max_replicas()
+                ),
+            });
+        }
+        Ok(FtPolicy {
+            replicas,
+            reexecutions: fm.max_replicas() - replicas,
+        })
+    }
+
+    /// Pure re-execution: one instance, `k` re-execution slots.
+    #[must_use]
+    pub fn reexecution(fm: &FaultModel) -> Self {
+        FtPolicy {
+            replicas: 1,
+            reexecutions: fm.k(),
+        }
+    }
+
+    /// Pure active replication: `k + 1` instances.
+    #[must_use]
+    pub fn replication(fm: &FaultModel) -> Self {
+        FtPolicy {
+            replicas: fm.max_replicas(),
+            reexecutions: 0,
+        }
+    }
+
+    /// The replication level `r`.
+    #[must_use]
+    pub const fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// The re-execution budget `e` (carried by the primary replica).
+    #[must_use]
+    pub const fn reexecutions(&self) -> u32 {
+        self.reexecutions
+    }
+
+    /// Re-execution budget of replica number `instance` (0-based):
+    /// the primary carries the whole budget, other replicas none.
+    #[must_use]
+    pub const fn budget_of_instance(&self, instance: u32) -> u32 {
+        if instance == 0 {
+            self.reexecutions
+        } else {
+            0
+        }
+    }
+
+    /// Total number of executions the adversary must defeat:
+    /// `r + e = k + 1`.
+    #[must_use]
+    pub const fn total_executions(&self) -> u32 {
+        self.replicas + self.reexecutions
+    }
+
+    /// Returns `true` for pure re-execution (`r = 1`).
+    #[must_use]
+    pub const fn is_pure_reexecution(&self) -> bool {
+        self.replicas == 1
+    }
+
+    /// Returns `true` for pure replication (`e = 0`).
+    #[must_use]
+    pub const fn is_pure_replication(&self) -> bool {
+        self.reexecutions == 0
+    }
+}
+
+/// Designer-imposed restriction on the policy of a process (paper §4:
+/// the sets `PR`, `PX` and the free set `P+`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PolicyConstraint {
+    /// The optimizer may choose any policy (the set `P+`).
+    #[default]
+    Free,
+    /// The designer fixed re-execution for this process (set `PX`).
+    Reexecution,
+    /// The designer fixed full replication for this process (set `PR`).
+    Replication,
+}
+
+impl PolicyConstraint {
+    /// Returns `true` when `policy` satisfies this constraint under
+    /// fault model `fm`.
+    #[must_use]
+    pub fn allows(&self, policy: FtPolicy, fm: &FaultModel) -> bool {
+        match self {
+            PolicyConstraint::Free => true,
+            PolicyConstraint::Reexecution => policy.replicas() == 1,
+            PolicyConstraint::Replication => policy.replicas() == fm.max_replicas(),
+        }
+    }
+}
+
+/// Designer-imposed restriction on the mapping of a process
+/// (paper §4: the set `PM` of already-mapped processes, e.g. those
+/// that must sit next to their sensors/actuators).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MappingConstraint {
+    /// The optimizer may map the process on any eligible node
+    /// (the set `P*`).
+    #[default]
+    Free,
+    /// The primary instance must reside on the given node.
+    Fixed(NodeId),
+}
+
+impl MappingConstraint {
+    /// Returns `true` when mapping the primary on `node` satisfies
+    /// this constraint.
+    #[must_use]
+    pub fn allows(&self, node: NodeId) -> bool {
+        match self {
+            MappingConstraint::Free => true,
+            MappingConstraint::Fixed(n) => *n == node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    fn fm2() -> FaultModel {
+        FaultModel::new(2, Time::from_ms(10))
+    }
+
+    #[test]
+    fn policy_algebra_r_plus_e() {
+        let fm = fm2();
+        for r in 1..=fm.max_replicas() {
+            let p = FtPolicy::new(r, &fm).unwrap();
+            assert_eq!(p.total_executions(), fm.k() + 1);
+        }
+    }
+
+    #[test]
+    fn pure_constructors() {
+        let fm = fm2();
+        let rex = FtPolicy::reexecution(&fm);
+        assert!(rex.is_pure_reexecution());
+        assert_eq!(rex.reexecutions(), 2);
+        let rep = FtPolicy::replication(&fm);
+        assert!(rep.is_pure_replication());
+        assert_eq!(rep.replicas(), 3);
+    }
+
+    #[test]
+    fn fig2c_combined() {
+        // k = 2 tolerated with two replicas and one re-execution.
+        let p = FtPolicy::new(2, &fm2()).unwrap();
+        assert_eq!(p.replicas(), 2);
+        assert_eq!(p.reexecutions(), 1);
+        assert!(!p.is_pure_reexecution());
+        assert!(!p.is_pure_replication());
+    }
+
+    #[test]
+    fn budget_on_primary_only() {
+        let p = FtPolicy::new(2, &fm2()).unwrap();
+        assert_eq!(p.budget_of_instance(0), 1);
+        assert_eq!(p.budget_of_instance(1), 0);
+    }
+
+    #[test]
+    fn invalid_levels_rejected() {
+        let fm = fm2();
+        assert!(FtPolicy::new(0, &fm).is_err());
+        assert!(FtPolicy::new(4, &fm).is_err());
+    }
+
+    #[test]
+    fn fault_free_model_single_policy() {
+        let fm = FaultModel::none();
+        let p = FtPolicy::new(1, &fm).unwrap();
+        assert_eq!(p.replicas(), 1);
+        assert_eq!(p.reexecutions(), 0);
+        assert!(p.is_pure_reexecution() && p.is_pure_replication());
+    }
+
+    #[test]
+    fn constraints_filter_policies() {
+        let fm = fm2();
+        let rex = FtPolicy::reexecution(&fm);
+        let rep = FtPolicy::replication(&fm);
+        let mix = FtPolicy::new(2, &fm).unwrap();
+        assert!(PolicyConstraint::Free.allows(rex, &fm));
+        assert!(PolicyConstraint::Free.allows(mix, &fm));
+        assert!(PolicyConstraint::Reexecution.allows(rex, &fm));
+        assert!(!PolicyConstraint::Reexecution.allows(mix, &fm));
+        assert!(PolicyConstraint::Replication.allows(rep, &fm));
+        assert!(!PolicyConstraint::Replication.allows(mix, &fm));
+    }
+
+    #[test]
+    fn mapping_constraint() {
+        let free = MappingConstraint::Free;
+        let fixed = MappingConstraint::Fixed(NodeId::new(1));
+        assert!(free.allows(NodeId::new(0)));
+        assert!(fixed.allows(NodeId::new(1)));
+        assert!(!fixed.allows(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for schedule construction.
+
+use std::error::Error;
+use std::fmt;
+
+use ftdes_model::error::ModelError;
+use ftdes_model::ids::{NodeId, ProcessId};
+use ftdes_ttp::error::TtpError;
+
+/// Errors raised while building a fault-tolerant static schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The application model is invalid (cyclic graph, ...).
+    Model(ModelError),
+    /// The bus rejected a message (oversized, ...).
+    Ttp(TtpError),
+    /// The design covers a different number of processes than the
+    /// merged graph.
+    DesignMismatch {
+        /// Processes in the merged graph.
+        expected: usize,
+        /// Processes covered by the design.
+        got: usize,
+    },
+    /// A replica is mapped on a node where its process has no WCET.
+    IneligibleMapping {
+        /// The process.
+        process: ProcessId,
+        /// The ineligible node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Model(e) => write!(f, "invalid model: {e}"),
+            SchedError::Ttp(e) => write!(f, "bus scheduling failed: {e}"),
+            SchedError::DesignMismatch { expected, got } => {
+                write!(
+                    f,
+                    "design covers {got} processes but the merged graph has {expected}"
+                )
+            }
+            SchedError::IneligibleMapping { process, node } => {
+                write!(
+                    f,
+                    "process {process} mapped on node {node} without a WCET entry"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Model(e) => Some(e),
+            SchedError::Ttp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SchedError {
+    fn from(e: ModelError) -> Self {
+        SchedError::Model(e)
+    }
+}
+
+impl From<TtpError> for SchedError {
+    fn from(e: TtpError) -> Self {
+        SchedError::Ttp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let err = SchedError::from(ModelError::Empty { what: "processes" });
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("invalid model"));
+        let err = SchedError::DesignMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("2 processes"));
+    }
+}

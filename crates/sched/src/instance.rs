@@ -1,0 +1,303 @@
+//! Replica instances: the expansion of a design into schedulable
+//! units.
+//!
+//! A process with replication level `r` contributes `r` instances,
+//! one per replica node; the primary (replica 0) carries the whole
+//! re-execution budget `e = k + 1 − r` (paper Fig. 2c: the replica
+//! `P1/1` is re-executed, `P1/2` is not).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ftdes_model::design::Design;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::{NodeId, ProcessId};
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+
+use crate::error::SchedError;
+
+/// Identifies one replica instance within an [`ExpandedDesign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(u32);
+
+impl InstanceId {
+    /// Creates an id from a raw dense index.
+    #[must_use]
+    pub const fn new(i: u32) -> Self {
+        InstanceId(i)
+    }
+
+    /// The raw dense index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+/// One schedulable replica of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Dense identifier.
+    pub id: InstanceId,
+    /// The logical process this instance replicates.
+    pub process: ProcessId,
+    /// Replica number (0 = primary).
+    pub replica: u32,
+    /// The node the replica is mapped on.
+    pub node: NodeId,
+    /// Worst-case execution time on that node.
+    pub wcet: Time,
+    /// Re-execution budget of this instance.
+    pub budget: u32,
+}
+
+impl Instance {
+    /// Returns `true` if the instance may re-execute after a fault.
+    #[must_use]
+    pub fn is_reexecutable(&self) -> bool {
+        self.budget > 0
+    }
+}
+
+/// The instances produced by a design, with per-process lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpandedDesign {
+    instances: Vec<Instance>,
+    /// Instance ids per process, ordered by replica number.
+    per_process: Vec<Vec<InstanceId>>,
+}
+
+impl ExpandedDesign {
+    /// Expands `design` over `graph`, pulling WCETs from `wcet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::DesignMismatch`] when the design does
+    /// not cover exactly the graph's processes, and
+    /// [`SchedError::IneligibleMapping`] when a replica sits on a
+    /// node without a WCET entry.
+    pub fn expand(
+        graph: &ProcessGraph,
+        design: &Design,
+        wcet: &WcetTable,
+        fm: &FaultModel,
+    ) -> Result<Self, SchedError> {
+        if design.process_count() != graph.process_count() {
+            return Err(SchedError::DesignMismatch {
+                expected: graph.process_count(),
+                got: design.process_count(),
+            });
+        }
+        let mut instances = Vec::new();
+        let mut per_process = vec![Vec::new(); graph.process_count()];
+        for (process, decision) in design.iter() {
+            debug_assert!(
+                decision.policy.replicas() <= fm.max_replicas(),
+                "designs are validated against the fault model before scheduling"
+            );
+            for (replica, &node) in decision.mapping.iter().enumerate() {
+                let Some(c) = wcet.get(process, node) else {
+                    return Err(SchedError::IneligibleMapping { process, node });
+                };
+                let id = InstanceId::new(instances.len() as u32);
+                instances.push(Instance {
+                    id,
+                    process,
+                    replica: replica as u32,
+                    node,
+                    wcet: c,
+                    budget: decision.policy.budget_of_instance(replica as u32),
+                });
+                per_process[process.index()].push(id);
+            }
+        }
+        Ok(ExpandedDesign {
+            instances,
+            per_process,
+        })
+    }
+
+    /// All instances, dense by id.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Looks up an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different expansion.
+    #[must_use]
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    /// The instances of `process` in replica order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range.
+    #[must_use]
+    pub fn of_process(&self, process: ProcessId) -> &[InstanceId] {
+        &self.per_process[process.index()]
+    }
+
+    /// Total number of instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Returns `true` when no instances exist (empty graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::design::ProcessDesign;
+    use ftdes_model::graph::Message;
+    use ftdes_model::policy::FtPolicy;
+
+    fn setup() -> (ProcessGraph, WcetTable, FaultModel) {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(2)).unwrap();
+        let wcet: WcetTable = [
+            (a, NodeId::new(0), Time::from_ms(10)),
+            (a, NodeId::new(1), Time::from_ms(12)),
+            (b, NodeId::new(0), Time::from_ms(20)),
+            (b, NodeId::new(1), Time::from_ms(25)),
+        ]
+        .into_iter()
+        .collect();
+        (g, wcet, FaultModel::new(1, Time::from_ms(5)))
+    }
+
+    #[test]
+    fn expands_replicas_with_budgets() {
+        let (g, wcet, fm) = setup();
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(1)]).unwrap(),
+        ]);
+        let exp = ExpandedDesign::expand(&g, &design, &wcet, &fm).unwrap();
+        assert_eq!(exp.len(), 3);
+        assert!(!exp.is_empty());
+        let p0 = exp.of_process(ProcessId::new(0));
+        assert_eq!(p0.len(), 2);
+        assert_eq!(
+            exp.instance(p0[0]).budget,
+            0,
+            "pure replication has no budget"
+        );
+        assert_eq!(exp.instance(p0[1]).replica, 1);
+        assert_eq!(exp.instance(p0[1]).wcet, Time::from_ms(12));
+        let p1 = exp.of_process(ProcessId::new(1));
+        assert_eq!(exp.instance(p1[0]).budget, 1, "primary carries the budget");
+        assert!(exp.instance(p1[0]).is_reexecutable());
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        let (g, wcet, fm) = setup();
+        let design = Design::from_decisions(vec![ProcessDesign::new(
+            FtPolicy::reexecution(&fm),
+            vec![NodeId::new(0)],
+        )
+        .unwrap()]);
+        assert!(matches!(
+            ExpandedDesign::expand(&g, &design, &wcet, &fm),
+            Err(SchedError::DesignMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn ineligible_mapping_detected() {
+        let (g, wcet, fm) = setup();
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(2)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+        ]);
+        assert!(matches!(
+            ExpandedDesign::expand(&g, &design, &wcet, &fm),
+            Err(SchedError::IneligibleMapping { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use ftdes_model::design::ProcessDesign;
+    use ftdes_model::graph::Message;
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+
+    #[test]
+    fn instance_ids_are_dense_and_ordered_by_process() {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(1)).unwrap();
+        let mut wcet = WcetTable::new();
+        for p in [a, b] {
+            for n in 0..3u32 {
+                wcet.set(p, NodeId::new(n), Time::from_ms(5));
+            }
+        }
+        let fm = FaultModel::new(2, Time::from_ms(1));
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            )
+            .unwrap(),
+            ProcessDesign::new(
+                FtPolicy::new(2, &fm).unwrap(),
+                vec![NodeId::new(1), NodeId::new(2)],
+            )
+            .unwrap(),
+        ]);
+        let exp = ExpandedDesign::expand(&g, &design, &wcet, &fm).unwrap();
+        assert_eq!(exp.len(), 5);
+        for (i, inst) in exp.instances().iter().enumerate() {
+            assert_eq!(inst.id.index(), i, "dense ids");
+        }
+        // Replicas of the same process are contiguous and ordered.
+        let b_ids = exp.of_process(b);
+        assert_eq!(exp.instance(b_ids[0]).replica, 0);
+        assert_eq!(exp.instance(b_ids[1]).replica, 1);
+        // Combined policy: primary carries the leftover budget.
+        assert_eq!(exp.instance(b_ids[0]).budget, 1);
+        assert_eq!(exp.instance(b_ids[1]).budget, 0);
+        assert!(exp.instance(b_ids[0]).is_reexecutable());
+        assert!(!exp.instance(b_ids[1]).is_reexecutable());
+    }
+
+    #[test]
+    fn display_of_instance_id() {
+        assert_eq!(InstanceId::new(4).to_string(), "I4");
+    }
+}

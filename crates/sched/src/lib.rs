@@ -1,0 +1,65 @@
+//! # ftdes-sched
+//!
+//! Fault-tolerance-aware static list scheduling for distributed
+//! embedded systems over a TDMA bus, reproducing §5.1 of Izosimov,
+//! Pop, Eles & Peng (DATE 2005):
+//!
+//! * shared re-execution slack per node ([`slack::SlackAccount`],
+//!   paper Fig. 3b),
+//! * transparent re-execution: inter-node messages are booked at the
+//!   sender's worst-case finish (paper Fig. 4),
+//! * first-valid-message consumption of replica outputs with
+//!   contingency schedules (paper Fig. 7),
+//! * schedule cost = (deadline violation, worst-case length δ) for
+//!   the optimization loop.
+//!
+//! # Examples
+//!
+//! Schedule a two-process chain, re-executed on one node:
+//!
+//! ```
+//! use ftdes_model::prelude::*;
+//! use ftdes_ttp::BusConfig;
+//! use ftdes_sched::list_schedule;
+//!
+//! let mut g = ProcessGraph::new(0.into());
+//! let a = g.add_process();
+//! let b = g.add_process();
+//! g.add_edge(a, b, Message::new(4))?;
+//! let wcet: WcetTable = [
+//!     (a, NodeId::new(0), Time::from_ms(40)),
+//!     (b, NodeId::new(0), Time::from_ms(60)),
+//! ]
+//! .into_iter()
+//! .collect();
+//! let arch = Architecture::with_node_count(2);
+//! let fm = FaultModel::new(1, Time::from_ms(10));
+//! let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500))?;
+//! let design = Design::from_decisions(vec![
+//!     ProcessDesign::new(FtPolicy::reexecution(&fm), vec![0.into()])?,
+//!     ProcessDesign::new(FtPolicy::reexecution(&fm), vec![0.into()])?,
+//! ]);
+//! let schedule = list_schedule(&g, &arch, &wcet, &fm, &bus, &design)?;
+//! // Fault-free 100 ms plus a shared slack of C_b + µ = 70 ms.
+//! assert_eq!(schedule.length(), Time::from_ms(170));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod instance;
+pub mod list;
+pub mod priority;
+pub mod render;
+pub mod schedule;
+pub mod slack;
+pub mod stats;
+pub mod validate;
+
+pub use error::SchedError;
+pub use instance::{ExpandedDesign, Instance, InstanceId};
+pub use list::{list_schedule, list_schedule_with, ScheduleOptions};
+pub use schedule::{Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding};
+pub use stats::{NodeLoad, ScheduleStats};

@@ -1,0 +1,700 @@
+//! Fault-tolerance-aware list scheduling (paper §5.1).
+//!
+//! Given a merged graph, an architecture, a bus configuration and a
+//! design (policy assignment + mapping), `ListScheduling` builds the
+//! per-node schedule tables and the bus MEDL:
+//!
+//! 1. processes enter the ready list once all their predecessors are
+//!    scheduled, and are extracted by partial-critical-path priority;
+//! 2. every replica instance is appended to its node at the earliest
+//!    fault-free start consistent with its inputs (consuming the
+//!    *first valid* replica message, paper Fig. 7);
+//! 3. inter-node messages are booked into the earliest TDMA slot of
+//!    the sender at/after the sender's *worst-case* finish, making
+//!    local faults transparent to remote nodes (paper Fig. 4);
+//! 4. the worst-case finish of every instance is the maximum over:
+//!    the fault-free finish plus the node's shared re-execution slack
+//!    (all `k` faults local, paper Fig. 3b), every input contingency
+//!    (the adversary kills the cheaper replicas of an input and the
+//!    instance waits for a later delivery, with the *remaining* fault
+//!    budget applied locally — paper Fig. 7's slack-free contingency),
+//!    and contingencies propagated along the node (an input-delayed
+//!    instance delays its local successors).
+
+use std::collections::BTreeMap;
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::Design;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::{EdgeId, ProcessId};
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+use ftdes_ttp::config::BusConfig;
+use ftdes_ttp::medl::{BookedMessage, BusSchedule, MessageTag};
+
+use crate::error::SchedError;
+use crate::instance::{ExpandedDesign, InstanceId};
+use crate::priority::Priorities;
+use crate::schedule::{Schedule, ScheduledInstance, StartBinding, WcBinding};
+use crate::slack::SlackAccount;
+
+/// A raw contingency finish propagated along a node: `finish`
+/// excludes the local re-execution delay (added per consumer with the
+/// remaining budget), `spent` is the number of faults the adversary
+/// already invested to force this lateness.
+#[derive(Debug, Clone, Copy)]
+struct FrontierEntry {
+    finish: Time,
+    spent: u32,
+}
+
+/// Everything the scheduler tracks per node.
+#[derive(Debug)]
+struct NodeState {
+    avail: Time,
+    last: Option<InstanceId>,
+    order: Vec<InstanceId>,
+    slack: SlackAccount,
+    frontier: Vec<FrontierEntry>,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            avail: Time::ZERO,
+            last: None,
+            order: Vec::new(),
+            slack: SlackAccount::new(),
+            frontier: Vec::new(),
+        }
+    }
+}
+
+/// Scheduler switches, mainly for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleOptions {
+    /// Share one re-execution slack region per node between all its
+    /// processes (paper Fig. 3b). Disabling it makes every process
+    /// reserve its own full recovery window — the naive baseline the
+    /// paper improves on; worst-case lengths grow, soundness is
+    /// preserved.
+    pub slack_sharing: bool,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            slack_sharing: true,
+        }
+    }
+}
+
+/// Builds the static fault-tolerant schedule for `design` with the
+/// default options (slack sharing on — the paper's scheduler).
+///
+/// This is the `ListScheduling` of the paper's Fig. 6/9: it is called
+/// once per candidate design by the greedy and tabu searches, so it
+/// is deterministic and allocation-light.
+///
+/// # Errors
+///
+/// Returns [`SchedError`] when the graph is cyclic, the design does
+/// not match the graph, a replica is mapped on an ineligible node, or
+/// a message exceeds the slot capacity.
+pub fn list_schedule(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &WcetTable,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+) -> Result<Schedule, SchedError> {
+    list_schedule_with(
+        graph,
+        arch,
+        wcet,
+        fm,
+        bus,
+        design,
+        ScheduleOptions::default(),
+    )
+}
+
+/// [`list_schedule`] with explicit [`ScheduleOptions`].
+///
+/// # Errors
+///
+/// Same as [`list_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn list_schedule_with(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &WcetTable,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    options: ScheduleOptions,
+) -> Result<Schedule, SchedError> {
+    let expanded = ExpandedDesign::expand(graph, design, wcet, fm)?;
+    let priorities = Priorities::compute(graph, &expanded, bus)?;
+    let k = fm.k();
+    let mu = fm.mu();
+
+    let mut nodes: Vec<NodeState> = (0..arch.node_count()).map(|_| NodeState::new()).collect();
+    let mut bus_schedule = BusSchedule::new(bus.clone());
+    let mut bookings = BTreeMap::new();
+    let mut slots: Vec<Option<ScheduledInstance>> = vec![None; expanded.len()];
+
+    // Ready-list management at process granularity: a process is
+    // ready once every predecessor process is fully scheduled.
+    let n = graph.process_count();
+    let mut remaining_preds: Vec<usize> = (0..n)
+        .map(|i| graph.incoming(ProcessId::new(i as u32)).len())
+        .collect();
+    let mut ready: Vec<ProcessId> = (0..n)
+        .filter(|&i| remaining_preds[i] == 0)
+        .map(|i| ProcessId::new(i as u32))
+        .collect();
+    let mut scheduled = 0usize;
+
+    while let Some(pos) = select_best(&ready, &priorities) {
+        let p = ready.swap_remove(pos);
+        place_process(
+            p,
+            graph,
+            &expanded,
+            &mut nodes,
+            &mut bus_schedule,
+            &mut bookings,
+            &mut slots,
+            k,
+            mu,
+            options,
+        )?;
+        scheduled += 1;
+        for s in graph.successors_of(p).collect::<Vec<_>>() {
+            remaining_preds[s.index()] -= 1;
+            if remaining_preds[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if scheduled != n {
+        // Unreachable for validated graphs, but a cyclic graph that
+        // slipped validation must not produce a silent partial table.
+        return Err(SchedError::Model(
+            ftdes_model::error::ModelError::CyclicGraph { graph: graph.id() },
+        ));
+    }
+
+    let slots: Vec<ScheduledInstance> = slots
+        .into_iter()
+        .map(|s| s.expect("all instances placed"))
+        .collect();
+    let node_order: Vec<Vec<InstanceId>> = nodes.into_iter().map(|ns| ns.order).collect();
+    Ok(Schedule::new(
+        expanded,
+        slots,
+        node_order,
+        bookings,
+        bus_schedule,
+        graph,
+    ))
+}
+
+/// Index of the highest-priority ready process.
+fn select_best(ready: &[ProcessId], priorities: &Priorities) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &p) in ready.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) if priorities.before(p, ready[b]) => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// One delivery option of an input edge: `time` is when the receiver
+/// could consume this sender's output, `kill_cost` the faults needed
+/// to eliminate the sender entirely (budget + 1), and `kill_delay`
+/// the node time those faults burn when the sender is local to the
+/// receiver (its re-runs plus the final µ — a killed local replica
+/// still occupies the CPU before the node resumes).
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    sender: InstanceId,
+    time: Time,
+    kill_cost: u32,
+    kill_delay: Time,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn place_process(
+    p: ProcessId,
+    graph: &ProcessGraph,
+    expanded: &ExpandedDesign,
+    nodes: &mut [NodeState],
+    bus_schedule: &mut BusSchedule,
+    bookings: &mut BTreeMap<(EdgeId, InstanceId), BookedMessage>,
+    slots: &mut [Option<ScheduledInstance>],
+    k: u32,
+    mu: Time,
+    options: ScheduleOptions,
+) -> Result<(), SchedError> {
+    let delay = |slack: &SlackAccount, budget: u32| {
+        if options.slack_sharing {
+            slack.worst_delay_surviving(budget, mu)
+        } else {
+            slack.unshared_delay_surviving(budget, mu)
+        }
+    };
+    let release = graph.process(p).release;
+    for &sid in expanded.of_process(p) {
+        let inst = *expanded.instance(sid);
+        let node = inst.node;
+
+        // --- Fault-free start and input contingency scenarios. ---
+        let mut s_ff = release;
+        let mut start_binding = StartBinding::Release;
+        // (edge, sender, delivery, spent, local kill delay) with
+        // 1 <= spent <= k.
+        let mut scenarios: Vec<(EdgeId, InstanceId, Time, u32, Time)> = Vec::new();
+
+        for &eid in graph.incoming(p) {
+            let edge = graph.edge(eid);
+            let mut deliveries: Vec<Delivery> = expanded
+                .of_process(edge.from)
+                .iter()
+                .map(|&q| {
+                    let qi = expanded.instance(q);
+                    let local = qi.node == node;
+                    let time = if local {
+                        slots[q.index()].expect("predecessor placed").finish
+                    } else {
+                        bookings
+                            .get(&(eid, q))
+                            .expect("remote sender was booked at placement")
+                            .arrival
+                    };
+                    // Killing a local sender burns node time: all its
+                    // re-runs plus the final recovery overhead.
+                    let kill_delay = if local {
+                        (qi.wcet + mu) * u64::from(qi.budget) + mu
+                    } else {
+                        Time::ZERO
+                    };
+                    Delivery {
+                        sender: q,
+                        time,
+                        kill_cost: qi.budget + 1,
+                        kill_delay,
+                    }
+                })
+                .collect();
+            deliveries.sort_by_key(|d| (d.time, d.sender));
+
+            // First valid message: the earliest delivery drives S_ff.
+            let first = deliveries[0];
+            if first.time > s_ff {
+                s_ff = first.time;
+                start_binding = StartBinding::Input {
+                    edge: eid,
+                    sender: first.sender,
+                };
+            }
+            // Later deliveries require killing everything earlier;
+            // killed local replicas also delay this node.
+            let mut spent = 0u32;
+            let mut local_kill_delay = Time::ZERO;
+            for w in deliveries.windows(2) {
+                spent = spent.saturating_add(w[0].kill_cost);
+                local_kill_delay += w[0].kill_delay;
+                if spent > k {
+                    break;
+                }
+                scenarios.push((eid, w[1].sender, w[1].time, spent, local_kill_delay));
+            }
+        }
+
+        let ns = &mut nodes[node.index()];
+        if ns.avail > s_ff {
+            s_ff = ns.avail;
+            start_binding = match ns.last {
+                Some(prev) => StartBinding::NodePrev(prev),
+                None => StartBinding::Release,
+            };
+        }
+        let f_ff = s_ff + inst.wcet;
+
+        // --- Worst-case finish. ---
+        ns.slack.register(sid, inst.wcet, inst.budget);
+        let mut f_wc = f_ff + delay(&ns.slack, k);
+        let mut wc_binding = WcBinding::Local;
+        let mut new_frontier: Vec<FrontierEntry> = Vec::new();
+
+        for &(eid, sender, time, spent, local_kill_delay) in &scenarios {
+            let raw = time.max(s_ff + local_kill_delay) + inst.wcet;
+            let value = raw + delay(&ns.slack, k - spent);
+            if value > f_wc {
+                f_wc = value;
+                wc_binding = WcBinding::Scenario { edge: eid, sender };
+            }
+            if raw > f_ff {
+                new_frontier.push(FrontierEntry { finish: raw, spent });
+            }
+        }
+        for entry in &ns.frontier {
+            let raw = entry.finish.max(s_ff) + inst.wcet;
+            let value = raw + delay(&ns.slack, k - entry.spent);
+            if value > f_wc {
+                f_wc = value;
+                wc_binding = WcBinding::Chained;
+            }
+            if raw > f_ff {
+                new_frontier.push(FrontierEntry {
+                    finish: raw,
+                    spent: entry.spent,
+                });
+            }
+        }
+        ns.frontier = prune_frontier(new_frontier);
+        ns.avail = f_ff;
+        ns.last = Some(sid);
+        ns.order.push(sid);
+
+        slots[sid.index()] = Some(ScheduledInstance {
+            instance: inst,
+            start: s_ff,
+            finish: f_ff,
+            worst_finish: f_wc,
+            start_binding,
+            wc_binding,
+            delay_peak: ns.slack.peak(),
+        });
+
+        // --- Book outgoing messages (transparent timing). ---
+        for &eid in graph.outgoing(p) {
+            let edge = graph.edge(eid);
+            let needs_bus = expanded
+                .of_process(edge.to)
+                .iter()
+                .any(|&t| expanded.instance(t).node != node);
+            if needs_bus {
+                let booked = bus_schedule.book(
+                    node,
+                    f_wc,
+                    edge.message.size,
+                    MessageTag::new(eid, inst.replica),
+                )?;
+                bookings.insert((eid, sid), booked);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Keeps the Pareto frontier: for every spent level only the latest
+/// finish, and drops entries dominated by a cheaper-or-equal one.
+fn prune_frontier(mut entries: Vec<FrontierEntry>) -> Vec<FrontierEntry> {
+    entries.sort_by_key(|e| (e.spent, std::cmp::Reverse(e.finish)));
+    let mut out: Vec<FrontierEntry> = Vec::new();
+    for e in entries {
+        match out.last() {
+            Some(last) if last.spent == e.spent => {} // later finish already kept
+            Some(last) if last.finish >= e.finish => {} // dominated by cheaper entry
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::design::ProcessDesign;
+    use ftdes_model::graph::Message;
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+
+    fn ms(v: u64) -> Time {
+        Time::from_ms(v)
+    }
+
+    /// Two nodes, 10 ms slots (4-byte messages at 2.5 ms/byte).
+    fn bus(n: usize) -> BusConfig {
+        BusConfig::initial(&Architecture::with_node_count(n), 4, Time::from_us(2_500)).unwrap()
+    }
+
+    fn rex(fm: &FaultModel, node: u32) -> ProcessDesign {
+        ProcessDesign::new(FtPolicy::reexecution(fm), vec![NodeId::new(node)]).unwrap()
+    }
+
+    /// Paper Fig. 3, application A2 (chain P1 -> P2 -> P3), schedule
+    /// b2: everything re-executed on node N1 with k = 1, µ = 10 ms.
+    /// One shared slack of size C3 + µ covers any single fault.
+    #[test]
+    fn fig3_b2_chain_shared_slack() {
+        let mut g = ProcessGraph::new(0.into());
+        let p1 = g.add_process();
+        let p2 = g.add_process();
+        let p3 = g.add_process();
+        g.add_edge(p1, p2, Message::new(4)).unwrap();
+        g.add_edge(p2, p3, Message::new(4)).unwrap();
+        let wcet: WcetTable = [
+            (p1, NodeId::new(0), ms(40)),
+            (p2, NodeId::new(0), ms(40)),
+            (p3, NodeId::new(0), ms(60)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::new(1, ms(10));
+        let design = Design::from_decisions(vec![rex(&fm, 0), rex(&fm, 0), rex(&fm, 0)]);
+        let arch = Architecture::with_node_count(2);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
+        // Fault-free chain: 40 + 40 + 60 = 140; slack = C3 + mu = 70.
+        assert_eq!(sched.makespan_fault_free(), ms(140));
+        assert_eq!(sched.length(), ms(210));
+        // All three processes share the same slack: delay for the
+        // last instance is max C + mu, not the sum.
+        let last = sched.slot(sched.node_table(NodeId::new(0))[2]);
+        assert_eq!(last.worst_finish - last.finish, ms(70));
+    }
+
+    /// Transparency (paper Fig. 4a): a message from a re-executed
+    /// process leaves only after the sender's worst-case finish.
+    #[test]
+    fn fig4_transparent_message_timing() {
+        let mut g = ProcessGraph::new(0.into());
+        let p1 = g.add_process();
+        let p2 = g.add_process();
+        g.add_edge(p1, p2, Message::new(4)).unwrap();
+        let wcet: WcetTable = [(p1, NodeId::new(0), ms(50)), (p2, NodeId::new(1), ms(40))]
+            .into_iter()
+            .collect();
+        let fm = FaultModel::new(1, ms(10));
+        let design = Design::from_decisions(vec![rex(&fm, 0), rex(&fm, 1)]);
+        let arch = Architecture::with_node_count(2);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
+        // P1 worst-case finish: 50 + (50 + 10) = 110.
+        let p1s = sched.slot(sched.expanded().of_process(p1)[0]);
+        assert_eq!(p1s.worst_finish, ms(110));
+        // Message booked at the first N0 slot at/after 110 ms: N0 owns
+        // slot 0 of each 20 ms round -> round 6 starts at 120 ms.
+        let booking = sched.booking(g.outgoing(p1)[0], p1s.instance.id).unwrap();
+        assert_eq!(booking.start, ms(120));
+        assert_eq!(booking.arrival, ms(130));
+        // P2 starts at the arrival, fault-free.
+        let p2s = sched.slot(sched.expanded().of_process(p2)[0]);
+        assert_eq!(p2s.start, ms(130));
+        // P2's own worst case adds its re-execution: 130+40+(40+10).
+        assert_eq!(p2s.worst_finish, ms(220));
+    }
+
+    /// Replica-descendant scheduling (paper Fig. 7): the consumer
+    /// starts right after the local replica fault-free, and the
+    /// contingency (local replica killed, wait for the remote copy)
+    /// carries *no* further slack once the budget is exhausted.
+    #[test]
+    fn fig7_replica_descendant_contingency() {
+        let mut g = ProcessGraph::new(0.into());
+        let p2 = g.add_process(); // replicated producer
+        let p3 = g.add_process(); // consumer
+        g.add_edge(p2, p3, Message::new(4)).unwrap();
+        let wcet: WcetTable = [
+            (p2, NodeId::new(0), ms(40)),
+            (p2, NodeId::new(1), ms(50)),
+            (p3, NodeId::new(0), ms(60)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::new(1, ms(10));
+        // P2 replicated on N0 (primary, budget 0 since r = k+1) and N1.
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+            rex(&fm, 0),
+        ]);
+        let arch = Architecture::with_node_count(2);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
+        let p3s = sched.slot(sched.expanded().of_process(p3)[0]);
+        // Fault-free: P3 follows the local replica immediately.
+        assert_eq!(p3s.start, ms(40));
+        // Remote replica finishes at 50 (pure, no budget), message in
+        // N1's slot (10 ms offset): next start >= 50 -> round 2 slot 1
+        // at 50? slots at 10,30,50 -> start 50, arrival 60.
+        let remote = sched.expanded().of_process(p2)[1];
+        let b = sched.booking(g.outgoing(p2)[0], remote).unwrap();
+        assert_eq!(b.start, ms(50));
+        assert_eq!(b.arrival, ms(60));
+        // Contingency: kill local replica (1 fault, budget exhausted)
+        // -> P3 starts at 60 and runs once: 120. Local scenario: P3
+        // re-executed after its own fault: 100 + ... = 40+60+(60+10)=170.
+        assert_eq!(p3s.worst_finish, ms(170));
+        // Now make P3's own policy irrelevant (k consumed): with P3
+        // *not* re-executable the contingency dominates.
+        let design2 = Design::from_decisions(vec![
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+        ]);
+        let mut wcet2 = wcet.clone();
+        wcet2.set(p3, NodeId::new(1), ms(60));
+        let sched2 = list_schedule(&g, &arch, &wcet2, &fm, &bus(2), &design2).unwrap();
+        let p3s2 = sched2.slot(sched2.expanded().of_process(p3)[0]);
+        // Fault-free 40..100; contingency: wait remote m2 at 60,
+        // finish 120, no slack (no re-executable instance on N0).
+        assert_eq!(p3s2.finish, ms(100));
+        assert_eq!(p3s2.worst_finish, ms(120));
+        assert!(matches!(p3s2.wc_binding, WcBinding::Scenario { .. }));
+    }
+
+    /// An input-delayed instance delays its local successors: the
+    /// contingency propagates along the node.
+    #[test]
+    fn contingency_propagates_to_node_successors() {
+        let mut g = ProcessGraph::new(0.into());
+        let p0 = g.add_process(); // replicated producer
+        let p1 = g.add_process(); // consumer of p0
+        let p2 = g.add_process(); // independent, placed after p1 on N0
+        g.add_edge(p0, p1, Message::new(4)).unwrap();
+        let wcet: WcetTable = [
+            (p0, NodeId::new(0), ms(10)),
+            (p0, NodeId::new(1), ms(100)),
+            (p1, NodeId::new(0), ms(10)),
+            (p2, NodeId::new(0), ms(5)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::new(1, ms(10));
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+        ]);
+        let mut wcet = wcet;
+        wcet.set(p1, NodeId::new(1), ms(10));
+        wcet.set(p2, NodeId::new(1), ms(5));
+        let arch = Architecture::with_node_count(2);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
+        // Remote replica of p0 on N1 finishes at 100, books N1's slot
+        // at/after 100: slots at 110 -> arrival 120.
+        let p1s = sched.slot(sched.expanded().of_process(p1)[0]);
+        assert_eq!(p1s.worst_finish, ms(130), "kill local p0, wait 120, run 10");
+        // p2 on N0 is placed after p1; in that contingency it cannot
+        // start before 130.
+        let p2_local = sched
+            .expanded()
+            .of_process(p2)
+            .iter()
+            .map(|&i| *sched.slot(i))
+            .find(|s| s.instance.node == NodeId::new(0))
+            .unwrap();
+        assert!(p2_local.start < ms(100), "fault-free p2 runs early");
+        assert_eq!(p2_local.worst_finish, ms(135), "chained contingency");
+        assert!(matches!(p2_local.wc_binding, WcBinding::Chained));
+    }
+
+    /// NFT reference: k = 0 collapses everything to the fault-free
+    /// schedule.
+    #[test]
+    fn fault_free_model_equals_ff_schedule() {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(4)).unwrap();
+        let wcet: WcetTable = [(a, NodeId::new(0), ms(30)), (b, NodeId::new(0), ms(20))]
+            .into_iter()
+            .collect();
+        let fm = FaultModel::none();
+        let design = Design::from_decisions(vec![rex(&fm, 0), rex(&fm, 0)]);
+        let arch = Architecture::with_node_count(2);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
+        assert_eq!(sched.length(), ms(50));
+        assert_eq!(sched.length(), sched.makespan_fault_free());
+        assert!(sched.is_schedulable());
+    }
+
+    /// Deadlines: a violated deadline is reported via the cost.
+    #[test]
+    fn deadline_violation_measured() {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        g.process_mut(a).deadline = Some(ms(50));
+        let wcet: WcetTable = [(a, NodeId::new(0), ms(40))].into_iter().collect();
+        let fm = FaultModel::new(1, ms(10));
+        let design = Design::from_decisions(vec![rex(&fm, 0)]);
+        let arch = Architecture::with_node_count(1);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(1), &design).unwrap();
+        // wc finish = 40 + 50 = 90 > 50.
+        assert!(!sched.is_schedulable());
+        assert_eq!(sched.cost().violation, ms(40));
+        assert_eq!(sched.completion(a), ms(90));
+    }
+
+    /// Higher-priority (longer-path) processes are scheduled first.
+    #[test]
+    fn priority_orders_ready_list() {
+        // Two independent chains on one node: long chain first.
+        let mut g = ProcessGraph::new(0.into());
+        let a1 = g.add_process();
+        let a2 = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a1, a2, Message::new(1)).unwrap();
+        let wcet: WcetTable = [
+            (a1, NodeId::new(0), ms(10)),
+            (a2, NodeId::new(0), ms(10)),
+            (b, NodeId::new(0), ms(10)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::none();
+        let design = Design::from_decisions(vec![rex(&fm, 0), rex(&fm, 0), rex(&fm, 0)]);
+        let arch = Architecture::with_node_count(1);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(1), &design).unwrap();
+        let order = sched.node_table(NodeId::new(0));
+        let first = sched.slot(order[0]).instance.process;
+        assert_eq!(first, a1, "rank(a1)=20 > rank(b)=10");
+    }
+
+    /// The critical path follows the binding chain through messages.
+    #[test]
+    fn critical_path_spans_chain() {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(4)).unwrap();
+        let wcet: WcetTable = [(a, NodeId::new(0), ms(30)), (b, NodeId::new(1), ms(20))]
+            .into_iter()
+            .collect();
+        let fm = FaultModel::new(1, ms(5));
+        let design = Design::from_decisions(vec![rex(&fm, 0), rex(&fm, 1)]);
+        let arch = Architecture::with_node_count(2);
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
+        let cp = sched.critical_path(&g);
+        assert_eq!(cp, vec![a, b]);
+    }
+}

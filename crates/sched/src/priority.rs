@@ -1,0 +1,199 @@
+//! Modified partial-critical-path priorities (paper §5.1, from \[6\]).
+//!
+//! The list scheduler always extracts the ready process with the
+//! highest priority. The priority of a process is the length of the
+//! longest remaining path to a sink through the merged graph,
+//! counting execution times and an estimate of the bus delay for
+//! every edge that crosses nodes under the current mapping — the
+//! "modified partial critical path" function of Eles et al.
+
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::ProcessId;
+use ftdes_model::time::Time;
+use ftdes_ttp::config::BusConfig;
+
+use crate::error::SchedError;
+use crate::instance::ExpandedDesign;
+
+/// Per-process priorities.
+///
+/// Two keys are combined:
+///
+/// * **laxity** — the effective deadline of the process (its own, or
+///   the tightest one reachable downstream) minus its rank: how much
+///   room the process has before its subtree starts missing
+///   deadlines. Smaller laxity = more urgent. Processes without any
+///   downstream deadline get `Time::MAX − rank`, which degenerates to
+///   plain rank ordering — exactly the behaviour for deadline-free
+///   benchmarking workloads.
+/// * **rank** — the partial-critical-path length to a sink (longer
+///   remaining work first), as the tiebreaker.
+#[derive(Debug, Clone)]
+pub struct Priorities {
+    rank: Vec<Time>,
+    laxity: Vec<Time>,
+}
+
+impl Priorities {
+    /// Computes the partial-critical-path rank of every process.
+    ///
+    /// The execution-time contribution of a process is the largest
+    /// WCET over its replicas (all replicas must complete for the
+    /// worst case); an edge contributes one TDMA round when any
+    /// producer/consumer replica pair resides on different nodes —
+    /// the worst-case wait for the sender's next slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Model`] if the graph is cyclic.
+    pub fn compute(
+        graph: &ProcessGraph,
+        expanded: &ExpandedDesign,
+        bus: &BusConfig,
+    ) -> Result<Self, SchedError> {
+        let order = graph.topological_order()?;
+        let exec: Vec<Time> = (0..graph.process_count())
+            .map(|i| {
+                expanded
+                    .of_process(ProcessId::new(i as u32))
+                    .iter()
+                    .map(|&id| expanded.instance(id).wcet)
+                    .max()
+                    .unwrap_or(Time::ZERO)
+            })
+            .collect();
+        let comm_estimate = bus.round_length();
+        let mut rank = vec![Time::ZERO; graph.process_count()];
+        let mut effective_deadline = vec![Time::MAX; graph.process_count()];
+        for &p in order.iter().rev() {
+            let mut best = Time::ZERO;
+            let mut tightest = graph.process(p).deadline.unwrap_or(Time::MAX);
+            for &e in graph.outgoing(p) {
+                let edge = graph.edge(e);
+                let remote = crosses_nodes(expanded, p, edge.to);
+                let cost = rank[edge.to.index()] + if remote { comm_estimate } else { Time::ZERO };
+                best = best.max(cost);
+                tightest = tightest.min(effective_deadline[edge.to.index()]);
+            }
+            rank[p.index()] = exec[p.index()] + best;
+            effective_deadline[p.index()] = tightest;
+        }
+        let laxity = rank
+            .iter()
+            .zip(&effective_deadline)
+            .map(|(&r, &d)| d.saturating_sub(r))
+            .collect();
+        Ok(Priorities { rank, laxity })
+    }
+
+    /// The rank of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn rank(&self, p: ProcessId) -> Time {
+        self.rank[p.index()]
+    }
+
+    /// The laxity of `p` (effective deadline minus rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn laxity(&self, p: ProcessId) -> Time {
+        self.laxity[p.index()]
+    }
+
+    /// Compares two processes: `true` when `a` should be scheduled
+    /// before `b` (smaller laxity first, then higher rank, process id
+    /// as the final tiebreaker for determinism).
+    #[must_use]
+    pub fn before(&self, a: ProcessId, b: ProcessId) -> bool {
+        (self.laxity(a), std::cmp::Reverse(self.rank(a)), a)
+            < (self.laxity(b), std::cmp::Reverse(self.rank(b)), b)
+    }
+}
+
+/// Returns `true` if any replica pair of `from`/`to` sits on
+/// different nodes, forcing bus communication.
+fn crosses_nodes(expanded: &ExpandedDesign, from: ProcessId, to: ProcessId) -> bool {
+    expanded.of_process(from).iter().any(|&q| {
+        let qn = expanded.instance(q).node;
+        expanded
+            .of_process(to)
+            .iter()
+            .any(|&t| expanded.instance(t).node != qn)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::{Design, ProcessDesign};
+    use ftdes_model::fault::FaultModel;
+    use ftdes_model::graph::Message;
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+    use ftdes_model::wcet::WcetTable;
+
+    fn setup(map_b_remote: bool) -> (ProcessGraph, ExpandedDesign, BusConfig) {
+        // Chain P0 -> P1, both 10 ms everywhere.
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(4)).unwrap();
+        let wcet: WcetTable = [
+            (a, NodeId::new(0), Time::from_ms(10)),
+            (a, NodeId::new(1), Time::from_ms(10)),
+            (b, NodeId::new(0), Time::from_ms(20)),
+            (b, NodeId::new(1), Time::from_ms(20)),
+        ]
+        .into_iter()
+        .collect();
+        let fm = FaultModel::new(0, Time::ZERO);
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ProcessDesign::new(
+                FtPolicy::reexecution(&fm),
+                vec![if map_b_remote {
+                    NodeId::new(1)
+                } else {
+                    NodeId::new(0)
+                }],
+            )
+            .unwrap(),
+        ]);
+        let expanded = ExpandedDesign::expand(&g, &design, &wcet, &fm).unwrap();
+        let arch = Architecture::with_node_count(2);
+        let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+        (g, expanded, bus)
+    }
+
+    #[test]
+    fn rank_counts_execution_chain() {
+        let (g, expanded, bus) = setup(false);
+        let pr = Priorities::compute(&g, &expanded, &bus).unwrap();
+        // Same node: no comm estimate. rank(P1) = 20, rank(P0) = 10 + 20.
+        assert_eq!(pr.rank(ProcessId::new(1)), Time::from_ms(20));
+        assert_eq!(pr.rank(ProcessId::new(0)), Time::from_ms(30));
+        assert!(pr.before(ProcessId::new(0), ProcessId::new(1)));
+    }
+
+    #[test]
+    fn remote_edge_adds_round() {
+        let (g, expanded, bus) = setup(true);
+        let pr = Priorities::compute(&g, &expanded, &bus).unwrap();
+        // Round = 2 slots * 10 ms = 20 ms.
+        assert_eq!(pr.rank(ProcessId::new(0)), Time::from_ms(10 + 20 + 20));
+    }
+
+    #[test]
+    fn tie_broken_by_id() {
+        let (g, expanded, bus) = setup(false);
+        let pr = Priorities::compute(&g, &expanded, &bus).unwrap();
+        assert!(!pr.before(ProcessId::new(0), ProcessId::new(0)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Quantitative schedule summaries: utilization, slack and
+//! redundancy accounting for reports and regression tracking.
+
+use ftdes_model::ids::NodeId;
+use ftdes_model::time::Time;
+
+use crate::schedule::Schedule;
+
+/// Load summary of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// The node.
+    pub node: NodeId,
+    /// Instances placed on the node.
+    pub instances: usize,
+    /// Total fault-free execution time booked.
+    pub busy: Time,
+    /// Fault-free utilization denominator: the schedule length.
+    pub horizon: Time,
+}
+
+impl NodeLoad {
+    /// Fault-free utilization of the node over the worst-case
+    /// schedule length (0..=1).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.horizon.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_us() as f64 / self.horizon.as_us() as f64
+    }
+}
+
+/// Aggregate schedule statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Per-node loads in node order.
+    pub nodes: Vec<NodeLoad>,
+    /// Total replica instances (≥ process count).
+    pub instances: usize,
+    /// Extra instances introduced by replication.
+    pub replicas_added: usize,
+    /// Worst-case length δ.
+    pub length: Time,
+    /// Fault-free makespan.
+    pub makespan_fault_free: Time,
+    /// Inter-node messages booked on the bus.
+    pub messages: usize,
+}
+
+impl ScheduleStats {
+    /// Computes the statistics of `schedule` (`process_count` is the
+    /// number of logical processes, to account replication).
+    #[must_use]
+    pub fn of(schedule: &Schedule, process_count: usize) -> Self {
+        let length = schedule.length();
+        let nodes = (0..schedule.node_count())
+            .map(|n| {
+                let node = NodeId::new(n as u32);
+                let table = schedule.node_table(node);
+                let busy = table
+                    .iter()
+                    .map(|&i| {
+                        let s = schedule.slot(i);
+                        s.finish - s.start
+                    })
+                    .sum();
+                NodeLoad {
+                    node,
+                    instances: table.len(),
+                    busy,
+                    horizon: length,
+                }
+            })
+            .collect();
+        let instances = schedule.expanded().len();
+        ScheduleStats {
+            nodes,
+            instances,
+            replicas_added: instances.saturating_sub(process_count),
+            length,
+            makespan_fault_free: schedule.makespan_fault_free(),
+            messages: schedule.bookings().len(),
+        }
+    }
+
+    /// The guaranteed slack fraction: how much of the worst-case
+    /// length is *not* fault-free makespan (re-execution slack,
+    /// transparency waits and bus delays).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.length.is_zero() {
+            return 0.0;
+        }
+        (self.length - self.makespan_fault_free.min(self.length)).as_us() as f64
+            / self.length.as_us() as f64
+    }
+
+    /// Load-balance metric: ratio of the most to the least utilized
+    /// node (1.0 = perfectly balanced; `f64::INFINITY` with an idle
+    /// node).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .nodes
+            .iter()
+            .map(NodeLoad::utilization)
+            .fold(0.0, f64::max);
+        let min = self
+            .nodes
+            .iter()
+            .map(NodeLoad::utilization)
+            .fold(f64::MAX, f64::min);
+        if min == 0.0 {
+            if max == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::list_schedule;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::{Design, ProcessDesign};
+    use ftdes_model::fault::FaultModel;
+    use ftdes_model::graph::{Message, ProcessGraph};
+    use ftdes_model::policy::FtPolicy;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_ttp::config::BusConfig;
+
+    fn sample(replicated: bool) -> (usize, Schedule) {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(2)).unwrap();
+        let mut wcet = WcetTable::new();
+        for p in [a, b] {
+            wcet.set(p, NodeId::new(0), Time::from_ms(20));
+            wcet.set(p, NodeId::new(1), Time::from_ms(20));
+        }
+        let fm = FaultModel::new(1, Time::from_ms(5));
+        let design = if replicated {
+            Design::from_decisions(vec![
+                ProcessDesign::new(
+                    FtPolicy::replication(&fm),
+                    vec![NodeId::new(0), NodeId::new(1)],
+                )
+                .unwrap(),
+                ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ])
+        } else {
+            Design::from_decisions(vec![
+                ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+                ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ])
+        };
+        let arch = Architecture::with_node_count(2);
+        let bus = BusConfig::initial(&arch, 2, Time::from_ms(1)).unwrap();
+        (
+            2,
+            list_schedule(&g, &arch, &wcet, &fm, &bus, &design).unwrap(),
+        )
+    }
+
+    #[test]
+    fn counts_replicas_and_messages() {
+        let (n, s) = sample(true);
+        let stats = ScheduleStats::of(&s, n);
+        assert_eq!(stats.instances, 3);
+        assert_eq!(stats.replicas_added, 1);
+        assert!(stats.messages >= 1, "remote replica must send its copy");
+        assert_eq!(stats.nodes.len(), 2);
+    }
+
+    #[test]
+    fn utilization_and_overhead_in_range() {
+        let (n, s) = sample(false);
+        let stats = ScheduleStats::of(&s, n);
+        for load in &stats.nodes {
+            let u = load.utilization();
+            assert!((0.0..=1.0).contains(&u));
+        }
+        let f = stats.overhead_fraction();
+        assert!(f > 0.0 && f < 1.0, "k = 1 forces nonzero slack: {f}");
+        assert_eq!(stats.replicas_added, 0);
+        // One node idle: imbalance is infinite.
+        assert!(stats.imbalance().is_infinite());
+    }
+}

@@ -1,0 +1,222 @@
+//! Structural validation of generated schedules.
+//!
+//! These checks encode the invariants every correct static schedule
+//! must satisfy; they back the property-based tests and let the
+//! optimizer assert (in debug builds) that every candidate it
+//! evaluates is well-formed:
+//!
+//! 1. no two instances overlap on a node (fault-free),
+//! 2. data dependencies are respected: every instance starts no
+//!    earlier than the earliest delivery of each input,
+//! 3. every inter-node message is booked no earlier than its sender's
+//!    worst-case finish (transparency),
+//! 4. worst-case finishes dominate fault-free finishes,
+//! 5. releases are honoured.
+
+use std::error::Error;
+use std::fmt;
+
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::NodeId;
+
+use crate::instance::InstanceId;
+use crate::schedule::Schedule;
+
+/// A violated schedule invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// Two instances overlap on the same node in the fault-free
+    /// schedule.
+    Overlap {
+        /// The node.
+        node: NodeId,
+        /// Earlier instance.
+        first: InstanceId,
+        /// Overlapping instance.
+        second: InstanceId,
+    },
+    /// An instance starts before one of its inputs can possibly be
+    /// available.
+    PrecedenceBroken {
+        /// The too-early instance.
+        instance: InstanceId,
+    },
+    /// A message was booked before its sender's worst-case finish,
+    /// breaking transparency.
+    EarlyMessage {
+        /// The sender instance.
+        sender: InstanceId,
+    },
+    /// A worst-case finish earlier than the fault-free finish.
+    WorstCaseBelowFaultFree {
+        /// The inconsistent instance.
+        instance: InstanceId,
+    },
+    /// An instance starts before its process release time.
+    ReleaseBroken {
+        /// The too-early instance.
+        instance: InstanceId,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::Overlap {
+                node,
+                first,
+                second,
+            } => {
+                write!(f, "instances {first} and {second} overlap on node {node}")
+            }
+            ScheduleViolation::PrecedenceBroken { instance } => {
+                write!(f, "instance {instance} starts before its inputs arrive")
+            }
+            ScheduleViolation::EarlyMessage { sender } => {
+                write!(
+                    f,
+                    "message of instance {sender} booked before its worst-case finish"
+                )
+            }
+            ScheduleViolation::WorstCaseBelowFaultFree { instance } => {
+                write!(
+                    f,
+                    "instance {instance} has a worst-case finish below its fault-free finish"
+                )
+            }
+            ScheduleViolation::ReleaseBroken { instance } => {
+                write!(f, "instance {instance} starts before its release time")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleViolation {}
+
+/// Checks all schedule invariants, returning every violation found.
+#[must_use]
+pub fn check_schedule(schedule: &Schedule, graph: &ProcessGraph) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+
+    // 1. No fault-free overlap per node.
+    for node in 0..schedule.node_count() {
+        let node = NodeId::new(node as u32);
+        let table = schedule.node_table(node);
+        for w in table.windows(2) {
+            let a = schedule.slot(w[0]);
+            let b = schedule.slot(w[1]);
+            if b.start < a.finish {
+                violations.push(ScheduleViolation::Overlap {
+                    node,
+                    first: w[0],
+                    second: w[1],
+                });
+            }
+        }
+    }
+
+    for s in schedule.slots() {
+        let inst = s.instance;
+        // 4. Worst case dominates fault-free.
+        if s.worst_finish < s.finish {
+            violations.push(ScheduleViolation::WorstCaseBelowFaultFree { instance: inst.id });
+        }
+        // 5. Release honoured.
+        if s.start < graph.process(inst.process).release {
+            violations.push(ScheduleViolation::ReleaseBroken { instance: inst.id });
+        }
+        // 2. Precedence: the earliest delivery of each input edge must
+        // be available at the start (first-valid-message rule).
+        for &eid in graph.incoming(inst.process) {
+            let edge = graph.edge(eid);
+            let earliest = schedule
+                .expanded()
+                .of_process(edge.from)
+                .iter()
+                .map(|&q| {
+                    let qs = schedule.slot(q);
+                    if qs.instance.node == inst.node {
+                        qs.finish
+                    } else {
+                        schedule
+                            .booking(eid, q)
+                            .map(|b| b.arrival)
+                            .unwrap_or(ftdes_model::time::Time::MAX)
+                    }
+                })
+                .min()
+                .unwrap_or(ftdes_model::time::Time::ZERO);
+            if s.start < earliest {
+                violations.push(ScheduleViolation::PrecedenceBroken { instance: inst.id });
+            }
+        }
+    }
+
+    // 3. Transparent message timing.
+    for (&(_edge, sender), booking) in schedule.bookings() {
+        let s = schedule.slot(sender);
+        if booking.start < s.worst_finish {
+            violations.push(ScheduleViolation::EarlyMessage { sender });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::list_schedule;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::{Design, ProcessDesign};
+    use ftdes_model::fault::FaultModel;
+    use ftdes_model::graph::{Message, ProcessGraph};
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+    use ftdes_model::time::Time;
+    use ftdes_model::wcet::WcetTable;
+    use ftdes_ttp::config::BusConfig;
+
+    #[test]
+    fn generated_schedules_are_clean() {
+        // Diamond with mixed policies across two nodes.
+        let mut g = ProcessGraph::new(0.into());
+        let p: Vec<_> = g.add_processes(4);
+        g.add_edge(p[0], p[1], Message::new(2)).unwrap();
+        g.add_edge(p[0], p[2], Message::new(3)).unwrap();
+        g.add_edge(p[1], p[3], Message::new(1)).unwrap();
+        g.add_edge(p[2], p[3], Message::new(2)).unwrap();
+        let mut wcet = WcetTable::new();
+        for &pr in &p {
+            wcet.set(pr, NodeId::new(0), Time::from_ms(40));
+            wcet.set(pr, NodeId::new(1), Time::from_ms(50));
+        }
+        let fm = FaultModel::new(1, Time::from_ms(10));
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1)],
+            )
+            .unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(1)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+        ]);
+        let arch = Architecture::with_node_count(2);
+        let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+        let sched = list_schedule(&g, &arch, &wcet, &fm, &bus, &design).unwrap();
+        let violations = check_schedule(&sched, &g);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = ScheduleViolation::Overlap {
+            node: NodeId::new(0),
+            first: InstanceId::new(1),
+            second: InstanceId::new(2),
+        };
+        assert!(v.to_string().contains("overlap"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Static TDMA bus-access configuration (paper §2.1, §5 step 1).
+//!
+//! Each node owns exactly one slot per TDMA round; a round is the
+//! sequence of all slots; rounds repeat forever. The initial
+//! configuration assigns slots in node order (`Si = Ni`) and sizes
+//! every slot to the minimum allowed value — the transmission time of
+//! the largest message of the application.
+
+use serde::{Deserialize, Serialize};
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::ids::NodeId;
+use ftdes_model::time::Time;
+
+use crate::error::TtpError;
+
+/// Transmission time of a single byte on the bus.
+///
+/// The paper abstracts the physical layer; the default of 2.5 ms per
+/// byte reproduces the 10 ms slots of the paper's figures for 4-byte
+/// messages.
+pub const DEFAULT_BYTE_TIME: Time = Time::from_us(2_500);
+
+/// The static bus-access configuration `B`: slot order and slot size.
+///
+/// # Examples
+///
+/// ```
+/// use ftdes_model::architecture::Architecture;
+/// use ftdes_model::time::Time;
+/// use ftdes_ttp::config::BusConfig;
+///
+/// let arch = Architecture::with_node_count(2);
+/// // Largest message: 4 bytes at 2.5 ms/byte -> 10 ms slots.
+/// let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500))?;
+/// assert_eq!(bus.slot_length(), Time::from_ms(10));
+/// assert_eq!(bus.round_length(), Time::from_ms(20));
+/// # Ok::<(), ftdes_ttp::error::TtpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Owner of each slot, in transmission order within a round.
+    slot_order: Vec<NodeId>,
+    /// Slot capacity in bytes (frame payload).
+    slot_bytes: u32,
+    /// Transmission time per byte.
+    byte_time: Time,
+    /// Reverse map node -> slot index.
+    slot_of: Vec<usize>,
+}
+
+impl BusConfig {
+    /// The initial configuration of the optimization strategy
+    /// (paper Fig. 6 line 1): slots in node order, slot length fixed
+    /// to the largest message of the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TtpError::EmptyArchitecture`] for zero nodes or
+    /// [`TtpError::ZeroSlot`] when `largest_message_bytes` or
+    /// `byte_time` is zero.
+    pub fn initial(
+        arch: &Architecture,
+        largest_message_bytes: u32,
+        byte_time: Time,
+    ) -> Result<Self, TtpError> {
+        let order: Vec<NodeId> = arch.node_ids().collect();
+        Self::with_order(order, largest_message_bytes, byte_time)
+    }
+
+    /// A configuration with an explicit slot order (used by the bus
+    /// access optimization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TtpError::EmptyArchitecture`] when `slot_order` is
+    /// empty, [`TtpError::DuplicateSlotOwner`] when a node owns two
+    /// slots (a node can have only one slot per TDMA round), or
+    /// [`TtpError::ZeroSlot`] on zero capacity or byte time.
+    pub fn with_order(
+        slot_order: Vec<NodeId>,
+        slot_bytes: u32,
+        byte_time: Time,
+    ) -> Result<Self, TtpError> {
+        if slot_order.is_empty() {
+            return Err(TtpError::EmptyArchitecture);
+        }
+        if slot_bytes == 0 || byte_time.is_zero() {
+            return Err(TtpError::ZeroSlot);
+        }
+        let max_index = slot_order
+            .iter()
+            .map(|n| n.index())
+            .max()
+            .expect("non-empty");
+        let mut slot_of = vec![usize::MAX; max_index + 1];
+        for (i, &n) in slot_order.iter().enumerate() {
+            if slot_of[n.index()] != usize::MAX {
+                return Err(TtpError::DuplicateSlotOwner { node: n });
+            }
+            slot_of[n.index()] = i;
+        }
+        if slot_of.contains(&usize::MAX) {
+            // Some node id below the max owns no slot: in a TTP round
+            // every node must transmit, otherwise it can never send.
+            let node = NodeId::new(
+                slot_of
+                    .iter()
+                    .position(|&s| s == usize::MAX)
+                    .expect("checked") as u32,
+            );
+            return Err(TtpError::MissingSlotOwner { node });
+        }
+        Ok(BusConfig {
+            slot_order,
+            slot_bytes,
+            byte_time,
+            slot_of,
+        })
+    }
+
+    /// Number of slots per round (= number of nodes).
+    #[must_use]
+    pub fn slots_per_round(&self) -> usize {
+        self.slot_order.len()
+    }
+
+    /// The slot owners in transmission order.
+    #[must_use]
+    pub fn slot_order(&self) -> &[NodeId] {
+        &self.slot_order
+    }
+
+    /// Frame capacity of a slot in bytes.
+    #[must_use]
+    pub fn slot_bytes(&self) -> u32 {
+        self.slot_bytes
+    }
+
+    /// Per-byte transmission time.
+    #[must_use]
+    pub fn byte_time(&self) -> Time {
+        self.byte_time
+    }
+
+    /// Duration of one slot.
+    #[must_use]
+    pub fn slot_length(&self) -> Time {
+        self.byte_time * u64::from(self.slot_bytes)
+    }
+
+    /// Duration of one TDMA round.
+    #[must_use]
+    pub fn round_length(&self) -> Time {
+        self.slot_length() * self.slot_order.len() as u64
+    }
+
+    /// The slot index owned by `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the configuration (construction
+    /// guarantees every node of the architecture owns a slot).
+    #[must_use]
+    pub fn slot_of_node(&self, node: NodeId) -> usize {
+        self.slot_of[node.index()]
+    }
+
+    /// Start instant of slot `slot` in round `round`.
+    #[must_use]
+    pub fn slot_start(&self, round: u64, slot: usize) -> Time {
+        self.round_length() * round + self.slot_length() * slot as u64
+    }
+
+    /// End instant of slot `slot` in round `round` — the time by
+    /// which the frame (and all messages packed in it) has been fully
+    /// received by every node on the broadcast channel.
+    #[must_use]
+    pub fn slot_end(&self, round: u64, slot: usize) -> Time {
+        self.slot_start(round, slot) + self.slot_length()
+    }
+
+    /// The earliest occurrence of `node`'s slot whose *start* is at
+    /// or after `earliest`, returned as `(round, slot_index)`.
+    ///
+    /// A frame must be ready when its slot starts, hence the
+    /// start-based comparison.
+    #[must_use]
+    pub fn next_slot_at(&self, node: NodeId, earliest: Time) -> (u64, usize) {
+        let slot = self.slot_of_node(node);
+        let round_len = self.round_length();
+        let offset = self.slot_length() * slot as u64;
+        // Find the smallest round r with r * round_len + offset >= earliest.
+        let round = if earliest <= offset {
+            0
+        } else {
+            (earliest - offset).div_ceil(round_len)
+        };
+        (round, slot)
+    }
+
+    /// Returns a copy with two slots swapped — the elementary move of
+    /// the bus-access optimization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot index is out of range.
+    #[must_use]
+    pub fn swap_slots(&self, a: usize, b: usize) -> BusConfig {
+        let mut order = self.slot_order.clone();
+        order.swap(a, b);
+        BusConfig::with_order(order, self.slot_bytes, self.byte_time)
+            .expect("swap preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus2() -> BusConfig {
+        let arch = Architecture::with_node_count(2);
+        BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap()
+    }
+
+    #[test]
+    fn paper_figure_slot_timing() {
+        // Fig. 3: S1 then S2 (we use 0-based N0, N1), each 10 ms.
+        let bus = bus2();
+        assert_eq!(bus.slot_length(), Time::from_ms(10));
+        assert_eq!(bus.round_length(), Time::from_ms(20));
+        assert_eq!(bus.slot_start(0, 0), Time::ZERO);
+        assert_eq!(bus.slot_start(0, 1), Time::from_ms(10));
+        assert_eq!(bus.slot_start(1, 0), Time::from_ms(20));
+        assert_eq!(bus.slot_end(1, 1), Time::from_ms(40));
+    }
+
+    #[test]
+    fn next_slot_rounds_up() {
+        let bus = bus2();
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        assert_eq!(bus.next_slot_at(n0, Time::ZERO), (0, 0));
+        assert_eq!(bus.next_slot_at(n0, Time::from_ms(1)), (1, 0));
+        assert_eq!(bus.next_slot_at(n1, Time::from_ms(10)), (0, 1));
+        assert_eq!(bus.next_slot_at(n1, Time::from_ms(11)), (1, 1));
+        assert_eq!(bus.next_slot_at(n1, Time::from_ms(30)), (1, 1));
+        assert_eq!(bus.next_slot_at(n1, Time::from_ms(31)), (2, 1));
+    }
+
+    #[test]
+    fn slot_of_node_respects_order() {
+        let order = vec![NodeId::new(1), NodeId::new(0)];
+        let bus = BusConfig::with_order(order, 4, Time::from_ms(1)).unwrap();
+        assert_eq!(bus.slot_of_node(NodeId::new(1)), 0);
+        assert_eq!(bus.slot_of_node(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn duplicate_owner_rejected() {
+        let err = BusConfig::with_order(vec![NodeId::new(0), NodeId::new(0)], 4, Time::from_ms(1));
+        assert!(matches!(err, Err(TtpError::DuplicateSlotOwner { .. })));
+    }
+
+    #[test]
+    fn missing_owner_rejected() {
+        // Node 0 missing while node 1 present.
+        let err = BusConfig::with_order(vec![NodeId::new(1)], 4, Time::from_ms(1));
+        assert!(matches!(err, Err(TtpError::MissingSlotOwner { .. })));
+    }
+
+    #[test]
+    fn zero_slot_rejected() {
+        let arch = Architecture::with_node_count(1);
+        assert!(matches!(
+            BusConfig::initial(&arch, 0, Time::from_ms(1)),
+            Err(TtpError::ZeroSlot)
+        ));
+        assert!(matches!(
+            BusConfig::initial(&arch, 4, Time::ZERO),
+            Err(TtpError::ZeroSlot)
+        ));
+    }
+
+    #[test]
+    fn empty_arch_rejected() {
+        let arch = Architecture::with_node_count(0);
+        assert!(matches!(
+            BusConfig::initial(&arch, 4, Time::from_ms(1)),
+            Err(TtpError::EmptyArchitecture)
+        ));
+    }
+
+    #[test]
+    fn swap_slots_move() {
+        let bus = bus2().swap_slots(0, 1);
+        assert_eq!(bus.slot_order(), &[NodeId::new(1), NodeId::new(0)]);
+        assert_eq!(bus.slot_of_node(NodeId::new(1)), 0);
+    }
+}

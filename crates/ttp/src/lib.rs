@@ -1,0 +1,40 @@
+//! # ftdes-ttp
+//!
+//! A logical model of the time-triggered protocol (TTP) bus used by
+//! the DATE 2005 fault-tolerance design-optimization paper
+//! (Izosimov, Pop, Eles, Peng): static TDMA slots, rounds, frame
+//! packing and the message descriptor list (MEDL).
+//!
+//! The model is valid for any TDMA bus that schedules messages
+//! statically from a schedule table (the paper explicitly includes
+//! SAFEbus): it exposes exactly the timing the scheduler needs —
+//! *when is the next slot of node `Ni` after instant `t`, and does
+//! the frame still have room?*
+//!
+//! # Examples
+//!
+//! ```
+//! use ftdes_model::architecture::Architecture;
+//! use ftdes_model::time::Time;
+//! use ftdes_ttp::{BusConfig, BusSchedule, MessageTag};
+//!
+//! let arch = Architecture::with_node_count(4);
+//! let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500))?;
+//! let mut schedule = BusSchedule::new(bus);
+//! let booked = schedule.book(2.into(), Time::from_ms(37), 3, MessageTag::new(0.into(), 0))?;
+//! // N2 owns the third slot: first occurrence starting at/after 37 ms
+//! // is in round 0 (slot start 20 ms < 37 ms, so round 1 at 60 ms).
+//! assert_eq!(booked.start, Time::from_ms(60));
+//! # Ok::<(), ftdes_ttp::error::TtpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod medl;
+
+pub use config::{BusConfig, DEFAULT_BYTE_TIME};
+pub use error::TtpError;
+pub use medl::{BookedMessage, BusSchedule, MedlEntry, MessageTag};

@@ -1,0 +1,93 @@
+//! Property-based tests of the TDMA bus model.
+
+use proptest::prelude::*;
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::ids::{EdgeId, NodeId};
+use ftdes_model::time::Time;
+use ftdes_ttp::{BusConfig, BusSchedule, MessageTag};
+
+proptest! {
+    /// A node's slot occurrences are periodic with the round length,
+    /// and `next_slot_at` never returns an occurrence starting before
+    /// the request.
+    #[test]
+    fn next_slot_is_earliest_feasible(
+        nodes in 1usize..6,
+        slot_bytes in 1u32..8,
+        byte_us in 1u64..5_000,
+        node_pick in 0usize..6,
+        earliest_us in 0u64..1_000_000,
+    ) {
+        let arch = Architecture::with_node_count(nodes);
+        let bus = BusConfig::initial(&arch, slot_bytes, Time::from_us(byte_us)).unwrap();
+        let node = NodeId::new((node_pick % nodes) as u32);
+        let earliest = Time::from_us(earliest_us);
+        let (round, slot) = bus.next_slot_at(node, earliest);
+        let start = bus.slot_start(round, slot);
+        prop_assert!(start >= earliest, "slot starts before request");
+        prop_assert_eq!(slot, bus.slot_of_node(node));
+        // The previous occurrence (if any) must start strictly before.
+        if round > 0 {
+            prop_assert!(bus.slot_start(round - 1, slot) < earliest);
+        }
+        // Periodicity.
+        prop_assert_eq!(
+            bus.slot_start(round + 1, slot) - start,
+            bus.round_length()
+        );
+    }
+
+    /// Bookings never exceed frame capacity, never start before the
+    /// request, and frames of the same slot never carry more bytes
+    /// than the slot allows.
+    #[test]
+    fn bookings_respect_capacity_and_time(
+        nodes in 1usize..5,
+        slot_bytes in 1u32..6,
+        requests in proptest::collection::vec(
+            (0usize..5, 0u64..200_000, 1u32..6), 1..40),
+    ) {
+        let arch = Architecture::with_node_count(nodes);
+        let bus = BusConfig::initial(&arch, slot_bytes, Time::from_us(1_000)).unwrap();
+        let mut sched = BusSchedule::new(bus);
+        for (i, (node_pick, earliest_us, size)) in requests.into_iter().enumerate() {
+            let node = NodeId::new((node_pick % nodes) as u32);
+            let earliest = Time::from_us(earliest_us);
+            let tag = MessageTag::new(EdgeId::new(i as u32), 0);
+            match sched.book(node, earliest, size, tag) {
+                Ok(b) => {
+                    prop_assert!(b.start >= earliest);
+                    prop_assert!(b.arrival > b.start);
+                    prop_assert_eq!(b.sender, node);
+                }
+                Err(_) => prop_assert!(size > slot_bytes, "only oversized messages fail"),
+            }
+        }
+        // Per-frame byte accounting.
+        for frame in sched.medl() {
+            prop_assert!(frame.used_bytes <= slot_bytes);
+        }
+        // Utilisation is a fraction.
+        let u = sched.utilisation();
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    /// Slot swapping is an involution and preserves round/slot
+    /// timing structure.
+    #[test]
+    fn slot_swap_involution(
+        nodes in 2usize..6,
+        a in 0usize..6,
+        b in 0usize..6,
+    ) {
+        let arch = Architecture::with_node_count(nodes);
+        let bus = BusConfig::initial(&arch, 4, Time::from_us(500)).unwrap();
+        let (a, b) = (a % nodes, b % nodes);
+        let twice = bus.swap_slots(a, b).swap_slots(a, b);
+        prop_assert_eq!(twice, bus.clone());
+        let swapped = bus.swap_slots(a, b);
+        prop_assert_eq!(swapped.round_length(), bus.round_length());
+        prop_assert_eq!(swapped.slots_per_round(), bus.slots_per_round());
+    }
+}

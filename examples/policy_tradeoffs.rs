@@ -1,0 +1,117 @@
+//! Policy trade-offs: replication vs re-execution (paper Fig. 3).
+//!
+//! Reconstructs the two applications of the paper's Fig. 3 and shows
+//! that neither technique dominates:
+//!
+//! * application A1 (independent P1, P2 feeding P3... actually two
+//!   independent producers and one independent process) favours
+//!   **re-execution** — replication wastes the second node,
+//! * application A2 (a chain P1 → P2 → P3) favours **replication** —
+//!   transparent re-execution delays every cross-node message by the
+//!   worst-case slack.
+//!
+//! Run with: `cargo run --release --example policy_tradeoffs`
+
+use ftdes::prelude::*;
+
+fn evaluate(
+    label: &str,
+    problem: &Problem,
+    design: &Design,
+    deadline: Time,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let schedule = problem.evaluate(design)?;
+    println!(
+        "  {label:24} delta = {:>8}   deadline {} -> {}",
+        schedule.length().to_string(),
+        deadline,
+        if schedule.length() <= deadline {
+            "met"
+        } else {
+            "MISSED"
+        }
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fm = FaultModel::new(1, Time::from_ms(10));
+    let arch = Architecture::with_node_count(2);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500))?;
+
+    // --- Application A1: three independent processes. ---
+    // Re-execution can share one slack on one node; replication has
+    // to pay for the slow second node and the bus.
+    let mut a1 = ProcessGraph::new(0.into());
+    let ps: Vec<_> = a1.add_processes(3);
+    let mut wcet = WcetTable::new();
+    for (i, &p) in ps.iter().enumerate() {
+        wcet.set(p, 0.into(), Time::from_ms(40 + 10 * i as u64));
+        wcet.set(p, 1.into(), Time::from_ms(50 + 10 * i as u64));
+    }
+    let problem = Problem::new(a1, arch.clone(), wcet, fm, bus.clone());
+    let deadline = Time::from_ms(160);
+
+    println!("A1: three independent processes (Fig. 3, left)");
+    // All re-executed, clustered on the fast node:
+    let rex = Design::from_decisions(
+        (0..3)
+            .map(|_| ProcessDesign::new(FtPolicy::reexecution(&fm), vec![0.into()]))
+            .collect::<Result<_, _>>()?,
+    );
+    evaluate("re-execution", &problem, &rex, deadline)?;
+    // All replicated over both nodes:
+    let rep = Design::from_decisions(
+        (0..3)
+            .map(|_| ProcessDesign::new(FtPolicy::replication(&fm), vec![0.into(), 1.into()]))
+            .collect::<Result<_, _>>()?,
+    );
+    evaluate("replication", &problem, &rep, deadline)?;
+
+    // --- Application A2: the chain P1 -> P2 -> P3. ---
+    let mut a2 = ProcessGraph::new(1.into());
+    let ps: Vec<_> = a2.add_processes(3);
+    a2.add_edge(ps[0], ps[1], Message::new(4))?;
+    a2.add_edge(ps[1], ps[2], Message::new(4))?;
+    let mut wcet = WcetTable::new();
+    for &p in &ps {
+        wcet.set(p, 0.into(), Time::from_ms(40));
+        wcet.set(p, 1.into(), Time::from_ms(50));
+    }
+    let problem = Problem::new(a2, arch, wcet, fm, bus);
+
+    println!("\nA2: chain P1 -> P2 -> P3 (Fig. 3, right)");
+    let rex = Design::from_decisions(
+        (0..3)
+            .map(|_| ProcessDesign::new(FtPolicy::reexecution(&fm), vec![0.into()]))
+            .collect::<Result<_, _>>()?,
+    );
+    evaluate("re-execution", &problem, &rex, Time::from_ms(200))?;
+    let rep = Design::from_decisions(
+        (0..3)
+            .map(|_| ProcessDesign::new(FtPolicy::replication(&fm), vec![0.into(), 1.into()]))
+            .collect::<Result<_, _>>()?,
+    );
+    evaluate("replication", &problem, &rep, Time::from_ms(200))?;
+
+    // --- Let the optimizer pick: the mix beats both pure policies. ---
+    println!("\noptimized (MXR) on A2:");
+    let outcome = optimize(
+        &problem,
+        Strategy::Mxr,
+        &SearchConfig {
+            goal: Goal::MinimizeLength,
+            ..SearchConfig::experiments()
+        },
+    )?;
+    println!("  delta = {}", outcome.length());
+    for (p, d) in outcome.design.iter() {
+        println!(
+            "  {p}: r = {}, e = {}, nodes {:?}",
+            d.policy.replicas(),
+            d.policy.reexecutions(),
+            d.mapping.iter().map(|n| format!("{n}")).collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}

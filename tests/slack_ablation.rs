@@ -1,0 +1,131 @@
+//! Ablation of the paper's slack sharing (Fig. 3b): per-process
+//! reserves must never be shorter than the shared slack, and both
+//! analyses must stay sound against the fault simulator.
+
+use ftdes::prelude::*;
+use ftdes::sched::{list_schedule_with, ScheduleOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_design(graph: &ProcessGraph, wcet: &WcetTable, fm: &FaultModel, seed: u64) -> Design {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Design::from_decisions(
+        graph
+            .processes()
+            .iter()
+            .map(|p| {
+                let eligible: Vec<_> = wcet.eligible_nodes(p.id).map(|(n, _)| n).collect();
+                let r = rng.gen_range(1..=(fm.k() + 1).min(eligible.len() as u32).max(1));
+                let mut pool = eligible;
+                let mut mapping = Vec::new();
+                for _ in 0..r {
+                    mapping.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+                }
+                ProcessDesign::new(FtPolicy::new(r, fm).unwrap(), mapping).unwrap()
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn unshared_slack_never_shorter_and_both_sound() {
+    for seed in 0..6u64 {
+        let arch = Architecture::with_node_count(3);
+        let w = paper_workload(10, &arch, seed);
+        let fm = FaultModel::new(2, Time::from_ms(5));
+        let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+        let design = random_design(&w.graph, &w.wcet, &fm, seed);
+
+        let shared = list_schedule_with(
+            &w.graph,
+            &arch,
+            &w.wcet,
+            &fm,
+            &bus,
+            &design,
+            ScheduleOptions {
+                slack_sharing: true,
+            },
+        )
+        .unwrap();
+        let unshared = list_schedule_with(
+            &w.graph,
+            &arch,
+            &w.wcet,
+            &fm,
+            &bus,
+            &design,
+            ScheduleOptions {
+                slack_sharing: false,
+            },
+        )
+        .unwrap();
+
+        assert!(
+            unshared.length() >= shared.length(),
+            "seed {seed}: unshared {} < shared {}",
+            unshared.length(),
+            shared.length()
+        );
+
+        for schedule in [&shared, &unshared] {
+            for scenario in random_scenarios(schedule, &fm, 24, seed) {
+                let report = simulate(schedule, &w.graph, fm.mu(), &scenario);
+                assert!(report.all_processes_complete());
+                assert!(report.max_overrun().is_none(), "seed {seed}: {scenario:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharing_gain_is_substantial_on_chains() {
+    // A long chain on one node is where sharing pays the most: one
+    // slack region instead of one per process.
+    let mut g = ProcessGraph::new(0.into());
+    let ps = g.add_processes(8);
+    for w in ps.windows(2) {
+        g.add_edge(w[0], w[1], Message::new(1)).unwrap();
+    }
+    let mut wcet = WcetTable::new();
+    for &p in &ps {
+        wcet.set(p, 0.into(), Time::from_ms(20));
+    }
+    let fm = FaultModel::new(1, Time::from_ms(5));
+    let design = Design::from_decisions(
+        ps.iter()
+            .map(|_| ProcessDesign::new(FtPolicy::reexecution(&fm), vec![0.into()]).unwrap())
+            .collect(),
+    );
+    let arch = Architecture::with_node_count(1);
+    let bus = BusConfig::initial(&arch, 1, Time::from_ms(1)).unwrap();
+    let shared = list_schedule_with(
+        &g,
+        &arch,
+        &wcet,
+        &fm,
+        &bus,
+        &design,
+        ScheduleOptions {
+            slack_sharing: true,
+        },
+    )
+    .unwrap();
+    let unshared = list_schedule_with(
+        &g,
+        &arch,
+        &wcet,
+        &fm,
+        &bus,
+        &design,
+        ScheduleOptions {
+            slack_sharing: false,
+        },
+    )
+    .unwrap();
+    // Shared: 8 * 20 + (20 + 5) = 185 ms. Unshared: one 25 ms window
+    // per process plus the seven foreign death overheads of 5 ms:
+    // 160 + 200 + 35 = 395 ms.
+    assert_eq!(shared.length(), Time::from_ms(185));
+    assert_eq!(unshared.length(), Time::from_ms(395));
+}

@@ -1,0 +1,176 @@
+//! Property-based soundness tests: for *any* workload, *any* valid
+//! design and *any* admissible fault scenario, the static schedule's
+//! analytic worst case must dominate the realized behaviour.
+//!
+//! These are the central guarantees of the paper's approach — if any
+//! of them breaks, the synthesized system is not fault-tolerant.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ftdes::prelude::*;
+
+/// Deterministically builds a random problem and design from seeds.
+fn build_case(
+    workload_seed: u64,
+    design_seed: u64,
+    processes: usize,
+    nodes: usize,
+    k: u32,
+) -> (
+    ProcessGraph,
+    Architecture,
+    WcetTable,
+    FaultModel,
+    BusConfig,
+    Design,
+) {
+    let arch = Architecture::with_node_count(nodes);
+    let workload = paper_workload(processes, &arch, workload_seed);
+    let fm = FaultModel::new(k, Time::from_ms(5));
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).expect("non-empty arch");
+
+    let mut rng = StdRng::seed_from_u64(design_seed);
+    let decisions = workload
+        .graph
+        .processes()
+        .iter()
+        .map(|p| {
+            let eligible: Vec<_> = workload.wcet.eligible_nodes(p.id).map(|(n, _)| n).collect();
+            let max_r = (k + 1).min(eligible.len() as u32).max(1);
+            let r = rng.gen_range(1..=max_r);
+            let mut pool = eligible.clone();
+            let mut mapping = Vec::new();
+            for _ in 0..r {
+                let idx = rng.gen_range(0..pool.len());
+                mapping.push(pool.swap_remove(idx));
+            }
+            let policy = FtPolicy::new(r, &fm).expect("r within 1..=k+1");
+            ProcessDesign::new(policy, mapping).expect("distinct nodes by construction")
+        })
+        .collect();
+    (
+        workload.graph,
+        arch,
+        workload.wcet,
+        fm,
+        bus,
+        Design::from_decisions(decisions),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Schedules are structurally well-formed: no overlaps, respected
+    /// precedences, transparent message timing.
+    #[test]
+    fn schedules_are_structurally_valid(
+        wseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        processes in 3usize..14,
+        nodes in 1usize..5,
+        k in 0u32..4,
+    ) {
+        let (graph, arch, wcet, fm, bus, design) =
+            build_case(wseed, dseed, processes, nodes, k);
+        let schedule = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design)
+            .expect("valid inputs schedule");
+        let violations = ftdes::sched::validate::check_schedule(&schedule, &graph);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// Under randomly sampled admissible fault scenarios: every
+    /// process completes, realized finishes stay within the analytic
+    /// bound, and no message misses its slot.
+    #[test]
+    fn random_scenarios_within_bounds(
+        wseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        sseed in 0u64..10_000,
+        processes in 3usize..14,
+        nodes in 1usize..5,
+        k in 0u32..4,
+    ) {
+        let (graph, arch, wcet, fm, bus, design) =
+            build_case(wseed, dseed, processes, nodes, k);
+        let schedule = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design)
+            .expect("valid inputs schedule");
+        for scenario in random_scenarios(&schedule, &fm, 24, sseed) {
+            prop_assert!(scenario.is_admissible(&fm));
+            let report = simulate(&schedule, &graph, fm.mu(), &scenario);
+            prop_assert!(report.all_processes_complete(),
+                "a process died under {scenario:?}");
+            prop_assert!(report.max_overrun().is_none(),
+                "bound overrun {:?} under {scenario:?}", report.max_overrun());
+            prop_assert!(report.lost_messages().is_empty(),
+                "missed slot under {scenario:?}");
+            prop_assert!(report.realized_length() <= schedule.length());
+        }
+    }
+
+    /// Exhaustive scenario sweep on small instances: the strongest
+    /// form of the soundness invariant.
+    #[test]
+    fn exhaustive_scenarios_within_bounds(
+        wseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        processes in 3usize..7,
+        nodes in 2usize..4,
+        k in 1u32..3,
+    ) {
+        let (graph, arch, wcet, fm, bus, design) =
+            build_case(wseed, dseed, processes, nodes, k);
+        let schedule = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design)
+            .expect("valid inputs schedule");
+        for scenario in enumerate_scenarios(&schedule, &fm) {
+            let report = simulate(&schedule, &graph, fm.mu(), &scenario);
+            prop_assert!(report.all_processes_complete());
+            prop_assert!(report.max_overrun().is_none(),
+                "bound overrun {:?} under {scenario:?}", report.max_overrun());
+            prop_assert!(report.lost_messages().is_empty());
+        }
+    }
+
+    /// The fault-free run realizes exactly the static table.
+    #[test]
+    fn fault_free_run_matches_static_schedule(
+        wseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        processes in 3usize..14,
+        nodes in 1usize..5,
+        k in 0u32..4,
+    ) {
+        let (graph, arch, wcet, fm, bus, design) =
+            build_case(wseed, dseed, processes, nodes, k);
+        let schedule = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design)
+            .expect("valid inputs schedule");
+        let report = simulate(&schedule, &graph, fm.mu(), &FaultScenario::none());
+        for slot in schedule.slots() {
+            let out = report.outcome(slot.instance.id);
+            prop_assert_eq!(out.start, Some(slot.start));
+            prop_assert_eq!(out.finish, Some(slot.finish));
+        }
+    }
+
+    /// Determinism: the same inputs always produce the same schedule.
+    #[test]
+    fn scheduling_is_deterministic(
+        wseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        processes in 3usize..14,
+        nodes in 1usize..5,
+        k in 0u32..4,
+    ) {
+        let (graph, arch, wcet, fm, bus, design) =
+            build_case(wseed, dseed, processes, nodes, k);
+        let a = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design).expect("ok");
+        let b = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design).expect("ok");
+        prop_assert_eq!(a.length(), b.length());
+        for (sa, sb) in a.slots().iter().zip(b.slots()) {
+            prop_assert_eq!(sa.start, sb.start);
+            prop_assert_eq!(sa.worst_finish, sb.worst_finish);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests of the optimization strategies on
+//! generated workloads: dominance relations, validity of every
+//! produced design, and fault-injection of optimized schedules.
+
+use std::time::Duration;
+
+use ftdes::prelude::*;
+
+fn problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let w = paper_workload(processes, &arch, seed);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)),
+        bus,
+    )
+}
+
+fn cfg() -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(Duration::from_millis(300)),
+        max_tabu_iterations: 60,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn every_strategy_produces_a_valid_fault_tolerant_design() {
+    let problem = problem(12, 3, 2, 3);
+    for strategy in Strategy::ALL {
+        let outcome = optimize(&problem, strategy, &cfg()).unwrap();
+        let fm = if strategy == Strategy::Nft {
+            FaultModel::none()
+        } else {
+            *problem.fault_model()
+        };
+        outcome
+            .design
+            .validate(problem.arch(), problem.wcet(), &fm, problem.constraints())
+            .unwrap_or_else(|e| panic!("{strategy}: invalid design: {e}"));
+        // Re-evaluating the returned design reproduces the reported cost.
+        let re = if strategy == Strategy::Nft {
+            problem
+                .with_fault_model(FaultModel::none())
+                .evaluate(&outcome.design)
+                .unwrap()
+        } else {
+            problem.evaluate(&outcome.design).unwrap()
+        };
+        assert_eq!(
+            re.length(),
+            outcome.length(),
+            "{strategy}: cost not reproducible"
+        );
+    }
+}
+
+#[test]
+fn nft_lower_bounds_fault_tolerant_strategies() {
+    for seed in 0..3 {
+        let problem = problem(10, 2, 2, seed);
+        let nft = optimize(&problem, Strategy::Nft, &cfg()).unwrap();
+        for strategy in [Strategy::Mxr, Strategy::Mx, Strategy::Sfx] {
+            let outcome = optimize(&problem, strategy, &cfg()).unwrap();
+            assert!(
+                nft.length() <= outcome.length(),
+                "seed {seed}: NFT {} must lower-bound {} {}",
+                nft.length(),
+                strategy,
+                outcome.length()
+            );
+        }
+    }
+}
+
+#[test]
+fn sfx_never_beats_mxr_given_equal_budgets() {
+    // SFX is a strict subset of MXR's search (fault-oblivious mapping
+    // + a single fixed policy assignment evaluated once), so with the
+    // same budget MXR must match or beat it on these small instances.
+    for seed in 0..3 {
+        let problem = problem(10, 2, 2, seed);
+        let mxr = optimize(&problem, Strategy::Mxr, &cfg()).unwrap();
+        let sfx = optimize(&problem, Strategy::Sfx, &cfg()).unwrap();
+        assert!(
+            mxr.length() <= sfx.length(),
+            "seed {seed}: MXR {} vs SFX {}",
+            mxr.length(),
+            sfx.length()
+        );
+    }
+}
+
+#[test]
+fn optimized_schedules_survive_fault_injection() {
+    let problem = problem(9, 3, 2, 7);
+    let outcome = optimize(&problem, Strategy::Mxr, &cfg()).unwrap();
+    let schedule = &outcome.schedule;
+    let graph = problem.graph();
+    // Random plus adversarial scenarios.
+    let mut scenarios = random_scenarios(schedule, problem.fault_model(), 64, 11);
+    scenarios.push(adversarial_scenario(schedule, problem.fault_model()));
+    for scenario in scenarios {
+        let report = simulate(schedule, graph, problem.fault_model().mu(), &scenario);
+        assert!(report.all_processes_complete(), "died under {scenario:?}");
+        assert!(report.max_overrun().is_none(), "overrun under {scenario:?}");
+        assert!(report.lost_messages().is_empty());
+    }
+}
+
+#[test]
+fn deadline_goal_stops_once_schedulable() {
+    // Attach a loose deadline to every process: step 1 or 2 should
+    // already satisfy it and the search must report schedulable.
+    let base = problem(8, 2, 1, 5);
+    let mut graph = base.graph().clone();
+    for i in 0..graph.process_count() {
+        graph.process_mut(ProcessId::new(i as u32)).deadline = Some(Time::from_ms(1_000_000));
+    }
+    let problem = Problem::new(
+        graph,
+        base.arch().clone(),
+        base.wcet().clone(),
+        *base.fault_model(),
+        base.bus().clone(),
+    );
+    let outcome = optimize(&problem, Strategy::Mxr, &SearchConfig::default()).unwrap();
+    assert!(outcome.is_schedulable());
+}
+
+#[test]
+fn infeasible_deadline_reported_unschedulable() {
+    let base = problem(8, 2, 2, 9);
+    let mut graph = base.graph().clone();
+    for i in 0..graph.process_count() {
+        graph.process_mut(ProcessId::new(i as u32)).deadline = Some(Time::from_ms(1));
+    }
+    let problem = Problem::new(
+        graph,
+        base.arch().clone(),
+        base.wcet().clone(),
+        *base.fault_model(),
+        base.bus().clone(),
+    );
+    let outcome = optimize(
+        &problem,
+        Strategy::Mxr,
+        &SearchConfig {
+            time_limit: Some(Duration::from_millis(200)),
+            max_tabu_iterations: 10,
+            ..SearchConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(!outcome.is_schedulable(), "1 ms deadlines cannot be met");
+    assert!(!outcome.schedule.cost().violation.is_zero());
+}
