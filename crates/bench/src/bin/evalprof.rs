@@ -1,0 +1,87 @@
+//! Phase profile of one candidate evaluation — where does the
+//! optimizer's cost function spend its time?
+//!
+//! Times the stages of `ListScheduling` (design expansion, priority
+//! computation, the placement loop) plus the fresh-allocation vs
+//! scratch-reuse delta, on the perfgate workload. Used to direct
+//! hot-path work; not part of the perf gate itself.
+
+use std::time::Instant;
+
+use ftdes_bench::synthetic_problem;
+use ftdes_core::{initial, Evaluator, PolicySpace};
+use ftdes_model::time::Time;
+use ftdes_sched::{ExpandedDesign, SchedScratch};
+
+fn main() {
+    let problem = synthetic_problem(40, 4, 3, Time::from_ms(5), 0);
+    let design = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+    let reps = 20_000u32;
+
+    // Full evaluation, fresh allocations (the legacy path).
+    let started = Instant::now();
+    for _ in 0..reps {
+        let s = problem.evaluate(&design).expect("schedules");
+        std::hint::black_box(s.length());
+    }
+    let fresh = started.elapsed();
+
+    // Full evaluation through the scratch-reusing path.
+    let mut scratch = SchedScratch::default();
+    let started = Instant::now();
+    for _ in 0..reps {
+        let s = problem
+            .evaluate_scratch(&design, &mut scratch)
+            .expect("schedules");
+        std::hint::black_box(s.length());
+    }
+    let scratched = started.elapsed();
+
+    // Through the evaluator (adds fingerprint + cache probe).
+    let evaluator = Evaluator::new(&problem);
+    let started = Instant::now();
+    for _ in 0..reps {
+        let (cost, _) = evaluator.evaluate(&design).expect("schedules");
+        std::hint::black_box(cost);
+    }
+    let memoized = started.elapsed();
+
+    // Expansion alone.
+    let started = Instant::now();
+    for _ in 0..reps {
+        let e = ExpandedDesign::expand(
+            problem.graph(),
+            &design,
+            problem.wcet(),
+            problem.fault_model(),
+        )
+        .expect("expands");
+        std::hint::black_box(e.len());
+    }
+    let expansion = started.elapsed();
+
+    // Priority computation alone (on a fixed expansion).
+    let expanded = ExpandedDesign::expand(
+        problem.graph(),
+        &design,
+        problem.wcet(),
+        problem.fault_model(),
+    )
+    .expect("expands");
+    let started = Instant::now();
+    for _ in 0..reps {
+        let p =
+            ftdes_sched::priority::Priorities::compute(problem.graph(), &expanded, problem.bus())
+                .expect("acyclic");
+        std::hint::black_box(p.rank(0.into()));
+    }
+    let priorities = started.elapsed();
+
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / f64::from(reps);
+    println!("per-evaluation phase times over {reps} reps:");
+    println!("  fresh allocations : {:8.2} us", per(fresh));
+    println!("  scratch reuse     : {:8.2} us", per(scratched));
+    println!("  memoized (all hits): {:7.2} us", per(memoized));
+    println!("  expansion only    : {:8.2} us", per(expansion));
+    println!("  priorities only   : {:8.2} us", per(priorities));
+}

@@ -1,0 +1,170 @@
+//! The performance gate: tracks the optimizer's evaluation throughput
+//! from PR to PR.
+//!
+//! Runs the same fixed-seed MXR search twice under the identical
+//! wall-clock budget (`FTDES_TIME_MS`, default 500 ms per seed):
+//!
+//! 1. **baseline** — the frozen pre-optimization reference
+//!    ([`ftdes_bench::legacy`]): sequential, uncached, one full
+//!    schedule materialization and one design clone per candidate,
+//! 2. **optimized** — the current default path: cost-only window
+//!    evaluation through reusable scratch buffers, the shared
+//!    memoization cache, and parallel workers where cores exist.
+//!
+//! Because the search is deterministic in everything except the
+//! wall-clock cutoff, more evaluations per second directly buy more
+//! tabu iterations — the quantity that decides solution quality under
+//! the paper's "shortest schedule within an imposed time limit"
+//! protocol. Results are written to `BENCH_tabu.json` (schema below)
+//! so CI can diff the trajectory:
+//!
+//! ```json
+//! {
+//!   "workload": {...},
+//!   "baseline":  {"tabu_iterations": N, "evals_per_sec": X, ...},
+//!   "optimized": {"tabu_iterations": N, "evals_per_sec": X, ...},
+//!   "speedup": {"tabu_iterations": R, "evals_per_sec": R}
+//! }
+//! ```
+
+use std::time::Duration;
+
+use ftdes_bench::{synthetic_problem, time_budget};
+use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_model::time::Time;
+
+/// Processes / nodes / k of the gate workload: large enough that a
+/// budgeted run is evaluation-bound, small enough to finish quickly.
+const PROCESSES: usize = 40;
+const NODES: usize = 4;
+const FAULTS: u32 = 3;
+const SEEDS: u64 = 3;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ModeTotals {
+    tabu_iterations: usize,
+    evaluations: usize,
+    cache_hits: usize,
+    elapsed: Duration,
+    best_length_us: u64,
+}
+
+impl ModeTotals {
+    fn add(&mut self, outcome: &Outcome) {
+        self.tabu_iterations += outcome.stats.tabu_iterations;
+        self.evaluations += outcome.stats.evaluations;
+        self.cache_hits += outcome.stats.cache_hits;
+        self.elapsed += outcome.stats.elapsed;
+        self.best_length_us += outcome.length().as_us();
+    }
+
+    fn evals_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.evaluations as f64 / secs
+    }
+
+    /// Candidate lookups per second — schedules computed plus cache
+    /// hits; the rate the search actually consumes candidates at.
+    fn lookups_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.evaluations + self.cache_hits) as f64 / secs
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"tabu_iterations\": {}, \"evaluations\": {}, \"cache_hits\": {}, \
+             \"elapsed_ms\": {}, \"evals_per_sec\": {:.1}, \"lookups_per_sec\": {:.1}, \
+             \"best_length_us\": {}}}",
+            self.tabu_iterations,
+            self.evaluations,
+            self.cache_hits,
+            self.elapsed.as_millis(),
+            self.evals_per_sec(),
+            self.lookups_per_sec(),
+            self.best_length_us
+        )
+    }
+}
+
+fn gate_config(budget: Duration) -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(budget),
+        max_tabu_iterations: usize::MAX,
+        ..SearchConfig::default()
+    }
+}
+
+fn run_optimized(problem: &Problem, budget: Duration) -> Outcome {
+    optimize(problem, Strategy::Mxr, &gate_config(budget))
+        .unwrap_or_else(|e| panic!("perfgate search: {e}"))
+}
+
+fn run_baseline(problem: &Problem, budget: Duration) -> Outcome {
+    let (design, schedule, stats) =
+        ftdes_bench::legacy::optimize_mxr_reference(problem, &gate_config(budget))
+            .unwrap_or_else(|e| panic!("perfgate baseline: {e}"));
+    Outcome {
+        design,
+        schedule,
+        stats,
+    }
+}
+
+fn main() {
+    let budget = time_budget();
+    let mut baseline = ModeTotals::default();
+    let mut optimized = ModeTotals::default();
+
+    println!(
+        "perfgate: {PROCESSES} processes / {NODES} nodes / k = {FAULTS}, \
+         {SEEDS} seeds, {budget:?} per run per mode"
+    );
+    for seed in 0..SEEDS {
+        let problem = synthetic_problem(PROCESSES, NODES, FAULTS, Time::from_ms(5), seed);
+        let base = run_baseline(&problem, budget);
+        let opt = run_optimized(&problem, budget);
+        println!(
+            "  seed {seed}: baseline {} iters / {} evals, optimized {} iters / {} evals (+{} hits)",
+            base.stats.tabu_iterations,
+            base.stats.evaluations,
+            opt.stats.tabu_iterations,
+            opt.stats.evaluations,
+            opt.stats.cache_hits,
+        );
+        baseline.add(&base);
+        optimized.add(&opt);
+    }
+
+    let iter_speedup = optimized.tabu_iterations as f64 / baseline.tabu_iterations.max(1) as f64;
+    let eval_speedup =
+        optimized.lookups_per_sec() / baseline.lookups_per_sec().max(f64::MIN_POSITIVE);
+    // Informational only: under a wall-clock budget the two modes
+    // truncate the trajectory at different points (stage midpoints,
+    // cutoffs), so per-seed best lengths can move either way.
+    let length_ratio = optimized.best_length_us as f64 / baseline.best_length_us.max(1) as f64;
+    let json = format!(
+        "{{\n  \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
+         \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"optimized\": {},\n  \
+         \"speedup\": {{\"tabu_iterations\": {:.2}, \"candidate_rate\": {:.2}, \
+         \"best_length_ratio\": {:.3}}}\n}}\n",
+        budget.as_millis(),
+        baseline.json(),
+        optimized.json(),
+        iter_speedup,
+        eval_speedup,
+        length_ratio,
+    );
+    std::fs::write("BENCH_tabu.json", &json).expect("write BENCH_tabu.json");
+    println!("\n{json}");
+    println!(
+        "tabu-iteration speedup within the same budget: {iter_speedup:.2}x \
+         (candidate rate {eval_speedup:.2}x, best-length ratio {length_ratio:.3})"
+    );
+}

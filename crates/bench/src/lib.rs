@@ -10,6 +10,8 @@
 //! | `... --bin table1c` | Table 1c — overhead vs fault duration µ |
 //! | `... --bin fig10` | Fig. 10 — MX / MR / SFX deviation from MXR |
 //! | `... --bin cruise_control` | the CC case study |
+//! | `... --bin perfgate` | evaluation-throughput gate → `BENCH_tabu.json` |
+//! | `... --bin evalprof` | per-phase profile of one candidate evaluation |
 //! | `cargo bench -p ftdes-bench` | Criterion micro-benchmarks |
 //!
 //! Scale knobs (environment variables):
@@ -18,10 +20,46 @@
 //!   default here: 5 to keep runs minutes-scale),
 //! * `FTDES_TIME_MS` — search budget per strategy run in
 //!   milliseconds (default 500; the paper used minutes-to-hours on
-//!   2005 hardware).
+//!   2005 hardware),
+//! * `FTDES_THREADS` / `RAYON_NUM_THREADS` — worker threads for
+//!   candidate evaluation (default: available parallelism),
+//! * `FTDES_NO_PARALLEL` — force single-threaded evaluation.
+//!
+//! # Evaluations/sec methodology
+//!
+//! All of the paper's experiments run the search under a wall-clock
+//! budget ("the shortest schedule within an imposed time limit"), so
+//! **candidate evaluations per second directly determine solution
+//! quality**: more evaluations buy more tabu iterations buy shorter
+//! schedules. The perf gate (`perfgate`) therefore measures, on a
+//! fixed-seed workload and identical budgets:
+//!
+//! * `evaluations` — `ListScheduling` runs actually computed
+//!   (cost-only window passes plus one full materialization per
+//!   accepted iteration),
+//! * `cache_hits` — candidate costs served by the memoization cache
+//!   ([`ftdes_core::cache::Evaluator`]) without scheduling at all,
+//! * `tabu_iterations` — the quantity the budget is spent on,
+//! * both for the current default path and for the frozen
+//!   pre-optimization reference in [`legacy`] (sequential, uncached,
+//!   full materialization per candidate).
+//!
+//! Candidate selection uses a total order on `(cost, move index)`,
+//! so for a fixed iteration/cutoff budget the trajectory is
+//! bit-identical across thread counts and cache settings, and the
+//! legacy reference walks the same trajectory. Under a *wall-clock*
+//! budget the faster mode crosses stage boundaries (the staged-tabu
+//! midpoint, per-window cutoffs) at different trajectory points, so
+//! per-seed best lengths can differ in either direction — iteration
+//! counts measure search throughput, best length stays an
+//! informational field. `BENCH_tabu.json` records both modes plus
+//! the speedup ratios; CI fails if the tabu-iteration ratio drops
+//! below 2.0.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod legacy;
 
 use std::time::Duration;
 

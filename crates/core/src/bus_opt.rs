@@ -15,10 +15,13 @@
 //! `ListScheduling` run of the *given* design, so the pass composes
 //! with any strategy result.
 
+use std::sync::Arc;
+
 use ftdes_model::design::Design;
 use ftdes_sched::Schedule;
 use ftdes_ttp::config::BusConfig;
 
+use crate::cache::Evaluator;
 use crate::config::SearchStats;
 use crate::error::OptError;
 use crate::problem::Problem;
@@ -70,12 +73,18 @@ pub fn optimize_bus(
     cfg: &BusOptConfig,
 ) -> Result<BusOptOutcome, OptError> {
     let mut stats = SearchStats::default();
-    let base = problem.bus().clone();
+    // All probes share one memoized evaluator keyed by (design, bus):
+    // re-probing a configuration (e.g. swapping a pair back) is a
+    // cache hit, and no probe clones the problem or retains a
+    // schedule — costs drive the climb, the winning configuration is
+    // materialized once at the end.
+    let evaluator = Evaluator::new(problem);
+    let base = problem.bus();
     let largest = problem.largest_message();
 
     let mut best_bus = base.clone();
-    let mut best_schedule = problem.evaluate(design)?;
-    stats.evaluations += 1;
+    let (mut best_cost, start_hit) = evaluator.evaluate(design)?;
+    stats.record_eval(start_hit);
 
     for &multiple in &cfg.capacity_multiples {
         let capacity = largest.saturating_mul(multiple.max(1));
@@ -83,11 +92,11 @@ pub fn optimize_bus(
             .expect("base order stays valid");
 
         // Evaluate the capacity change itself.
-        let mut current = problem.with_bus(bus.clone()).evaluate(design)?;
-        stats.evaluations += 1;
-        if current.cost() < best_schedule.cost() {
+        let (mut current_cost, hit) = evaluator.evaluate_with_bus(&bus, design)?;
+        stats.record_eval(hit);
+        if current_cost < best_cost {
             best_bus = bus.clone();
-            best_schedule = current.clone();
+            best_cost = current_cost;
         }
 
         // Hill climbing over slot swaps.
@@ -97,11 +106,11 @@ pub fn optimize_bus(
             for a in 0..slots {
                 for b in (a + 1)..slots {
                     let cand_bus = bus.swap_slots(a, b);
-                    let cand = problem.with_bus(cand_bus.clone()).evaluate(design)?;
-                    stats.evaluations += 1;
-                    if cand.cost() < current.cost() {
+                    let (cand_cost, hit) = evaluator.evaluate_with_bus(&cand_bus, design)?;
+                    stats.record_eval(hit);
+                    if cand_cost < current_cost {
                         bus = cand_bus;
-                        current = cand;
+                        current_cost = cand_cost;
                         improved = true;
                     }
                 }
@@ -110,15 +119,20 @@ pub fn optimize_bus(
                 break;
             }
         }
-        if current.cost() < best_schedule.cost() {
+        if current_cost < best_cost {
             best_bus = bus;
-            best_schedule = current;
+            best_cost = current_cost;
         }
     }
 
+    // Materialize the winning configuration's schedule.
+    stats.evaluations += 1;
+    let schedule = evaluator.schedule_with_bus(&best_bus, design)?;
+    let schedule = Arc::try_unwrap(schedule).unwrap_or_else(|shared| (*shared).clone());
+    debug_assert_eq!(schedule.cost(), best_cost);
     Ok(BusOptOutcome {
         bus: best_bus,
-        schedule: best_schedule,
+        schedule,
         stats,
     })
 }

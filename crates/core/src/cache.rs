@@ -1,0 +1,447 @@
+//! Memoized design evaluation (the optimizer's cost-function cache).
+//!
+//! Every step of the search — greedy improvement, both tabu stages
+//! and the bus-access optimization — scores candidates with a full
+//! `ListScheduling` run. The searches revisit designs constantly:
+//! tabu moves undo each other, the rotating neighbourhood window
+//! re-proposes moves, and the bus optimizer probes the same design
+//! under handfuls of bus configurations. An [`Evaluator`] wraps a
+//! [`Problem`] with a concurrent, sharded cache keyed by a cheap
+//! 128-bit fingerprint of (per-process decisions, bus configuration),
+//! so a revisited candidate costs a hash instead of a schedule.
+//!
+//! The cache stores **costs, not schedules**: candidate selection
+//! only needs the `(violation, length)` pair, a hit therefore costs
+//! 48 bytes instead of keeping a multi-kilobyte schedule table alive,
+//! and the cache never creates allocator pressure on the hot path.
+//! A miss returns the [`Arc<Schedule>`] it had to compute anyway, so
+//! the selected candidate's schedule is almost always already in
+//! hand; only a cache-hitting *winner* is re-materialized (one extra
+//! `ListScheduling` run per occurrence — rare, and recorded in the
+//! evaluation counters). Scheduling itself runs through a
+//! thread-local [`SchedScratch`], so worker threads reuse their
+//! ready-list and contingency buffers across evaluations.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex};
+
+use ftdes_model::design::{Design, ProcessDesign};
+use ftdes_model::ids::ProcessId;
+use ftdes_sched::{CostScratch, SchedError, Schedule, ScheduleCost};
+use ftdes_ttp::config::BusConfig;
+
+use crate::problem::Problem;
+
+/// Entries per shard before the shard is reset. Bounds memory on
+/// long-running searches; a reset costs one warm-up pass, not
+/// correctness. Note: search *results* are thread-count independent
+/// regardless (cached and computed costs are identical), but once a
+/// shard fills, which concurrent insert triggers the reset depends on
+/// interleaving, so the `evaluations` / `cache_hits` counter split
+/// is only exactly reproducible across thread counts while the cache
+/// stays below capacity (~260k entries — far beyond the test and
+/// perfgate workloads).
+const SHARD_CAPACITY: usize = 1 << 14;
+
+/// Number of cache shards (locks). Evaluation windows run on at most
+/// a few dozen workers; 16 shards keep contention negligible.
+const SHARDS: usize = 16;
+
+/// A fast non-cryptographic hasher (FxHash-style multiply-mix) for
+/// keys that are already high-entropy fingerprints.
+#[derive(Default)]
+struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.state = (self.state.rotate_left(5) ^ value).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u128(&mut self, value: u128) {
+        self.write_u64(value as u64);
+        self.write_u64((value >> 64) as u64);
+    }
+}
+
+type Shard = Mutex<HashMap<u128, ScheduleCost, BuildHasherDefault<FxHasher>>>;
+
+/// A sharded `fingerprint -> cost` cache shared across search phases
+/// and worker threads.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    shards: [Shard; SHARDS],
+}
+
+impl std::fmt::Debug for FxHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FxHasher").finish_non_exhaustive()
+    }
+}
+
+impl EvalCache {
+    fn shard(&self, key: u128) -> &Shard {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    fn get(&self, key: u128) -> Option<ScheduleCost> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(&key)
+            .copied()
+    }
+
+    fn insert(&self, key: u128, cost: ScheduleCost) {
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        if shard.len() >= SHARD_CAPACITY {
+            shard.clear();
+        }
+        shard.insert(key, cost);
+    }
+}
+
+/// One running accumulator of the 128-bit fingerprint (two
+/// independently-seeded 64-bit streams).
+#[derive(Clone, Copy)]
+struct Fingerprint {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fingerprint {
+    fn new(seed: u64) -> Self {
+        Fingerprint {
+            lo: seed ^ 0x9e37_79b9_7f4a_7c15,
+            hi: seed ^ 0xc2b2_ae3d_27d4_eb4f,
+        }
+    }
+
+    fn mix(&mut self, value: u64) {
+        self.lo = (self.lo.rotate_left(5) ^ value).wrapping_mul(FX_SEED);
+        self.hi = (self.hi.rotate_left(23) ^ value).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+
+    fn finish(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+/// A stable 64-bit identity of a bus configuration (slot order, slot
+/// capacity, byte time) used as the bus component of the cache key.
+#[must_use]
+pub fn bus_fingerprint(bus: &BusConfig) -> u64 {
+    let mut fp = Fingerprint::new(0xb05);
+    fp.mix(bus.slot_bytes().into());
+    fp.mix(bus.byte_time().as_us());
+    for &node in bus.slot_order() {
+        fp.mix(node.index() as u64);
+    }
+    fp.finish() as u64
+}
+
+/// The cache key of evaluating `design` under the bus identified by
+/// `bus_fp`: a 128-bit hash of every per-process decision.
+#[must_use]
+pub fn design_fingerprint(design: &Design, bus_fp: u64) -> u128 {
+    let mut fp = Fingerprint::new(bus_fp);
+    for (_, decision) in design.iter() {
+        fp.mix(u64::from(decision.policy.replicas()));
+        fp.mix(u64::from(decision.policy.reexecutions()));
+        for &node in &decision.mapping {
+            fp.mix(node.index() as u64);
+        }
+        // Separator so mappings of unequal lengths cannot alias.
+        fp.mix(u64::MAX);
+    }
+    fp.finish()
+}
+
+thread_local! {
+    /// Per-thread scheduling buffers, reused across evaluations.
+    static SCRATCH: RefCell<CostScratch> = RefCell::new(CostScratch::default());
+}
+
+/// The memoized cost function: a [`Problem`] plus the shared
+/// [`EvalCache`].
+///
+/// One evaluator is created per `optimize` / `optimize_bus` call and
+/// shared by every phase and worker thread of that search.
+/// [`Evaluator::evaluate`] answers the window question — *what would
+/// this design cost?* — through the cost-only scheduler and the
+/// cache; [`Evaluator::schedule`] materializes the full schedule of
+/// a candidate the search decided to keep.
+#[derive(Debug)]
+pub struct Evaluator<'p> {
+    problem: &'p Problem,
+    cache: Option<EvalCache>,
+    bus_fp: u64,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates a caching evaluator for `problem`.
+    #[must_use]
+    pub fn new(problem: &'p Problem) -> Self {
+        Evaluator::with_cache(problem, true)
+    }
+
+    /// Creates an evaluator with the cache toggled — `false` gives the
+    /// uncached reference behaviour (every call schedules).
+    #[must_use]
+    pub fn with_cache(problem: &'p Problem, enabled: bool) -> Self {
+        Evaluator {
+            problem,
+            cache: enabled.then(EvalCache::default),
+            bus_fp: bus_fingerprint(problem.bus()),
+        }
+    }
+
+    /// The wrapped problem.
+    #[must_use]
+    pub fn problem(&self) -> &'p Problem {
+        self.problem
+    }
+
+    /// The cost of `design` under the problem's bus configuration,
+    /// served from the cache when possible and computed by the
+    /// allocation-free cost-only scheduler otherwise. The `bool` is
+    /// `true` on a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`] for designs inconsistent with the
+    /// problem.
+    pub fn evaluate(&self, design: &Design) -> Result<(ScheduleCost, bool), SchedError> {
+        self.evaluate_keyed(design, None)
+    }
+
+    /// The cost of `design` with `process`'s decision temporarily
+    /// replaced by `decision` — the apply/evaluate/undo primitive of
+    /// window evaluation. The original decision is restored before
+    /// returning (also on error), so one worker-owned design serves a
+    /// whole window without per-candidate clones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn evaluate_move(
+        &self,
+        design: &mut Design,
+        process: ProcessId,
+        decision: &ProcessDesign,
+    ) -> Result<(ScheduleCost, bool), SchedError> {
+        let previous = design.replace_decision(process, decision.clone());
+        let result = self.evaluate(design);
+        design.set_decision(process, previous);
+        result
+    }
+
+    /// [`Evaluator::evaluate`] under an alternative bus configuration
+    /// (the bus-access optimization probes many of them for one
+    /// design); cached under the (design, bus) pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`], e.g. a message exceeding the
+    /// candidate slot capacity.
+    pub fn evaluate_with_bus(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+    ) -> Result<(ScheduleCost, bool), SchedError> {
+        self.evaluate_keyed(design, Some(bus))
+    }
+
+    /// Materializes the full schedule of `design` (the candidate the
+    /// search keeps). Reuses the thread-local scratch and feeds the
+    /// cost back into the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn schedule(&self, design: &Design) -> Result<Arc<Schedule>, SchedError> {
+        self.schedule_keyed(design, None)
+    }
+
+    /// [`Evaluator::schedule`] under an alternative bus configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn schedule_with_bus(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+    ) -> Result<Arc<Schedule>, SchedError> {
+        self.schedule_keyed(design, Some(bus))
+    }
+
+    fn key_of(&self, design: &Design, bus: Option<&BusConfig>) -> Option<u128> {
+        self.cache.as_ref().map(|_| {
+            let bus_fp = bus.map_or(self.bus_fp, bus_fingerprint);
+            design_fingerprint(design, bus_fp)
+        })
+    }
+
+    fn evaluate_keyed(
+        &self,
+        design: &Design,
+        bus: Option<&BusConfig>,
+    ) -> Result<(ScheduleCost, bool), SchedError> {
+        let key = self.key_of(design, bus);
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
+            if let Some(cost) = cache.get(key) {
+                return Ok((cost, true));
+            }
+        }
+        let cost = SCRATCH.with(|scratch| {
+            let scratch = &mut scratch.borrow_mut();
+            match bus {
+                Some(bus) => self.problem.evaluate_cost_with_bus(bus, design, scratch),
+                None => self.problem.evaluate_cost(design, scratch),
+            }
+        })?;
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
+            cache.insert(key, cost);
+        }
+        Ok((cost, false))
+    }
+
+    fn schedule_keyed(
+        &self,
+        design: &Design,
+        bus: Option<&BusConfig>,
+    ) -> Result<Arc<Schedule>, SchedError> {
+        let schedule = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let scratch = scratch.core_mut();
+            match bus {
+                Some(bus) => self.problem.evaluate_with_bus_scratch(bus, design, scratch),
+                None => self.problem.evaluate_scratch(design, scratch),
+            }
+        })?;
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), self.key_of(design, bus)) {
+            cache.insert(key, schedule.cost());
+        }
+        Ok(Arc::new(schedule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::design::ProcessDesign;
+    use ftdes_model::fault::FaultModel;
+    use ftdes_model::graph::{Message, ProcessGraph};
+    use ftdes_model::ids::NodeId;
+    use ftdes_model::policy::FtPolicy;
+    use ftdes_model::time::Time;
+    use ftdes_model::wcet::WcetTable;
+
+    fn tiny() -> (Problem, Design) {
+        let mut g = ProcessGraph::new(0.into());
+        let a = g.add_process();
+        let b = g.add_process();
+        g.add_edge(a, b, Message::new(2)).unwrap();
+        let wcet: WcetTable = [
+            (a, NodeId::new(0), Time::from_ms(10)),
+            (a, NodeId::new(1), Time::from_ms(12)),
+            (b, NodeId::new(0), Time::from_ms(20)),
+            (b, NodeId::new(1), Time::from_ms(25)),
+        ]
+        .into_iter()
+        .collect();
+        let arch = Architecture::with_node_count(2);
+        let fm = FaultModel::new(1, Time::from_ms(5));
+        let bus = BusConfig::initial(&arch, 2, Time::from_ms(1)).unwrap();
+        let problem = Problem::new(g, arch, wcet, fm, bus);
+        let design = Design::from_decisions(vec![
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(0)]).unwrap(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(1)]).unwrap(),
+        ]);
+        (problem, design)
+    }
+
+    #[test]
+    fn second_evaluation_hits_with_identical_cost() {
+        let (problem, design) = tiny();
+        let eval = Evaluator::new(&problem);
+        let (first, hit1) = eval.evaluate(&design).unwrap();
+        let (second, hit2) = eval.evaluate(&design).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_designs_do_not_alias() {
+        let (problem, design) = tiny();
+        let fm = *problem.fault_model();
+        let mut other = design.clone();
+        other.set_decision(
+            0.into(),
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(1)]).unwrap(),
+        );
+        let eval = Evaluator::new(&problem);
+        let (a, _) = eval.evaluate(&design).unwrap();
+        let (b, hit) = eval.evaluate(&other).unwrap();
+        assert!(!hit, "distinct design must miss");
+        assert_ne!(
+            design_fingerprint(&design, 1),
+            design_fingerprint(&other, 1)
+        );
+        assert_ne!(a.length, Time::ZERO);
+        assert_ne!(b.length, Time::ZERO);
+    }
+
+    #[test]
+    fn bus_variants_are_keyed_separately() {
+        let (problem, design) = tiny();
+        let eval = Evaluator::new(&problem);
+        let swapped = problem.bus().swap_slots(0, 1);
+        let (_, hit0) = eval.evaluate(&design).unwrap();
+        let (_, hit1) = eval.evaluate_with_bus(&swapped, &design).unwrap();
+        let (_, hit2) = eval.evaluate_with_bus(&swapped, &design).unwrap();
+        assert!(!hit0 && !hit1, "different bus misses");
+        assert!(hit2, "same (design, bus) hits");
+        assert_ne!(bus_fingerprint(problem.bus()), bus_fingerprint(&swapped));
+    }
+
+    #[test]
+    fn disabled_cache_always_schedules() {
+        let (problem, design) = tiny();
+        let eval = Evaluator::with_cache(&problem, false);
+        assert!(!eval.evaluate(&design).unwrap().1);
+        assert!(!eval.evaluate(&design).unwrap().1);
+    }
+
+    #[test]
+    fn cost_only_matches_full_materialization() {
+        let (problem, design) = tiny();
+        let eval = Evaluator::new(&problem);
+        let (cost, _) = eval.evaluate(&design).unwrap();
+        let materialized = eval.schedule(&design).unwrap();
+        let direct = problem.evaluate(&design).unwrap();
+        assert_eq!(cost, direct.cost(), "cost-only path must agree");
+        assert_eq!(materialized.cost(), direct.cost());
+        assert_eq!(materialized.length(), direct.length());
+    }
+}

@@ -53,6 +53,20 @@ pub struct SearchConfig {
     /// all-re-executed initialization and converges much faster on
     /// large instances; disable for ablation studies.
     pub staged_tabu: bool,
+    /// Worker threads for candidate evaluation. `0` (the default)
+    /// resolves at run time: `FTDES_NO_PARALLEL` forces 1, else
+    /// `FTDES_THREADS` / `RAYON_NUM_THREADS`, else the machine's
+    /// available parallelism. Candidates are selected by a total
+    /// order on `(cost, move index)`, so without a wall-clock limit
+    /// the search result is **bit-identical** for every thread count;
+    /// under a `time_limit` the cutoff lands at different trajectory
+    /// points for different speeds (that is the point of going
+    /// faster).
+    pub threads: usize,
+    /// Memoize candidate evaluations across iterations and phases
+    /// (see [`crate::cache::Evaluator`]). Disable only to measure the
+    /// uncached baseline; results are identical either way.
+    pub eval_cache: bool,
 }
 
 impl SearchConfig {
@@ -87,6 +101,8 @@ impl Default for SearchConfig {
             max_moves_per_iteration: 120,
             min_move_candidates: 8,
             staged_tabu: true,
+            threads: 0,
+            eval_cache: true,
         }
     }
 }
@@ -94,14 +110,34 @@ impl Default for SearchConfig {
 /// Counters reported by a finished search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Schedules evaluated (`ListScheduling` invocations).
+    /// Schedules actually computed (`ListScheduling` invocations —
+    /// cache hits are counted separately).
     pub evaluations: usize,
+    /// Candidate evaluations served from the memoization cache.
+    pub cache_hits: usize,
     /// Accepted greedy improvement steps.
     pub greedy_steps: usize,
     /// Tabu-search iterations performed.
     pub tabu_iterations: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Total candidate lookups: computed schedules plus cache hits.
+    #[must_use]
+    pub fn lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
+    }
+
+    /// Records one evaluator result.
+    pub(crate) fn record_eval(&mut self, cache_hit: bool) {
+        if cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.evaluations += 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,14 +6,17 @@
 //! the cost (a local optimum, which step 3's tabu search then tries
 //! to escape) or the goal is reached.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ftdes_model::design::Design;
 use ftdes_sched::Schedule;
 
+use crate::cache::Evaluator;
 use crate::config::{Goal, SearchConfig, SearchStats};
 use crate::error::OptError;
-use crate::moves::generate_moves;
+use crate::moves::{MoveRef, MoveTable};
+use crate::parallel::{effective_threads, try_par_map_init};
 use crate::problem::Problem;
 use crate::space::PolicySpace;
 
@@ -32,40 +35,88 @@ pub fn greedy_mpa(
     cutoff: Option<Instant>,
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
+    let evaluator = Evaluator::with_cache(problem, cfg.eval_cache);
+    greedy_mpa_with(&evaluator, space, start, cfg, cutoff, stats)
+}
+
+/// [`greedy_mpa`] sharing a caller-owned [`Evaluator`] with the other
+/// search phases.
+///
+/// Like the tabu search, the neighbourhood is evaluated in parallel
+/// and the winning move is selected by a total order on
+/// `(cost, move index)`, so results are thread-count independent.
+///
+/// # Errors
+///
+/// Same as [`greedy_mpa`].
+pub fn greedy_mpa_with(
+    evaluator: &Evaluator<'_>,
+    space: PolicySpace,
+    start: Design,
+    cfg: &SearchConfig,
+    cutoff: Option<Instant>,
+    stats: &mut SearchStats,
+) -> Result<(Design, Schedule), OptError> {
+    let problem = evaluator.problem();
+    let threads = effective_threads(cfg.threads);
+    let table = MoveTable::new(problem, space);
+    let mut window: Vec<MoveRef> = Vec::new();
     let mut design = start;
-    let mut schedule = problem.evaluate(&design)?;
+    // The start design's schedule is needed for its critical path:
+    // materialize directly (one full run, counted once).
     stats.evaluations += 1;
+    let mut schedule = evaluator.schedule(&design)?;
 
     loop {
         if cfg.goal == Goal::MeetDeadline && schedule.is_schedulable() {
-            return Ok((design, schedule));
+            break;
         }
         if cutoff.is_some_and(|c| Instant::now() >= c) {
-            return Ok((design, schedule));
+            break;
         }
         let cp = schedule.move_candidates(problem.graph(), cfg.min_move_candidates);
-        let moves = generate_moves(problem, space, &design, &cp);
-        let mut best: Option<(Design, Schedule)> = None;
-        for mv in moves {
-            let cand = mv.apply(&design);
-            let sched = problem.evaluate(&cand)?;
-            stats.evaluations += 1;
-            if best.as_ref().is_none_or(|(_, s)| sched.cost() < s.cost()) {
-                best = Some((cand, sched));
-            }
-            if cutoff.is_some_and(|c| Instant::now() >= c) {
-                break;
+        table.window(&design, &cp, &mut window);
+        let evaluated = try_par_map_init(
+            &window,
+            threads,
+            || design.clone(),
+            |cand, _, mv| {
+                if cutoff.is_some_and(|c| Instant::now() >= c) {
+                    return Ok(None);
+                }
+                Ok(Some(evaluator.evaluate_move(
+                    cand,
+                    mv.process,
+                    table.decision(*mv),
+                )?))
+            },
+        )
+        .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
+
+        let mut best: Option<(MoveRef, ftdes_sched::ScheduleCost)> = None;
+        for (mv, slot) in window.iter().zip(evaluated) {
+            let Some((cost, hit)) = slot else {
+                continue;
+            };
+            stats.record_eval(hit);
+            // Strict `<` keeps the earliest of equally-cheap moves —
+            // the same winner the sequential loop picked.
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((*mv, cost));
             }
         }
         match best {
-            Some((cand, sched)) if sched.cost() < schedule.cost() => {
-                design = cand;
-                schedule = sched;
+            Some((mv, cost)) if cost < schedule.cost() => {
+                design.set_decision(mv.process, table.decision(mv).clone());
+                stats.evaluations += 1;
+                schedule = evaluator.schedule(&design)?;
                 stats.greedy_steps += 1;
             }
-            _ => return Ok((design, schedule)), // local optimum
+            _ => break, // local optimum
         }
     }
+    let schedule = Arc::try_unwrap(schedule).unwrap_or_else(|shared| (*shared).clone());
+    Ok((design, schedule))
 }
 
 #[cfg(test)]

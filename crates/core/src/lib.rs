@@ -51,11 +51,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bus_opt;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod greedy;
 pub mod initial;
 pub mod moves;
+pub mod parallel;
 pub mod problem;
 pub mod space;
 pub mod strategy;
@@ -65,6 +67,7 @@ pub mod tabu;
 /// Convenience re-exports of the optimization entry points.
 pub mod prelude {
     pub use crate::bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
+    pub use crate::cache::Evaluator;
     pub use crate::config::{Goal, SearchConfig, SearchStats};
     pub use crate::error::OptError;
     pub use crate::problem::Problem;
@@ -74,6 +77,7 @@ pub mod prelude {
 }
 
 pub use bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
+pub use cache::Evaluator;
 pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
 pub use problem::Problem;

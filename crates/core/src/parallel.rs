@@ -1,0 +1,192 @@
+//! Deterministic parallel evaluation of candidate windows.
+//!
+//! The optimizer's hot path evaluates a bounded window of
+//! neighbourhood moves per iteration; each evaluation is an
+//! independent `ListScheduling` run, so the window parallelizes
+//! embarrassingly. Results are returned **indexed by input position**,
+//! which is what keeps the search deterministic: candidate selection
+//! downstream resolves ties by `(cost, move index)`, so the thread
+//! interleaving never influences which candidate wins and a parallel
+//! run is bit-identical to a single-threaded one.
+//!
+//! Worker threads are plain [`std::thread::scope`] threads pulling
+//! indices from an atomic counter (the container has no rayon
+//! available offline; the scoped work-stealing loop below is the same
+//! shape `par_iter` would compile to for this workload).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the worker count for a search.
+///
+/// Priority: an explicit non-zero `requested` (from
+/// `SearchConfig::threads`), then the `FTDES_NO_PARALLEL` kill switch,
+/// then the `FTDES_THREADS` / `RAYON_NUM_THREADS` environment knobs,
+/// then the machine's available parallelism.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let no_parallel = std::env::var("FTDES_NO_PARALLEL")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false);
+    if no_parallel {
+        return 1;
+    }
+    for knob in ["FTDES_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(knob).ok().and_then(|v| v.parse().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, preserving input
+/// order in the result.
+///
+/// `f` receives `(index, &item)` and may return `Ok(None)` to skip an
+/// item (the cutoff path). Results arrive as `Vec<Option<R>>` aligned
+/// with `items`. With `threads <= 1` the map runs inline on the
+/// calling thread in input order — the reference behaviour parallel
+/// runs must reproduce.
+///
+/// # Errors
+///
+/// If any invocation fails, the error of the **lowest input index**
+/// is returned — again independent of thread interleaving.
+pub fn try_par_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<Option<R>>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<Option<R>, E> + Sync,
+{
+    try_par_map_init(items, threads, || (), |(), i, item| f(i, item))
+}
+
+/// [`try_par_map`] with per-worker state: `init` runs once on each
+/// worker and the resulting state is threaded through its
+/// invocations of `f`.
+///
+/// This is what makes zero-clone candidate evaluation possible: each
+/// worker clones the iteration's base design once into its state,
+/// then applies and undoes one move per item instead of cloning the
+/// whole design per candidate.
+///
+/// # Errors
+///
+/// Same contract as [`try_par_map`].
+pub fn try_par_map_init<T, R, E, S, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<Option<R>>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<Option<R>, E> + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        let mut state = init();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            out.push(f(&mut state, i, item)?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    // Lowest errored index so far (usize::MAX = none): items above it
+    // are skipped — their results would be discarded anyway, and only
+    // lower-index errors can still claim precedence.
+    let error_floor = AtomicUsize::new(usize::MAX);
+    let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if i > error_floor.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    match f(&mut state, i, &items[i]) {
+                        Ok(Some(r)) => local.push((i, r)),
+                        Ok(None) => {}
+                        Err(e) => {
+                            error_floor.fetch_min(i, Ordering::Relaxed);
+                            let mut slot = first_error.lock().expect("error slot");
+                            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                *slot = Some((i, e));
+                            }
+                        }
+                    }
+                }
+                let mut out = results.lock().expect("result slots");
+                for (i, r) in local {
+                    out[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner().expect("error slot") {
+        return Err(e);
+    }
+    Ok(results.into_inner().expect("result slots"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let seq = try_par_map(&items, 1, |i, &v| Ok::<_, ()>(Some(i * 1000 + v))).unwrap();
+        let par = try_par_map(&items, 8, |i, &v| Ok::<_, ()>(Some(i * 1000 + v))).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq[42], Some(42 * 1000 + 42));
+    }
+
+    #[test]
+    fn skips_become_none() {
+        let items: Vec<usize> = (0..10).collect();
+        let out = try_par_map(&items, 4, |_, &v| {
+            Ok::<_, ()>(if v % 2 == 0 { Some(v) } else { None })
+        })
+        .unwrap();
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(*slot, if i % 2 == 0 { Some(i) } else { None });
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = try_par_map(&items, 8, |i, _| if i >= 10 { Err(i) } else { Ok(Some(i)) });
+        assert_eq!(result.unwrap_err(), 10);
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_request() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+}

@@ -11,7 +11,10 @@ use ftdes_model::fault::FaultModel;
 use ftdes_model::graph::ProcessGraph;
 use ftdes_model::time::Time;
 use ftdes_model::wcet::WcetTable;
-use ftdes_sched::{list_schedule, SchedError, Schedule};
+use ftdes_sched::{
+    list_schedule, list_schedule_scratch, schedule_cost, CostScratch, SchedError, SchedScratch,
+    Schedule, ScheduleCost, ScheduleOptions,
+};
 use ftdes_ttp::config::BusConfig;
 
 /// A complete problem instance.
@@ -164,6 +167,104 @@ impl Problem {
             &self.fault_model,
             &self.bus,
             design,
+        )
+    }
+
+    /// [`Problem::evaluate`] reusing caller-owned scheduling buffers —
+    /// the allocation-light entry point of the optimizer's hot path
+    /// (see [`crate::cache::Evaluator`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_scratch(
+        &self,
+        design: &Design,
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, SchedError> {
+        list_schedule_scratch(
+            &self.graph,
+            &self.arch,
+            &self.wcet,
+            &self.fault_model,
+            &self.bus,
+            design,
+            ScheduleOptions::default(),
+            scratch,
+        )
+    }
+
+    /// Evaluates `design` under an alternative bus configuration
+    /// without cloning the problem (the bus-access optimization probes
+    /// many configurations per design).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_with_bus_scratch(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, SchedError> {
+        list_schedule_scratch(
+            &self.graph,
+            &self.arch,
+            &self.wcet,
+            &self.fault_model,
+            bus,
+            design,
+            ScheduleOptions::default(),
+            scratch,
+        )
+    }
+
+    /// Computes only the [`ScheduleCost`] of `design` — the identical
+    /// placement as [`Problem::evaluate`] without materializing the
+    /// schedule; allocation-free in steady state. This is the
+    /// optimizer's window-evaluation fast path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_cost(
+        &self,
+        design: &Design,
+        scratch: &mut CostScratch,
+    ) -> Result<ScheduleCost, SchedError> {
+        schedule_cost(
+            &self.graph,
+            &self.arch,
+            &self.wcet,
+            &self.fault_model,
+            &self.bus,
+            design,
+            ScheduleOptions::default(),
+            scratch,
+        )
+    }
+
+    /// [`Problem::evaluate_cost`] under an alternative bus
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_cost_with_bus(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+        scratch: &mut CostScratch,
+    ) -> Result<ScheduleCost, SchedError> {
+        schedule_cost(
+            &self.graph,
+            &self.arch,
+            &self.wcet,
+            &self.fault_model,
+            bus,
+            design,
+            ScheduleOptions::default(),
+            scratch,
         )
     }
 

@@ -19,13 +19,14 @@ use ftdes_model::fault::FaultModel;
 use ftdes_model::policy::FtPolicy;
 use ftdes_sched::Schedule;
 
+use crate::cache::Evaluator;
 use crate::config::{SearchConfig, SearchStats};
 use crate::error::OptError;
-use crate::greedy::greedy_mpa;
+use crate::greedy::greedy_mpa_with;
 use crate::initial::initial_mpa;
 use crate::problem::Problem;
 use crate::space::PolicySpace;
-use crate::tabu::tabu_search_mpa;
+use crate::tabu::tabu_search_mpa_with;
 
 /// The optimization strategies evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -163,12 +164,16 @@ fn three_step(
     cutoff: Option<Instant>,
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
+    // One memoized evaluator spans every phase: designs revisited by
+    // the greedy pass, either tabu stage or the final refinement are
+    // served from cache instead of re-scheduled.
+    let evaluator = Evaluator::with_cache(problem, cfg.eval_cache);
     // Step 1: initial bus access (the caller fixed it in the problem)
     // and initial mapping / policy assignment.
     let initial = initial_mpa(problem, space)?;
     // Step 2: greedy improvement (returns immediately when step 1
     // already satisfies the goal).
-    let (design, schedule) = greedy_mpa(problem, space, initial, cfg, cutoff, stats)?;
+    let (design, schedule) = greedy_mpa_with(&evaluator, space, initial, cfg, cutoff, stats)?;
     if cfg.goal == crate::config::Goal::MeetDeadline && schedule.is_schedulable() {
         return Ok((design, schedule));
     }
@@ -192,8 +197,8 @@ fn three_step(
             max_tabu_iterations: stats.tabu_iterations + remaining / 2,
             ..cfg.clone()
         };
-        let staged = tabu_search_mpa(
-            problem,
+        let staged = tabu_search_mpa_with(
+            &evaluator,
             PolicySpace::ReexecutionOnly,
             (design, schedule),
             &stage1_cfg,
@@ -203,9 +208,9 @@ fn three_step(
         if cfg.goal == crate::config::Goal::MeetDeadline && staged.1.is_schedulable() {
             return Ok(staged);
         }
-        tabu_search_mpa(problem, space, staged, cfg, cutoff, stats)
+        tabu_search_mpa_with(&evaluator, space, staged, cfg, cutoff, stats)
     } else {
-        tabu_search_mpa(problem, space, (design, schedule), cfg, cutoff, stats)
+        tabu_search_mpa_with(&evaluator, space, (design, schedule), cfg, cutoff, stats)
     }
 }
 

@@ -15,26 +15,37 @@
 //! move even if it worsens the cost (that is what lets the search
 //! leave local optima).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ftdes_model::design::Design;
 use ftdes_sched::Schedule;
 
+use crate::cache::Evaluator;
 use crate::config::{Goal, SearchConfig, SearchStats};
 use crate::error::OptError;
-use crate::moves::{generate_moves, Move};
+use crate::moves::{MoveRef, MoveTable};
+use crate::parallel::{effective_threads, try_par_map_init};
 use crate::problem::Problem;
 use crate::space::PolicySpace;
 
 /// An evaluated neighbour.
 struct Candidate {
-    mv: Move,
-    design: Design,
-    schedule: Schedule,
+    /// Position of the move in this iteration's window — the
+    /// deterministic tiebreaker of candidate selection.
+    index: usize,
+    mv: MoveRef,
+    cost: ftdes_sched::ScheduleCost,
 }
 
 /// Runs the tabu search from `start` until the goal is reached or
 /// the limits are exhausted, returning the best design found.
+///
+/// Candidate evaluation is parallel (see [`SearchConfig::threads`])
+/// and memoized (see [`SearchConfig::eval_cache`]); both are pure
+/// throughput knobs — the search trajectory is bit-identical across
+/// thread counts because selection resolves ties by
+/// `(cost, move index)`.
 ///
 /// # Errors
 ///
@@ -48,14 +59,40 @@ pub fn tabu_search_mpa(
     cutoff: Option<Instant>,
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
+    let evaluator = Evaluator::with_cache(problem, cfg.eval_cache);
+    tabu_search_mpa_with(&evaluator, space, start, cfg, cutoff, stats)
+}
+
+/// [`tabu_search_mpa`] sharing a caller-owned [`Evaluator`], so the
+/// memoization cache spans the greedy phase, both staged tabu passes
+/// and any further evaluation the caller performs.
+///
+/// # Errors
+///
+/// Same as [`tabu_search_mpa`].
+pub fn tabu_search_mpa_with(
+    evaluator: &Evaluator<'_>,
+    space: PolicySpace,
+    start: (Design, Schedule),
+    cfg: &SearchConfig,
+    cutoff: Option<Instant>,
+    stats: &mut SearchStats,
+) -> Result<(Design, Schedule), OptError> {
+    let problem = evaluator.problem();
     let n = problem.process_count();
     let tenure = cfg.tenure_for(n);
+    let threads = effective_threads(cfg.threads);
+    let table = MoveTable::new(problem, space);
     let mut tabu = vec![0usize; n];
     let mut wait = vec![0usize; n];
+    let mut window: Vec<MoveRef> = Vec::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
 
-    let (mut best_design, mut best_schedule) = start;
-    let mut now_design = best_design.clone();
-    let mut now_schedule = best_schedule.clone();
+    let (start_design, start_schedule) = start;
+    let mut best_design = start_design.clone();
+    let mut best_schedule = Arc::new(start_schedule);
+    let mut now_design = start_design;
+    let mut now_schedule = Arc::clone(&best_schedule);
 
     while !(cfg.goal == Goal::MeetDeadline && best_schedule.is_schedulable())
         && stats.tabu_iterations < cfg.max_tabu_iterations
@@ -65,55 +102,74 @@ pub fn tabu_search_mpa(
 
         // Line 7: moves for the critical path of the current solution.
         let cp = now_schedule.move_candidates(problem.graph(), cfg.min_move_candidates);
-        let mut moves = generate_moves(problem, space, &now_design, &cp);
-        if moves.is_empty() {
+        table.window(&now_design, &cp, &mut window);
+        if window.is_empty() {
             break;
         }
         // Bound the neighbourhood: rotate a deterministic window over
         // the full move list so every move still gets its turn.
         let cap = cfg.max_moves_per_iteration.max(1);
-        if moves.len() > cap {
-            let offset = (stats.tabu_iterations.wrapping_sub(1) * cap) % moves.len();
-            moves.rotate_left(offset);
-            moves.truncate(cap);
+        if window.len() > cap {
+            let offset = (stats.tabu_iterations.wrapping_sub(1) * cap) % window.len();
+            window.rotate_left(offset);
+            window.truncate(cap);
         }
 
-        let mut candidates = Vec::with_capacity(moves.len());
-        for mv in moves {
-            let design = mv.apply(&now_design);
-            let schedule = problem.evaluate(&design)?;
-            stats.evaluations += 1;
-            candidates.push(Candidate {
-                mv,
-                design,
-                schedule,
-            });
-            if cutoff.is_some_and(|c| Instant::now() >= c) {
-                break;
+        // Evaluate the window in parallel (cost-only); results stay
+        // in move order. Each worker clones the base design once and
+        // applies/undoes one decision per candidate — no per-candidate
+        // design clone, no schedule materialization.
+        let evaluated = try_par_map_init(
+            &window,
+            threads,
+            || now_design.clone(),
+            |design, _, mv| {
+                if cutoff.is_some_and(|c| Instant::now() >= c) {
+                    return Ok(None);
+                }
+                Ok(Some(evaluator.evaluate_move(
+                    design,
+                    mv.process,
+                    table.decision(*mv),
+                )?))
+            },
+        )
+        .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
+        candidates.clear();
+        for (index, (mv, slot)) in window.iter().zip(evaluated).enumerate() {
+            if let Some((cost, hit)) = slot {
+                stats.record_eval(hit);
+                candidates.push(Candidate {
+                    index,
+                    mv: *mv,
+                    cost,
+                });
             }
         }
 
         let best_cost = best_schedule.cost();
         let is_tabu = |c: &Candidate| tabu[c.mv.process.index()] > 0;
-        let aspirates = |c: &Candidate| cfg.aspiration && c.schedule.cost() < best_cost;
+        let aspirates = |c: &Candidate| cfg.aspiration && c.cost < best_cost;
         let is_waiting = |c: &Candidate| cfg.diversification && wait[c.mv.process.index()] > n;
 
         // Lines 9–13: non-tabu moves, tabu moves that aspire, and
         // diversification moves.
         let admissible = |c: &Candidate| !is_tabu(c) || aspirates(c) || is_waiting(c);
+        // Total order on (cost, move index): deterministic regardless
+        // of evaluation interleaving.
         let best_of = |pred: &dyn Fn(&Candidate) -> bool| -> Option<usize> {
             candidates
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| pred(c))
-                .min_by_key(|(_, c)| c.schedule.cost())
+                .min_by_key(|(_, c)| (c.cost, c.index))
                 .map(|(i, _)| i)
         };
 
         // Lines 14–20: selection with aspiration / diversification.
         let x_now = best_of(&admissible);
         let selected = match x_now {
-            Some(i) if candidates[i].schedule.cost() < best_cost => Some(i),
+            Some(i) if candidates[i].cost < best_cost => Some(i),
             _ => best_of(&|c: &Candidate| is_waiting(c))
                 .or_else(|| best_of(&|c: &Candidate| !is_tabu(c)))
                 .or(x_now),
@@ -125,13 +181,17 @@ pub fn tabu_search_mpa(
         };
 
         let chosen = candidates.swap_remove(selected);
-        now_design = chosen.design;
-        now_schedule = chosen.schedule;
+        now_design.set_decision(chosen.mv.process, table.decision(chosen.mv).clone());
+        // Materialize the winner's schedule (the next iteration needs
+        // its critical path); one full run per iteration, counted.
+        stats.evaluations += 1;
+        now_schedule = evaluator.schedule(&now_design)?;
+        debug_assert_eq!(now_schedule.cost(), chosen.cost);
 
         // Lines 23–25: best-so-far and history updates.
         if now_schedule.cost() < best_cost {
             best_design = now_design.clone();
-            best_schedule = now_schedule.clone();
+            best_schedule = Arc::clone(&now_schedule);
         }
         for t in &mut tabu {
             *t = t.saturating_sub(1);
@@ -143,6 +203,7 @@ pub fn tabu_search_mpa(
         wait[chosen.mv.process.index()] = 0;
     }
 
+    let best_schedule = Arc::try_unwrap(best_schedule).unwrap_or_else(|shared| (*shared).clone());
     Ok((best_design, best_schedule))
 }
 
@@ -348,9 +409,10 @@ mod option_tests {
         let (b, sb) = run(&base);
         assert_eq!(a, b, "capped search is deterministic");
         assert_eq!(sa.evaluations, sb.evaluations);
-        // The cap truly bounds the work: at most cap evaluations per
-        // iteration (plus the initial one).
-        assert!(sa.evaluations <= 1 + 12 * 3);
+        // The cap truly bounds the work: at most cap cost evaluations
+        // plus one winner materialization per iteration (plus the
+        // initial evaluation).
+        assert!(sa.evaluations <= 1 + 12 * (3 + 1));
     }
 
     #[test]

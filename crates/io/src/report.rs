@@ -78,6 +78,8 @@ pub struct FrameReport {
 pub struct StatsReport {
     /// `ListScheduling` invocations.
     pub evaluations: usize,
+    /// Candidate evaluations served from the memoization cache.
+    pub cache_hits: usize,
     /// Tabu iterations.
     pub tabu_iterations: usize,
     /// Wall-clock milliseconds.
@@ -187,6 +189,7 @@ pub fn solution_report(
         medl,
         stats: StatsReport {
             evaluations: outcome.stats.evaluations,
+            cache_hits: outcome.stats.cache_hits,
             tabu_iterations: outcome.stats.tabu_iterations,
             elapsed_ms: outcome.stats.elapsed.as_millis(),
         },

@@ -180,6 +180,17 @@ impl Design {
         self.decisions[p.index()] = d;
     }
 
+    /// Replaces the decision for process `p`, returning the previous
+    /// one — the apply/undo primitive of in-place neighbourhood
+    /// evaluation (no full-design clone per candidate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn replace_decision(&mut self, p: ProcessId, d: ProcessDesign) -> ProcessDesign {
+        std::mem::replace(&mut self.decisions[p.index()], d)
+    }
+
     /// Iterates over `(process, decision)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &ProcessDesign)> {
         self.decisions

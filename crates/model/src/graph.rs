@@ -337,27 +337,49 @@ impl ProcessGraph {
     /// Returns [`ModelError::CyclicGraph`] if the graph contains a
     /// cycle.
     pub fn topological_order(&self) -> Result<Vec<ProcessId>, ModelError> {
+        let mut order = Vec::new();
+        let mut in_deg = Vec::new();
+        self.topological_order_into(&mut order, &mut in_deg)?;
+        Ok(order)
+    }
+
+    /// [`ProcessGraph::topological_order`] writing into caller-owned
+    /// buffers (`order` receives the result, `in_deg` is working
+    /// memory) — schedulers on hot paths reuse them across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CyclicGraph`] if the graph contains a
+    /// cycle.
+    pub fn topological_order_into(
+        &self,
+        order: &mut Vec<ProcessId>,
+        in_deg: &mut Vec<usize>,
+    ) -> Result<(), ModelError> {
         let n = self.processes.len();
-        let mut in_deg: Vec<usize> = (0..n).map(|i| self.predecessors[i].len()).collect();
-        let mut queue: Vec<ProcessId> = (0..n)
-            .filter(|&i| in_deg[i] == 0)
-            .map(|i| ProcessId::new(i as u32))
-            .collect();
-        let mut order = Vec::with_capacity(n);
+        in_deg.clear();
+        in_deg.extend((0..n).map(|i| self.predecessors[i].len()));
+        // `order` doubles as the BFS queue: processed entries stay.
+        order.clear();
+        order.extend(
+            (0..n)
+                .filter(|&i| in_deg[i] == 0)
+                .map(|i| ProcessId::new(i as u32)),
+        );
         let mut head = 0;
-        while head < queue.len() {
-            let p = queue[head];
+        while head < order.len() {
+            let p = order[head];
             head += 1;
-            order.push(p);
-            for s in self.successors_of(p).collect::<Vec<_>>() {
+            for e in &self.successors[p.index()] {
+                let s = self.edges[e.index()].to;
                 in_deg[s.index()] -= 1;
                 if in_deg[s.index()] == 0 {
-                    queue.push(s);
+                    order.push(s);
                 }
             }
         }
         if order.len() == n {
-            Ok(order)
+            Ok(())
         } else {
             Err(ModelError::CyclicGraph { graph: self.id })
         }

@@ -69,11 +69,20 @@ impl Instance {
 }
 
 /// The instances produced by a design, with per-process lookup.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Stored in CSR (compressed sparse row) form: instances of one
+/// process are contiguous (the expansion visits processes in id
+/// order), so the per-process lookup is two dense arrays instead of
+/// one heap-allocated `Vec` per process — the expansion happens once
+/// per candidate evaluation on the optimizer's hot path.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExpandedDesign {
     instances: Vec<Instance>,
-    /// Instance ids per process, ordered by replica number.
-    per_process: Vec<Vec<InstanceId>>,
+    /// All instance ids, grouped by process in replica order.
+    ids: Vec<InstanceId>,
+    /// `ids[offsets[p] .. offsets[p + 1]]` are the instances of
+    /// process `p`.
+    offsets: Vec<u32>,
 }
 
 impl ExpandedDesign {
@@ -91,14 +100,35 @@ impl ExpandedDesign {
         wcet: &WcetTable,
         fm: &FaultModel,
     ) -> Result<Self, SchedError> {
+        let mut out = ExpandedDesign::default();
+        out.expand_into(graph, design, wcet, fm)?;
+        Ok(out)
+    }
+
+    /// [`ExpandedDesign::expand`] rebuilding `self` in place — the
+    /// cost-evaluation path reuses one expansion's buffers across
+    /// thousands of candidates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExpandedDesign::expand`].
+    pub fn expand_into(
+        &mut self,
+        graph: &ProcessGraph,
+        design: &Design,
+        wcet: &WcetTable,
+        fm: &FaultModel,
+    ) -> Result<(), SchedError> {
         if design.process_count() != graph.process_count() {
             return Err(SchedError::DesignMismatch {
                 expected: graph.process_count(),
                 got: design.process_count(),
             });
         }
-        let mut instances = Vec::new();
-        let mut per_process = vec![Vec::new(); graph.process_count()];
+        self.instances.clear();
+        self.ids.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
         for (process, decision) in design.iter() {
             debug_assert!(
                 decision.policy.replicas() <= fm.max_replicas(),
@@ -108,8 +138,8 @@ impl ExpandedDesign {
                 let Some(c) = wcet.get(process, node) else {
                     return Err(SchedError::IneligibleMapping { process, node });
                 };
-                let id = InstanceId::new(instances.len() as u32);
-                instances.push(Instance {
+                let id = InstanceId::new(self.instances.len() as u32);
+                self.instances.push(Instance {
                     id,
                     process,
                     replica: replica as u32,
@@ -117,13 +147,11 @@ impl ExpandedDesign {
                     wcet: c,
                     budget: decision.policy.budget_of_instance(replica as u32),
                 });
-                per_process[process.index()].push(id);
+                self.ids.push(id);
             }
+            self.offsets.push(self.instances.len() as u32);
         }
-        Ok(ExpandedDesign {
-            instances,
-            per_process,
-        })
+        Ok(())
     }
 
     /// All instances, dense by id.
@@ -149,7 +177,9 @@ impl ExpandedDesign {
     /// Panics if `process` is out of range.
     #[must_use]
     pub fn of_process(&self, process: ProcessId) -> &[InstanceId] {
-        &self.per_process[process.index()]
+        let start = self.offsets[process.index()] as usize;
+        let end = self.offsets[process.index() + 1] as usize;
+        &self.ids[start..end]
     }
 
     /// Total number of instances.

@@ -60,6 +60,9 @@ pub mod validate;
 
 pub use error::SchedError;
 pub use instance::{ExpandedDesign, Instance, InstanceId};
-pub use list::{list_schedule, list_schedule_with, ScheduleOptions};
-pub use schedule::{Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding};
+pub use list::{
+    list_schedule, list_schedule_scratch, list_schedule_with, schedule_cost, CostScratch,
+    SchedScratch, ScheduleOptions,
+};
+pub use schedule::{Bookings, Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding};
 pub use stats::{NodeLoad, ScheduleStats};

@@ -20,14 +20,24 @@
 //!    budget applied locally — paper Fig. 7's slack-free contingency),
 //!    and contingencies propagated along the node (an input-delayed
 //!    instance delays its local successors).
-
-use std::collections::BTreeMap;
+//!
+//! # Two front-ends, one placement core
+//!
+//! The optimizer calls the cost function thousands of times per
+//! second, but only ever *keeps* the schedule of the winning
+//! candidate. The placement algorithm therefore runs behind a
+//! [`PlacementSink`]: [`list_schedule`] materializes the full
+//! [`Schedule`] (tables, bookings, MEDL), while [`schedule_cost`]
+//! runs the identical placement with a no-op sink and allocation-free
+//! scratch buffers, returning just the [`ScheduleCost`]. Both paths
+//! share every line of placement logic, so their costs cannot
+//! diverge.
 
 use ftdes_model::architecture::Architecture;
 use ftdes_model::design::Design;
 use ftdes_model::fault::FaultModel;
 use ftdes_model::graph::ProcessGraph;
-use ftdes_model::ids::{EdgeId, ProcessId};
+use ftdes_model::ids::{EdgeId, NodeId, ProcessId};
 use ftdes_model::time::Time;
 use ftdes_model::wcet::WcetTable;
 use ftdes_ttp::config::BusConfig;
@@ -36,7 +46,9 @@ use ftdes_ttp::medl::{BookedMessage, BusSchedule, MessageTag};
 use crate::error::SchedError;
 use crate::instance::{ExpandedDesign, InstanceId};
 use crate::priority::Priorities;
-use crate::schedule::{Schedule, ScheduledInstance, StartBinding, WcBinding};
+use crate::schedule::{
+    Bookings, Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding,
+};
 use crate::slack::SlackAccount;
 
 /// A raw contingency finish propagated along a node: `finish`
@@ -49,25 +61,21 @@ struct FrontierEntry {
     spent: u32,
 }
 
-/// Everything the scheduler tracks per node.
-#[derive(Debug)]
-struct NodeState {
+/// Reusable per-node placement state.
+#[derive(Debug, Default)]
+struct NodeScratch {
     avail: Time,
     last: Option<InstanceId>,
-    order: Vec<InstanceId>,
     slack: SlackAccount,
     frontier: Vec<FrontierEntry>,
 }
 
-impl NodeState {
-    fn new() -> Self {
-        NodeState {
-            avail: Time::ZERO,
-            last: None,
-            order: Vec::new(),
-            slack: SlackAccount::new(),
-            frontier: Vec::new(),
-        }
+impl NodeScratch {
+    fn reset(&mut self) {
+        self.avail = Time::ZERO;
+        self.last = None;
+        self.slack.clear();
+        self.frontier.clear();
     }
 }
 
@@ -90,12 +98,96 @@ impl Default for ScheduleOptions {
     }
 }
 
+/// Reusable working memory of the list scheduler.
+///
+/// The optimizer evaluates thousands of candidate designs per second;
+/// each evaluation used to allocate fresh ready lists, delivery
+/// buffers, per-node state and booking tables. A `SchedScratch` owned
+/// by the caller (one per worker thread) lets consecutive evaluations
+/// reuse all of those allocations — the cost-only path reaches zero
+/// steady-state allocations. A default-constructed scratch is always
+/// valid; buffers are cleared before use.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    /// Unscheduled predecessor count per process.
+    remaining_preds: Vec<usize>,
+    /// Processes whose predecessors are all scheduled.
+    ready: Vec<ProcessId>,
+    /// Delivery options of the input edge under consideration.
+    deliveries: Vec<Delivery>,
+    /// Input contingency scenarios of the instance being placed.
+    scenarios: Vec<Scenario>,
+    /// Contingency frontier being assembled for the current node.
+    frontier: Vec<FrontierEntry>,
+    /// Fault-free finish per placed instance (predecessor lookups).
+    times: Vec<Time>,
+    /// Worst-case completion per process (cost accumulation).
+    completion: Vec<Time>,
+    /// Per-node placement state.
+    nodes: Vec<NodeScratch>,
+    /// Message arrival times per sender instance (delivery lookups).
+    arrivals: Vec<Vec<(EdgeId, Time)>>,
+    /// Used bytes per occupied slot occurrence `(round, slot, used)`.
+    occupancy: Vec<(u64, usize, u32)>,
+}
+
+/// Working memory of the cost-only evaluation path: the design
+/// expansion and priorities are rebuilt in place per candidate.
+#[derive(Debug, Default)]
+pub struct CostScratch {
+    expanded: ExpandedDesign,
+    priorities: Priorities,
+    core: SchedScratch,
+}
+
+impl CostScratch {
+    /// The inner scheduling scratch, for interleaving full
+    /// materializations with cost-only queries on the same thread.
+    pub fn core_mut(&mut self) -> &mut SchedScratch {
+        &mut self.core
+    }
+}
+
+/// Receives placement results; what distinguishes a full
+/// materialization from a cost-only evaluation.
+trait PlacementSink {
+    fn instance_placed(&mut self, rec: ScheduledInstance);
+    fn message_booked(&mut self, edge: EdgeId, sender: InstanceId, booked: BookedMessage);
+}
+
+/// Cost-only evaluation: the core's completion accounting is the
+/// entire result.
+struct CostOnly;
+
+impl PlacementSink for CostOnly {
+    fn instance_placed(&mut self, _rec: ScheduledInstance) {}
+    fn message_booked(&mut self, _edge: EdgeId, _sender: InstanceId, _booked: BookedMessage) {}
+}
+
+/// Full materialization: schedule tables, booking table and MEDL.
+struct Materialize {
+    slots: Vec<Option<ScheduledInstance>>,
+    node_order: Vec<Vec<InstanceId>>,
+    bookings: Bookings,
+    bus_bookings: Vec<BookedMessage>,
+}
+
+impl PlacementSink for Materialize {
+    fn instance_placed(&mut self, rec: ScheduledInstance) {
+        self.node_order[rec.instance.node.index()].push(rec.instance.id);
+        self.slots[rec.instance.id.index()] = Some(rec);
+    }
+
+    fn message_booked(&mut self, edge: EdgeId, sender: InstanceId, booked: BookedMessage) {
+        self.bookings.insert(edge, sender, booked);
+        self.bus_bookings.push(booked);
+    }
+}
+
 /// Builds the static fault-tolerant schedule for `design` with the
 /// default options (slack sharing on — the paper's scheduler).
 ///
-/// This is the `ListScheduling` of the paper's Fig. 6/9: it is called
-/// once per candidate design by the greedy and tabu searches, so it
-/// is deterministic and allocation-light.
+/// This is the `ListScheduling` of the paper's Fig. 6/9.
 ///
 /// # Errors
 ///
@@ -136,47 +228,158 @@ pub fn list_schedule_with(
     design: &Design,
     options: ScheduleOptions,
 ) -> Result<Schedule, SchedError> {
+    let mut scratch = SchedScratch::default();
+    list_schedule_scratch(graph, arch, wcet, fm, bus, design, options, &mut scratch)
+}
+
+/// [`list_schedule_with`] reusing caller-owned working memory.
+///
+/// # Errors
+///
+/// Same as [`list_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn list_schedule_scratch(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &WcetTable,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    options: ScheduleOptions,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, SchedError> {
     let expanded = ExpandedDesign::expand(graph, design, wcet, fm)?;
     let priorities = Priorities::compute(graph, &expanded, bus)?;
+    let mut sink = Materialize {
+        slots: vec![None; expanded.len()],
+        node_order: vec![Vec::new(); arch.node_count()],
+        bookings: Bookings::for_instances(expanded.len()),
+        bus_bookings: Vec::new(),
+    };
+    place_all(
+        graph,
+        arch,
+        &expanded,
+        &priorities,
+        bus,
+        fm,
+        options,
+        scratch,
+        &mut sink,
+    )?;
+    let slots: Vec<ScheduledInstance> = sink
+        .slots
+        .into_iter()
+        .map(|s| s.expect("all instances placed"))
+        .collect();
+    let bus_schedule = BusSchedule::from_bookings(bus.clone(), sink.bus_bookings);
+    Ok(Schedule::new(
+        expanded,
+        slots,
+        sink.node_order,
+        sink.bookings,
+        bus_schedule,
+        graph,
+    ))
+}
+
+/// Computes only the [`ScheduleCost`] of `design` — the optimizer's
+/// window-evaluation fast path. Runs the identical placement as
+/// [`list_schedule`] (one shared core), but materializes nothing and
+/// allocates nothing in steady state.
+///
+/// # Errors
+///
+/// Same as [`list_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_cost(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &WcetTable,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    options: ScheduleOptions,
+    scratch: &mut CostScratch,
+) -> Result<ScheduleCost, SchedError> {
+    scratch.expanded.expand_into(graph, design, wcet, fm)?;
+    scratch
+        .priorities
+        .compute_into(graph, &scratch.expanded, bus)?;
+    place_all(
+        graph,
+        arch,
+        &scratch.expanded,
+        &scratch.priorities,
+        bus,
+        fm,
+        options,
+        &mut scratch.core,
+        &mut CostOnly,
+    )
+}
+
+/// The shared placement core: places every instance, feeds the sink,
+/// and returns the schedule cost accumulated from worst-case
+/// completions.
+#[allow(clippy::too_many_arguments)]
+fn place_all<S: PlacementSink>(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    expanded: &ExpandedDesign,
+    priorities: &Priorities,
+    bus: &BusConfig,
+    fm: &FaultModel,
+    options: ScheduleOptions,
+    scratch: &mut SchedScratch,
+    sink: &mut S,
+) -> Result<ScheduleCost, SchedError> {
     let k = fm.k();
     let mu = fm.mu();
+    let n = graph.process_count();
 
-    let mut nodes: Vec<NodeState> = (0..arch.node_count()).map(|_| NodeState::new()).collect();
-    let mut bus_schedule = BusSchedule::new(bus.clone());
-    let mut bookings = BTreeMap::new();
-    let mut slots: Vec<Option<ScheduledInstance>> = vec![None; expanded.len()];
+    scratch.times.clear();
+    scratch.times.resize(expanded.len(), Time::ZERO);
+    scratch.completion.clear();
+    scratch.completion.resize(n, Time::ZERO);
+    if scratch.nodes.len() < arch.node_count() {
+        scratch
+            .nodes
+            .resize_with(arch.node_count(), NodeScratch::default);
+    }
+    for node in &mut scratch.nodes[..arch.node_count()] {
+        node.reset();
+    }
+    if scratch.arrivals.len() < expanded.len() {
+        scratch.arrivals.resize(expanded.len(), Vec::new());
+    }
+    for entry in &mut scratch.arrivals[..expanded.len()] {
+        entry.clear();
+    }
+    scratch.occupancy.clear();
 
     // Ready-list management at process granularity: a process is
     // ready once every predecessor process is fully scheduled.
-    let n = graph.process_count();
-    let mut remaining_preds: Vec<usize> = (0..n)
-        .map(|i| graph.incoming(ProcessId::new(i as u32)).len())
-        .collect();
-    let mut ready: Vec<ProcessId> = (0..n)
-        .filter(|&i| remaining_preds[i] == 0)
-        .map(|i| ProcessId::new(i as u32))
-        .collect();
+    scratch.remaining_preds.clear();
+    scratch
+        .remaining_preds
+        .extend((0..n).map(|i| graph.incoming(ProcessId::new(i as u32)).len()));
+    scratch.ready.clear();
+    scratch.ready.extend(
+        (0..n)
+            .filter(|&i| scratch.remaining_preds[i] == 0)
+            .map(|i| ProcessId::new(i as u32)),
+    );
     let mut scheduled = 0usize;
 
-    while let Some(pos) = select_best(&ready, &priorities) {
-        let p = ready.swap_remove(pos);
-        place_process(
-            p,
-            graph,
-            &expanded,
-            &mut nodes,
-            &mut bus_schedule,
-            &mut bookings,
-            &mut slots,
-            k,
-            mu,
-            options,
-        )?;
+    while let Some(pos) = select_best(&scratch.ready, priorities) {
+        let p = scratch.ready.swap_remove(pos);
+        place_process(p, graph, expanded, bus, k, mu, options, scratch, sink)?;
         scheduled += 1;
-        for s in graph.successors_of(p).collect::<Vec<_>>() {
-            remaining_preds[s.index()] -= 1;
-            if remaining_preds[s.index()] == 0 {
-                ready.push(s);
+        for s in graph.successors_of(p) {
+            scratch.remaining_preds[s.index()] -= 1;
+            if scratch.remaining_preds[s.index()] == 0 {
+                scratch.ready.push(s);
             }
         }
     }
@@ -188,19 +391,16 @@ pub fn list_schedule_with(
         ));
     }
 
-    let slots: Vec<ScheduledInstance> = slots
-        .into_iter()
-        .map(|s| s.expect("all instances placed"))
-        .collect();
-    let node_order: Vec<Vec<InstanceId>> = nodes.into_iter().map(|ns| ns.order).collect();
-    Ok(Schedule::new(
-        expanded,
-        slots,
-        node_order,
-        bookings,
-        bus_schedule,
-        graph,
-    ))
+    let mut violation = Time::ZERO;
+    let mut length = Time::ZERO;
+    for p in graph.processes() {
+        let completion = scratch.completion[p.id.index()];
+        length = length.max(completion);
+        if let Some(d) = p.deadline {
+            violation = violation.max(completion.saturating_sub(d));
+        }
+    }
+    Ok(ScheduleCost { violation, length })
 }
 
 /// Index of the highest-priority ready process.
@@ -230,18 +430,86 @@ struct Delivery {
     kill_delay: Time,
 }
 
+/// One input contingency: the adversary spends `spent` faults so the
+/// instance waits for `sender`'s delivery at `time`; killed local
+/// replicas additionally occupy the node for `local_kill_delay`.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    edge: EdgeId,
+    sender: InstanceId,
+    time: Time,
+    spent: u32,
+    local_kill_delay: Time,
+}
+
+/// Books `size` bytes from `sender` into the earliest slot occurrence
+/// with spare capacity at/after `earliest` — the `ScheduleMessage`
+/// primitive, against the reusable scratch occupancy table.
+///
+/// Both placement front-ends (full and cost-only) book through this
+/// one function, so the two paths cannot diverge from each other.
+/// Semantics mirror `ftdes_ttp::medl::BusSchedule::book` (capacity
+/// check, earliest feasible occurrence, overflow to the next round);
+/// the `book_scratch_matches_bus_schedule_book` test guards that
+/// mirror. Bookings append in roughly increasing time order, so the
+/// lookup scans from the tail where the slot being filled almost
+/// always sits.
+fn book_scratch(
+    bus: &BusConfig,
+    occupancy: &mut Vec<(u64, usize, u32)>,
+    sender: NodeId,
+    earliest: Time,
+    size: u32,
+    tag: MessageTag,
+) -> Result<BookedMessage, SchedError> {
+    if size > bus.slot_bytes() {
+        return Err(SchedError::Ttp(
+            ftdes_ttp::error::TtpError::MessageExceedsSlot {
+                size,
+                capacity: bus.slot_bytes(),
+            },
+        ));
+    }
+    let (mut round, slot) = bus.next_slot_at(sender, earliest);
+    loop {
+        match occupancy
+            .iter_mut()
+            .rev()
+            .find(|&&mut (r, s, _)| r == round && s == slot)
+        {
+            Some(&mut (_, _, ref mut used)) if *used + size <= bus.slot_bytes() => {
+                *used += size;
+                break;
+            }
+            Some(_) => round += 1,
+            None => {
+                occupancy.push((round, slot, size));
+                break;
+            }
+        }
+    }
+    Ok(BookedMessage {
+        tag,
+        size,
+        sender,
+        round,
+        slot,
+        start: bus.slot_start(round, slot),
+        arrival: bus.slot_end(round, slot),
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
-fn place_process(
+fn place_process<S: PlacementSink>(
     p: ProcessId,
     graph: &ProcessGraph,
     expanded: &ExpandedDesign,
-    nodes: &mut [NodeState],
-    bus_schedule: &mut BusSchedule,
-    bookings: &mut BTreeMap<(EdgeId, InstanceId), BookedMessage>,
-    slots: &mut [Option<ScheduledInstance>],
+    bus: &BusConfig,
     k: u32,
     mu: Time,
     options: ScheduleOptions,
+    scratch: &mut SchedScratch,
+    sink: &mut S,
 ) -> Result<(), SchedError> {
     let delay = |slack: &SlackAccount, budget: u32| {
         if options.slack_sharing {
@@ -255,48 +523,45 @@ fn place_process(
         let inst = *expanded.instance(sid);
         let node = inst.node;
 
-        // --- Fault-free start and input contingency scenarios. ---
+        // --- Fault-free start and input contingency scenarios
+        //     (1 <= spent <= k). ---
         let mut s_ff = release;
         let mut start_binding = StartBinding::Release;
-        // (edge, sender, delivery, spent, local kill delay) with
-        // 1 <= spent <= k.
-        let mut scenarios: Vec<(EdgeId, InstanceId, Time, u32, Time)> = Vec::new();
+        scratch.scenarios.clear();
 
         for &eid in graph.incoming(p) {
             let edge = graph.edge(eid);
-            let mut deliveries: Vec<Delivery> = expanded
-                .of_process(edge.from)
-                .iter()
-                .map(|&q| {
-                    let qi = expanded.instance(q);
-                    let local = qi.node == node;
-                    let time = if local {
-                        slots[q.index()].expect("predecessor placed").finish
-                    } else {
-                        bookings
-                            .get(&(eid, q))
-                            .expect("remote sender was booked at placement")
-                            .arrival
-                    };
-                    // Killing a local sender burns node time: all its
-                    // re-runs plus the final recovery overhead.
-                    let kill_delay = if local {
-                        (qi.wcet + mu) * u64::from(qi.budget) + mu
-                    } else {
-                        Time::ZERO
-                    };
-                    Delivery {
-                        sender: q,
-                        time,
-                        kill_cost: qi.budget + 1,
-                        kill_delay,
-                    }
-                })
-                .collect();
-            deliveries.sort_by_key(|d| (d.time, d.sender));
+            scratch.deliveries.clear();
+            for &q in expanded.of_process(edge.from) {
+                let qi = expanded.instance(q);
+                let local = qi.node == node;
+                let time = if local {
+                    scratch.times[q.index()]
+                } else {
+                    scratch.arrivals[q.index()]
+                        .iter()
+                        .find(|(e, _)| *e == eid)
+                        .expect("remote sender was booked at placement")
+                        .1
+                };
+                // Killing a local sender burns node time: all its
+                // re-runs plus the final recovery overhead.
+                let kill_delay = if local {
+                    (qi.wcet + mu) * u64::from(qi.budget) + mu
+                } else {
+                    Time::ZERO
+                };
+                scratch.deliveries.push(Delivery {
+                    sender: q,
+                    time,
+                    kill_cost: qi.budget + 1,
+                    kill_delay,
+                });
+            }
+            scratch.deliveries.sort_by_key(|d| (d.time, d.sender));
 
             // First valid message: the earliest delivery drives S_ff.
-            let first = deliveries[0];
+            let first = scratch.deliveries[0];
             if first.time > s_ff {
                 s_ff = first.time;
                 start_binding = StartBinding::Input {
@@ -308,17 +573,23 @@ fn place_process(
             // killed local replicas also delay this node.
             let mut spent = 0u32;
             let mut local_kill_delay = Time::ZERO;
-            for w in deliveries.windows(2) {
+            for w in scratch.deliveries.windows(2) {
                 spent = spent.saturating_add(w[0].kill_cost);
                 local_kill_delay += w[0].kill_delay;
                 if spent > k {
                     break;
                 }
-                scenarios.push((eid, w[1].sender, w[1].time, spent, local_kill_delay));
+                scratch.scenarios.push(Scenario {
+                    edge: eid,
+                    sender: w[1].sender,
+                    time: w[1].time,
+                    spent,
+                    local_kill_delay,
+                });
             }
         }
 
-        let ns = &mut nodes[node.index()];
+        let ns = &mut scratch.nodes[node.index()];
         if ns.avail > s_ff {
             s_ff = ns.avail;
             start_binding = match ns.last {
@@ -332,17 +603,23 @@ fn place_process(
         ns.slack.register(sid, inst.wcet, inst.budget);
         let mut f_wc = f_ff + delay(&ns.slack, k);
         let mut wc_binding = WcBinding::Local;
-        let mut new_frontier: Vec<FrontierEntry> = Vec::new();
+        scratch.frontier.clear();
 
-        for &(eid, sender, time, spent, local_kill_delay) in &scenarios {
-            let raw = time.max(s_ff + local_kill_delay) + inst.wcet;
-            let value = raw + delay(&ns.slack, k - spent);
+        for sc in &scratch.scenarios {
+            let raw = sc.time.max(s_ff + sc.local_kill_delay) + inst.wcet;
+            let value = raw + delay(&ns.slack, k - sc.spent);
             if value > f_wc {
                 f_wc = value;
-                wc_binding = WcBinding::Scenario { edge: eid, sender };
+                wc_binding = WcBinding::Scenario {
+                    edge: sc.edge,
+                    sender: sc.sender,
+                };
             }
             if raw > f_ff {
-                new_frontier.push(FrontierEntry { finish: raw, spent });
+                scratch.frontier.push(FrontierEntry {
+                    finish: raw,
+                    spent: sc.spent,
+                });
             }
         }
         for entry in &ns.frontier {
@@ -353,25 +630,27 @@ fn place_process(
                 wc_binding = WcBinding::Chained;
             }
             if raw > f_ff {
-                new_frontier.push(FrontierEntry {
+                scratch.frontier.push(FrontierEntry {
                     finish: raw,
                     spent: entry.spent,
                 });
             }
         }
-        ns.frontier = prune_frontier(new_frontier);
+        prune_frontier(&mut scratch.frontier, &mut ns.frontier);
         ns.avail = f_ff;
         ns.last = Some(sid);
-        ns.order.push(sid);
 
-        slots[sid.index()] = Some(ScheduledInstance {
+        scratch.times[sid.index()] = f_ff;
+        let completion = &mut scratch.completion[p.index()];
+        *completion = (*completion).max(f_wc);
+        sink.instance_placed(ScheduledInstance {
             instance: inst,
             start: s_ff,
             finish: f_ff,
             worst_finish: f_wc,
             start_binding,
             wc_binding,
-            delay_peak: ns.slack.peak(),
+            delay_peak: scratch.nodes[node.index()].slack.peak(),
         });
 
         // --- Book outgoing messages (transparent timing). ---
@@ -382,13 +661,16 @@ fn place_process(
                 .iter()
                 .any(|&t| expanded.instance(t).node != node);
             if needs_bus {
-                let booked = bus_schedule.book(
+                let booked = book_scratch(
+                    bus,
+                    &mut scratch.occupancy,
                     node,
                     f_wc,
                     edge.message.size,
                     MessageTag::new(eid, inst.replica),
                 )?;
-                bookings.insert((eid, sid), booked);
+                scratch.arrivals[sid.index()].push((eid, booked.arrival));
+                sink.message_booked(eid, sid, booked);
             }
         }
     }
@@ -397,19 +679,19 @@ fn place_process(
 
 /// Keeps the Pareto frontier: for every spent level only the latest
 /// finish, and drops entries dominated by a cheaper-or-equal one.
-fn prune_frontier(mut entries: Vec<FrontierEntry>) -> Vec<FrontierEntry> {
+/// Reads candidates from `entries` (left sorted) and writes the
+/// surviving frontier into `out`.
+fn prune_frontier(entries: &mut [FrontierEntry], out: &mut Vec<FrontierEntry>) {
     entries.sort_by_key(|e| (e.spent, std::cmp::Reverse(e.finish)));
-    let mut out: Vec<FrontierEntry> = Vec::new();
-    for e in entries {
+    out.clear();
+    for &e in entries.iter() {
         match out.last() {
             Some(last) if last.spent == e.spent => {} // later finish already kept
             Some(last) if last.finish >= e.finish => {} // dominated by cheaper entry
             _ => out.push(e),
         }
     }
-    out
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,5 +978,44 @@ mod tests {
         let sched = list_schedule(&g, &arch, &wcet, &fm, &bus(2), &design).unwrap();
         let cp = sched.critical_path(&g);
         assert_eq!(cp, vec![a, b]);
+    }
+
+    /// The scratch-table booking primitive must mirror
+    /// [`BusSchedule::book`] exactly — the scheduler books through
+    /// the former, the `ftdes-ttp` API exposes the latter.
+    #[test]
+    fn book_scratch_matches_bus_schedule_book() {
+        let arch = Architecture::with_node_count(3);
+        let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+        let mut reference = BusSchedule::new(bus.clone());
+        let mut occupancy: Vec<(u64, usize, u32)> = Vec::new();
+        // A congested mix: repeated senders, shared frames, forced
+        // overflow to later rounds, out-of-order request times.
+        let requests: [(u32, u64, u32); 12] = [
+            (0, 0, 2),
+            (0, 0, 2),
+            (0, 0, 1),
+            (1, 5, 4),
+            (1, 5, 4),
+            (2, 100, 3),
+            (2, 0, 2),
+            (0, 40, 4),
+            (1, 40, 1),
+            (1, 41, 4),
+            (2, 15, 1),
+            (0, 3, 4),
+        ];
+        for (i, &(node, earliest_ms, size)) in requests.iter().enumerate() {
+            let node = NodeId::new(node);
+            let earliest = Time::from_ms(earliest_ms);
+            let tag = MessageTag::new(EdgeId::new(i as u32), 0);
+            let ours = book_scratch(&bus, &mut occupancy, node, earliest, size, tag).unwrap();
+            let theirs = reference.book(node, earliest, size, tag).unwrap();
+            assert_eq!(ours, theirs, "request {i} diverged");
+        }
+        // Oversized messages fail identically.
+        let tag = MessageTag::new(EdgeId::new(99), 0);
+        assert!(book_scratch(&bus, &mut occupancy, NodeId::new(0), Time::ZERO, 5, tag).is_err());
+        assert!(reference.book(NodeId::new(0), Time::ZERO, 5, tag).is_err());
     }
 }

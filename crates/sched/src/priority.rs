@@ -28,10 +28,14 @@ use crate::instance::ExpandedDesign;
 ///   benchmarking workloads.
 /// * **rank** — the partial-critical-path length to a sink (longer
 ///   remaining work first), as the tiebreaker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Priorities {
     rank: Vec<Time>,
     laxity: Vec<Time>,
+    /// Reusable working memory of [`Priorities::compute_into`].
+    topo: Vec<ProcessId>,
+    in_deg: Vec<usize>,
+    effective_deadline: Vec<Time>,
 }
 
 impl Priorities {
@@ -51,39 +55,60 @@ impl Priorities {
         expanded: &ExpandedDesign,
         bus: &BusConfig,
     ) -> Result<Self, SchedError> {
-        let order = graph.topological_order()?;
-        let exec: Vec<Time> = (0..graph.process_count())
-            .map(|i| {
-                expanded
-                    .of_process(ProcessId::new(i as u32))
-                    .iter()
-                    .map(|&id| expanded.instance(id).wcet)
-                    .max()
-                    .unwrap_or(Time::ZERO)
-            })
-            .collect();
+        let mut out = Priorities::default();
+        out.compute_into(graph, expanded, bus)?;
+        Ok(out)
+    }
+
+    /// [`Priorities::compute`] rebuilding `self` in place, reusing
+    /// every internal buffer — the cost-evaluation path calls this
+    /// once per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Model`] if the graph is cyclic.
+    pub fn compute_into(
+        &mut self,
+        graph: &ProcessGraph,
+        expanded: &ExpandedDesign,
+        bus: &BusConfig,
+    ) -> Result<(), SchedError> {
+        let n = graph.process_count();
+        graph.topological_order_into(&mut self.topo, &mut self.in_deg)?;
         let comm_estimate = bus.round_length();
-        let mut rank = vec![Time::ZERO; graph.process_count()];
-        let mut effective_deadline = vec![Time::MAX; graph.process_count()];
-        for &p in order.iter().rev() {
+        self.rank.clear();
+        self.rank.resize(n, Time::ZERO);
+        self.effective_deadline.clear();
+        self.effective_deadline.resize(n, Time::MAX);
+        for i in (0..self.topo.len()).rev() {
+            let p = self.topo[i];
+            let exec = expanded
+                .of_process(p)
+                .iter()
+                .map(|&id| expanded.instance(id).wcet)
+                .max()
+                .unwrap_or(Time::ZERO);
             let mut best = Time::ZERO;
             let mut tightest = graph.process(p).deadline.unwrap_or(Time::MAX);
             for &e in graph.outgoing(p) {
                 let edge = graph.edge(e);
                 let remote = crosses_nodes(expanded, p, edge.to);
-                let cost = rank[edge.to.index()] + if remote { comm_estimate } else { Time::ZERO };
+                let cost =
+                    self.rank[edge.to.index()] + if remote { comm_estimate } else { Time::ZERO };
                 best = best.max(cost);
-                tightest = tightest.min(effective_deadline[edge.to.index()]);
+                tightest = tightest.min(self.effective_deadline[edge.to.index()]);
             }
-            rank[p.index()] = exec[p.index()] + best;
-            effective_deadline[p.index()] = tightest;
+            self.rank[p.index()] = exec + best;
+            self.effective_deadline[p.index()] = tightest;
         }
-        let laxity = rank
-            .iter()
-            .zip(&effective_deadline)
-            .map(|(&r, &d)| d.saturating_sub(r))
-            .collect();
-        Ok(Priorities { rank, laxity })
+        self.laxity.clear();
+        self.laxity.extend(
+            self.rank
+                .iter()
+                .zip(&self.effective_deadline)
+                .map(|(&r, &d)| d.saturating_sub(r)),
+        );
+        Ok(())
     }
 
     /// The rank of `p`.

@@ -6,8 +6,6 @@
 //! model and the bookkeeping needed to extract the critical path that
 //! drives the optimization moves (paper §5.2).
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use ftdes_model::graph::ProcessGraph;
@@ -96,6 +94,76 @@ impl ScheduleCost {
     }
 }
 
+/// The booked bus messages of a schedule, indexed densely by sender
+/// instance.
+///
+/// The list scheduler books at most a handful of messages per
+/// instance (one per outgoing edge that crosses nodes), so a dense
+/// `Vec` of small per-instance vectors replaces the former
+/// `BTreeMap<(EdgeId, InstanceId), _>`: no ordered-map rebalancing on
+/// the optimizer's hot path, and lookups are a short linear scan.
+#[derive(Debug, Clone, Default)]
+pub struct Bookings {
+    per_instance: Vec<Vec<(EdgeId, BookedMessage)>>,
+    len: usize,
+}
+
+impl Bookings {
+    /// An empty booking table for `instances` sender instances.
+    #[must_use]
+    pub fn for_instances(instances: usize) -> Self {
+        Bookings {
+            per_instance: vec![Vec::new(); instances],
+            len: 0,
+        }
+    }
+
+    /// Records the booking of `edge` sent by `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn insert(&mut self, edge: EdgeId, sender: InstanceId, booked: BookedMessage) {
+        self.per_instance[sender.index()].push((edge, booked));
+        self.len += 1;
+    }
+
+    /// The booking of `edge` sent by `sender`, if any.
+    #[must_use]
+    pub fn get(&self, edge: EdgeId, sender: InstanceId) -> Option<&BookedMessage> {
+        self.per_instance
+            .get(sender.index())?
+            .iter()
+            .find(|(e, _)| *e == edge)
+            .map(|(_, b)| b)
+    }
+
+    /// Total number of bookings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no messages were booked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(edge, sender, booking)` triples in sender
+    /// instance order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, InstanceId, &BookedMessage)> {
+        self.per_instance
+            .iter()
+            .enumerate()
+            .flat_map(|(sender, entries)| {
+                entries
+                    .iter()
+                    .map(move |(edge, b)| (*edge, InstanceId::new(sender as u32), b))
+            })
+    }
+}
+
 /// A complete static schedule with worst-case accounting.
 #[derive(Debug, Clone)]
 pub struct Schedule {
@@ -104,7 +172,7 @@ pub struct Schedule {
     /// Instances per node in fault-free time order.
     node_order: Vec<Vec<InstanceId>>,
     /// Booked bus message per (edge, sender instance).
-    bookings: BTreeMap<(EdgeId, InstanceId), BookedMessage>,
+    bookings: Bookings,
     bus: BusSchedule,
     /// Worst-case completion per process (max over replicas).
     completion: Vec<Time>,
@@ -116,7 +184,7 @@ impl Schedule {
         expanded: ExpandedDesign,
         slots: Vec<ScheduledInstance>,
         node_order: Vec<Vec<InstanceId>>,
-        bookings: BTreeMap<(EdgeId, InstanceId), BookedMessage>,
+        bookings: Bookings,
         bus: BusSchedule,
         graph: &ProcessGraph,
     ) -> Self {
@@ -191,12 +259,12 @@ impl Schedule {
     /// the bus from that sender.
     #[must_use]
     pub fn booking(&self, edge: EdgeId, sender: InstanceId) -> Option<&BookedMessage> {
-        self.bookings.get(&(edge, sender))
+        self.bookings.get(edge, sender)
     }
 
     /// All message bookings.
     #[must_use]
-    pub fn bookings(&self) -> &BTreeMap<(EdgeId, InstanceId), BookedMessage> {
+    pub fn bookings(&self) -> &Bookings {
         &self.bookings
     }
 

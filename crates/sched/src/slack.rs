@@ -47,6 +47,14 @@ impl SlackAccount {
         Self::default()
     }
 
+    /// Empties the account for reuse (scratch-resident accounts are
+    /// reset once per evaluation instead of reallocated).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total_budget = 0;
+        self.instance_count = 0;
+    }
+
     /// Registers an instance. Zero-budget instances cannot re-run but
     /// still cost `µ` when a fault kills them.
     pub fn register(&mut self, id: InstanceId, wcet: Time, budget: u32) {

@@ -154,7 +154,7 @@ pub fn check_schedule(schedule: &Schedule, graph: &ProcessGraph) -> Vec<Schedule
     }
 
     // 3. Transparent message timing.
-    for (&(_edge, sender), booking) in schedule.bookings() {
+    for (_edge, sender, booking) in schedule.bookings().iter() {
         let s = schedule.slot(sender);
         if booking.start < s.worst_finish {
             violations.push(ScheduleViolation::EarlyMessage { sender });

@@ -102,6 +102,23 @@ impl BusSchedule {
         &self.config
     }
 
+    /// Reconstructs a bus schedule from already-placed bookings (the
+    /// list scheduler books against its own reusable occupancy table
+    /// and materializes the `BusSchedule` once per kept schedule).
+    /// The occupancy accounting is rebuilt from the bookings.
+    #[must_use]
+    pub fn from_bookings(config: BusConfig, bookings: Vec<BookedMessage>) -> Self {
+        let mut occupancy = BTreeMap::new();
+        for b in &bookings {
+            *occupancy.entry((b.round, b.slot)).or_insert(0) += b.size;
+        }
+        BusSchedule {
+            config,
+            occupancy,
+            bookings,
+        }
+    }
+
     /// Books `size` bytes from `sender` into the earliest slot
     /// occurrence starting at or after `earliest` with spare frame
     /// capacity, and returns the booking.

@@ -1,0 +1,226 @@
+//! A deterministic subset of the `rand` crate API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the surface the workspace uses: [`rngs::StdRng`] seeded
+//! via [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen`, `gen_range` and `gen_bool`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — a
+//! high-quality, fully deterministic stream. It intentionally does
+//! *not* match upstream `StdRng` output; everything in this workspace
+//! only requires per-seed determinism, not a specific stream.
+
+/// Seeding support (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling support (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range, like upstream `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut |bound| {
+            // Widened rejection-free sampling: multiply-shift keeps the
+            // modulo bias below 2^-64 per draw, fine for test workloads.
+            let x = self_next(self);
+            ((u128::from(x) * u128::from(bound)) >> 64) as u64
+        })
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+fn self_next<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+/// Types sampleable from raw bits (stand-in for `rand::distributions::Standard`).
+pub trait Standard {
+    /// Derives a uniformly distributed value from 64 raw bits.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for usize {
+    fn sample(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> Self {
+        // 53 uniform bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled (stand-in for `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples a value using `draw`, which maps an exclusive upper
+    /// bound to a uniform value below it.
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + draw(span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return draw(u64::MAX) as $t; // effectively full range
+                }
+                start + draw(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample(draw(u64::MAX).wrapping_shl(11));
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let unit = f64::sample(draw(u64::MAX).wrapping_shl(11));
+        start + unit * (end - start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

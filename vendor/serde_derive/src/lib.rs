@@ -1,0 +1,399 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item
+//! is parsed directly from the `proc_macro` token tree. Supported
+//! shapes cover everything this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype-transparent for arity 1, arrays above),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are not
+//! supported and rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("compile_error!({message:?});")
+                .parse()
+                .expect("literal compile_error");
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Consumes leading attributes / visibility in `tokens` from `pos`.
+fn skip_meta(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_meta(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive: generics on `{name}` are not supported"
+        ));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_shape(&tokens, &mut pos)?),
+        "enum" => {
+            let Some(TokenTree::Group(body)) = tokens.get(pos) else {
+                return Err(format!("expected enum body for `{name}`"));
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut vpos = 0;
+            let mut variants = Vec::new();
+            loop {
+                skip_meta(&body_tokens, &mut vpos);
+                let Some(tree) = body_tokens.get(vpos) else {
+                    break;
+                };
+                let TokenTree::Ident(vname) = tree else {
+                    return Err(format!("expected variant name, found {tree:?}"));
+                };
+                let vname = vname.to_string();
+                vpos += 1;
+                let shape = parse_shape(&body_tokens, &mut vpos)?;
+                variants.push((vname, shape));
+                if matches!(body_tokens.get(vpos), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+                {
+                    vpos += 1;
+                }
+            }
+            ItemKind::Enum(variants)
+        }
+        other => return Err(format!("serde derive: unsupported item kind `{other}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parses the field shape at `pos`: `{ ... }`, `( ... )` or nothing.
+fn parse_shape(tokens: &[TokenTree], pos: &mut usize) -> Result<Shape, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            *pos += 1;
+            Ok(Shape::Named(named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            *pos += 1;
+            Ok(Shape::Tuple(tuple_arity(g.stream())))
+        }
+        _ => Ok(Shape::Unit),
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    loop {
+        skip_meta(&tokens, &mut pos);
+        let Some(tree) = tokens.get(pos) else { break };
+        let TokenTree::Ident(fname) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        fields.push(fname.to_string());
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tree) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body (top-level commas + 1).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    for tree in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => "::serde::Value::Null".to_owned(),
+        ItemKind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => format!(
+                        "Self::{vname} => ::serde::Value::Str({vname:?}.to_string())"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "Self::{vname}(f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(f0))])"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "Self::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "Self::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => format!("{{ let _ = value; Ok({name}) }}"),
+        ItemKind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     other => Err(::serde::DeError::expected(\"{n}-tuple\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
+                     other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, shape)| matches!(shape, Shape::Unit))
+                .map(|(vname, _)| format!("{vname:?} => Ok({name}::{vname})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}({})),\n\
+                                 other => Err(::serde::DeError::expected(\"variant tuple\", other)),\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => Ok({name}::{vname} {{ {} }})",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::DeError::new(format!(\"unknown variant {{other}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::new(format!(\"unknown variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"enum value\", other)),\n\
+                 }}",
+                unit_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<String>(),
+                data_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<String>()
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
