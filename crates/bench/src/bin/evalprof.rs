@@ -9,9 +9,12 @@
 use std::time::Instant;
 
 use ftdes_bench::synthetic_problem;
+use ftdes_core::moves::MoveTable;
 use ftdes_core::{initial, Evaluator, PolicySpace};
 use ftdes_model::time::Time;
-use ftdes_sched::{ExpandedDesign, SchedScratch};
+use ftdes_sched::{
+    CostScratch, ExpandedDesign, PlacementCheckpoints, SchedScratch, ScheduleOptions,
+};
 
 fn main() {
     let problem = synthetic_problem(40, 4, 3, Time::from_ms(5), 0);
@@ -77,6 +80,68 @@ fn main() {
     }
     let priorities = started.elapsed();
 
+    // Cost-only evaluation, from scratch: the PR 1 window path (with
+    // today's dense WCET front-end; the sparse variant shows what the
+    // `BTreeMap` walk used to cost per candidate).
+    let mut cost_scratch = CostScratch::default();
+    let started = Instant::now();
+    for _ in 0..reps {
+        let c = problem
+            .evaluate_cost(&design, &mut cost_scratch)
+            .expect("schedules");
+        std::hint::black_box(c);
+    }
+    let cost_only = started.elapsed();
+
+    let sparse = problem.clone().with_sparse_wcet_lookup();
+    let started = Instant::now();
+    for _ in 0..reps {
+        let c = sparse
+            .evaluate_cost(&design, &mut cost_scratch)
+            .expect("schedules");
+        std::hint::black_box(c);
+    }
+    let cost_sparse = started.elapsed();
+
+    // Incremental + bounded single-move evaluation: record the base
+    // once, then replay one real neighbourhood move per rep.
+    let mut ckpts = PlacementCheckpoints::new();
+    let mut core = SchedScratch::default();
+    let schedule = problem
+        .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+        .expect("schedules");
+    let base_cost = schedule.cost();
+    let table = MoveTable::new(&problem, PolicySpace::Mixed);
+    let cp = schedule.move_candidates(problem.graph(), 8);
+    let mut window = Vec::new();
+    table.window(&design, &cp, &mut window);
+    let mv = window[window.len() / 2];
+    let mut cand = design.clone();
+    cand.set_decision(mv.process, table.decision(mv).clone());
+    let mut resumed_of = |bound| {
+        let started = Instant::now();
+        for _ in 0..reps {
+            let c = ftdes_sched::schedule_cost_resumed(
+                problem.graph(),
+                problem.arch(),
+                problem.dense_wcet(),
+                problem.fault_model(),
+                problem.bus(),
+                &cand,
+                mv.process,
+                ScheduleOptions::default(),
+                &mut cost_scratch,
+                &ckpts,
+                bound,
+            )
+            .expect("schedules");
+            std::hint::black_box(c);
+        }
+        started.elapsed()
+    };
+    let resumed = resumed_of(None);
+    let resumed_bounded = resumed_of(Some(base_cost));
+
     let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / f64::from(reps);
     println!("per-evaluation phase times over {reps} reps:");
     println!("  fresh allocations : {:8.2} us", per(fresh));
@@ -84,4 +149,8 @@ fn main() {
     println!("  memoized (all hits): {:7.2} us", per(memoized));
     println!("  expansion only    : {:8.2} us", per(expansion));
     println!("  priorities only   : {:8.2} us", per(priorities));
+    println!("  cost-only, dense  : {:8.2} us", per(cost_only));
+    println!("  cost-only, sparse : {:8.2} us", per(cost_sparse));
+    println!("  resumed move      : {:8.2} us", per(resumed));
+    println!("  resumed + bounded : {:8.2} us", per(resumed_bounded));
 }

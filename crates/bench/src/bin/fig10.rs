@@ -6,8 +6,12 @@
 //! still dominated — "considering re-execution at the same time with
 //! replication leads to significant improvements".
 
-use ftdes_bench::{experiment_config, run_strategy, seeds, synthetic_problem, time_budget};
-use ftdes_core::Strategy;
+use std::sync::Arc;
+
+use ftdes_bench::{
+    experiment_config, par_seed_map, run_strategy_cached, seeds, synthetic_problem, time_budget,
+};
+use ftdes_core::{EvalCache, Strategy};
 use ftdes_model::time::Time;
 
 fn main() {
@@ -26,21 +30,32 @@ fn main() {
     for (procs, nodes, k) in [(20, 2, 3), (40, 3, 4), (60, 4, 5), (80, 5, 6), (100, 6, 7)] {
         let k_feasible = k.min(nodes as u32 - 1);
         let mu = Time::from_ms(5);
-        let mut sums = [0.0f64; 3]; // MR, SFX, MX
-        let mut count = 0usize;
-        for seed in 0..seeds() as u64 {
+        // Independent seeds run in parallel on the worker pool; the
+        // four strategies of one seed share an evaluation cache
+        // (keyed by the per-strategy fault model).
+        let per_seed = par_seed_map(&cfg, |seed, cfg| {
             let problem = synthetic_problem(procs, nodes, k_feasible, mu, seed);
-            let mxr = run_strategy(&problem, Strategy::Mxr, &cfg);
+            let cache = Arc::new(EvalCache::default());
+            let mxr = run_strategy_cached(&problem, Strategy::Mxr, cfg, &cache);
             let d_mxr = mxr.length().as_us() as f64;
             if d_mxr <= 0.0 {
-                continue;
+                return None;
             }
+            let mut devs = [0.0f64; 3]; // MR, SFX, MX
             for (slot, strategy) in [Strategy::Mr, Strategy::Sfx, Strategy::Mx]
                 .into_iter()
                 .enumerate()
             {
-                let other = run_strategy(&problem, strategy, &cfg);
-                sums[slot] += 100.0 * (other.length().as_us() as f64 - d_mxr) / d_mxr;
+                let other = run_strategy_cached(&problem, strategy, cfg, &cache);
+                devs[slot] = 100.0 * (other.length().as_us() as f64 - d_mxr) / d_mxr;
+            }
+            Some(devs)
+        });
+        let mut sums = [0.0f64; 3]; // MR, SFX, MX
+        let mut count = 0usize;
+        for devs in per_seed.into_iter().flatten() {
+            for (slot, d) in devs.into_iter().enumerate() {
+                sums[slot] += d;
             }
             count += 1;
         }

@@ -1,0 +1,146 @@
+//! Micro-profile of the incremental evaluation path over a real tabu
+//! window: from-scratch cost vs resumed cost vs bounded-resumed cost,
+//! per move of the perfgate workload's first window.
+
+use std::time::Instant;
+
+use ftdes_bench::synthetic_problem;
+use ftdes_core::moves::MoveTable;
+use ftdes_core::{initial, PolicySpace};
+use ftdes_model::time::Time;
+use ftdes_sched::{
+    schedule_cost_bounded, schedule_cost_resumed, CostOutcome, CostScratch, PlacementCheckpoints,
+    ScheduleOptions,
+};
+
+fn main() {
+    let problem = synthetic_problem(40, 4, 3, Time::from_ms(5), 0);
+    let design = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
+    let mut ckpts = PlacementCheckpoints::new();
+    let mut scratch = CostScratch::default();
+    let mut core = ftdes_sched::SchedScratch::default();
+    let schedule = problem
+        .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+        .expect("schedules");
+    let base_cost = schedule.cost();
+    let cp = schedule.move_candidates(problem.graph(), 8);
+    let table = MoveTable::new(&problem, PolicySpace::Mixed);
+    let mut window = Vec::new();
+    table.window(&design, &cp, &mut window);
+    println!("window: {} moves, base cost {:?}", window.len(), base_cost);
+
+    let reps = 2000u32;
+    let time_of = |f: &mut dyn FnMut()| -> f64 {
+        let started = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        started.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+    };
+
+    // From-scratch cost-only per move.
+    let mut d = design.clone();
+    let mut total_scratch = 0.0;
+    let mut total_resumed = 0.0;
+    let mut total_bounded_scratch = 0.0;
+    let mut total_bounded_resumed = 0.0;
+    let mut pruned = 0usize;
+    for mv in &window {
+        let prev = d.replace_decision(mv.process, table.decision(*mv).clone());
+        total_scratch += time_of(&mut || {
+            let c = schedule_cost_bounded(
+                problem.graph(),
+                problem.arch(),
+                problem.dense_wcet(),
+                problem.fault_model(),
+                problem.bus(),
+                &d,
+                ScheduleOptions::default(),
+                &mut scratch,
+                None,
+            )
+            .unwrap();
+            std::hint::black_box(c.cost());
+        });
+        total_resumed += time_of(&mut || {
+            let c = schedule_cost_resumed(
+                problem.graph(),
+                problem.arch(),
+                problem.dense_wcet(),
+                problem.fault_model(),
+                problem.bus(),
+                &d,
+                mv.process,
+                ScheduleOptions::default(),
+                &mut scratch,
+                &ckpts,
+                None,
+            )
+            .unwrap();
+            std::hint::black_box(c.cost());
+        });
+        total_bounded_scratch += time_of(&mut || {
+            let c = schedule_cost_bounded(
+                problem.graph(),
+                problem.arch(),
+                problem.dense_wcet(),
+                problem.fault_model(),
+                problem.bus(),
+                &d,
+                ScheduleOptions::default(),
+                &mut scratch,
+                Some(base_cost),
+            )
+            .unwrap();
+            std::hint::black_box(c.cost());
+        });
+        total_bounded_resumed += time_of(&mut || {
+            let c = schedule_cost_resumed(
+                problem.graph(),
+                problem.arch(),
+                problem.dense_wcet(),
+                problem.fault_model(),
+                problem.bus(),
+                &d,
+                mv.process,
+                ScheduleOptions::default(),
+                &mut scratch,
+                &ckpts,
+                Some(base_cost),
+            )
+            .unwrap();
+            std::hint::black_box(c.cost());
+        });
+        let out = schedule_cost_resumed(
+            problem.graph(),
+            problem.arch(),
+            problem.dense_wcet(),
+            problem.fault_model(),
+            problem.bus(),
+            &d,
+            mv.process,
+            ScheduleOptions::default(),
+            &mut scratch,
+            &ckpts,
+            Some(base_cost),
+        )
+        .unwrap();
+        if !matches!(out, CostOutcome::Exact(_)) {
+            pruned += 1;
+        }
+        d.set_decision(mv.process, prev);
+    }
+    let n = window.len() as f64;
+    println!("avg per-move microseconds over the window:");
+    println!("  from-scratch unbounded : {:7.2}", total_scratch / n);
+    println!("  resumed unbounded      : {:7.2}", total_resumed / n);
+    println!(
+        "  from-scratch bounded   : {:7.2}",
+        total_bounded_scratch / n
+    );
+    println!(
+        "  resumed bounded        : {:7.2}",
+        total_bounded_resumed / n
+    );
+    println!("  pruned: {pruned}/{}", window.len());
+}

@@ -1,31 +1,45 @@
 //! The performance gate: tracks the optimizer's evaluation throughput
 //! from PR to PR.
 //!
-//! Runs the same fixed-seed MXR search twice under the identical
-//! wall-clock budget (`FTDES_TIME_MS`, default 500 ms per seed):
+//! Runs the same fixed-seed MXR search **three** times under the
+//! identical wall-clock budget (`FTDES_TIME_MS`, default 500 ms per
+//! seed):
 //!
 //! 1. **baseline** — the frozen pre-optimization reference
 //!    ([`ftdes_bench::legacy`]): sequential, uncached, one full
 //!    schedule materialization and one design clone per candidate,
-//! 2. **optimized** — the current default path: cost-only window
-//!    evaluation through reusable scratch buffers, the shared
-//!    memoization cache, and parallel workers where cores exist.
+//! 2. **pr1** — the parallel + memoized cost-only path
+//!    (`incremental: false, bounded: false`): scratch-reused
+//!    from-scratch placement per candidate,
+//! 3. **incremental** — the current default path: candidates resume
+//!    from the base solution's prefix checkpoints, and losing
+//!    candidates abort once provably worse than the incumbent.
 //!
 //! Because the search is deterministic in everything except the
-//! wall-clock cutoff, more evaluations per second directly buy more
+//! wall-clock cutoff, more candidates per second directly buy more
 //! tabu iterations — the quantity that decides solution quality under
 //! the paper's "shortest schedule within an imposed time limit"
-//! protocol. Results are written to `BENCH_tabu.json` (schema below)
-//! so CI can diff the trajectory:
+//! protocol. Results are written to `BENCH_tabu.json`:
 //!
 //! ```json
 //! {
 //!   "workload": {...},
-//!   "baseline":  {"tabu_iterations": N, "evals_per_sec": X, ...},
-//!   "optimized": {"tabu_iterations": N, "evals_per_sec": X, ...},
-//!   "speedup": {"tabu_iterations": R, "evals_per_sec": R}
+//!   "baseline":    {"tabu_iterations": N, "candidates_per_sec": X, ...},
+//!   "pr1":         {...},
+//!   "incremental": {...},
+//!   "speedup": {
+//!     "tabu_iterations": incremental/baseline,
+//!     "candidate_rate": incremental/baseline,
+//!     "tabu_iterations_vs_pr1": incremental/pr1,
+//!     "candidate_rate_vs_pr1": incremental/pr1,
+//!     "best_length_ratio": informational
+//!   }
 //! }
 //! ```
+//!
+//! CI enforces both floors: ≥ 2× tabu iterations vs the legacy
+//! baseline, and a candidate-rate gain vs the PR 1 path — a
+//! regression against either predecessor fails the gate.
 
 use std::time::Duration;
 
@@ -45,6 +59,7 @@ struct ModeTotals {
     tabu_iterations: usize,
     evaluations: usize,
     cache_hits: usize,
+    pruned: usize,
     elapsed: Duration,
     best_length_us: u64,
 }
@@ -54,6 +69,7 @@ impl ModeTotals {
         self.tabu_iterations += outcome.stats.tabu_iterations;
         self.evaluations += outcome.stats.evaluations;
         self.cache_hits += outcome.stats.cache_hits;
+        self.pruned += outcome.stats.pruned;
         self.elapsed += outcome.stats.elapsed;
         self.best_length_us += outcome.length().as_us();
     }
@@ -66,27 +82,30 @@ impl ModeTotals {
         self.evaluations as f64 / secs
     }
 
-    /// Candidate lookups per second — schedules computed plus cache
-    /// hits; the rate the search actually consumes candidates at.
-    fn lookups_per_sec(&self) -> f64 {
+    /// Candidates scored per second — schedules computed, cache hits,
+    /// and bounded-pruned candidates (each pruned candidate was
+    /// examined exactly far enough to prove it cannot win); the rate
+    /// the search actually consumes its neighbourhood at.
+    fn candidates_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs == 0.0 {
             return 0.0;
         }
-        (self.evaluations + self.cache_hits) as f64 / secs
+        (self.evaluations + self.cache_hits + self.pruned) as f64 / secs
     }
 
     fn json(&self) -> String {
         format!(
             "{{\"tabu_iterations\": {}, \"evaluations\": {}, \"cache_hits\": {}, \
-             \"elapsed_ms\": {}, \"evals_per_sec\": {:.1}, \"lookups_per_sec\": {:.1}, \
-             \"best_length_us\": {}}}",
+             \"pruned\": {}, \"elapsed_ms\": {}, \"evals_per_sec\": {:.1}, \
+             \"candidates_per_sec\": {:.1}, \"best_length_us\": {}}}",
             self.tabu_iterations,
             self.evaluations,
             self.cache_hits,
+            self.pruned,
             self.elapsed.as_millis(),
             self.evals_per_sec(),
-            self.lookups_per_sec(),
+            self.candidates_per_sec(),
             self.best_length_us
         )
     }
@@ -101,14 +120,31 @@ fn gate_config(budget: Duration) -> SearchConfig {
     }
 }
 
-fn run_optimized(problem: &Problem, budget: Duration) -> Outcome {
+/// The current default path: incremental + bounded evaluation.
+fn run_incremental(problem: &Problem, budget: Duration) -> Outcome {
     optimize(problem, Strategy::Mxr, &gate_config(budget))
-        .unwrap_or_else(|e| panic!("perfgate search: {e}"))
+        .unwrap_or_else(|e| panic!("perfgate incremental search: {e}"))
+}
+
+/// The PR 1 path: parallel + memoized cost-only evaluation, every
+/// candidate placed from scratch over the sparse `BTreeMap` WCET
+/// table (the dense matrix landed with the incremental engine), no
+/// bounds, no checkpoints.
+fn run_pr1(problem: &Problem, budget: Duration) -> Outcome {
+    let cfg = SearchConfig {
+        incremental: false,
+        bounded: false,
+        ..gate_config(budget)
+    };
+    let problem = problem.clone().with_sparse_wcet_lookup();
+    optimize(&problem, Strategy::Mxr, &cfg).unwrap_or_else(|e| panic!("perfgate pr1 search: {e}"))
 }
 
 fn run_baseline(problem: &Problem, budget: Duration) -> Outcome {
+    // The frozen reference also predates the dense WCET matrix.
+    let problem = problem.clone().with_sparse_wcet_lookup();
     let (design, schedule, stats) =
-        ftdes_bench::legacy::optimize_mxr_reference(problem, &gate_config(budget))
+        ftdes_bench::legacy::optimize_mxr_reference(&problem, &gate_config(budget))
             .unwrap_or_else(|e| panic!("perfgate baseline: {e}"));
     Outcome {
         design,
@@ -117,10 +153,15 @@ fn run_baseline(problem: &Problem, budget: Duration) -> Outcome {
     }
 }
 
+fn ratio(a: f64, b: f64) -> f64 {
+    a / b.max(f64::MIN_POSITIVE)
+}
+
 fn main() {
     let budget = time_budget();
     let mut baseline = ModeTotals::default();
-    let mut optimized = ModeTotals::default();
+    let mut pr1 = ModeTotals::default();
+    let mut incremental = ModeTotals::default();
 
     println!(
         "perfgate: {PROCESSES} processes / {NODES} nodes / k = {FAULTS}, \
@@ -129,42 +170,69 @@ fn main() {
     for seed in 0..SEEDS {
         let problem = synthetic_problem(PROCESSES, NODES, FAULTS, Time::from_ms(5), seed);
         let base = run_baseline(&problem, budget);
-        let opt = run_optimized(&problem, budget);
+        let mid = run_pr1(&problem, budget);
+        let incr = run_incremental(&problem, budget);
         println!(
-            "  seed {seed}: baseline {} iters / {} evals, optimized {} iters / {} evals (+{} hits)",
+            "  seed {seed}: baseline {} iters / {} evals | pr1 {} iters / {} evals (+{} hits) | \
+             incremental {} iters / {} evals (+{} hits, {} pruned)",
             base.stats.tabu_iterations,
             base.stats.evaluations,
-            opt.stats.tabu_iterations,
-            opt.stats.evaluations,
-            opt.stats.cache_hits,
+            mid.stats.tabu_iterations,
+            mid.stats.evaluations,
+            mid.stats.cache_hits,
+            incr.stats.tabu_iterations,
+            incr.stats.evaluations,
+            incr.stats.cache_hits,
+            incr.stats.pruned,
         );
         baseline.add(&base);
-        optimized.add(&opt);
+        pr1.add(&mid);
+        incremental.add(&incr);
     }
 
-    let iter_speedup = optimized.tabu_iterations as f64 / baseline.tabu_iterations.max(1) as f64;
-    let eval_speedup =
-        optimized.lookups_per_sec() / baseline.lookups_per_sec().max(f64::MIN_POSITIVE);
-    // Informational only: under a wall-clock budget the two modes
+    let iter_speedup = ratio(
+        incremental.tabu_iterations as f64,
+        baseline.tabu_iterations.max(1) as f64,
+    );
+    let cand_speedup = ratio(
+        incremental.candidates_per_sec(),
+        baseline.candidates_per_sec(),
+    );
+    let iter_vs_pr1 = ratio(
+        incremental.tabu_iterations as f64,
+        pr1.tabu_iterations.max(1) as f64,
+    );
+    let cand_vs_pr1 = ratio(incremental.candidates_per_sec(), pr1.candidates_per_sec());
+    // Informational only: under a wall-clock budget the modes
     // truncate the trajectory at different points (stage midpoints,
     // cutoffs), so per-seed best lengths can move either way.
-    let length_ratio = optimized.best_length_us as f64 / baseline.best_length_us.max(1) as f64;
+    let length_ratio = ratio(
+        incremental.best_length_us as f64,
+        baseline.best_length_us.max(1) as f64,
+    );
     let json = format!(
         "{{\n  \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
-         \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"optimized\": {},\n  \
-         \"speedup\": {{\"tabu_iterations\": {:.2}, \"candidate_rate\": {:.2}, \
-         \"best_length_ratio\": {:.3}}}\n}}\n",
+         \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"pr1\": {},\n  \
+         \"incremental\": {},\n  \"speedup\": {{\"tabu_iterations\": {:.2}, \
+         \"candidate_rate\": {:.2}, \"tabu_iterations_vs_pr1\": {:.2}, \
+         \"candidate_rate_vs_pr1\": {:.2}, \"best_length_ratio\": {:.3}}}\n}}\n",
         budget.as_millis(),
         baseline.json(),
-        optimized.json(),
+        pr1.json(),
+        incremental.json(),
         iter_speedup,
-        eval_speedup,
+        cand_speedup,
+        iter_vs_pr1,
+        cand_vs_pr1,
         length_ratio,
     );
     std::fs::write("BENCH_tabu.json", &json).expect("write BENCH_tabu.json");
     println!("\n{json}");
     println!(
-        "tabu-iteration speedup within the same budget: {iter_speedup:.2}x \
-         (candidate rate {eval_speedup:.2}x, best-length ratio {length_ratio:.3})"
+        "vs legacy baseline: {iter_speedup:.2}x tabu iterations, {cand_speedup:.2}x candidate rate"
+    );
+    println!(
+        "vs PR 1 path:       {iter_vs_pr1:.2}x tabu iterations, {cand_vs_pr1:.2}x candidate rate \
+         (best-length ratio {length_ratio:.3})"
     );
 }

@@ -12,6 +12,7 @@
 //! | `... --bin cruise_control` | the CC case study |
 //! | `... --bin perfgate` | evaluation-throughput gate → `BENCH_tabu.json` |
 //! | `... --bin evalprof` | per-phase profile of one candidate evaluation |
+//! | `... --bin incrprof` | incremental vs from-scratch per-move profile |
 //! | `cargo bench -p ftdes-bench` | Criterion micro-benchmarks |
 //!
 //! Scale knobs (environment variables):
@@ -39,31 +40,41 @@
 //!   accepted iteration),
 //! * `cache_hits` — candidate costs served by the memoization cache
 //!   ([`ftdes_core::cache::Evaluator`]) without scheduling at all,
+//! * `pruned` — candidates whose bounded run aborted once provably
+//!   worse than the window incumbent (scored, but far short of a
+//!   full placement),
 //! * `tabu_iterations` — the quantity the budget is spent on,
-//! * both for the current default path and for the frozen
+//! * for **three** modes: the current incremental + bounded default,
+//!   the PR 1 path (from-scratch cost-only evaluation over the
+//!   sparse WCET table, no bounds or checkpoints) and the frozen
 //!   pre-optimization reference in [`legacy`] (sequential, uncached,
 //!   full materialization per candidate).
 //!
 //! Candidate selection uses a total order on `(cost, move index)`,
 //! so for a fixed iteration/cutoff budget the trajectory is
-//! bit-identical across thread counts and cache settings, and the
-//! legacy reference walks the same trajectory. Under a *wall-clock*
-//! budget the faster mode crosses stage boundaries (the staged-tabu
-//! midpoint, per-window cutoffs) at different trajectory points, so
-//! per-seed best lengths can differ in either direction — iteration
-//! counts measure search throughput, best length stays an
-//! informational field. `BENCH_tabu.json` records both modes plus
-//! the speedup ratios; CI fails if the tabu-iteration ratio drops
-//! below 2.0.
+//! bit-identical across thread counts, cache settings and evaluation
+//! engines, and the legacy reference walks the same trajectory.
+//! Under a *wall-clock* budget the faster mode crosses stage
+//! boundaries (the staged-tabu midpoint, per-window cutoffs) at
+//! different trajectory points, so per-seed best lengths can differ
+//! in either direction — iteration counts measure search throughput,
+//! best length stays an informational field. `BENCH_tabu.json`
+//! records all three modes plus the speedup ratios; CI fails if the
+//! tabu-iteration ratio vs legacy drops below 2.0 or the
+//! candidate-rate ratio vs the PR 1 path below 1.25.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod legacy;
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_core::{
+    effective_threads, optimize, optimize_with_cache, EvalCache, Goal, Outcome, Problem,
+    SearchConfig, Strategy, WorkerPool,
+};
 use ftdes_gen::paper_workload;
 use ftdes_model::architecture::Architecture;
 use ftdes_model::fault::FaultModel;
@@ -143,6 +154,56 @@ pub fn run_strategy(problem: &Problem, strategy: Strategy, cfg: &SearchConfig) -
     optimize(problem, strategy, cfg).unwrap_or_else(|e| panic!("{strategy} failed: {e}"))
 }
 
+/// [`run_strategy`] over a shared evaluation cache: the strategies of
+/// one seed solve the same application (under per-strategy fault
+/// models, which the cache keys on), so they reuse each other's cost
+/// entries.
+///
+/// # Panics
+///
+/// Same as [`run_strategy`].
+#[must_use]
+pub fn run_strategy_cached(
+    problem: &Problem,
+    strategy: Strategy,
+    cfg: &SearchConfig,
+    cache: &Arc<EvalCache>,
+) -> Outcome {
+    optimize_with_cache(problem, strategy, cfg, cache)
+        .unwrap_or_else(|e| panic!("{strategy} failed: {e}"))
+}
+
+/// Maps `f` over every experiment seed, distributing the (mutually
+/// independent) seeds over a persistent worker pool. `f` receives the
+/// seed and the per-seed [`SearchConfig`]: when seed-level
+/// parallelism is active, each inner search runs single-threaded —
+/// the seeds already saturate the cores — otherwise the caller's
+/// thread setting stands. Results come back in seed order.
+pub fn par_seed_map<R, F>(cfg: &SearchConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64, &SearchConfig) -> R + Sync,
+{
+    let seeds = seeds().max(1);
+    let pool = WorkerPool::new(effective_threads(0).min(seeds));
+    let inner = SearchConfig {
+        threads: if pool.threads() > 1 { 1 } else { cfg.threads },
+        ..cfg.clone()
+    };
+    let items: Vec<u64> = (0..seeds as u64).collect();
+    let mapped = pool
+        .try_map_init(
+            &items,
+            || (),
+            |(), _, &seed| Ok::<_, std::convert::Infallible>(Some(f(seed, &inner))),
+        )
+        .unwrap_or_else(|e| match e {});
+    mapped
+        .into_iter()
+        .map(|r| r.expect("seed jobs are never skipped"))
+        .collect()
+}
+
 /// Summary statistics of a set of per-seed percentages.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PercentRow {
@@ -180,14 +241,13 @@ pub fn overhead_samples(
     mu: Time,
     cfg: &SearchConfig,
 ) -> Vec<f64> {
-    (0..seeds() as u64)
-        .map(|seed| {
-            let problem = synthetic_problem(processes, nodes, k, mu, seed);
-            let mxr = run_strategy(&problem, Strategy::Mxr, cfg);
-            let nft = run_strategy(&problem, Strategy::Nft, cfg);
-            ftdes_core::overhead_percent(&mxr, &nft)
-        })
-        .collect()
+    par_seed_map(cfg, |seed, cfg| {
+        let problem = synthetic_problem(processes, nodes, k, mu, seed);
+        let cache = Arc::new(EvalCache::default());
+        let mxr = run_strategy_cached(&problem, Strategy::Mxr, cfg, &cache);
+        let nft = run_strategy_cached(&problem, Strategy::Nft, cfg, &cache);
+        ftdes_core::overhead_percent(&mxr, &nft)
+    })
 }
 
 /// Average percentage deviation of `strategy`'s schedule length from
@@ -201,23 +261,20 @@ pub fn deviation_from_mxr(
     strategy: Strategy,
     cfg: &SearchConfig,
 ) -> f64 {
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for seed in 0..seeds() as u64 {
+    let samples = par_seed_map(cfg, |seed, cfg| {
         let problem = synthetic_problem(processes, nodes, k, mu, seed);
-        let mxr = run_strategy(&problem, Strategy::Mxr, cfg);
-        let other = run_strategy(&problem, strategy, cfg);
+        let cache = Arc::new(EvalCache::default());
+        let mxr = run_strategy_cached(&problem, Strategy::Mxr, cfg, &cache);
+        let other = run_strategy_cached(&problem, strategy, cfg, &cache);
         let d_mxr = mxr.length().as_us() as f64;
         let d_other = other.length().as_us() as f64;
-        if d_mxr > 0.0 {
-            total += 100.0 * (d_other - d_mxr) / d_mxr;
-            count += 1;
-        }
-    }
-    if count == 0 {
+        (d_mxr > 0.0).then(|| 100.0 * (d_other - d_mxr) / d_mxr)
+    });
+    let samples: Vec<f64> = samples.into_iter().flatten().collect();
+    if samples.is_empty() {
         0.0
     } else {
-        total / count as f64
+        samples.iter().sum::<f64>() / samples.len() as f64
     }
 }
 

@@ -21,9 +21,10 @@ use ftdes_model::design::Design;
 use ftdes_sched::Schedule;
 use ftdes_ttp::config::BusConfig;
 
-use crate::cache::Evaluator;
+use crate::cache::{EvalOutcome, Evaluator};
 use crate::config::SearchStats;
 use crate::error::OptError;
+use crate::parallel::WorkerPool;
 use crate::problem::Problem;
 
 /// Limits of the bus-access optimization.
@@ -34,6 +35,12 @@ pub struct BusOptConfig {
     /// Capacity multiples of the largest message to try (1 = minimum
     /// legal slot, the paper's initial configuration).
     pub capacity_multiples: Vec<u32>,
+    /// Worker threads for the slot-swap probe sweep (`0` resolves
+    /// like [`crate::config::SearchConfig::threads`]). The sweep
+    /// commits the **first improving probe in pair order**, so the
+    /// result is identical to the sequential sweep for every thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Default for BusOptConfig {
@@ -41,6 +48,7 @@ impl Default for BusOptConfig {
         BusOptConfig {
             max_rounds: 8,
             capacity_multiples: vec![1, 2],
+            threads: 0,
         }
     }
 }
@@ -79,6 +87,7 @@ pub fn optimize_bus(
     // schedule — costs drive the climb, the winning configuration is
     // materialized once at the end.
     let evaluator = Evaluator::new(problem);
+    let pool = WorkerPool::with_requested(cfg.threads);
     let base = problem.bus();
     let largest = problem.largest_message();
 
@@ -99,21 +108,75 @@ pub fn optimize_bus(
             best_cost = current_cost;
         }
 
-        // Hill climbing over slot swaps.
+        // Hill climbing over slot swaps: probes within a round are
+        // independent until the first improvement, so chunks of them
+        // run concurrently on the pool; the sweep commits the first
+        // improving pair **in pair order** and re-enters the scan
+        // from the next pair against the updated bus — exactly the
+        // sequential sweep's trajectory, for every thread count.
+        // Losing probes are bounded by the climbing incumbent and
+        // abort as soon as they provably cannot improve on it.
+        let pairs: Vec<(usize, usize)> = {
+            let slots = bus.slots_per_round();
+            (0..slots)
+                .flat_map(|a| ((a + 1)..slots).map(move |b| (a, b)))
+                .collect()
+        };
         for _ in 0..cfg.max_rounds {
             let mut improved = false;
-            let slots = bus.slots_per_round();
-            for a in 0..slots {
-                for b in (a + 1)..slots {
-                    let cand_bus = bus.swap_slots(a, b);
-                    let (cand_cost, hit) = evaluator.evaluate_with_bus(&cand_bus, design)?;
-                    stats.record_eval(hit);
-                    if cand_cost < current_cost {
-                        bus = cand_bus;
-                        current_cost = cand_cost;
-                        improved = true;
+            let mut idx = 0;
+            while idx < pairs.len() {
+                let chunk_len = pool.threads().max(1).min(pairs.len() - idx);
+                let chunk = &pairs[idx..idx + chunk_len];
+                let current = &bus;
+                let probes = pool
+                    .try_map_init(
+                        chunk,
+                        || (),
+                        |(), _, &(a, b)| {
+                            let cand_bus = current.swap_slots(a, b);
+                            let probe = evaluator.evaluate_with_bus_bounded(
+                                &cand_bus,
+                                design,
+                                Some(current_cost),
+                            )?;
+                            Ok(Some((probe, (a, b))))
+                        },
+                    )
+                    .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
+                let mut advanced = chunk.len();
+                let mut accept: Option<(usize, usize, ftdes_sched::ScheduleCost)> = None;
+                for (j, slot) in probes.into_iter().enumerate() {
+                    let Some(((outcome, hit), (a, b))) = slot else {
+                        continue;
+                    };
+                    match outcome {
+                        EvalOutcome::Exact(c) => {
+                            stats.record_eval(hit);
+                            if c < current_cost {
+                                accept = Some((a, b, c));
+                                advanced = j + 1;
+                                // Probes past the accepted pair are
+                                // discarded unrecorded: the stats then
+                                // match the sequential sweep's
+                                // counters for every thread count
+                                // (the wasted concurrent work is the
+                                // price of the parallel scan, not part
+                                // of the search's consumption).
+                                break;
+                            }
+                        }
+                        // Certified worse than the incumbent: can
+                        // never be the first improvement.
+                        EvalOutcome::LowerBound(_) => stats.pruned += 1,
                     }
                 }
+                if let Some((a, b, c)) = accept {
+                    bus = bus.swap_slots(a, b);
+                    current_cost = c;
+                    improved = true;
+                }
+                idx += advanced;
             }
             if !improved {
                 break;
@@ -202,6 +265,7 @@ mod tests {
         let cfg = BusOptConfig {
             max_rounds: 0,
             capacity_multiples: vec![1, 4],
+            ..BusOptConfig::default()
         };
         let outcome = optimize_bus(&problem, &design, &cfg).unwrap();
         // With a single 4-byte message larger frames only stretch the

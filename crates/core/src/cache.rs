@@ -28,8 +28,11 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, Mutex};
 
 use ftdes_model::design::{Design, ProcessDesign};
+use ftdes_model::fault::FaultModel;
 use ftdes_model::ids::ProcessId;
-use ftdes_sched::{CostScratch, SchedError, Schedule, ScheduleCost};
+use ftdes_sched::{
+    CostOutcome, CostScratch, PlacementCheckpoints, SchedError, Schedule, ScheduleCost,
+};
 use ftdes_ttp::config::BusConfig;
 
 use crate::problem::Problem;
@@ -157,27 +160,99 @@ pub fn bus_fingerprint(bus: &BusConfig) -> u64 {
     fp.finish() as u64
 }
 
-/// The cache key of evaluating `design` under the bus identified by
-/// `bus_fp`: a 128-bit hash of every per-process decision.
+/// A stable 64-bit identity of a fault model — part of the cache key
+/// so one [`EvalCache`] can be shared across `optimize` calls with
+/// different fault hypotheses (`sweep_k`, fig10's NFT/SFX references)
+/// without aliasing their costs.
 #[must_use]
-pub fn design_fingerprint(design: &Design, bus_fp: u64) -> u128 {
-    let mut fp = Fingerprint::new(bus_fp);
-    for (_, decision) in design.iter() {
-        fp.mix(u64::from(decision.policy.replicas()));
-        fp.mix(u64::from(decision.policy.reexecutions()));
-        for &node in &decision.mapping {
+pub fn fault_fingerprint(fm: &FaultModel) -> u64 {
+    let mut fp = Fingerprint::new(0xfa17);
+    fp.mix(u64::from(fm.k()));
+    fp.mix(fm.mu().as_us());
+    fp.finish() as u64
+}
+
+/// A stable 64-bit identity of the problem structure (graph shape,
+/// message sizes, deadlines/releases, WCET entries, node count) —
+/// the guard that makes sharing one cache across arbitrary
+/// [`Problem`]s sound: two different applications can never serve
+/// each other's cost entries.
+#[must_use]
+pub fn problem_fingerprint(problem: &Problem) -> u64 {
+    let mut fp = Fingerprint::new(0x980b);
+    let graph = problem.graph();
+    fp.mix(graph.process_count() as u64);
+    fp.mix(problem.arch().node_count() as u64);
+    for p in graph.processes() {
+        fp.mix(p.release.as_us());
+        fp.mix(p.deadline.map_or(u64::MAX, |d| d.as_us()));
+    }
+    for e in graph.edges() {
+        fp.mix(e.from.index() as u64);
+        fp.mix(e.to.index() as u64);
+        fp.mix(u64::from(e.message.size));
+    }
+    for p in graph.processes() {
+        for (node, wcet) in problem.wcet().eligible_nodes(p.id) {
             fp.mix(node.index() as u64);
+            fp.mix(wcet.as_us());
         }
-        // Separator so mappings of unequal lengths cannot alias.
         fp.mix(u64::MAX);
     }
+    fp.finish() as u64
+}
+
+/// The 128-bit contribution of one `(process, decision)` pair to a
+/// design fingerprint under `seed`.
+///
+/// Components combine by XOR — a sum over GF(2) of independently
+/// seeded strong hashes — so replacing one process's decision updates
+/// a design fingerprint in O(1): XOR the old component out and the
+/// new one in. That is what makes per-candidate cache keys constant
+/// time on the window hot path (thousands of single-move variations
+/// of one base design per second).
+#[must_use]
+pub fn decision_fingerprint(
+    seed: u64,
+    process: ProcessId,
+    decision: &ftdes_model::design::ProcessDesign,
+) -> u128 {
+    let mut fp =
+        Fingerprint::new(seed ^ (process.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    fp.mix(u64::from(decision.policy.replicas()));
+    fp.mix(u64::from(decision.policy.reexecutions()));
+    for &node in &decision.mapping {
+        fp.mix(node.index() as u64);
+    }
+    // Separator so mappings of unequal lengths cannot alias.
+    fp.mix(u64::MAX);
     fp.finish()
+}
+
+/// The cache key of evaluating `design` under the context identified
+/// by `seed` (problem + fault model + bus): the XOR of every
+/// per-process [`decision_fingerprint`].
+#[must_use]
+pub fn design_fingerprint(design: &Design, seed: u64) -> u128 {
+    let mut acc = Fingerprint::new(seed).finish();
+    for (process, decision) in design.iter() {
+        acc ^= decision_fingerprint(seed, process, decision);
+    }
+    acc
 }
 
 thread_local! {
     /// Per-thread scheduling buffers, reused across evaluations.
     static SCRATCH: RefCell<CostScratch> = RefCell::new(CostScratch::default());
+    /// Per-thread decision buffer of the candidate apply/undo swap.
+    static MOVE_BUF: RefCell<Option<ProcessDesign>> = const { RefCell::new(None) };
 }
+
+/// The result of one bounded candidate evaluation: the scheduler's
+/// [`CostOutcome`] under its search-side reading — `Exact` completed
+/// (or hit the cache), `LowerBound` means the candidate was *pruned*
+/// past the incumbent with a certified lower bound.
+pub type EvalOutcome = CostOutcome;
 
 /// The memoized cost function: a [`Problem`] plus the shared
 /// [`EvalCache`].
@@ -191,8 +266,12 @@ thread_local! {
 #[derive(Debug)]
 pub struct Evaluator<'p> {
     problem: &'p Problem,
-    cache: Option<EvalCache>,
-    bus_fp: u64,
+    cache: Option<Arc<EvalCache>>,
+    /// Combined problem + fault-model + default-bus key seed.
+    base_fp: u64,
+    /// Problem + fault-model seed without the bus (mixed with an
+    /// alternative bus fingerprint by `evaluate_with_bus`).
+    context_fp: u64,
 }
 
 impl<'p> Evaluator<'p> {
@@ -206,10 +285,30 @@ impl<'p> Evaluator<'p> {
     /// uncached reference behaviour (every call schedules).
     #[must_use]
     pub fn with_cache(problem: &'p Problem, enabled: bool) -> Self {
+        Evaluator::build(problem, enabled.then(|| Arc::new(EvalCache::default())))
+    }
+
+    /// Creates an evaluator over a cache shared with other searches —
+    /// sweeps (`sweep_k`, fig10) re-solve overlapping problems, and a
+    /// shared cache lets them reuse each other's cost entries. Keys
+    /// include the problem structure and fault model, so sharing
+    /// across arbitrary problems is sound.
+    #[must_use]
+    pub fn with_shared_cache(problem: &'p Problem, cache: Arc<EvalCache>) -> Self {
+        Evaluator::build(problem, Some(cache))
+    }
+
+    fn build(problem: &'p Problem, cache: Option<Arc<EvalCache>>) -> Self {
+        let mut ctx = Fingerprint::new(problem_fingerprint(problem));
+        ctx.mix(fault_fingerprint(problem.fault_model()));
+        let context_fp = ctx.finish() as u64;
+        let mut base = Fingerprint::new(context_fp);
+        base.mix(bus_fingerprint(problem.bus()));
         Evaluator {
             problem,
-            cache: enabled.then(EvalCache::default),
-            bus_fp: bus_fingerprint(problem.bus()),
+            cache,
+            base_fp: base.finish() as u64,
+            context_fp,
         }
     }
 
@@ -253,6 +352,125 @@ impl<'p> Evaluator<'p> {
         result
     }
 
+    /// [`Evaluator::evaluate_move`] through the incremental + bounded
+    /// engine:
+    ///
+    /// * with recorded `ckpts` of the base design, the candidate is
+    ///   replayed from the latest prefix checkpoint the move cannot
+    ///   have affected instead of re-placed from scratch;
+    /// * with an incumbent `bound`, a candidate provably worse than
+    ///   the incumbent aborts mid-placement and returns
+    ///   [`EvalOutcome::LowerBound`] with its certified lower bound.
+    ///
+    /// Pruned results are **not** cached (the lower bound is not the
+    /// cost); whether a given candidate prunes is a pure function of
+    /// `(base design, move, bound)`, so search trajectories stay
+    /// bit-identical across thread counts. Any bound is sound —
+    /// including ones below the base design's cost, as the resolution
+    /// pass uses (it bounds by the window winner) — the exact/pruned
+    /// classification is always "exact iff cost <= bound"; only the
+    /// carried lower-bound *value* of a resumed run may differ from a
+    /// from-scratch one when the bound undercuts the restored prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn evaluate_move_incremental(
+        &self,
+        design: &mut Design,
+        process: ProcessId,
+        decision: &ProcessDesign,
+        base_key: Option<u128>,
+        ckpts: Option<&PlacementCheckpoints>,
+        bound: Option<ScheduleCost>,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        debug_assert!(
+            ckpts.is_none_or(|c| c.tag == design_fingerprint(design, self.base_fp)),
+            "checkpoints must belong to the window's base design"
+        );
+        debug_assert!(
+            base_key.is_none_or(|k| k == design_fingerprint(design, self.base_fp)),
+            "base_key must be the window base design's key"
+        );
+        // O(1) candidate key: XOR the replaced decision's component
+        // out of the base key and the new one in.
+        let fast_key = match (&self.cache, base_key) {
+            (Some(_), Some(base)) => Some(
+                base ^ decision_fingerprint(self.base_fp, process, design.decision(process))
+                    ^ decision_fingerprint(self.base_fp, process, decision),
+            ),
+            _ => None,
+        };
+        // Apply the candidate decision through a reusable per-thread
+        // buffer: no allocation per candidate, and the swap back
+        // restores the base design exactly.
+        MOVE_BUF.with(|buf| {
+            let mut slot = buf.borrow_mut();
+            match slot.as_mut() {
+                Some(held) => {
+                    held.policy = decision.policy;
+                    held.mapping.clone_from(&decision.mapping);
+                }
+                None => *slot = Some(decision.clone()),
+            }
+            design.swap_decision(process, slot.as_mut().expect("just filled"));
+        });
+        let key = fast_key.or_else(|| self.key_of(design, None));
+        let result = self.evaluate_candidate(design, process, key, ckpts, bound);
+        MOVE_BUF.with(|buf| {
+            design.swap_decision(process, buf.borrow_mut().as_mut().expect("filled above"));
+        });
+        result
+    }
+
+    /// The cache key of `design` under the problem's own bus — the
+    /// once-per-window input of O(1) per-candidate keys in
+    /// [`Evaluator::evaluate_move_incremental`]. `None` when the
+    /// cache is disabled.
+    #[must_use]
+    pub fn design_key(&self, design: &Design) -> Option<u128> {
+        self.key_of(design, None)
+    }
+
+    fn evaluate_candidate(
+        &self,
+        design: &Design,
+        moved: ProcessId,
+        key: Option<u128>,
+        ckpts: Option<&PlacementCheckpoints>,
+        bound: Option<ScheduleCost>,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        debug_assert_eq!(key, self.key_of(design, None));
+        self.cached_bounded(key, |scratch| match ckpts {
+            Some(ckpts) if ckpts.is_valid() => self
+                .problem
+                .evaluate_cost_resumed(design, moved, scratch, ckpts, bound),
+            _ => self.problem.evaluate_cost_bounded(design, scratch, bound),
+        })
+    }
+
+    /// The shared cache-then-run skeleton of bounded evaluation: an
+    /// exact hit returns immediately, an exact result is cached, a
+    /// pruned result is **not** (its lower bound is not the cost).
+    fn cached_bounded(
+        &self,
+        key: Option<u128>,
+        run: impl FnOnce(&mut CostScratch) -> Result<CostOutcome, SchedError>,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
+            if let Some(cost) = cache.get(key) {
+                return Ok((EvalOutcome::Exact(cost), true));
+            }
+        }
+        let outcome = SCRATCH.with(|scratch| run(&mut scratch.borrow_mut()))?;
+        if let CostOutcome::Exact(cost) = outcome {
+            if let (Some(cache), Some(key)) = (self.cache.as_ref(), key) {
+                cache.insert(key, cost);
+            }
+        }
+        Ok((outcome, false))
+    }
+
     /// [`Evaluator::evaluate`] under an alternative bus configuration
     /// (the bus-access optimization probes many of them for one
     /// design); cached under the (design, bus) pair.
@@ -269,6 +487,26 @@ impl<'p> Evaluator<'p> {
         self.evaluate_keyed(design, Some(bus))
     }
 
+    /// [`Evaluator::evaluate_with_bus`] with an incumbent bound: a
+    /// probe provably worse than the hill-climbing incumbent aborts
+    /// mid-placement with [`EvalOutcome::LowerBound`]. Pruned probes are
+    /// not cached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::evaluate_with_bus`].
+    pub fn evaluate_with_bus_bounded(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+        bound: Option<ScheduleCost>,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        self.cached_bounded(self.key_of(design, Some(bus)), |scratch| {
+            self.problem
+                .evaluate_cost_with_bus_bounded(bus, design, scratch, bound)
+        })
+    }
+
     /// Materializes the full schedule of `design` (the candidate the
     /// search keeps). Reuses the thread-local scratch and feeds the
     /// cost back into the cache.
@@ -278,6 +516,33 @@ impl<'p> Evaluator<'p> {
     /// Propagates [`SchedError`].
     pub fn schedule(&self, design: &Design) -> Result<Arc<Schedule>, SchedError> {
         self.schedule_keyed(design, None)
+    }
+
+    /// [`Evaluator::schedule`] that additionally records the
+    /// placement's resumable prefix checkpoints into `ckpts` — the
+    /// search materializes each iteration's winner anyway, so the
+    /// next window's incremental evaluation gets its base recording
+    /// for free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn schedule_recording(
+        &self,
+        design: &Design,
+        ckpts: &mut PlacementCheckpoints,
+    ) -> Result<Arc<Schedule>, SchedError> {
+        let schedule = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let scratch = scratch.core_mut();
+            self.problem
+                .evaluate_recording(design, scratch, Some(ckpts))
+        })?;
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), self.key_of(design, None)) {
+            cache.insert(key, schedule.cost());
+        }
+        ckpts.tag = design_fingerprint(design, self.base_fp);
+        Ok(Arc::new(schedule))
     }
 
     /// [`Evaluator::schedule`] under an alternative bus configuration.
@@ -295,8 +560,15 @@ impl<'p> Evaluator<'p> {
 
     fn key_of(&self, design: &Design, bus: Option<&BusConfig>) -> Option<u128> {
         self.cache.as_ref().map(|_| {
-            let bus_fp = bus.map_or(self.bus_fp, bus_fingerprint);
-            design_fingerprint(design, bus_fp)
+            let seed = match bus {
+                None => self.base_fp,
+                Some(bus) => {
+                    let mut fp = Fingerprint::new(self.context_fp);
+                    fp.mix(bus_fingerprint(bus));
+                    fp.finish() as u64
+                }
+            };
+            design_fingerprint(design, seed)
         })
     }
 

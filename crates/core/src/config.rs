@@ -67,6 +67,22 @@ pub struct SearchConfig {
     /// (see [`crate::cache::Evaluator`]). Disable only to measure the
     /// uncached baseline; results are identical either way.
     pub eval_cache: bool,
+    /// Evaluate window candidates incrementally: resume each
+    /// single-move candidate from the prefix checkpoints recorded
+    /// while the base solution was materialized, instead of
+    /// re-placing the whole instance order (see
+    /// [`ftdes_sched::incremental`]). Pure throughput knob — costs
+    /// are bit-identical either way; disable to measure the
+    /// from-scratch (PR 1) evaluation path.
+    pub incremental: bool,
+    /// Bounded (early-exit) candidate evaluation: abort a candidate
+    /// as soon as its accumulated worst-case completion provably
+    /// exceeds the window incumbent, and resolve any selection-order
+    /// ambiguity among pruned candidates by deterministic exact
+    /// re-evaluation. Pure throughput knob — the selected moves (and
+    /// the `(cost, move index)` total order behind them) are
+    /// bit-identical either way.
+    pub bounded: bool,
 }
 
 impl SearchConfig {
@@ -103,6 +119,8 @@ impl Default for SearchConfig {
             staged_tabu: true,
             threads: 0,
             eval_cache: true,
+            incremental: true,
+            bounded: true,
         }
     }
 }
@@ -115,6 +133,10 @@ pub struct SearchStats {
     pub evaluations: usize,
     /// Candidate evaluations served from the memoization cache.
     pub cache_hits: usize,
+    /// Bounded candidate evaluations aborted past the incumbent (the
+    /// partial placement still ran, but far short of a full
+    /// `ListScheduling` pass).
+    pub pruned: usize,
     /// Accepted greedy improvement steps.
     pub greedy_steps: usize,
     /// Tabu-search iterations performed.
@@ -128,6 +150,14 @@ impl SearchStats {
     #[must_use]
     pub fn lookups(&self) -> usize {
         self.evaluations + self.cache_hits
+    }
+
+    /// Total candidates scored: exact lookups plus bounded-pruned
+    /// candidates (a pruned candidate was examined just enough to
+    /// prove it cannot win).
+    #[must_use]
+    pub fn candidates(&self) -> usize {
+        self.evaluations + self.cache_hits + self.pruned
     }
 
     /// Records one evaluator result.

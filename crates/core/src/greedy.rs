@@ -10,13 +10,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ftdes_model::design::Design;
-use ftdes_sched::Schedule;
+use ftdes_sched::{PlacementCheckpoints, Schedule};
 
-use crate::cache::Evaluator;
+use crate::cache::{EvalOutcome, Evaluator};
 use crate::config::{Goal, SearchConfig, SearchStats};
 use crate::error::OptError;
 use crate::moves::{MoveRef, MoveTable};
-use crate::parallel::{effective_threads, try_par_map_init};
+use crate::parallel::{effective_threads, WorkerPool};
 use crate::problem::Problem;
 use crate::space::PolicySpace;
 
@@ -36,21 +36,26 @@ pub fn greedy_mpa(
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
     let evaluator = Evaluator::with_cache(problem, cfg.eval_cache);
-    greedy_mpa_with(&evaluator, space, start, cfg, cutoff, stats)
+    let pool = WorkerPool::new(effective_threads(cfg.threads));
+    greedy_mpa_with(&evaluator, &pool, space, start, cfg, cutoff, stats)
 }
 
-/// [`greedy_mpa`] sharing a caller-owned [`Evaluator`] with the other
-/// search phases.
+/// [`greedy_mpa`] sharing a caller-owned [`Evaluator`] and
+/// [`WorkerPool`] with the other search phases.
 ///
 /// Like the tabu search, the neighbourhood is evaluated in parallel
 /// and the winning move is selected by a total order on
 /// `(cost, move index)`, so results are thread-count independent.
+/// Greedy only ever accepts a move *strictly better* than the current
+/// solution, so bounded evaluation needs no resolution pass here: a
+/// candidate pruned against the current cost can never be accepted.
 ///
 /// # Errors
 ///
 /// Same as [`greedy_mpa`].
 pub fn greedy_mpa_with(
     evaluator: &Evaluator<'_>,
+    pool: &WorkerPool,
     space: PolicySpace,
     start: Design,
     cfg: &SearchConfig,
@@ -58,14 +63,19 @@ pub fn greedy_mpa_with(
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
     let problem = evaluator.problem();
-    let threads = effective_threads(cfg.threads);
     let table = MoveTable::new(problem, space);
     let mut window: Vec<MoveRef> = Vec::new();
+    let mut ckpts = PlacementCheckpoints::new();
     let mut design = start;
     // The start design's schedule is needed for its critical path:
-    // materialize directly (one full run, counted once).
+    // materialize directly (one full run, counted once), recording
+    // the incremental engine's base checkpoints along the way.
     stats.evaluations += 1;
-    let mut schedule = evaluator.schedule(&design)?;
+    let mut schedule = if cfg.incremental {
+        evaluator.schedule_recording(&design, &mut ckpts)?
+    } else {
+        evaluator.schedule(&design)?
+    };
 
     loop {
         if cfg.goal == Goal::MeetDeadline && schedule.is_schedulable() {
@@ -76,40 +86,68 @@ pub fn greedy_mpa_with(
         }
         let cp = schedule.move_candidates(problem.graph(), cfg.min_move_candidates);
         table.window(&design, &cp, &mut window);
-        let evaluated = try_par_map_init(
-            &window,
-            threads,
-            || design.clone(),
-            |cand, _, mv| {
-                if cutoff.is_some_and(|c| Instant::now() >= c) {
-                    return Ok(None);
-                }
-                Ok(Some(evaluator.evaluate_move(
-                    cand,
-                    mv.process,
-                    table.decision(*mv),
-                )?))
-            },
-        )
-        .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
+        let bound = if cfg.bounded {
+            Some(schedule.cost())
+        } else {
+            None
+        };
+        let use_ckpts = if cfg.incremental && ckpts.is_valid() {
+            Some(&ckpts)
+        } else {
+            None
+        };
+        // One O(n) key per window; each candidate key is then O(1).
+        let base_key = evaluator.design_key(&design);
+        let evaluated = pool
+            .try_map_init(
+                &window,
+                || design.clone(),
+                |cand, _, mv| {
+                    if cutoff.is_some_and(|c| Instant::now() >= c) {
+                        return Ok(None);
+                    }
+                    Ok(Some(evaluator.evaluate_move_incremental(
+                        cand,
+                        mv.process,
+                        table.decision(*mv),
+                        base_key,
+                        use_ckpts,
+                        bound,
+                    )?))
+                },
+            )
+            .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
 
         let mut best: Option<(MoveRef, ftdes_sched::ScheduleCost)> = None;
         for (mv, slot) in window.iter().zip(evaluated) {
-            let Some((cost, hit)) = slot else {
+            let Some((outcome, hit)) = slot else {
                 continue;
             };
-            stats.record_eval(hit);
-            // Strict `<` keeps the earliest of equally-cheap moves —
-            // the same winner the sequential loop picked.
-            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                best = Some((*mv, cost));
+            match outcome {
+                EvalOutcome::Exact(cost) => {
+                    stats.record_eval(hit);
+                    // Strict `<` keeps the earliest of equally-cheap
+                    // moves — the same winner the sequential loop
+                    // picked.
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        best = Some((*mv, cost));
+                    }
+                }
+                // A pruned candidate is certified worse than the
+                // current solution; greedy's strict-improvement
+                // acceptance can never pick it.
+                EvalOutcome::LowerBound(_) => stats.pruned += 1,
             }
         }
         match best {
             Some((mv, cost)) if cost < schedule.cost() => {
                 design.set_decision(mv.process, table.decision(mv).clone());
                 stats.evaluations += 1;
-                schedule = evaluator.schedule(&design)?;
+                schedule = if cfg.incremental {
+                    evaluator.schedule_recording(&design, &mut ckpts)?
+                } else {
+                    evaluator.schedule(&design)?
+                };
                 stats.greedy_steps += 1;
             }
             _ => break, // local optimum

@@ -67,20 +67,22 @@ pub mod tabu;
 /// Convenience re-exports of the optimization entry points.
 pub mod prelude {
     pub use crate::bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
-    pub use crate::cache::Evaluator;
+    pub use crate::cache::{EvalCache, EvalOutcome, Evaluator};
     pub use crate::config::{Goal, SearchConfig, SearchStats};
     pub use crate::error::OptError;
+    pub use crate::parallel::{effective_threads, WorkerPool};
     pub use crate::problem::Problem;
     pub use crate::space::PolicySpace;
-    pub use crate::strategy::{optimize, overhead_percent, Outcome, Strategy};
+    pub use crate::strategy::{optimize, optimize_with_cache, overhead_percent, Outcome, Strategy};
     pub use crate::sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};
 }
 
 pub use bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
-pub use cache::Evaluator;
+pub use cache::{EvalCache, EvalOutcome, Evaluator};
 pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
+pub use parallel::{effective_threads, WorkerPool};
 pub use problem::Problem;
 pub use space::PolicySpace;
-pub use strategy::{optimize, overhead_percent, Outcome, Strategy};
+pub use strategy::{optimize, optimize_with_cache, overhead_percent, Outcome, Strategy};
 pub use sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};

@@ -9,13 +9,27 @@
 //! interleaving never influences which candidate wins and a parallel
 //! run is bit-identical to a single-threaded one.
 //!
-//! Worker threads are plain [`std::thread::scope`] threads pulling
-//! indices from an atomic counter (the container has no rayon
-//! available offline; the scoped work-stealing loop below is the same
-//! shape `par_iter` would compile to for this workload).
+//! Two execution vehicles share that contract:
+//!
+//! * [`WorkerPool`] — a **persistent** pool of parked worker threads
+//!   living for a whole search (or a whole benchmark harness). Tabu
+//!   iterates thousands of windows per second; spawning scoped
+//!   threads per window made the spawn cost rival the useful work for
+//!   small windows on multi-core machines. Submitting to the pool is
+//!   one mutex/condvar round-trip, and the submitting thread works
+//!   alongside the pool on every job.
+//! * [`try_par_map`] / [`try_par_map_init`] — one-shot
+//!   [`std::thread::scope`] fallbacks with the identical semantics,
+//!   kept for callers without a long-lived pool.
+//!
+//! (The container has no rayon available offline; the index-stealing
+//! loop below is the same shape `par_iter` would compile to for this
+//! workload.)
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Resolves the worker count for a search.
 ///
@@ -152,6 +166,267 @@ where
     Ok(results.into_inner().expect("result slots"))
 }
 
+/// A type-erased unit of work: every pool worker calls `run(ctx)`
+/// exactly once per submission.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// The pointees are `Sync` closures borrowed from a submitter that
+// blocks until every worker finished — see `WorkerPool::run_job`.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Bumped once per submission; workers run each epoch exactly once.
+    epoch: u64,
+    /// Workers still executing the current epoch's job.
+    pending: usize,
+    shutdown: bool,
+    panicked: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("job published with its epoch");
+                }
+                st = shared.work.wait(st).expect("pool state");
+            }
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx) })).is_ok();
+        let mut st = shared.state.lock().expect("pool state");
+        if !ok {
+            st.panicked = true;
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads with the same
+/// deterministic mapping contract as [`try_par_map_init`].
+///
+/// Created once per search (or harness) and fed one candidate window
+/// at a time: submission publishes a job under a mutex, wakes the
+/// parked workers, runs the job on the **calling thread as well**,
+/// and returns once every worker finished — so borrowed closures are
+/// sound without `'static` bounds or per-window thread spawns. With
+/// `threads <= 1` no threads are spawned and every map runs inline in
+/// input order (the reference behaviour parallel runs reproduce).
+pub struct WorkerPool {
+    shared: Option<Arc<PoolShared>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serializes submissions (the pool runs one job at a time).
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `threads` total workers (the submitting
+    /// thread counts as one; `threads - 1` threads are spawned).
+    /// Resolve `SearchConfig::threads` through [`effective_threads`]
+    /// first.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return WorkerPool {
+                shared: None,
+                handles: Vec::new(),
+                threads: 1,
+                submit: Mutex::new(()),
+            };
+        }
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                pending: 0,
+                shutdown: false,
+                panicked: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ftdes-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared: Some(shared),
+            handles,
+            threads,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// A pool sized by [`effective_threads`]`(requested)`.
+    #[must_use]
+    pub fn with_requested(requested: usize) -> Self {
+        WorkerPool::new(effective_threads(requested))
+    }
+
+    /// Total workers (including the submitting thread).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` once on every pool worker *and* on the calling
+    /// thread, returning when all invocations finished.
+    fn run_job<F: Fn() + Sync>(&self, f: &F) {
+        let Some(shared) = &self.shared else {
+            f();
+            return;
+        };
+        unsafe fn call<F: Fn()>(ptr: *const ()) {
+            unsafe { (*ptr.cast::<F>())() }
+        }
+        let _serial = self.submit.lock().expect("pool submit lock");
+        {
+            let mut st = shared.state.lock().expect("pool state");
+            st.job = Some(Job {
+                run: call::<F>,
+                ctx: std::ptr::from_ref(f).cast(),
+            });
+            st.epoch += 1;
+            st.pending = self.handles.len();
+            shared.work.notify_all();
+        }
+        // The submitting thread participates in its own job.
+        let caller = catch_unwind(AssertUnwindSafe(f));
+        let worker_panicked = {
+            let mut st = shared.state.lock().expect("pool state");
+            while st.pending > 0 {
+                st = shared.done.wait(st).expect("pool state");
+            }
+            st.job = None;
+            std::mem::replace(&mut st.panicked, false)
+        };
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "worker panicked during pool job");
+    }
+
+    /// [`try_par_map_init`] on the persistent pool: maps `f` over
+    /// `items` with per-worker state, preserving input order in the
+    /// result and returning the error of the lowest input index.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_par_map`].
+    pub fn try_map_init<T, R, E, S, I, F>(
+        &self,
+        items: &[T],
+        init: I,
+        f: F,
+    ) -> Result<Vec<Option<R>>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> Result<Option<R>, E> + Sync,
+    {
+        let n = items.len();
+        if self.threads.min(n) <= 1 || self.shared.is_none() {
+            let mut state = init();
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                out.push(f(&mut state, i, item)?);
+            }
+            return Ok(out);
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let error_floor = AtomicUsize::new(usize::MAX);
+        let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+        let body = || {
+            let mut state = init();
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if i > error_floor.load(Ordering::Relaxed) {
+                    continue;
+                }
+                match f(&mut state, i, &items[i]) {
+                    Ok(Some(r)) => local.push((i, r)),
+                    Ok(None) => {}
+                    Err(e) => {
+                        error_floor.fetch_min(i, Ordering::Relaxed);
+                        let mut slot = first_error.lock().expect("error slot");
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, e));
+                        }
+                    }
+                }
+            }
+            let mut out = results.lock().expect("result slots");
+            for (i, r) in local {
+                out[i] = Some(r);
+            }
+        };
+        self.run_job(&body);
+
+        if let Some((_, e)) = first_error.into_inner().expect("error slot") {
+            return Err(e);
+        }
+        Ok(results.into_inner().expect("result slots"))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            let mut st = shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            shared.work.notify_all();
+            drop(st);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +463,75 @@ mod tests {
     fn thread_resolution_prefers_explicit_request() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn pool_matches_scoped_map() {
+        let items: Vec<usize> = (0..257).collect();
+        let scoped = try_par_map(&items, 4, |i, &v| Ok::<_, ()>(Some(i * 1000 + v))).unwrap();
+        let pool = WorkerPool::new(4);
+        for _ in 0..3 {
+            // Re-submitting to the same pool must be safe and
+            // identical — that is the whole point of persistence.
+            let pooled = pool
+                .try_map_init(&items, || (), |(), i, &v| Ok::<_, ()>(Some(i * 1000 + v)))
+                .unwrap();
+            assert_eq!(scoped, pooled);
+        }
+    }
+
+    #[test]
+    fn pool_inline_when_single_threaded() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let items = [1usize, 2, 3];
+        let out = pool
+            .try_map_init(
+                &items,
+                || 0usize,
+                |acc, i, &v| {
+                    // Inline execution is strictly in input order, so the
+                    // per-worker state sees every prior item.
+                    *acc += v;
+                    Ok::<_, ()>(Some((i, *acc)))
+                },
+            )
+            .unwrap();
+        assert_eq!(out[2], Some((2, 6)));
+    }
+
+    #[test]
+    fn pool_propagates_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        let pool = WorkerPool::new(8);
+        let result = pool.try_map_init(
+            &items,
+            || (),
+            |(), i, _| if i >= 10 { Err(i) } else { Ok(Some(i)) },
+        );
+        assert_eq!(result.unwrap_err(), 10);
+        // The pool survives an erroring job.
+        let ok = pool
+            .try_map_init(&items, || (), |(), i, _| Ok::<_, usize>(Some(i)))
+            .unwrap();
+        assert_eq!(ok.len(), 64);
+    }
+
+    #[test]
+    fn pool_per_worker_state_counts_initializations() {
+        let inits = AtomicUsize::new(0);
+        let pool = WorkerPool::new(3);
+        let items: Vec<usize> = (0..100).collect();
+        pool.try_map_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i, _| Ok::<_, ()>(Some(i)),
+        )
+        .unwrap();
+        // One init per participating worker (submitter included).
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+        assert!(inits.load(Ordering::Relaxed) >= 1);
     }
 }

@@ -9,11 +9,13 @@ use ftdes_model::architecture::Architecture;
 use ftdes_model::design::{Design, DesignConstraints};
 use ftdes_model::fault::FaultModel;
 use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::ProcessId;
 use ftdes_model::time::Time;
-use ftdes_model::wcet::WcetTable;
+use ftdes_model::wcet::{DenseWcet, WcetTable};
 use ftdes_sched::{
-    list_schedule, list_schedule_scratch, schedule_cost, CostScratch, SchedError, SchedScratch,
-    Schedule, ScheduleCost, ScheduleOptions,
+    list_schedule, list_schedule_recording, schedule_cost_bounded, schedule_cost_resumed,
+    CostOutcome, CostScratch, PlacementCheckpoints, SchedError, SchedScratch, Schedule,
+    ScheduleCost, ScheduleOptions,
 };
 use ftdes_ttp::config::BusConfig;
 
@@ -42,6 +44,15 @@ pub struct Problem {
     graph: ProcessGraph,
     arch: Architecture,
     wcet: WcetTable,
+    /// Dense `n_processes × n_nodes` front-end of `wcet`, built once:
+    /// the expansion hot path does a multiply-add load per replica
+    /// instead of a `BTreeMap` walk.
+    dense_wcet: DenseWcet,
+    /// `false` routes the scheduling hot paths through the sparse
+    /// `BTreeMap` table instead of the dense matrix — the faithful
+    /// pre-dense reference for perf ablations (`perfgate`'s PR 1 and
+    /// legacy modes).
+    dense_hot_path: bool,
     fault_model: FaultModel,
     bus: BusConfig,
     constraints: DesignConstraints,
@@ -59,14 +70,27 @@ impl Problem {
         bus: BusConfig,
     ) -> Self {
         let n = graph.process_count();
+        let dense_wcet = DenseWcet::from_table(&wcet, n, arch.node_count());
         Problem {
             graph,
             arch,
             wcet,
+            dense_wcet,
+            dense_hot_path: true,
             fault_model,
             bus,
             constraints: DesignConstraints::free(n),
         }
+    }
+
+    /// Routes every scheduling hot path through the sparse `BTreeMap`
+    /// WCET table instead of the dense matrix — the behaviour of the
+    /// code before the dense front-end landed. Measurement knob for
+    /// perf ablations; results are identical, only slower.
+    #[must_use]
+    pub fn with_sparse_wcet_lookup(mut self) -> Self {
+        self.dense_hot_path = false;
+        self
     }
 
     /// Sets designer constraints (builder style).
@@ -112,6 +136,12 @@ impl Problem {
     #[must_use]
     pub fn wcet(&self) -> &WcetTable {
         &self.wcet
+    }
+
+    /// The dense WCET front-end (same entries as [`Problem::wcet`]).
+    #[must_use]
+    pub fn dense_wcet(&self) -> &DenseWcet {
+        &self.dense_wcet
     }
 
     /// The fault model.
@@ -160,14 +190,25 @@ impl Problem {
     /// Propagates [`SchedError`] for designs inconsistent with the
     /// problem.
     pub fn evaluate(&self, design: &Design) -> Result<Schedule, SchedError> {
-        list_schedule(
-            &self.graph,
-            &self.arch,
-            &self.wcet,
-            &self.fault_model,
-            &self.bus,
-            design,
-        )
+        if self.dense_hot_path {
+            list_schedule(
+                &self.graph,
+                &self.arch,
+                &self.dense_wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+            )
+        } else {
+            list_schedule(
+                &self.graph,
+                &self.arch,
+                &self.wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+            )
+        }
     }
 
     /// [`Problem::evaluate`] reusing caller-owned scheduling buffers —
@@ -182,16 +223,48 @@ impl Problem {
         design: &Design,
         scratch: &mut SchedScratch,
     ) -> Result<Schedule, SchedError> {
-        list_schedule_scratch(
-            &self.graph,
-            &self.arch,
-            &self.wcet,
-            &self.fault_model,
-            &self.bus,
-            design,
-            ScheduleOptions::default(),
-            scratch,
-        )
+        self.evaluate_recording(design, scratch, None)
+    }
+
+    /// [`Problem::evaluate_scratch`] that additionally records the
+    /// placement's resumable prefix checkpoints into `ckpts` — the
+    /// incremental engine replays single-move candidates from them
+    /// (see [`ftdes_sched::incremental`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_recording(
+        &self,
+        design: &Design,
+        scratch: &mut SchedScratch,
+        ckpts: Option<&mut PlacementCheckpoints>,
+    ) -> Result<Schedule, SchedError> {
+        if self.dense_hot_path {
+            list_schedule_recording(
+                &self.graph,
+                &self.arch,
+                &self.dense_wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                ckpts,
+            )
+        } else {
+            list_schedule_recording(
+                &self.graph,
+                &self.arch,
+                &self.wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                ckpts,
+            )
+        }
     }
 
     /// Evaluates `design` under an alternative bus configuration
@@ -207,16 +280,31 @@ impl Problem {
         design: &Design,
         scratch: &mut SchedScratch,
     ) -> Result<Schedule, SchedError> {
-        list_schedule_scratch(
-            &self.graph,
-            &self.arch,
-            &self.wcet,
-            &self.fault_model,
-            bus,
-            design,
-            ScheduleOptions::default(),
-            scratch,
-        )
+        if self.dense_hot_path {
+            list_schedule_recording(
+                &self.graph,
+                &self.arch,
+                &self.dense_wcet,
+                &self.fault_model,
+                bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                None,
+            )
+        } else {
+            list_schedule_recording(
+                &self.graph,
+                &self.arch,
+                &self.wcet,
+                &self.fault_model,
+                bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                None,
+            )
+        }
     }
 
     /// Computes only the [`ScheduleCost`] of `design` — the identical
@@ -232,16 +320,98 @@ impl Problem {
         design: &Design,
         scratch: &mut CostScratch,
     ) -> Result<ScheduleCost, SchedError> {
-        schedule_cost(
-            &self.graph,
-            &self.arch,
-            &self.wcet,
-            &self.fault_model,
-            &self.bus,
-            design,
-            ScheduleOptions::default(),
-            scratch,
-        )
+        match self.evaluate_cost_bounded(design, scratch, None)? {
+            CostOutcome::Exact(cost) => Ok(cost),
+            CostOutcome::LowerBound(_) => unreachable!("unbounded runs always complete"),
+        }
+    }
+
+    /// [`Problem::evaluate_cost`] with an incumbent bound: the run
+    /// aborts with a certified lower bound as soon as the accumulated
+    /// worst-case completion strictly exceeds `bound` (see
+    /// [`ftdes_sched::schedule_cost_bounded`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_cost_bounded(
+        &self,
+        design: &Design,
+        scratch: &mut CostScratch,
+        bound: Option<ScheduleCost>,
+    ) -> Result<CostOutcome, SchedError> {
+        if self.dense_hot_path {
+            schedule_cost_bounded(
+                &self.graph,
+                &self.arch,
+                &self.dense_wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                bound,
+            )
+        } else {
+            schedule_cost_bounded(
+                &self.graph,
+                &self.arch,
+                &self.wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                bound,
+            )
+        }
+    }
+
+    /// Evaluates the cost of `design` — the checkpointed base design
+    /// with `moved`'s decision replaced — by resuming the placement
+    /// from the recorded prefix checkpoints instead of re-placing
+    /// from scratch (see [`ftdes_sched::schedule_cost_resumed`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_cost_resumed(
+        &self,
+        design: &Design,
+        moved: ProcessId,
+        scratch: &mut CostScratch,
+        ckpts: &PlacementCheckpoints,
+        bound: Option<ScheduleCost>,
+    ) -> Result<CostOutcome, SchedError> {
+        if self.dense_hot_path {
+            schedule_cost_resumed(
+                &self.graph,
+                &self.arch,
+                &self.dense_wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+                moved,
+                ScheduleOptions::default(),
+                scratch,
+                ckpts,
+                bound,
+            )
+        } else {
+            schedule_cost_resumed(
+                &self.graph,
+                &self.arch,
+                &self.wcet,
+                &self.fault_model,
+                &self.bus,
+                design,
+                moved,
+                ScheduleOptions::default(),
+                scratch,
+                ckpts,
+                bound,
+            )
+        }
     }
 
     /// [`Problem::evaluate_cost`] under an alternative bus
@@ -256,16 +426,50 @@ impl Problem {
         design: &Design,
         scratch: &mut CostScratch,
     ) -> Result<ScheduleCost, SchedError> {
-        schedule_cost(
-            &self.graph,
-            &self.arch,
-            &self.wcet,
-            &self.fault_model,
-            bus,
-            design,
-            ScheduleOptions::default(),
-            scratch,
-        )
+        match self.evaluate_cost_with_bus_bounded(bus, design, scratch, None)? {
+            CostOutcome::Exact(cost) => Ok(cost),
+            CostOutcome::LowerBound(_) => unreachable!("unbounded runs always complete"),
+        }
+    }
+
+    /// [`Problem::evaluate_cost_with_bus`] with an incumbent bound
+    /// (the bus-access optimization prunes losing probes with it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_cost_with_bus_bounded(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+        scratch: &mut CostScratch,
+        bound: Option<ScheduleCost>,
+    ) -> Result<CostOutcome, SchedError> {
+        if self.dense_hot_path {
+            schedule_cost_bounded(
+                &self.graph,
+                &self.arch,
+                &self.dense_wcet,
+                &self.fault_model,
+                bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                bound,
+            )
+        } else {
+            schedule_cost_bounded(
+                &self.graph,
+                &self.arch,
+                &self.wcet,
+                &self.fault_model,
+                bus,
+                design,
+                ScheduleOptions::default(),
+                scratch,
+                bound,
+            )
+        }
     }
 
     /// The sum over processes of the average WCET — a scale for

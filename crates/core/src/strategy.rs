@@ -12,6 +12,7 @@
 //! * **NFT** — the non-fault-tolerant reference used to measure the
 //!   fault-tolerance overhead of Table 1.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ftdes_model::design::{Design, ProcessDesign};
@@ -19,11 +20,12 @@ use ftdes_model::fault::FaultModel;
 use ftdes_model::policy::FtPolicy;
 use ftdes_sched::Schedule;
 
-use crate::cache::Evaluator;
+use crate::cache::{EvalCache, Evaluator};
 use crate::config::{SearchConfig, SearchStats};
 use crate::error::OptError;
 use crate::greedy::greedy_mpa_with;
 use crate::initial::initial_mpa;
+use crate::parallel::{effective_threads, WorkerPool};
 use crate::problem::Problem;
 use crate::space::PolicySpace;
 use crate::tabu::tabu_search_mpa_with;
@@ -111,31 +113,57 @@ pub fn optimize(
     strategy: Strategy,
     cfg: &SearchConfig,
 ) -> Result<Outcome, OptError> {
+    optimize_shared(problem, strategy, cfg, None)
+}
+
+/// [`optimize`] over a caller-owned [`EvalCache`], so the memoized
+/// candidate costs survive this call and serve the caller's next
+/// searches — sweeps (`sweep_k`, fig10) re-solve overlapping problems
+/// and reuse each other's entries. Keys cover the problem structure
+/// and the fault model, so sharing one cache across any mix of
+/// problems and strategies is sound.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_with_cache(
+    problem: &Problem,
+    strategy: Strategy,
+    cfg: &SearchConfig,
+    cache: &Arc<EvalCache>,
+) -> Result<Outcome, OptError> {
+    optimize_shared(problem, strategy, cfg, Some(Arc::clone(cache)))
+}
+
+fn optimize_shared(
+    problem: &Problem,
+    strategy: Strategy,
+    cfg: &SearchConfig,
+    cache: Option<Arc<EvalCache>>,
+) -> Result<Outcome, OptError> {
     let started = Instant::now();
     let cutoff = cfg.time_limit.map(|l| started + l);
     let mut stats = SearchStats::default();
+    // One persistent worker pool serves every phase of the strategy:
+    // windows are submitted to parked workers instead of spawning
+    // scoped threads per tabu iteration.
+    let pool = WorkerPool::new(effective_threads(cfg.threads));
+    let ctx = StrategyCtx {
+        cfg,
+        cutoff,
+        pool: &pool,
+        cache,
+    };
 
     let outcome = match strategy {
-        Strategy::Mxr => three_step(problem, PolicySpace::Mixed, cfg, cutoff, &mut stats)?,
-        Strategy::Mx => three_step(
-            problem,
-            PolicySpace::ReexecutionOnly,
-            cfg,
-            cutoff,
-            &mut stats,
-        )?,
-        Strategy::Mr => three_step(
-            problem,
-            PolicySpace::ReplicationOnly,
-            cfg,
-            cutoff,
-            &mut stats,
-        )?,
+        Strategy::Mxr => three_step(problem, PolicySpace::Mixed, &ctx, &mut stats)?,
+        Strategy::Mx => three_step(problem, PolicySpace::ReexecutionOnly, &ctx, &mut stats)?,
+        Strategy::Mr => three_step(problem, PolicySpace::ReplicationOnly, &ctx, &mut stats)?,
         Strategy::Nft => {
             let nft = problem.with_fault_model(FaultModel::none());
-            three_step(&nft, PolicySpace::Mixed, cfg, cutoff, &mut stats)?
+            three_step(&nft, PolicySpace::Mixed, &ctx, &mut stats)?
         }
-        Strategy::Sfx => sfx(problem, cfg, cutoff, &mut stats)?,
+        Strategy::Sfx => sfx(problem, &ctx, &mut stats)?,
     };
 
     let (design, schedule) = outcome;
@@ -145,6 +173,23 @@ pub fn optimize(
         schedule,
         stats,
     })
+}
+
+/// Everything one strategy run threads through its phases.
+struct StrategyCtx<'a> {
+    cfg: &'a SearchConfig,
+    cutoff: Option<Instant>,
+    pool: &'a WorkerPool,
+    cache: Option<Arc<EvalCache>>,
+}
+
+impl StrategyCtx<'_> {
+    fn evaluator<'p>(&self, problem: &'p Problem) -> Evaluator<'p> {
+        match (&self.cache, self.cfg.eval_cache) {
+            (Some(cache), true) => Evaluator::with_shared_cache(problem, Arc::clone(cache)),
+            (_, enabled) => Evaluator::with_cache(problem, enabled),
+        }
+    }
 }
 
 /// The three-step `OptimizationStrategy` of paper Fig. 6.
@@ -160,20 +205,21 @@ pub fn optimize(
 fn three_step(
     problem: &Problem,
     space: PolicySpace,
-    cfg: &SearchConfig,
-    cutoff: Option<Instant>,
+    ctx: &StrategyCtx<'_>,
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
+    let (cfg, cutoff) = (ctx.cfg, ctx.cutoff);
     // One memoized evaluator spans every phase: designs revisited by
     // the greedy pass, either tabu stage or the final refinement are
     // served from cache instead of re-scheduled.
-    let evaluator = Evaluator::with_cache(problem, cfg.eval_cache);
+    let evaluator = ctx.evaluator(problem);
     // Step 1: initial bus access (the caller fixed it in the problem)
     // and initial mapping / policy assignment.
     let initial = initial_mpa(problem, space)?;
     // Step 2: greedy improvement (returns immediately when step 1
     // already satisfies the goal).
-    let (design, schedule) = greedy_mpa_with(&evaluator, space, initial, cfg, cutoff, stats)?;
+    let (design, schedule) =
+        greedy_mpa_with(&evaluator, ctx.pool, space, initial, cfg, cutoff, stats)?;
     if cfg.goal == crate::config::Goal::MeetDeadline && schedule.is_schedulable() {
         return Ok((design, schedule));
     }
@@ -199,6 +245,7 @@ fn three_step(
         };
         let staged = tabu_search_mpa_with(
             &evaluator,
+            ctx.pool,
             PolicySpace::ReexecutionOnly,
             (design, schedule),
             &stage1_cfg,
@@ -208,9 +255,17 @@ fn three_step(
         if cfg.goal == crate::config::Goal::MeetDeadline && staged.1.is_schedulable() {
             return Ok(staged);
         }
-        tabu_search_mpa_with(&evaluator, space, staged, cfg, cutoff, stats)
+        tabu_search_mpa_with(&evaluator, ctx.pool, space, staged, cfg, cutoff, stats)
     } else {
-        tabu_search_mpa_with(&evaluator, space, (design, schedule), cfg, cutoff, stats)
+        tabu_search_mpa_with(
+            &evaluator,
+            ctx.pool,
+            space,
+            (design, schedule),
+            cfg,
+            cutoff,
+            stats,
+        )
     }
 }
 
@@ -219,12 +274,11 @@ fn three_step(
 /// process without re-optimizing (paper §6).
 fn sfx(
     problem: &Problem,
-    cfg: &SearchConfig,
-    cutoff: Option<Instant>,
+    ctx: &StrategyCtx<'_>,
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
     let nft = problem.with_fault_model(FaultModel::none());
-    let (nft_design, _) = three_step(&nft, PolicySpace::Mixed, cfg, cutoff, stats)?;
+    let (nft_design, _) = three_step(&nft, PolicySpace::Mixed, ctx, stats)?;
 
     // Keep the fault-oblivious mapping, re-execute everything.
     let fm = problem.fault_model();

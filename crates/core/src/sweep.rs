@@ -1,13 +1,16 @@
 //! Parameter sweeps over the fault hypothesis — library support for
 //! Table-1b/1c-style studies (overhead as a function of `k` or `µ`).
 
+use std::sync::Arc;
+
 use ftdes_model::fault::FaultModel;
 use ftdes_model::time::Time;
 
+use crate::cache::EvalCache;
 use crate::config::SearchConfig;
 use crate::error::OptError;
 use crate::problem::Problem;
-use crate::strategy::{optimize, overhead_percent, Outcome, Strategy};
+use crate::strategy::{optimize_with_cache, overhead_percent, Outcome, Strategy};
 
 /// One point of a fault-hypothesis sweep.
 #[derive(Debug, Clone)]
@@ -45,6 +48,12 @@ impl Sweep {
 /// same application, against a single NFT reference (paper Table 1b
 /// varies `k`, Table 1c varies `µ`).
 ///
+/// All points share one memoized [`EvalCache`], keyed additionally by
+/// the fault model: the sweep re-solves overlapping problems (same
+/// graph, same bus, same WCETs), so candidate designs revisited under
+/// the same `(k, µ)` by later points cost a hash instead of a
+/// schedule, while distinct fault models can never alias.
+///
 /// # Errors
 ///
 /// Propagates the first [`OptError`] (e.g. replication infeasible for
@@ -55,11 +64,12 @@ pub fn sweep_fault_models(
     strategy: Strategy,
     cfg: &SearchConfig,
 ) -> Result<Sweep, OptError> {
-    let nft = optimize(problem, Strategy::Nft, cfg)?;
+    let cache = Arc::new(EvalCache::default());
+    let nft = optimize_with_cache(problem, Strategy::Nft, cfg, &cache)?;
     let mut points = Vec::with_capacity(models.len());
     for &fault_model in models {
         let p = problem.with_fault_model(fault_model);
-        let outcome = optimize(&p, strategy, cfg)?;
+        let outcome = optimize_with_cache(&p, strategy, cfg, &cache)?;
         let overhead = overhead_percent(&outcome, &nft);
         points.push(SweepPoint {
             fault_model,

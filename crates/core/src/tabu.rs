@@ -19,13 +19,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ftdes_model::design::Design;
-use ftdes_sched::Schedule;
+use ftdes_sched::{PlacementCheckpoints, Schedule};
 
-use crate::cache::Evaluator;
+use crate::cache::{EvalOutcome, Evaluator};
 use crate::config::{Goal, SearchConfig, SearchStats};
 use crate::error::OptError;
 use crate::moves::{MoveRef, MoveTable};
-use crate::parallel::{effective_threads, try_par_map_init};
+use crate::parallel::{effective_threads, WorkerPool};
 use crate::problem::Problem;
 use crate::space::PolicySpace;
 
@@ -35,7 +35,55 @@ struct Candidate {
     /// deterministic tiebreaker of candidate selection.
     index: usize,
     mv: MoveRef,
-    cost: ftdes_sched::ScheduleCost,
+    /// Exact cost, or the certified lower bound of a bounded-pruned
+    /// run (resolved to exact before it can influence the selection).
+    outcome: EvalOutcome,
+}
+
+impl Candidate {
+    fn cost(&self) -> ftdes_sched::ScheduleCost {
+        self.outcome.cost()
+    }
+}
+
+/// Lines 9–20 of paper Fig. 9: aspiration / diversification /
+/// best-admissible selection over the window, resolved by the total
+/// order on `(cost, move index)`. Pruned candidates participate with
+/// their lower bounds; [`tabu_search_mpa_with`] re-evaluates exactly
+/// any pruned candidate that could still influence the outcome before
+/// accepting a selection, so the result is identical to an all-exact
+/// window.
+fn select_candidate(
+    candidates: &[Candidate],
+    best_cost: ftdes_sched::ScheduleCost,
+    tabu: &[usize],
+    wait: &[usize],
+    cfg: &SearchConfig,
+    n: usize,
+) -> Option<usize> {
+    let is_tabu = |c: &Candidate| tabu[c.mv.process.index()] > 0;
+    let aspirates = |c: &Candidate| cfg.aspiration && c.cost() < best_cost;
+    let is_waiting = |c: &Candidate| cfg.diversification && wait[c.mv.process.index()] > n;
+    let admissible = |c: &Candidate| !is_tabu(c) || aspirates(c) || is_waiting(c);
+    let best_of = |pred: &dyn Fn(&Candidate) -> bool| -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| pred(c))
+            .min_by_key(|(_, c)| (c.cost(), c.index))
+            .map(|(i, _)| i)
+    };
+
+    let x_now = best_of(&admissible);
+    let selected = match x_now {
+        Some(i) if candidates[i].cost() < best_cost => Some(i),
+        _ => best_of(&|c: &Candidate| is_waiting(c))
+            .or_else(|| best_of(&|c: &Candidate| !is_tabu(c)))
+            .or(x_now),
+    };
+    // Every candidate may be tabu without aspiring: then simply take
+    // the overall best to keep the search moving.
+    selected.or_else(|| best_of(&|_| true))
 }
 
 /// Runs the tabu search from `start` until the goal is reached or
@@ -60,18 +108,21 @@ pub fn tabu_search_mpa(
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
     let evaluator = Evaluator::with_cache(problem, cfg.eval_cache);
-    tabu_search_mpa_with(&evaluator, space, start, cfg, cutoff, stats)
+    let pool = WorkerPool::new(effective_threads(cfg.threads));
+    tabu_search_mpa_with(&evaluator, &pool, space, start, cfg, cutoff, stats)
 }
 
-/// [`tabu_search_mpa`] sharing a caller-owned [`Evaluator`], so the
-/// memoization cache spans the greedy phase, both staged tabu passes
-/// and any further evaluation the caller performs.
+/// [`tabu_search_mpa`] sharing a caller-owned [`Evaluator`] and
+/// [`WorkerPool`], so the memoization cache and the worker threads
+/// span the greedy phase, both staged tabu passes and any further
+/// evaluation the caller performs.
 ///
 /// # Errors
 ///
 /// Same as [`tabu_search_mpa`].
 pub fn tabu_search_mpa_with(
     evaluator: &Evaluator<'_>,
+    pool: &WorkerPool,
     space: PolicySpace,
     start: (Design, Schedule),
     cfg: &SearchConfig,
@@ -81,12 +132,16 @@ pub fn tabu_search_mpa_with(
     let problem = evaluator.problem();
     let n = problem.process_count();
     let tenure = cfg.tenure_for(n);
-    let threads = effective_threads(cfg.threads);
     let table = MoveTable::new(problem, space);
     let mut tabu = vec![0usize; n];
     let mut wait = vec![0usize; n];
     let mut window: Vec<MoveRef> = Vec::new();
     let mut candidates: Vec<Candidate> = Vec::new();
+    // Prefix checkpoints of the current solution's placement: empty
+    // for the first window (the start schedule was materialized
+    // elsewhere), then refreshed for free by every winner
+    // materialization.
+    let mut ckpts = PlacementCheckpoints::new();
 
     let (start_design, start_schedule) = start;
     let mut best_design = start_design.clone();
@@ -115,78 +170,125 @@ pub fn tabu_search_mpa_with(
             window.truncate(cap);
         }
 
+        // The incumbent bound: the current solution's exact cost. A
+        // candidate that provably exceeds it aborts mid-placement.
+        // Deterministic (no racy window incumbent), so the pruned set
+        // is identical across thread counts and cache states.
+        let bound = if cfg.bounded {
+            Some(now_schedule.cost())
+        } else {
+            None
+        };
+        let use_ckpts = if cfg.incremental && ckpts.is_valid() {
+            Some(&ckpts)
+        } else {
+            None
+        };
+        // One O(n) key per window; each candidate key is then O(1).
+        let base_key = evaluator.design_key(&now_design);
+
         // Evaluate the window in parallel (cost-only); results stay
         // in move order. Each worker clones the base design once and
         // applies/undoes one decision per candidate — no per-candidate
         // design clone, no schedule materialization.
-        let evaluated = try_par_map_init(
-            &window,
-            threads,
-            || now_design.clone(),
-            |design, _, mv| {
-                if cutoff.is_some_and(|c| Instant::now() >= c) {
-                    return Ok(None);
-                }
-                Ok(Some(evaluator.evaluate_move(
-                    design,
-                    mv.process,
-                    table.decision(*mv),
-                )?))
-            },
-        )
-        .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
+        let evaluated = pool
+            .try_map_init(
+                &window,
+                || now_design.clone(),
+                |design, _, mv| {
+                    if cutoff.is_some_and(|c| Instant::now() >= c) {
+                        return Ok(None);
+                    }
+                    Ok(Some(evaluator.evaluate_move_incremental(
+                        design,
+                        mv.process,
+                        table.decision(*mv),
+                        base_key,
+                        use_ckpts,
+                        bound,
+                    )?))
+                },
+            )
+            .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
         candidates.clear();
         for (index, (mv, slot)) in window.iter().zip(evaluated).enumerate() {
-            if let Some((cost, hit)) = slot {
-                stats.record_eval(hit);
+            if let Some((outcome, hit)) = slot {
+                if outcome.is_exact() {
+                    stats.record_eval(hit);
+                } else {
+                    stats.pruned += 1;
+                }
                 candidates.push(Candidate {
                     index,
                     mv: *mv,
-                    cost,
+                    outcome,
                 });
             }
         }
 
         let best_cost = best_schedule.cost();
-        let is_tabu = |c: &Candidate| tabu[c.mv.process.index()] > 0;
-        let aspirates = |c: &Candidate| cfg.aspiration && c.cost < best_cost;
-        let is_waiting = |c: &Candidate| cfg.diversification && wait[c.mv.process.index()] > n;
 
-        // Lines 9–13: non-tabu moves, tabu moves that aspire, and
-        // diversification moves.
-        let admissible = |c: &Candidate| !is_tabu(c) || aspirates(c) || is_waiting(c);
-        // Total order on (cost, move index): deterministic regardless
-        // of evaluation interleaving.
-        let best_of = |pred: &dyn Fn(&Candidate) -> bool| -> Option<usize> {
-            candidates
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| pred(c))
-                .min_by_key(|(_, c)| (c.cost, c.index))
-                .map(|(i, _)| i)
+        // Lines 14–20 with bounded-evaluation resolution: run the
+        // selection, then exactly re-evaluate every pruned candidate
+        // whose lower bound is at or below the would-be winner — its
+        // true cost could still change the outcome. Repeat until the
+        // winner is exact and nothing below it is unresolved. Each
+        // pass resolves at least one candidate, the resolution set is
+        // a deterministic function of the (deterministic) bounds, and
+        // lower bounds never under-rank a candidate, so the final
+        // selection equals the all-exact selection bit for bit.
+        let selected = loop {
+            let Some(sel) = select_candidate(&candidates, best_cost, &tabu, &wait, cfg, n) else {
+                break None;
+            };
+            let (w_cost, w_index) = (candidates[sel].cost(), candidates[sel].index);
+            // When the winner is exact, a resolution only has to push
+            // each unresolved candidate past it — re-evaluate bounded
+            // by the winner's cost (still a certified classification,
+            // far cheaper than a full run). A pruned winner is
+            // resolved exactly.
+            let resolve_bound = candidates[sel].outcome.is_exact().then_some(w_cost);
+            let mut resolved_any = false;
+            for c in &mut candidates {
+                if !c.outcome.is_exact() && (c.outcome.cost(), c.index) <= (w_cost, w_index) {
+                    let (outcome, hit) = evaluator.evaluate_move_incremental(
+                        &mut now_design,
+                        c.mv.process,
+                        table.decision(c.mv),
+                        base_key,
+                        use_ckpts,
+                        resolve_bound,
+                    )?;
+                    if outcome.is_exact() {
+                        stats.record_eval(hit);
+                    } else {
+                        stats.pruned += 1;
+                    }
+                    debug_assert!(outcome.is_exact() || outcome.cost() > w_cost);
+                    c.outcome = outcome;
+                    resolved_any = true;
+                }
+            }
+            if !resolved_any {
+                break Some(sel);
+            }
         };
-
-        // Lines 14–20: selection with aspiration / diversification.
-        let x_now = best_of(&admissible);
-        let selected = match x_now {
-            Some(i) if candidates[i].cost < best_cost => Some(i),
-            _ => best_of(&|c: &Candidate| is_waiting(c))
-                .or_else(|| best_of(&|c: &Candidate| !is_tabu(c)))
-                .or(x_now),
-        };
-        // Every candidate may be tabu without aspiring: then simply
-        // take the overall best to keep the search moving.
-        let Some(selected) = selected.or_else(|| best_of(&|_| true)) else {
+        let Some(selected) = selected else {
             break;
         };
 
         let chosen = candidates.swap_remove(selected);
         now_design.set_decision(chosen.mv.process, table.decision(chosen.mv).clone());
         // Materialize the winner's schedule (the next iteration needs
-        // its critical path); one full run per iteration, counted.
+        // its critical path); one full run per iteration, counted —
+        // and the incremental engine records its checkpoints on it.
         stats.evaluations += 1;
-        now_schedule = evaluator.schedule(&now_design)?;
-        debug_assert_eq!(now_schedule.cost(), chosen.cost);
+        now_schedule = if cfg.incremental {
+            evaluator.schedule_recording(&now_design, &mut ckpts)?
+        } else {
+            evaluator.schedule(&now_design)?
+        };
+        debug_assert_eq!(now_schedule.cost(), chosen.cost());
 
         // Lines 23–25: best-so-far and history updates.
         if now_schedule.cost() < best_cost {

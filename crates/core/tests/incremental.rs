@@ -1,0 +1,252 @@
+//! Incremental-vs-full parity: the resumed-from-checkpoint and
+//! bounded evaluation engines must be **observationally identical** to
+//! the from-scratch cost function.
+//!
+//! * `resumed_equals_full`: for random problems, random walks of
+//!   applied moves and every candidate move at every step, a resumed
+//!   evaluation returns exactly the full `schedule_cost` result.
+//! * `bounded_classifies_exactly`: a bounded run completes exactly
+//!   iff the exact cost is within the bound, and an aborted run's
+//!   certified lower bound never exceeds the exact cost — so bounded
+//!   evaluation can never misorder candidate selection.
+//! * `search_results_invariant_under_engines`: whole searches produce
+//!   bit-identical designs/costs/trajectories with the engines on or
+//!   off.
+
+use ftdes_core::moves::MoveTable;
+use ftdes_core::{initial, optimize, Goal, PolicySpace, Problem, SearchConfig, Strategy};
+use ftdes_gen::paper_workload;
+use ftdes_model::architecture::Architecture;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::time::Time;
+use ftdes_sched::{CostOutcome, CostScratch, PlacementCheckpoints, ScheduleCost, ScheduleOptions};
+use ftdes_ttp::config::BusConfig;
+
+fn problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let w = paper_workload(processes, &arch, seed);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)),
+        bus,
+    )
+}
+
+/// A tiny deterministic PRNG (splitmix64) for move-sequence choices.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+#[test]
+fn resumed_equals_full_for_random_move_sequences() {
+    for seed in [1u64, 5, 9] {
+        let problem = problem(12, 3, 2, seed);
+        let table = MoveTable::new(&problem, PolicySpace::Mixed);
+        let mut design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+        let mut rng = Rng(seed);
+        let mut scratch = CostScratch::default();
+        let mut core = ftdes_sched::SchedScratch::default();
+        let mut ckpts = PlacementCheckpoints::new();
+        let mut window = Vec::new();
+
+        // A random walk of applied moves; at every step, every
+        // candidate move of the current window is checked for parity.
+        for step in 0..6 {
+            let schedule = problem
+                .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+                .unwrap();
+            let cp = schedule.move_candidates(problem.graph(), 8);
+            table.window(&design, &cp, &mut window);
+            if window.is_empty() {
+                break;
+            }
+            for mv in &window {
+                let mut cand = design.clone();
+                cand.set_decision(mv.process, table.decision(*mv).clone());
+                let full = problem.evaluate_cost(&cand, &mut scratch).unwrap();
+                let resumed = ftdes_sched::schedule_cost_resumed(
+                    problem.graph(),
+                    problem.arch(),
+                    problem.dense_wcet(),
+                    problem.fault_model(),
+                    problem.bus(),
+                    &cand,
+                    mv.process,
+                    ScheduleOptions::default(),
+                    &mut scratch,
+                    &ckpts,
+                    None,
+                )
+                .unwrap();
+                assert_eq!(
+                    resumed,
+                    CostOutcome::Exact(full),
+                    "seed {seed} step {step}: resumed evaluation diverged for {mv:?}"
+                );
+                // The resumed evaluation must also agree with the
+                // materializing scheduler.
+                assert_eq!(problem.evaluate(&cand).unwrap().cost(), full);
+            }
+            let mv = window[rng.below(window.len())];
+            design.set_decision(mv.process, table.decision(mv).clone());
+        }
+    }
+}
+
+#[test]
+fn bounded_runs_classify_exactly_and_never_misorder() {
+    let problem = problem(14, 3, 2, 3);
+    let table = MoveTable::new(&problem, PolicySpace::Mixed);
+    let design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+    let mut core = ftdes_sched::SchedScratch::default();
+    let mut ckpts = PlacementCheckpoints::new();
+    let schedule = problem
+        .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+        .unwrap();
+    let base_cost = schedule.cost();
+    let cp = schedule.move_candidates(problem.graph(), 8);
+    let mut window = Vec::new();
+    table.window(&design, &cp, &mut window);
+    assert!(!window.is_empty());
+
+    let mut scratch = CostScratch::default();
+    let mut exact_costs: Vec<ScheduleCost> = Vec::new();
+    // Several bounds, from very tight to the base cost itself.
+    let bounds = [
+        ScheduleCost {
+            violation: Time::ZERO,
+            length: base_cost.length / 2,
+        },
+        ScheduleCost {
+            violation: Time::ZERO,
+            length: base_cost.length.saturating_sub(Time::from_ms(1)),
+        },
+        base_cost,
+    ];
+    for mv in &window {
+        let mut cand = design.clone();
+        cand.set_decision(mv.process, table.decision(*mv).clone());
+        let exact = problem.evaluate_cost(&cand, &mut scratch).unwrap();
+        exact_costs.push(exact);
+        for &bound in &bounds {
+            for resumed in [false, true] {
+                let outcome = if resumed {
+                    ftdes_sched::schedule_cost_resumed(
+                        problem.graph(),
+                        problem.arch(),
+                        problem.dense_wcet(),
+                        problem.fault_model(),
+                        problem.bus(),
+                        &cand,
+                        mv.process,
+                        ScheduleOptions::default(),
+                        &mut scratch,
+                        &ckpts,
+                        Some(bound),
+                    )
+                    .unwrap()
+                } else {
+                    problem
+                        .evaluate_cost_bounded(&cand, &mut scratch, Some(bound))
+                        .unwrap()
+                };
+                match outcome {
+                    CostOutcome::Exact(cost) => {
+                        assert_eq!(cost, exact, "exact outcome must be the exact cost");
+                        assert!(
+                            exact <= bound,
+                            "a within-bound candidate must complete exactly"
+                        );
+                    }
+                    CostOutcome::LowerBound(lb) => {
+                        assert!(
+                            exact > bound,
+                            "aborted candidate must truly exceed the bound"
+                        );
+                        assert!(lb > bound, "the abort certificate must exceed the bound");
+                        assert!(lb <= exact, "a lower bound may never exceed the exact cost");
+                    }
+                }
+            }
+        }
+    }
+    // No misordering: selecting the minimum by (cost, index) over
+    // bounded outcomes (lower bounds standing in for pruned
+    // candidates) identifies the same winner as exact evaluation
+    // whenever the winner is within the bound.
+    for &bound in &bounds {
+        let exact_min = exact_costs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, c)| (*c, i))
+            .map(|(i, c)| (i, *c))
+            .unwrap();
+        if exact_min.1 <= bound {
+            let bounded_min = window
+                .iter()
+                .enumerate()
+                .map(|(i, mv)| {
+                    let mut cand = design.clone();
+                    cand.set_decision(mv.process, table.decision(*mv).clone());
+                    let out = problem
+                        .evaluate_cost_bounded(&cand, &mut scratch, Some(bound))
+                        .unwrap();
+                    (out.cost(), i)
+                })
+                .min()
+                .unwrap();
+            assert_eq!(
+                (exact_min.1, exact_min.0),
+                bounded_min,
+                "bounded evaluation misordered the winner under bound {bound:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn search_results_invariant_under_engines() {
+    for seed in [2u64, 8] {
+        let problem = problem(14, 3, 2, seed);
+        let run = |incremental: bool, bounded: bool| {
+            let cfg = SearchConfig {
+                goal: Goal::MinimizeLength,
+                time_limit: None,
+                max_tabu_iterations: 40,
+                incremental,
+                bounded,
+                ..SearchConfig::default()
+            };
+            optimize(&problem, Strategy::Mxr, &cfg).unwrap()
+        };
+        let reference = run(false, false); // the PR 1 evaluation path
+        for (incremental, bounded) in [(true, false), (false, true), (true, true)] {
+            let out = run(incremental, bounded);
+            assert_eq!(
+                out.design, reference.design,
+                "seed {seed}: design changed under incremental={incremental} bounded={bounded}"
+            );
+            assert_eq!(out.schedule.cost(), reference.schedule.cost());
+            assert_eq!(
+                out.stats.tabu_iterations, reference.stats.tabu_iterations,
+                "seed {seed}: trajectory changed under incremental={incremental} bounded={bounded}"
+            );
+            assert_eq!(out.stats.greedy_steps, reference.stats.greedy_steps);
+        }
+    }
+}

@@ -191,6 +191,18 @@ impl Design {
         std::mem::replace(&mut self.decisions[p.index()], d)
     }
 
+    /// Swaps the decision for process `p` with `other` in place — the
+    /// allocation-free apply/undo primitive of window evaluation
+    /// (call once to apply a candidate decision held in a reusable
+    /// buffer, once more to restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn swap_decision(&mut self, p: ProcessId, other: &mut ProcessDesign) {
+        std::mem::swap(&mut self.decisions[p.index()], other);
+    }
+
     /// Iterates over `(process, decision)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &ProcessDesign)> {
         self.decisions

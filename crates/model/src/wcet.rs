@@ -158,6 +158,80 @@ impl Extend<(ProcessId, NodeId, Time)> for WcetTable {
     }
 }
 
+/// Read access to WCET entries — the interface the scheduler's
+/// expansion hot path compiles against.
+///
+/// Implemented by the sparse [`WcetTable`] (the mutable, serializable
+/// store) and by the dense [`DenseWcet`] matrix (the branch-free
+/// front-end the optimizer queries thousands of times per candidate
+/// evaluation).
+pub trait WcetLookup {
+    /// The WCET of `process` on `node`, or `None` when the process
+    /// cannot run there.
+    fn lookup(&self, process: ProcessId, node: NodeId) -> Option<Time>;
+}
+
+impl WcetLookup for WcetTable {
+    fn lookup(&self, process: ProcessId, node: NodeId) -> Option<Time> {
+        self.get(process, node)
+    }
+}
+
+/// A dense `n_processes × n_nodes` WCET matrix.
+///
+/// [`WcetTable`] stores entries in a `BTreeMap` keyed by
+/// `(ProcessId, NodeId)` — ideal for sparse mutation and ordered
+/// iteration, but every lookup walks the tree. Design expansion asks
+/// for one entry per replica instance on the optimizer's hot path, so
+/// the search front-loads the table into this row-major matrix once
+/// per problem: a lookup becomes one multiply-add and one load.
+///
+/// Entries outside the matrix dimensions (processes or nodes the
+/// problem does not know) answer `None`, exactly like a missing
+/// sparse entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseWcet {
+    processes: usize,
+    nodes: usize,
+    cells: Vec<Option<Time>>,
+}
+
+impl DenseWcet {
+    /// Densifies `table` over a `processes × nodes` grid.
+    #[must_use]
+    pub fn from_table(table: &WcetTable, processes: usize, nodes: usize) -> Self {
+        let mut cells = vec![None; processes * nodes];
+        for (&(p, n), &t) in &table.entries {
+            if p.index() < processes && n.index() < nodes {
+                cells[p.index() * nodes + n.index()] = Some(t);
+            }
+        }
+        DenseWcet {
+            processes,
+            nodes,
+            cells,
+        }
+    }
+
+    /// The WCET of `process` on `node`, or `None` if ineligible or
+    /// out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, process: ProcessId, node: NodeId) -> Option<Time> {
+        if process.index() >= self.processes || node.index() >= self.nodes {
+            return None;
+        }
+        self.cells[process.index() * self.nodes + node.index()]
+    }
+}
+
+impl WcetLookup for DenseWcet {
+    #[inline]
+    fn lookup(&self, process: ProcessId, node: NodeId) -> Option<Time> {
+        self.get(process, node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +301,39 @@ mod tests {
         let arch = Architecture::with_node_count(1); // N1 missing
         let err = t.validate([ProcessId::new(0)], &arch).unwrap_err();
         assert!(matches!(err, ModelError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn dense_matches_sparse() {
+        let t = fig5_table();
+        let dense = DenseWcet::from_table(&t, 4, 2);
+        for p in 0..5u32 {
+            for n in 0..3u32 {
+                assert_eq!(
+                    dense.get(ProcessId::new(p), NodeId::new(n)),
+                    t.get(ProcessId::new(p), NodeId::new(n)),
+                    "P{p}/N{n} dense front-end diverged"
+                );
+                assert_eq!(
+                    dense.lookup(ProcessId::new(p), NodeId::new(n)),
+                    t.lookup(ProcessId::new(p), NodeId::new(n))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_out_of_range_is_ineligible() {
+        let t = fig5_table();
+        // Densified over a grid smaller than the table: dropped
+        // entries read as ineligible, never as stale values.
+        let dense = DenseWcet::from_table(&t, 2, 1);
+        assert_eq!(
+            dense.get(ProcessId::new(1), NodeId::new(0)),
+            t.get(ProcessId::new(1), NodeId::new(0))
+        );
+        assert_eq!(dense.get(ProcessId::new(1), NodeId::new(1)), None);
+        assert_eq!(dense.get(ProcessId::new(3), NodeId::new(1)), None);
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! Incremental candidate evaluation: prefix checkpoints and resumed
+//! cost runs.
+//!
+//! Neighbourhood search scores thousands of single-move variations of
+//! one base design per second. A move replaces one process's
+//! decision, yet a from-scratch [`crate::schedule_cost`] re-places
+//! every instance — including the long prefix of the instance order
+//! that the move provably cannot influence. This module removes that
+//! redundancy:
+//!
+//! * while the search **materializes** a base solution (one full run
+//!   per accepted iteration it performs anyway), the placement core
+//!   records [`PlacementCheckpoints`]: the placement order plus
+//!   resumable snapshots of the complete scheduler state every
+//!   `stride` positions;
+//! * a candidate move on process `q` is then evaluated by
+//!   [`schedule_cost_resumed`]: it patches the base expansion
+//!   ([`ExpandedDesign::expand_patched`]), recomputes priorities
+//!   (they depend on the design through replica WCETs and bus
+//!   crossings), determines the first placement position the move can
+//!   affect, restores the latest snapshot at or before it, and
+//!   re-places only the suffix.
+//!
+//! # What bounds the resume position
+//!
+//! Three things can invalidate the base prefix for a candidate:
+//!
+//! 1. the moved process itself being placed (its instances differ);
+//! 2. a *direct predecessor* of the moved process whose outgoing
+//!    message gains or loses its bus booking (`needs_bus` reads the
+//!    consumer's mapping at the producer's placement);
+//! 3. a priority shift reordering the ready-list selection *before*
+//!    either of the above — the new priorities are simulated over the
+//!    recorded order and the first divergence found caps the resume
+//!    position.
+//!
+//! The prefix up to the computed position is **provably identical**
+//! between the base run and a from-scratch run of the candidate, so a
+//! resumed run returns bit-identical costs to
+//! [`crate::schedule_cost`] — guarded by the
+//! `resumed_equals_full` property test in `ftdes-core`.
+//!
+//! # Instance-id remapping
+//!
+//! Instance ids are dense in process order; a move that changes the
+//! replication level of `q` shifts the ids of every process after
+//! `q`. Snapshots store base-expansion ids, so restoring shifts every
+//! id at or past the end of `q`'s base range by the replica-count
+//! delta. `q` itself is never placed inside a restored prefix (the
+//! resume position never exceeds `q`'s base position), so no id of
+//! `q` can appear in a snapshot.
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::Design;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::ProcessGraph;
+use ftdes_model::ids::{EdgeId, ProcessId};
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetLookup;
+use ftdes_ttp::config::BusConfig;
+
+use crate::error::SchedError;
+use crate::instance::{ExpandedDesign, InstanceId};
+use crate::list::{
+    accumulate_cost, drive_placement, init_placement, select_best, CostOnly, CostOutcome,
+    CostScratch, FrontierEntry, SchedScratch, ScheduleOptions,
+};
+use crate::priority::Priorities;
+use crate::schedule::ScheduleCost;
+use crate::slack::SlackAccount;
+
+/// Captured per-node placement state.
+#[derive(Debug, Default)]
+struct NodeSnap {
+    avail: Time,
+    last: Option<InstanceId>,
+    slack: SlackAccount,
+    frontier: Vec<FrontierEntry>,
+    delay_k: Time,
+}
+
+/// The complete scheduler state after `placed` placements of the base
+/// run.
+#[derive(Debug, Default)]
+struct Snapshot {
+    placed: usize,
+    remaining_preds: Vec<usize>,
+    ready: Vec<ProcessId>,
+    times: Vec<Time>,
+    completion: Vec<Time>,
+    nodes: Vec<NodeSnap>,
+    /// Flattened message arrivals `(sender instance, edge, arrival)`.
+    arrivals: Vec<(u32, EdgeId, Time)>,
+    occupancy: Vec<(u64, usize, u32)>,
+}
+
+impl Snapshot {
+    /// Fills this snapshot from the live scratch state, reusing every
+    /// buffer.
+    fn capture(
+        &mut self,
+        scratch: &SchedScratch,
+        placed: usize,
+        instance_count: usize,
+        node_count: usize,
+    ) {
+        self.placed = placed;
+        self.remaining_preds.clone_from(&scratch.remaining_preds);
+        self.ready.clone_from(&scratch.ready);
+        self.times.clear();
+        self.times
+            .extend_from_slice(&scratch.times[..instance_count]);
+        self.completion.clone_from(&scratch.completion);
+        if self.nodes.len() < node_count {
+            self.nodes.resize_with(node_count, NodeSnap::default);
+        }
+        self.nodes.truncate(node_count);
+        for (snap, live) in self.nodes.iter_mut().zip(&scratch.nodes[..node_count]) {
+            snap.avail = live.avail;
+            snap.last = live.last;
+            snap.slack.clone_from_account(&live.slack);
+            snap.frontier.clone_from(&live.frontier);
+            snap.delay_k = live.delay_k;
+        }
+        self.arrivals.clear();
+        for (sid, entries) in scratch.arrivals[..instance_count].iter().enumerate() {
+            for &(edge, time) in entries {
+                self.arrivals.push((sid as u32, edge, time));
+            }
+        }
+        self.occupancy.clone_from(&scratch.occupancy);
+    }
+}
+
+/// Resumable prefix checkpoints of one base solution's placement,
+/// recorded by [`crate::list_schedule_recording`].
+///
+/// Reused across iterations: re-recording clears and refills every
+/// buffer in place.
+#[derive(Debug, Default)]
+pub struct PlacementCheckpoints {
+    valid: bool,
+    /// Caller-settable identity of the checkpointed base design (the
+    /// evaluator stores the design fingerprint here and asserts it on
+    /// resume in debug builds).
+    pub tag: u128,
+    stride: usize,
+    /// Placement order of the base run.
+    order: Vec<ProcessId>,
+    /// Position of each process in `order`.
+    position: Vec<u32>,
+    /// Snapshots at positions `stride, 2·stride, …` (`snap_len` of
+    /// the buffers are live).
+    snaps: Vec<Snapshot>,
+    snap_len: usize,
+    /// The base design's expansion.
+    expanded: ExpandedDesign,
+    /// The base design's priorities (candidates copy them and
+    /// recompute only the moved process and its ancestors).
+    base_priorities: Priorities,
+    /// The (design-independent) topological order of the graph.
+    topo: Vec<ProcessId>,
+    /// Position at which each process entered the ready list in the
+    /// base run — before the earliest entry of a priority-changed
+    /// process, the base selection sequence provably stands.
+    ready_pos: Vec<u32>,
+    /// Reachability bitsets: bit `q` of row `p` set iff `q` is
+    /// reachable from `p` (including `p` itself) — the ancestor test
+    /// of the incremental priority update.
+    reach: Vec<u64>,
+    /// Words per reachability row.
+    words: usize,
+    /// Scratch predecessor counters of the `finish` replay.
+    replay_preds: Vec<usize>,
+    node_count: usize,
+}
+
+impl PlacementCheckpoints {
+    /// An empty (invalid) checkpoint store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once a recording completed; resumed evaluation requires
+    /// a valid store.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Starts a recording: clears previous state and captures the
+    /// base expansion, priorities and topological order.
+    pub(crate) fn begin(
+        &mut self,
+        expanded: &ExpandedDesign,
+        priorities: &Priorities,
+        node_count: usize,
+    ) {
+        let topo = priorities.topo();
+        self.valid = false;
+        self.tag = 0;
+        let n = topo.len();
+        // ~6 snapshots across the order: dense enough that a resume
+        // wastes at most stride/2 redundant placements on average,
+        // sparse enough that recording stays a small fraction of the
+        // one full run it rides on.
+        self.stride = (n / 6).max(4);
+        self.order.clear();
+        self.position.clear();
+        self.position.resize(n, 0);
+        self.snap_len = 0;
+        self.expanded.clone_from(expanded);
+        self.base_priorities.clone_from(priorities);
+        self.topo.clear();
+        self.topo.extend_from_slice(topo);
+        self.node_count = node_count;
+    }
+
+    /// Records one placement (called by the driver after the ready
+    /// list was updated for position `placed`).
+    pub(crate) fn note_placed(
+        &mut self,
+        p: ProcessId,
+        scratch: &SchedScratch,
+        placed: usize,
+        n_processes: usize,
+    ) {
+        self.position[p.index()] = self.order.len() as u32;
+        self.order.push(p);
+        if placed.is_multiple_of(self.stride) && placed < n_processes {
+            if self.snap_len == self.snaps.len() {
+                self.snaps.push(Snapshot::default());
+            }
+            self.snaps[self.snap_len].capture(
+                scratch,
+                placed,
+                self.expanded.len(),
+                self.node_count,
+            );
+            self.snap_len += 1;
+        }
+    }
+
+    /// Completes the recording: derives the ready-entry positions of
+    /// the recorded order and the graph's reachability bitsets, then
+    /// marks the store valid.
+    pub(crate) fn finish(&mut self, graph: &ProcessGraph) {
+        let n = self.order.len();
+        debug_assert_eq!(n, graph.process_count());
+
+        self.replay_preds.clear();
+        self.replay_preds
+            .extend((0..n).map(|i| graph.incoming(ProcessId::new(i as u32)).len()));
+        self.ready_pos.clear();
+        self.ready_pos.resize(n, 0);
+        for (pos, &p) in self.order.iter().enumerate() {
+            for s in graph.successors_of(p) {
+                self.replay_preds[s.index()] -= 1;
+                if self.replay_preds[s.index()] == 0 {
+                    self.ready_pos[s.index()] = (pos + 1) as u32;
+                }
+            }
+        }
+
+        let words = n.div_ceil(64).max(1);
+        self.words = words;
+        self.reach.clear();
+        self.reach.resize(n * words, 0);
+        for i in (0..self.topo.len()).rev() {
+            let pi = self.topo[i].index();
+            for s in graph.successors_of(self.topo[i]) {
+                let si = s.index();
+                for w in 0..words {
+                    let v = self.reach[si * words + w];
+                    self.reach[pi * words + w] |= v;
+                }
+            }
+            self.reach[pi * words + pi / 64] |= 1 << (pi % 64);
+        }
+
+        self.valid = true;
+    }
+
+    /// `true` when `q` is reachable from `p` (`p` included) — i.e.
+    /// `p` is an ancestor of `q` or `q` itself.
+    fn reaches(&self, p: ProcessId, q: ProcessId) -> bool {
+        let qi = q.index();
+        self.reach[p.index() * self.words + qi / 64] & (1 << (qi % 64)) != 0
+    }
+
+    /// First position in `safe..limit` where the candidate's
+    /// priorities select a different process than the recorded order,
+    /// or `limit` if none. Positions below `safe` (the earliest
+    /// ready-list entry of a priority-changed process) provably
+    /// cannot diverge and are replayed with pure bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    fn divergence_scan(
+        &self,
+        graph: &ProcessGraph,
+        priorities: &Priorities,
+        safe: usize,
+        limit: usize,
+        preds: &mut Vec<usize>,
+        ready: &mut Vec<ProcessId>,
+    ) -> usize {
+        let n = graph.process_count();
+        preds.clear();
+        preds.extend((0..n).map(|i| graph.incoming(ProcessId::new(i as u32)).len()));
+        ready.clear();
+        ready.extend(
+            (0..n)
+                .filter(|&i| preds[i] == 0)
+                .map(|i| ProcessId::new(i as u32)),
+        );
+        for pos in 0..limit {
+            let expected = self.order[pos];
+            if pos >= safe {
+                let Some(sel) = select_best(ready, priorities) else {
+                    return pos;
+                };
+                if ready[sel] != expected {
+                    return pos;
+                }
+                ready.swap_remove(sel);
+            } else {
+                // The selection provably matches the base here; only
+                // the ready bookkeeping needs replaying.
+                let at = ready
+                    .iter()
+                    .position(|&p| p == expected)
+                    .expect("recorded order is a valid topological placement");
+                ready.swap_remove(at);
+            }
+            for s in graph.successors_of(expected) {
+                preds[s.index()] -= 1;
+                if preds[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        limit
+    }
+
+    /// The first placement position the given move can affect: the
+    /// moved process itself, a direct predecessor whose bus booking
+    /// decision flips, or an earlier ready-selection divergence under
+    /// the candidate's priorities.
+    fn resume_limit(&self, graph: &ProcessGraph, moved: ProcessId, design: &Design) -> usize {
+        let mut limit = self.position[moved.index()] as usize;
+        let new_mapping = &design.decision(moved).mapping;
+        for &eid in graph.incoming(moved) {
+            let from = graph.edge(eid).from;
+            let pos = self.position[from.index()] as usize;
+            if pos >= limit {
+                continue;
+            }
+            // `needs_bus` at the producer's placement asks: does any
+            // consumer instance sit on a different node? Detect a
+            // flip for any producer instance.
+            let flipped = self.expanded.of_process(from).iter().any(|&rid| {
+                let n_r = self.expanded.instance(rid).node;
+                let old_any = self
+                    .expanded
+                    .of_process(moved)
+                    .iter()
+                    .any(|&q| self.expanded.instance(q).node != n_r);
+                let new_any = new_mapping.iter().any(|&n| n != n_r);
+                old_any != new_any
+            });
+            if flipped {
+                limit = pos;
+            }
+        }
+        limit
+    }
+}
+
+/// Computes the cost of `design` — the base design of `ckpts` with
+/// `moved`'s decision replaced — by resuming the placement from the
+/// latest checkpoint before the first position the move can affect.
+///
+/// Returns the same *classification* as
+/// [`crate::schedule_cost_bounded`] for the same `(design, bound)`:
+/// the exact cost when it is `<= bound` (or no bound was given), a
+/// certified lower bound otherwise. With a bound tighter than the
+/// checkpointed base's cost, the carried lower bound may differ from
+/// the from-scratch run's (the restored prefix is charged at once
+/// instead of placement by placement) — both are certified, and the
+/// exact/pruned classification is identical.
+///
+/// # Errors
+///
+/// Same as [`crate::schedule_cost`] (e.g. an ineligible mapping in
+/// the replacement decision).
+///
+/// # Panics
+///
+/// Debug builds assert `ckpts.is_valid()`.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_cost_resumed<W: WcetLookup + ?Sized>(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &W,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    moved: ProcessId,
+    options: ScheduleOptions,
+    scratch: &mut CostScratch,
+    ckpts: &PlacementCheckpoints,
+    bound: Option<ScheduleCost>,
+) -> Result<CostOutcome, SchedError> {
+    debug_assert!(ckpts.is_valid(), "resume requires recorded checkpoints");
+    debug_assert_eq!(ckpts.node_count, arch.node_count());
+    debug_assert_eq!(ckpts.order.len(), graph.process_count());
+
+    // Bring the worker's expansion to the window base (once per
+    // worker per window), then patch only the moved process's range
+    // in place — undone after the run, so the next candidate of the
+    // same window patches again without re-copying the base.
+    if scratch.expanded_tag != ckpts.tag || ckpts.tag == 0 {
+        scratch.expanded.clone_from(&ckpts.expanded);
+        scratch.expanded_tag = ckpts.tag;
+    }
+    scratch.expanded.patch_in_place(
+        moved,
+        design.decision(moved),
+        wcet,
+        fm,
+        &mut scratch.undo_insts,
+    )?;
+    // Priorities: copy the base's and recompute only the moved
+    // process and its ancestors — the only ranks a decision change
+    // can reach (ranks flow backwards; effective deadlines are
+    // design-independent).
+    let CostScratch {
+        expanded,
+        priorities,
+        changed,
+        ..
+    } = scratch;
+    priorities.update_for_move(
+        &ckpts.base_priorities,
+        graph,
+        expanded,
+        bus,
+        &ckpts.topo,
+        |p| ckpts.reaches(p, moved),
+        changed,
+    );
+
+    // Where must we resume? The structurally affected prefix (the
+    // moved process, or a predecessor whose bus booking flips)…
+    let limit = ckpts.resume_limit(graph, moved, design);
+    // …capped by the first position where the changed priorities
+    // actually reorder the ready-list selection. Before the earliest
+    // ready entry of a changed process nothing can diverge; from
+    // there the recorded order is replayed against the candidate's
+    // priorities (changed ranks rarely flip an argmin, so this scan
+    // usually returns `limit` itself).
+    let mut safe = limit;
+    for &p in scratch.changed.iter() {
+        safe = safe.min(ckpts.ready_pos[p.index()] as usize);
+    }
+    let resume_pos = if safe >= limit {
+        limit
+    } else {
+        ckpts.divergence_scan(
+            graph,
+            &scratch.priorities,
+            safe,
+            limit,
+            &mut scratch.sim_preds,
+            &mut scratch.sim_ready,
+        )
+    };
+
+    let snap = ckpts.snaps[..ckpts.snap_len]
+        .iter()
+        .rev()
+        .find(|s| s.placed <= resume_pos);
+
+    let running = match snap {
+        None => {
+            init_placement(
+                graph,
+                arch.node_count(),
+                &scratch.expanded,
+                &mut scratch.core,
+            );
+            ScheduleCost {
+                violation: Time::ZERO,
+                length: Time::ZERO,
+            }
+        }
+        Some(snap) => {
+            restore_snapshot(snap, ckpts, moved, &scratch.expanded, &mut scratch.core);
+            accumulate_cost(graph, &scratch.core.completion)
+        }
+    };
+    let placed = snap.map_or(0, |s| s.placed);
+    // A bound tighter than the restored prefix (possible when the
+    // caller bounds by a window winner better than the base) aborts
+    // immediately — the prefix cost already certifies the overrun.
+    if let Some(b) = bound {
+        if running > b {
+            scratch.expanded.unpatch(moved, &scratch.undo_insts);
+            return Ok(CostOutcome::LowerBound(running));
+        }
+    }
+
+    let drive_res = drive_placement(
+        graph,
+        &scratch.expanded,
+        &scratch.priorities,
+        bus,
+        fm,
+        options,
+        &mut scratch.core,
+        &mut CostOnly,
+        placed,
+        running,
+        bound,
+        None,
+    );
+    // Always restore the base expansion, error or not.
+    scratch.expanded.unpatch(moved, &scratch.undo_insts);
+    let outcome = drive_res?;
+    Ok(outcome.into())
+}
+
+/// Restores `snap` into the live scratch, remapping instance ids from
+/// the base expansion to the candidate's (ids past the moved
+/// process's base range shift by the replica-count delta).
+fn restore_snapshot(
+    snap: &Snapshot,
+    ckpts: &PlacementCheckpoints,
+    moved: ProcessId,
+    expanded: &ExpandedDesign,
+    core: &mut SchedScratch,
+) {
+    let old_start = ckpts.expanded.of_process(moved).first().map_or_else(
+        || {
+            // Zero base replicas cannot happen (every decision maps at
+            // least one replica), but fall back to a no-shift remap.
+            ckpts.expanded.len()
+        },
+        |id| id.index(),
+    );
+    let old_end = old_start + ckpts.expanded.of_process(moved).len();
+    let delta = expanded.len() as i64 - ckpts.expanded.len() as i64;
+    let remap = |id: InstanceId| -> InstanceId {
+        if id.index() < old_end && id.index() >= old_start {
+            unreachable!("the moved process is never placed inside a restored prefix");
+        }
+        if id.index() < old_start {
+            id
+        } else {
+            InstanceId::new((id.index() as i64 + delta) as u32)
+        }
+    };
+
+    core.remaining_preds.clone_from(&snap.remaining_preds);
+    core.ready.clone_from(&snap.ready);
+
+    core.times.clear();
+    core.times.resize(expanded.len(), Time::ZERO);
+    core.times[..old_start].copy_from_slice(&snap.times[..old_start]);
+    let new_end = (old_end as i64 + delta) as usize;
+    core.times[new_end..].copy_from_slice(&snap.times[old_end..]);
+
+    core.completion.clone_from(&snap.completion);
+
+    if core.nodes.len() < ckpts.node_count {
+        core.nodes.resize_with(ckpts.node_count, Default::default);
+    }
+    for (live, saved) in core.nodes[..ckpts.node_count].iter_mut().zip(&snap.nodes) {
+        live.avail = saved.avail;
+        live.last = saved.last.map(remap);
+        live.slack.clone_from_account(&saved.slack);
+        live.slack.remap_ids(remap);
+        live.frontier.clone_from(&saved.frontier);
+        live.delay_k = saved.delay_k;
+    }
+
+    core.placed.clear();
+    core.placed.resize(ckpts.order.len(), false);
+    for &p in &ckpts.order[..snap.placed] {
+        core.placed[p.index()] = true;
+    }
+
+    if core.arrivals.len() < expanded.len() {
+        core.arrivals.resize(expanded.len(), Vec::new());
+    }
+    for entry in &mut core.arrivals[..expanded.len()] {
+        entry.clear();
+    }
+    for &(sid, edge, time) in &snap.arrivals {
+        core.arrivals[remap(InstanceId::new(sid)).index()].push((edge, time));
+    }
+
+    core.occupancy.clone_from(&snap.occupancy);
+}

@@ -10,12 +10,12 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use ftdes_model::design::Design;
+use ftdes_model::design::{Design, ProcessDesign};
 use ftdes_model::fault::FaultModel;
 use ftdes_model::graph::ProcessGraph;
 use ftdes_model::ids::{NodeId, ProcessId};
 use ftdes_model::time::Time;
-use ftdes_model::wcet::WcetTable;
+use ftdes_model::wcet::WcetLookup;
 
 use crate::error::SchedError;
 
@@ -94,10 +94,10 @@ impl ExpandedDesign {
     /// not cover exactly the graph's processes, and
     /// [`SchedError::IneligibleMapping`] when a replica sits on a
     /// node without a WCET entry.
-    pub fn expand(
+    pub fn expand<W: WcetLookup + ?Sized>(
         graph: &ProcessGraph,
         design: &Design,
-        wcet: &WcetTable,
+        wcet: &W,
         fm: &FaultModel,
     ) -> Result<Self, SchedError> {
         let mut out = ExpandedDesign::default();
@@ -112,11 +112,11 @@ impl ExpandedDesign {
     /// # Errors
     ///
     /// Same as [`ExpandedDesign::expand`].
-    pub fn expand_into(
+    pub fn expand_into<W: WcetLookup + ?Sized>(
         &mut self,
         graph: &ProcessGraph,
         design: &Design,
-        wcet: &WcetTable,
+        wcet: &W,
         fm: &FaultModel,
     ) -> Result<(), SchedError> {
         if design.process_count() != graph.process_count() {
@@ -135,7 +135,7 @@ impl ExpandedDesign {
                 "designs are validated against the fault model before scheduling"
             );
             for (replica, &node) in decision.mapping.iter().enumerate() {
-                let Some(c) = wcet.get(process, node) else {
+                let Some(c) = wcet.lookup(process, node) else {
                     return Err(SchedError::IneligibleMapping { process, node });
                 };
                 let id = InstanceId::new(self.instances.len() as u32);
@@ -152,6 +152,162 @@ impl ExpandedDesign {
             self.offsets.push(self.instances.len() as u32);
         }
         Ok(())
+    }
+
+    /// Rebuilds `self` as `base` with `process`'s decision replaced by
+    /// `decision` — the single-move delta of window evaluation. Only
+    /// the moved process's instances are re-derived; everything else
+    /// is copied from `base` with instance ids shifted past the moved
+    /// process when its replication level changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::IneligibleMapping`] when a replica of the
+    /// new decision sits on a node without a WCET entry.
+    pub fn expand_patched<W: WcetLookup + ?Sized>(
+        &mut self,
+        base: &ExpandedDesign,
+        process: ProcessId,
+        decision: &ProcessDesign,
+        wcet: &W,
+        fm: &FaultModel,
+    ) -> Result<(), SchedError> {
+        debug_assert!(
+            decision.policy.replicas() <= fm.max_replicas(),
+            "designs are validated against the fault model before scheduling"
+        );
+        let start = base.offsets[process.index()] as usize;
+        let end = base.offsets[process.index() + 1] as usize;
+
+        self.instances.clear();
+        self.instances.extend_from_slice(&base.instances[..start]);
+        for (replica, &node) in decision.mapping.iter().enumerate() {
+            let Some(c) = wcet.lookup(process, node) else {
+                return Err(SchedError::IneligibleMapping { process, node });
+            };
+            self.instances.push(Instance {
+                id: InstanceId::new(self.instances.len() as u32),
+                process,
+                replica: replica as u32,
+                node,
+                wcet: c,
+                budget: decision.policy.budget_of_instance(replica as u32),
+            });
+        }
+        let delta = self.instances.len() as i64 - end as i64;
+        self.instances
+            .extend(base.instances[end..].iter().map(|inst| Instance {
+                id: InstanceId::new((i64::from(inst.id.index() as u32) + delta) as u32),
+                ..*inst
+            }));
+
+        self.ids.clear();
+        self.ids
+            .extend((0..self.instances.len()).map(|i| InstanceId::new(i as u32)));
+        self.offsets.clear();
+        self.offsets
+            .extend_from_slice(&base.offsets[..=process.index()]);
+        self.offsets.extend(
+            base.offsets[process.index() + 1..]
+                .iter()
+                .map(|&o| (i64::from(o) + delta) as u32),
+        );
+        Ok(())
+    }
+
+    /// Patches `self` **in place**: replaces `process`'s instances by
+    /// those of `decision`, saving the replaced instances into
+    /// `saved` for [`ExpandedDesign::unpatch`]. Equivalent to
+    /// [`ExpandedDesign::expand_patched`] from a base equal to `self`,
+    /// but touches only the moved process's range (plus id/offset
+    /// shifts past it when the replica count changes) instead of
+    /// copying the whole expansion — the per-candidate fast path when
+    /// a worker's expansion already holds the window's base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::IneligibleMapping`] (before any
+    /// mutation) when a replica of `decision` has no WCET entry.
+    pub fn patch_in_place<W: WcetLookup + ?Sized>(
+        &mut self,
+        process: ProcessId,
+        decision: &ProcessDesign,
+        wcet: &W,
+        fm: &FaultModel,
+        saved: &mut Vec<Instance>,
+    ) -> Result<(), SchedError> {
+        debug_assert!(
+            decision.policy.replicas() <= fm.max_replicas(),
+            "designs are validated against the fault model before scheduling"
+        );
+        // Validate before mutating, so an error leaves `self` intact.
+        for &node in &decision.mapping {
+            if wcet.lookup(process, node).is_none() {
+                return Err(SchedError::IneligibleMapping { process, node });
+            }
+        }
+        let start = self.offsets[process.index()] as usize;
+        let end = self.offsets[process.index() + 1] as usize;
+        saved.clear();
+        saved.extend_from_slice(&self.instances[start..end]);
+        self.replace_range(process, start, end, decision, wcet);
+        Ok(())
+    }
+
+    /// Reverts a [`ExpandedDesign::patch_in_place`]: puts the saved
+    /// instances back and undoes the id/offset shifts.
+    pub fn unpatch(&mut self, process: ProcessId, saved: &[Instance]) {
+        let start = self.offsets[process.index()] as usize;
+        let end = self.offsets[process.index() + 1] as usize;
+        let delta = saved.len() as i64 - (end - start) as i64;
+        self.instances.splice(start..end, saved.iter().copied());
+        self.fix_tail(process, start + saved.len(), delta);
+    }
+
+    fn replace_range<W: WcetLookup + ?Sized>(
+        &mut self,
+        process: ProcessId,
+        start: usize,
+        end: usize,
+        decision: &ProcessDesign,
+        wcet: &W,
+    ) {
+        let new_len = decision.mapping.len();
+        let delta = new_len as i64 - (end - start) as i64;
+        self.instances.splice(
+            start..end,
+            decision
+                .mapping
+                .iter()
+                .enumerate()
+                .map(|(replica, &node)| Instance {
+                    id: InstanceId::new((start + replica) as u32),
+                    process,
+                    replica: replica as u32,
+                    node,
+                    wcet: wcet.lookup(process, node).expect("validated above"),
+                    budget: decision.policy.budget_of_instance(replica as u32),
+                }),
+        );
+        self.fix_tail(process, start + new_len, delta);
+    }
+
+    fn fix_tail(&mut self, process: ProcessId, tail_start: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        for inst in &mut self.instances[tail_start..] {
+            inst.id = InstanceId::new((inst.id.index() as i64 + delta) as u32);
+        }
+        for o in &mut self.offsets[process.index() + 1..] {
+            *o = (i64::from(*o) + delta) as u32;
+        }
+        // `ids` is always the identity sequence; only its length moves.
+        let total = self.instances.len();
+        while self.ids.len() < total {
+            self.ids.push(InstanceId::new(self.ids.len() as u32));
+        }
+        self.ids.truncate(total);
     }
 
     /// All instances, dense by id.
@@ -201,6 +357,7 @@ mod tests {
     use ftdes_model::design::ProcessDesign;
     use ftdes_model::graph::Message;
     use ftdes_model::policy::FtPolicy;
+    use ftdes_model::wcet::WcetTable;
 
     fn setup() -> (ProcessGraph, WcetTable, FaultModel) {
         let mut g = ProcessGraph::new(0.into());
@@ -284,6 +441,7 @@ mod more_tests {
     use ftdes_model::graph::Message;
     use ftdes_model::ids::NodeId;
     use ftdes_model::policy::FtPolicy;
+    use ftdes_model::wcet::WcetTable;
 
     #[test]
     fn instance_ids_are_dense_and_ordered_by_process() {
@@ -329,5 +487,106 @@ mod more_tests {
     #[test]
     fn display_of_instance_id() {
         assert_eq!(InstanceId::new(4).to_string(), "I4");
+    }
+
+    #[test]
+    fn in_place_patch_equals_full_expansion_and_undoes() {
+        let mut g = ProcessGraph::new(0.into());
+        let ps = g.add_processes(3);
+        g.add_edge(ps[0], ps[1], Message::new(1)).unwrap();
+        g.add_edge(ps[1], ps[2], Message::new(1)).unwrap();
+        let mut wcet = WcetTable::new();
+        for &p in &ps {
+            for n in 0..3u32 {
+                wcet.set(p, NodeId::new(n), Time::from_ms(5 + u64::from(n)));
+            }
+        }
+        let fm = FaultModel::new(2, Time::from_ms(1));
+        let rex = |node: u32| {
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(node)]).unwrap()
+        };
+        let base_design = Design::from_decisions(vec![rex(0), rex(1), rex(2)]);
+        let base = ExpandedDesign::expand(&g, &base_design, &wcet, &fm).unwrap();
+        let replacements = [
+            ProcessDesign::new(
+                FtPolicy::new(2, &fm).unwrap(),
+                vec![NodeId::new(1), NodeId::new(2)],
+            )
+            .unwrap(),
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            )
+            .unwrap(),
+            rex(2),
+        ];
+        let mut live = base.clone();
+        let mut saved = Vec::new();
+        for &p in &ps {
+            for decision in &replacements {
+                let mut moved = base_design.clone();
+                moved.set_decision(p, decision.clone());
+                let full = ExpandedDesign::expand(&g, &moved, &wcet, &fm).unwrap();
+                live.patch_in_place(p, decision, &wcet, &fm, &mut saved)
+                    .unwrap();
+                assert_eq!(live, full, "in-place patch diverged for {p:?}");
+                live.unpatch(p, &saved);
+                assert_eq!(live, base, "unpatch must restore the base");
+            }
+        }
+        // A failing patch must leave the expansion untouched.
+        let bad = ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(7)]).unwrap();
+        assert!(live
+            .patch_in_place(ps[1], &bad, &wcet, &fm, &mut saved)
+            .is_err());
+        assert_eq!(live, base);
+    }
+
+    #[test]
+    fn patched_expansion_equals_full_expansion() {
+        let mut g = ProcessGraph::new(0.into());
+        let ps = g.add_processes(3);
+        g.add_edge(ps[0], ps[1], Message::new(1)).unwrap();
+        g.add_edge(ps[1], ps[2], Message::new(1)).unwrap();
+        let mut wcet = WcetTable::new();
+        for &p in &ps {
+            for n in 0..3u32 {
+                wcet.set(p, NodeId::new(n), Time::from_ms(5 + u64::from(n)));
+            }
+        }
+        let fm = FaultModel::new(2, Time::from_ms(1));
+        let rex = |node: u32| {
+            ProcessDesign::new(FtPolicy::reexecution(&fm), vec![NodeId::new(node)]).unwrap()
+        };
+        let base_design = Design::from_decisions(vec![rex(0), rex(1), rex(2)]);
+        let base = ExpandedDesign::expand(&g, &base_design, &wcet, &fm).unwrap();
+
+        // Replica-count-changing and count-preserving replacements,
+        // for every process position (head / middle / tail).
+        let replacements = [
+            ProcessDesign::new(
+                FtPolicy::new(2, &fm).unwrap(),
+                vec![NodeId::new(1), NodeId::new(2)],
+            )
+            .unwrap(),
+            ProcessDesign::new(
+                FtPolicy::replication(&fm),
+                vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            )
+            .unwrap(),
+            rex(2),
+        ];
+        for &p in &ps {
+            for decision in &replacements {
+                let mut moved = base_design.clone();
+                moved.set_decision(p, decision.clone());
+                let full = ExpandedDesign::expand(&g, &moved, &wcet, &fm).unwrap();
+                let mut patched = ExpandedDesign::default();
+                patched
+                    .expand_patched(&base, p, decision, &wcet, &fm)
+                    .unwrap();
+                assert_eq!(patched, full, "patched expansion diverged for {p:?}");
+            }
+        }
     }
 }

@@ -49,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod error;
+pub mod incremental;
 pub mod instance;
 pub mod list;
 pub mod priority;
@@ -59,10 +60,11 @@ pub mod stats;
 pub mod validate;
 
 pub use error::SchedError;
+pub use incremental::{schedule_cost_resumed, PlacementCheckpoints};
 pub use instance::{ExpandedDesign, Instance, InstanceId};
 pub use list::{
-    list_schedule, list_schedule_scratch, list_schedule_with, schedule_cost, CostScratch,
-    SchedScratch, ScheduleOptions,
+    list_schedule, list_schedule_recording, list_schedule_scratch, list_schedule_with,
+    schedule_cost, schedule_cost_bounded, CostOutcome, CostScratch, SchedScratch, ScheduleOptions,
 };
 pub use schedule::{Bookings, Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding};
 pub use stats::{NodeLoad, ScheduleStats};

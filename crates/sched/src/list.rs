@@ -39,12 +39,13 @@ use ftdes_model::fault::FaultModel;
 use ftdes_model::graph::ProcessGraph;
 use ftdes_model::ids::{EdgeId, NodeId, ProcessId};
 use ftdes_model::time::Time;
-use ftdes_model::wcet::WcetTable;
+use ftdes_model::wcet::WcetLookup;
 use ftdes_ttp::config::BusConfig;
 use ftdes_ttp::medl::{BookedMessage, BusSchedule, MessageTag};
 
 use crate::error::SchedError;
-use crate::instance::{ExpandedDesign, InstanceId};
+use crate::incremental::PlacementCheckpoints;
+use crate::instance::{ExpandedDesign, Instance, InstanceId};
 use crate::priority::Priorities;
 use crate::schedule::{
     Bookings, Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding,
@@ -56,26 +57,33 @@ use crate::slack::SlackAccount;
 /// remaining budget), `spent` is the number of faults the adversary
 /// already invested to force this lateness.
 #[derive(Debug, Clone, Copy)]
-struct FrontierEntry {
-    finish: Time,
-    spent: u32,
+pub(crate) struct FrontierEntry {
+    pub(crate) finish: Time,
+    pub(crate) spent: u32,
 }
 
 /// Reusable per-node placement state.
 #[derive(Debug, Default)]
-struct NodeScratch {
-    avail: Time,
-    last: Option<InstanceId>,
-    slack: SlackAccount,
-    frontier: Vec<FrontierEntry>,
+pub(crate) struct NodeScratch {
+    pub(crate) avail: Time,
+    pub(crate) last: Option<InstanceId>,
+    pub(crate) slack: SlackAccount,
+    pub(crate) frontier: Vec<FrontierEntry>,
+    /// The node's current full-budget slack delay — monotone
+    /// nondecreasing as instances register, which makes
+    /// `avail + wcet + delay_k` a certified lower bound on any
+    /// still-unplaced instance's worst-case finish (the bounded
+    /// runs' lookahead abort).
+    pub(crate) delay_k: Time,
 }
 
 impl NodeScratch {
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.avail = Time::ZERO;
         self.last = None;
         self.slack.clear();
         self.frontier.clear();
+        self.delay_k = Time::ZERO;
     }
 }
 
@@ -110,9 +118,9 @@ impl Default for ScheduleOptions {
 #[derive(Debug, Default)]
 pub struct SchedScratch {
     /// Unscheduled predecessor count per process.
-    remaining_preds: Vec<usize>,
+    pub(crate) remaining_preds: Vec<usize>,
     /// Processes whose predecessors are all scheduled.
-    ready: Vec<ProcessId>,
+    pub(crate) ready: Vec<ProcessId>,
     /// Delivery options of the input edge under consideration.
     deliveries: Vec<Delivery>,
     /// Input contingency scenarios of the instance being placed.
@@ -120,24 +128,42 @@ pub struct SchedScratch {
     /// Contingency frontier being assembled for the current node.
     frontier: Vec<FrontierEntry>,
     /// Fault-free finish per placed instance (predecessor lookups).
-    times: Vec<Time>,
+    pub(crate) times: Vec<Time>,
     /// Worst-case completion per process (cost accumulation).
-    completion: Vec<Time>,
+    pub(crate) completion: Vec<Time>,
     /// Per-node placement state.
-    nodes: Vec<NodeScratch>,
+    pub(crate) nodes: Vec<NodeScratch>,
     /// Message arrival times per sender instance (delivery lookups).
-    arrivals: Vec<Vec<(EdgeId, Time)>>,
+    pub(crate) arrivals: Vec<Vec<(EdgeId, Time)>>,
     /// Used bytes per occupied slot occurrence `(round, slot, used)`.
-    occupancy: Vec<(u64, usize, u32)>,
+    pub(crate) occupancy: Vec<(u64, usize, u32)>,
+    /// Whether each process has been placed (bounded runs' lookahead
+    /// scans skip placed processes).
+    pub(crate) placed: Vec<bool>,
+    /// Per-node sums of unplaced instances' WCETs, maintained by
+    /// bounded runs for the O(nodes) lookahead check.
+    pub(crate) look_sum: Vec<Time>,
 }
 
 /// Working memory of the cost-only evaluation path: the design
 /// expansion and priorities are rebuilt in place per candidate.
 #[derive(Debug, Default)]
 pub struct CostScratch {
-    expanded: ExpandedDesign,
-    priorities: Priorities,
-    core: SchedScratch,
+    pub(crate) expanded: ExpandedDesign,
+    pub(crate) priorities: Priorities,
+    pub(crate) core: SchedScratch,
+    /// Processes whose priorities a candidate move actually changed
+    /// (working memory of the incremental engine).
+    pub(crate) changed: Vec<ProcessId>,
+    /// Ready-list replay buffers of the divergence scan.
+    pub(crate) sim_preds: Vec<usize>,
+    pub(crate) sim_ready: Vec<ProcessId>,
+    /// Which base design `expanded` currently holds (the checkpoint
+    /// tag), so consecutive candidates of one window patch in place
+    /// instead of re-copying the base expansion. `0` = unknown.
+    pub(crate) expanded_tag: u128,
+    /// Saved instances of the in-place patch (for undo).
+    pub(crate) undo_insts: Vec<Instance>,
 }
 
 impl CostScratch {
@@ -150,14 +176,14 @@ impl CostScratch {
 
 /// Receives placement results; what distinguishes a full
 /// materialization from a cost-only evaluation.
-trait PlacementSink {
+pub(crate) trait PlacementSink {
     fn instance_placed(&mut self, rec: ScheduledInstance);
     fn message_booked(&mut self, edge: EdgeId, sender: InstanceId, booked: BookedMessage);
 }
 
 /// Cost-only evaluation: the core's completion accounting is the
 /// entire result.
-struct CostOnly;
+pub(crate) struct CostOnly;
 
 impl PlacementSink for CostOnly {
     fn instance_placed(&mut self, _rec: ScheduledInstance) {}
@@ -194,10 +220,10 @@ impl PlacementSink for Materialize {
 /// Returns [`SchedError`] when the graph is cyclic, the design does
 /// not match the graph, a replica is mapped on an ineligible node, or
 /// a message exceeds the slot capacity.
-pub fn list_schedule(
+pub fn list_schedule<W: WcetLookup + ?Sized>(
     graph: &ProcessGraph,
     arch: &Architecture,
-    wcet: &WcetTable,
+    wcet: &W,
     fm: &FaultModel,
     bus: &BusConfig,
     design: &Design,
@@ -219,10 +245,10 @@ pub fn list_schedule(
 ///
 /// Same as [`list_schedule`].
 #[allow(clippy::too_many_arguments)]
-pub fn list_schedule_with(
+pub fn list_schedule_with<W: WcetLookup + ?Sized>(
     graph: &ProcessGraph,
     arch: &Architecture,
-    wcet: &WcetTable,
+    wcet: &W,
     fm: &FaultModel,
     bus: &BusConfig,
     design: &Design,
@@ -238,27 +264,54 @@ pub fn list_schedule_with(
 ///
 /// Same as [`list_schedule`].
 #[allow(clippy::too_many_arguments)]
-pub fn list_schedule_scratch(
+pub fn list_schedule_scratch<W: WcetLookup + ?Sized>(
     graph: &ProcessGraph,
     arch: &Architecture,
-    wcet: &WcetTable,
+    wcet: &W,
     fm: &FaultModel,
     bus: &BusConfig,
     design: &Design,
     options: ScheduleOptions,
     scratch: &mut SchedScratch,
 ) -> Result<Schedule, SchedError> {
+    list_schedule_recording(graph, arch, wcet, fm, bus, design, options, scratch, None)
+}
+
+/// [`list_schedule_scratch`] that additionally records resumable
+/// prefix checkpoints of the placement into `ckpts` (when given) —
+/// the incremental evaluation engine replays single-move candidates
+/// from these instead of re-placing the whole instance order (see
+/// [`crate::incremental`]).
+///
+/// # Errors
+///
+/// Same as [`list_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn list_schedule_recording<W: WcetLookup + ?Sized>(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &W,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    options: ScheduleOptions,
+    scratch: &mut SchedScratch,
+    mut ckpts: Option<&mut PlacementCheckpoints>,
+) -> Result<Schedule, SchedError> {
     let expanded = ExpandedDesign::expand(graph, design, wcet, fm)?;
     let priorities = Priorities::compute(graph, &expanded, bus)?;
+    if let Some(ckpts) = ckpts.as_deref_mut() {
+        ckpts.begin(&expanded, &priorities, arch.node_count());
+    }
     let mut sink = Materialize {
         slots: vec![None; expanded.len()],
         node_order: vec![Vec::new(); arch.node_count()],
         bookings: Bookings::for_instances(expanded.len()),
         bus_bookings: Vec::new(),
     };
-    place_all(
+    init_placement(graph, arch.node_count(), &expanded, scratch);
+    let outcome = drive_placement(
         graph,
-        arch,
         &expanded,
         &priorities,
         bus,
@@ -266,7 +319,18 @@ pub fn list_schedule_scratch(
         options,
         scratch,
         &mut sink,
+        0,
+        ScheduleCost {
+            violation: Time::ZERO,
+            length: Time::ZERO,
+        },
+        None,
+        ckpts.as_deref_mut(),
     )?;
+    debug_assert!(matches!(outcome, RunCost::Complete(_)));
+    if let Some(ckpts) = ckpts {
+        ckpts.finish(graph);
+    }
     let slots: Vec<ScheduledInstance> = sink
         .slots
         .into_iter()
@@ -292,23 +356,94 @@ pub fn list_schedule_scratch(
 ///
 /// Same as [`list_schedule`].
 #[allow(clippy::too_many_arguments)]
-pub fn schedule_cost(
+pub fn schedule_cost<W: WcetLookup + ?Sized>(
     graph: &ProcessGraph,
     arch: &Architecture,
-    wcet: &WcetTable,
+    wcet: &W,
     fm: &FaultModel,
     bus: &BusConfig,
     design: &Design,
     options: ScheduleOptions,
     scratch: &mut CostScratch,
 ) -> Result<ScheduleCost, SchedError> {
+    match schedule_cost_bounded(graph, arch, wcet, fm, bus, design, options, scratch, None)? {
+        CostOutcome::Exact(cost) => Ok(cost),
+        CostOutcome::LowerBound(_) => unreachable!("unbounded runs always complete"),
+    }
+}
+
+/// The result of a bounded cost evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostOutcome {
+    /// The placement ran to completion: the exact [`ScheduleCost`].
+    Exact(ScheduleCost),
+    /// The placement aborted because the accumulated worst-case
+    /// completion exceeded the caller's bound. The carried value is a
+    /// **certified lower bound** on the exact cost: worst-case
+    /// completions only grow as placement proceeds, so the exact
+    /// `(violation, length)` is `>=` this value in the same
+    /// lexicographic order candidate selection uses.
+    LowerBound(ScheduleCost),
+}
+
+impl CostOutcome {
+    /// `true` for [`CostOutcome::Exact`].
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, CostOutcome::Exact(_))
+    }
+
+    /// The carried cost (exact, or the certified lower bound).
+    #[must_use]
+    pub fn cost(&self) -> ScheduleCost {
+        match *self {
+            CostOutcome::Exact(c) | CostOutcome::LowerBound(c) => c,
+        }
+    }
+}
+
+/// [`schedule_cost`] with an optional incumbent `bound`: the run
+/// aborts as soon as the accumulated worst-case completion strictly
+/// exceeds the bound, returning [`CostOutcome::LowerBound`] — a
+/// candidate provably worse than the incumbent stops paying for the
+/// rest of its placement. With `bound = None` this is exactly
+/// [`schedule_cost`].
+///
+/// A run whose exact cost is `<= bound` always completes exactly; a
+/// run returns `LowerBound` **iff** its exact cost is `> bound`
+/// (worst-case completions are monotone, so the final placement step
+/// at the latest crosses the bound).
+///
+/// # Errors
+///
+/// Same as [`list_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_cost_bounded<W: WcetLookup + ?Sized>(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &W,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    options: ScheduleOptions,
+    scratch: &mut CostScratch,
+    bound: Option<ScheduleCost>,
+) -> Result<CostOutcome, SchedError> {
+    // The from-scratch rebuild clobbers whatever window base the
+    // expansion buffer held for the in-place candidate patching.
+    scratch.expanded_tag = 0;
     scratch.expanded.expand_into(graph, design, wcet, fm)?;
     scratch
         .priorities
         .compute_into(graph, &scratch.expanded, bus)?;
-    place_all(
+    init_placement(
         graph,
-        arch,
+        arch.node_count(),
+        &scratch.expanded,
+        &mut scratch.core,
+    );
+    let outcome = drive_placement(
+        graph,
         &scratch.expanded,
         &scratch.priorities,
         bus,
@@ -316,38 +451,52 @@ pub fn schedule_cost(
         options,
         &mut scratch.core,
         &mut CostOnly,
-    )
+        0,
+        ScheduleCost {
+            violation: Time::ZERO,
+            length: Time::ZERO,
+        },
+        bound,
+        None,
+    )?;
+    Ok(outcome.into())
 }
 
-/// The shared placement core: places every instance, feeds the sink,
-/// and returns the schedule cost accumulated from worst-case
-/// completions.
-#[allow(clippy::too_many_arguments)]
-fn place_all<S: PlacementSink>(
-    graph: &ProcessGraph,
-    arch: &Architecture,
-    expanded: &ExpandedDesign,
-    priorities: &Priorities,
-    bus: &BusConfig,
-    fm: &FaultModel,
-    options: ScheduleOptions,
-    scratch: &mut SchedScratch,
-    sink: &mut S,
-) -> Result<ScheduleCost, SchedError> {
-    let k = fm.k();
-    let mu = fm.mu();
-    let n = graph.process_count();
+/// How a driven placement run ended.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RunCost {
+    /// Every instance placed; the exact cost.
+    Complete(ScheduleCost),
+    /// Bound exceeded; the certified lower bound at the abort point.
+    Aborted(ScheduleCost),
+}
 
+impl From<RunCost> for CostOutcome {
+    fn from(run: RunCost) -> Self {
+        match run {
+            RunCost::Complete(c) => CostOutcome::Exact(c),
+            RunCost::Aborted(c) => CostOutcome::LowerBound(c),
+        }
+    }
+}
+
+/// Resets `scratch` to the empty placement state for `expanded`
+/// (position 0 of the instance order).
+pub(crate) fn init_placement(
+    graph: &ProcessGraph,
+    node_count: usize,
+    expanded: &ExpandedDesign,
+    scratch: &mut SchedScratch,
+) {
+    let n = graph.process_count();
     scratch.times.clear();
     scratch.times.resize(expanded.len(), Time::ZERO);
     scratch.completion.clear();
     scratch.completion.resize(n, Time::ZERO);
-    if scratch.nodes.len() < arch.node_count() {
-        scratch
-            .nodes
-            .resize_with(arch.node_count(), NodeScratch::default);
+    if scratch.nodes.len() < node_count {
+        scratch.nodes.resize_with(node_count, NodeScratch::default);
     }
-    for node in &mut scratch.nodes[..arch.node_count()] {
+    for node in &mut scratch.nodes[..node_count] {
         node.reset();
     }
     if scratch.arrivals.len() < expanded.len() {
@@ -357,6 +506,8 @@ fn place_all<S: PlacementSink>(
         entry.clear();
     }
     scratch.occupancy.clear();
+    scratch.placed.clear();
+    scratch.placed.resize(n, false);
 
     // Ready-list management at process granularity: a process is
     // ready once every predecessor process is fully scheduled.
@@ -370,16 +521,104 @@ fn place_all<S: PlacementSink>(
             .filter(|&i| scratch.remaining_preds[i] == 0)
             .map(|i| ProcessId::new(i as u32)),
     );
-    let mut scheduled = 0usize;
+}
+
+/// The shared placement loop: places every remaining instance from
+/// the state in `scratch` (position `already_placed` of the order),
+/// feeds the sink, and returns the cost accumulated from worst-case
+/// completions.
+///
+/// `running` must be the cost accumulated over the already-placed
+/// prefix (zero for a fresh start); when `bound` is given the run
+/// aborts with [`RunCost::Aborted`] as soon as `running` strictly
+/// exceeds it. `recorder` captures resumable prefix checkpoints along
+/// the way (full runs only — never combined with a bound or a resumed
+/// start).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_placement<S: PlacementSink>(
+    graph: &ProcessGraph,
+    expanded: &ExpandedDesign,
+    priorities: &Priorities,
+    bus: &BusConfig,
+    fm: &FaultModel,
+    options: ScheduleOptions,
+    scratch: &mut SchedScratch,
+    sink: &mut S,
+    already_placed: usize,
+    mut running: ScheduleCost,
+    bound: Option<ScheduleCost>,
+    mut recorder: Option<&mut PlacementCheckpoints>,
+) -> Result<RunCost, SchedError> {
+    debug_assert!(
+        recorder.is_none() || (bound.is_none() && already_placed == 0),
+        "checkpoints are recorded on full unbounded runs only"
+    );
+    let k = fm.k();
+    let mu = fm.mu();
+    let n = graph.process_count();
+    let mut scheduled = already_placed;
+
+    if bound.is_some() {
+        // Per-node remaining fault-free work, kept current per
+        // placement: the backbone of the O(nodes) lookahead bound.
+        scratch.look_sum.clear();
+        scratch.look_sum.resize(scratch.nodes.len(), Time::ZERO);
+        for inst in expanded.instances() {
+            if !scratch.placed[inst.process.index()] {
+                scratch.look_sum[inst.node.index()] += inst.wcet;
+            }
+        }
+    }
 
     while let Some(pos) = select_best(&scratch.ready, priorities) {
         let p = scratch.ready.swap_remove(pos);
         place_process(p, graph, expanded, bus, k, mu, options, scratch, sink)?;
+        scratch.placed[p.index()] = true;
         scheduled += 1;
         for s in graph.successors_of(p) {
             scratch.remaining_preds[s.index()] -= 1;
             if scratch.remaining_preds[s.index()] == 0 {
                 scratch.ready.push(s);
+            }
+        }
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.note_placed(p, scratch, scheduled, n);
+        }
+        if let Some(bound) = bound {
+            for &sid in expanded.of_process(p) {
+                let inst = expanded.instance(sid);
+                scratch.look_sum[inst.node.index()] -= inst.wcet;
+            }
+            let completion = scratch.completion[p.index()];
+            running.length = running.length.max(completion);
+            if let Some(d) = graph.process(p).deadline {
+                running.violation = running.violation.max(completion.saturating_sub(d));
+            }
+            if running > bound {
+                return Ok(RunCost::Aborted(running));
+            }
+            // Lookahead: a node's unplaced instances all still
+            // execute on it serially at least once fault-free, so its
+            // last worst-case finish is at least the current
+            // availability plus the sum of their WCETs plus the
+            // node's current full-budget slack delay — every term
+            // monotone nondecreasing, so exceeding the bound here
+            // certifies the final cost does too. O(nodes) per
+            // placement thanks to the maintained sums, and a pure
+            // function of the placement state, so resumed and
+            // from-scratch bounded runs classify identically.
+            let mut look = running.length;
+            for (ns, &remaining) in scratch.nodes.iter().zip(&scratch.look_sum) {
+                if !remaining.is_zero() {
+                    look = look.max(ns.avail + remaining + ns.delay_k);
+                }
+            }
+            let certified = ScheduleCost {
+                violation: running.violation,
+                length: look,
+            };
+            if certified > bound {
+                return Ok(RunCost::Aborted(certified));
             }
         }
     }
@@ -391,20 +630,31 @@ fn place_all<S: PlacementSink>(
         ));
     }
 
+    Ok(RunCost::Complete(accumulate_cost(
+        graph,
+        &scratch.completion,
+    )))
+}
+
+/// The exact `(violation, length)` cost of the completions
+/// accumulated so far — also used to re-derive the running cost of a
+/// restored checkpoint prefix (unplaced processes contribute their
+/// zero completion, i.e. nothing).
+pub(crate) fn accumulate_cost(graph: &ProcessGraph, completion: &[Time]) -> ScheduleCost {
     let mut violation = Time::ZERO;
     let mut length = Time::ZERO;
     for p in graph.processes() {
-        let completion = scratch.completion[p.id.index()];
-        length = length.max(completion);
+        let c = completion[p.id.index()];
+        length = length.max(c);
         if let Some(d) = p.deadline {
-            violation = violation.max(completion.saturating_sub(d));
+            violation = violation.max(c.saturating_sub(d));
         }
     }
-    Ok(ScheduleCost { violation, length })
+    ScheduleCost { violation, length }
 }
 
 /// Index of the highest-priority ready process.
-fn select_best(ready: &[ProcessId], priorities: &Priorities) -> Option<usize> {
+pub(crate) fn select_best(ready: &[ProcessId], priorities: &Priorities) -> Option<usize> {
     let mut best: Option<usize> = None;
     for (i, &p) in ready.iter().enumerate() {
         match best {
@@ -601,7 +851,9 @@ fn place_process<S: PlacementSink>(
 
         // --- Worst-case finish. ---
         ns.slack.register(sid, inst.wcet, inst.budget);
-        let mut f_wc = f_ff + delay(&ns.slack, k);
+        let dk = delay(&ns.slack, k);
+        ns.delay_k = dk;
+        let mut f_wc = f_ff + dk;
         let mut wc_binding = WcBinding::Local;
         scratch.frontier.clear();
 
@@ -699,6 +951,7 @@ mod tests {
     use ftdes_model::graph::Message;
     use ftdes_model::ids::NodeId;
     use ftdes_model::policy::FtPolicy;
+    use ftdes_model::wcet::WcetTable;
 
     fn ms(v: u64) -> Time {
         Time::from_ms(v)

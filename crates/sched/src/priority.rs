@@ -38,6 +38,18 @@ pub struct Priorities {
     effective_deadline: Vec<Time>,
 }
 
+/// Returns `true` if any replica pair of `from`/`to` sits on
+/// different nodes, forcing bus communication.
+fn crosses_nodes(expanded: &ExpandedDesign, from: ProcessId, to: ProcessId) -> bool {
+    expanded.of_process(from).iter().any(|&q| {
+        let qn = expanded.instance(q).node;
+        expanded
+            .of_process(to)
+            .iter()
+            .any(|&t| expanded.instance(t).node != qn)
+    })
+}
+
 impl Priorities {
     /// Computes the partial-critical-path rank of every process.
     ///
@@ -73,8 +85,73 @@ impl Priorities {
         expanded: &ExpandedDesign,
         bus: &BusConfig,
     ) -> Result<(), SchedError> {
-        let n = graph.process_count();
         graph.topological_order_into(&mut self.topo, &mut self.in_deg)?;
+        self.compute_core(graph, expanded, bus);
+        Ok(())
+    }
+
+    /// The topological order of the last computation.
+    pub(crate) fn topo(&self) -> &[ProcessId] {
+        &self.topo
+    }
+
+    /// Rebuilds `self` as `base` updated for a single-move candidate:
+    /// only the processes for which `affected` holds (the moved
+    /// process and its ancestors — the only ranks a decision change
+    /// can reach, since ranks flow backwards over edges and effective
+    /// deadlines are design-independent) are recomputed; everything
+    /// else is copied from `base`. Appends the processes whose
+    /// `(laxity, rank)` actually changed to `changed`.
+    ///
+    /// `self.topo` is left empty — selection never reads it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn update_for_move(
+        &mut self,
+        base: &Priorities,
+        graph: &ProcessGraph,
+        expanded: &ExpandedDesign,
+        bus: &BusConfig,
+        topo: &[ProcessId],
+        affected: impl Fn(ProcessId) -> bool,
+        changed: &mut Vec<ProcessId>,
+    ) {
+        self.rank.clone_from(&base.rank);
+        self.laxity.clone_from(&base.laxity);
+        self.effective_deadline.clone_from(&base.effective_deadline);
+        self.topo.clear();
+        changed.clear();
+        let comm_estimate = bus.round_length();
+        for i in (0..topo.len()).rev() {
+            let p = topo[i];
+            if !affected(p) {
+                continue;
+            }
+            let exec = expanded
+                .of_process(p)
+                .iter()
+                .map(|&id| expanded.instance(id).wcet)
+                .max()
+                .unwrap_or(Time::ZERO);
+            let mut best = Time::ZERO;
+            for &e in graph.outgoing(p) {
+                let edge = graph.edge(e);
+                let remote = crosses_nodes(expanded, p, edge.to);
+                let cost =
+                    self.rank[edge.to.index()] + if remote { comm_estimate } else { Time::ZERO };
+                best = best.max(cost);
+            }
+            let new_rank = exec + best;
+            if new_rank != self.rank[p.index()] {
+                self.rank[p.index()] = new_rank;
+                self.laxity[p.index()] =
+                    self.effective_deadline[p.index()].saturating_sub(new_rank);
+                changed.push(p);
+            }
+        }
+    }
+
+    fn compute_core(&mut self, graph: &ProcessGraph, expanded: &ExpandedDesign, bus: &BusConfig) {
+        let n = graph.process_count();
         let comm_estimate = bus.round_length();
         self.rank.clear();
         self.rank.resize(n, Time::ZERO);
@@ -108,7 +185,6 @@ impl Priorities {
                 .zip(&self.effective_deadline)
                 .map(|(&r, &d)| d.saturating_sub(r)),
         );
-        Ok(())
     }
 
     /// The rank of `p`.
@@ -139,18 +215,6 @@ impl Priorities {
         (self.laxity(a), std::cmp::Reverse(self.rank(a)), a)
             < (self.laxity(b), std::cmp::Reverse(self.rank(b)), b)
     }
-}
-
-/// Returns `true` if any replica pair of `from`/`to` sits on
-/// different nodes, forcing bus communication.
-fn crosses_nodes(expanded: &ExpandedDesign, from: ProcessId, to: ProcessId) -> bool {
-    expanded.of_process(from).iter().any(|&q| {
-        let qn = expanded.instance(q).node;
-        expanded
-            .of_process(to)
-            .iter()
-            .any(|&t| expanded.instance(t).node != qn)
-    })
 }
 
 #[cfg(test)]
