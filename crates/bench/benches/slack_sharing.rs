@@ -34,6 +34,7 @@ fn bench_slack_sharing(c: &mut Criterion) {
                     &design,
                     ScheduleOptions {
                         slack_sharing: sharing,
+                        ..ScheduleOptions::default()
                     },
                 )
                 .expect("schedulable inputs");
@@ -73,6 +74,7 @@ fn bench_slack_sharing(c: &mut Criterion) {
                             design,
                             ScheduleOptions {
                                 slack_sharing: *sharing,
+                                ..ScheduleOptions::default()
                             },
                         )
                         .expect("schedulable inputs")

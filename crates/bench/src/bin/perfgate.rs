@@ -40,11 +40,41 @@
 //! CI enforces both floors: ≥ 2× tabu iterations vs the legacy
 //! baseline, and a candidate-rate gain vs the PR 1 path — a
 //! regression against either predecessor fails the gate.
+//!
+//! # The communication-heavy gate
+//!
+//! The paper-family workload above makes communication almost free
+//! (1–4 byte messages against 10–100 ms WCETs), so it cannot see the
+//! communication-aware engine at all. A **second gated workload**
+//! ([`ftdes_bench::comm_heavy_problem_with`]: five edges per process,
+//! 4–16 byte messages, a bus where an average transfer costs half an
+//! average WCET — several hundred bookings per evaluation) is
+//! therefore run two ways:
+//!
+//! 1. **pr2** — incremental + bounded exactly as PR 2 shipped it:
+//!    the certified bus-wait lower bound disabled
+//!    (`Problem::with_comm_lookahead(false)`) and bus messages booked
+//!    through the legacy flat tail scan
+//!    (`Problem::with_flat_occupancy`), whose whole-table rescan per
+//!    overflowed round turns quadratic on congested buses,
+//! 2. **incremental** — the current default: the per-(node, slot)
+//!    occupancy index books in O(log occupied rounds), and the
+//!    bus-wait floor folds into the abort bound.
+//!
+//! Both runs walk bit-identical trajectories (the bound is
+//! admissible and both booking paths pick identical slot
+//! occurrences — it changes *how fast* a candidate is scored, never
+//! *which* candidate wins), so the candidate-rate ratio cleanly
+//! measures this PR's communication-aware additions.
+//! `BENCH_tabu.json` gains `comm_workload` / `comm_pr2` / `comm`
+//! sections and a `comm_candidate_rate_vs_pr2` ratio; CI enforces
+//! its floor (1.15×).
 
 use std::time::Duration;
 
-use ftdes_bench::{synthetic_problem, time_budget};
+use ftdes_bench::{comm_heavy_problem_with, synthetic_problem, time_budget};
 use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_gen::CommHeavyParams;
 use ftdes_model::time::Time;
 
 /// Processes / nodes / k of the gate workload: large enough that a
@@ -53,6 +83,14 @@ const PROCESSES: usize = 40;
 const NODES: usize = 4;
 const FAULTS: u32 = 3;
 const SEEDS: u64 = 3;
+
+/// The communication-heavy gate workload: a denser graph (five edges
+/// per process — several hundred bus messages per evaluation), k = 2
+/// so the fault dimension doesn't drown the bus dimension.
+const COMM_PROCESSES: usize = 50;
+const COMM_DENSITY: f64 = 5.0;
+const COMM_FAULTS: u32 = 2;
+const COMM_SEEDS: u64 = 3;
 
 #[derive(Debug, Default, Clone, Copy)]
 struct ModeTotals {
@@ -140,6 +178,22 @@ fn run_pr1(problem: &Problem, budget: Duration) -> Outcome {
     optimize(&problem, Strategy::Mxr, &cfg).unwrap_or_else(|e| panic!("perfgate pr1 search: {e}"))
 }
 
+/// The PR 2 path on the communication-heavy workload: incremental +
+/// bounded exactly as PR 2 shipped it — the certified bus-wait lower
+/// bound disabled (the abort bound falls back to the computation-only
+/// per-node lookahead) and bus messages booked through the legacy
+/// flat tail scan instead of the per-(node, slot) occupancy index.
+/// Both knobs are bit-identical in results, so the candidate-rate
+/// ratio isolates exactly this PR's communication-aware additions.
+fn run_pr2(problem: &Problem, budget: Duration) -> Outcome {
+    let problem = problem
+        .clone()
+        .with_comm_lookahead(false)
+        .with_flat_occupancy();
+    optimize(&problem, Strategy::Mxr, &gate_config(budget))
+        .unwrap_or_else(|e| panic!("perfgate pr2 search: {e}"))
+}
+
 fn run_baseline(problem: &Problem, budget: Duration) -> Outcome {
     // The frozen reference also predates the dense WCET matrix.
     let problem = problem.clone().with_sparse_wcet_lookup();
@@ -190,6 +244,34 @@ fn main() {
         incremental.add(&incr);
     }
 
+    let mut comm_pr2 = ModeTotals::default();
+    let mut comm_incr = ModeTotals::default();
+    println!(
+        "perfgate (comm-heavy): {COMM_PROCESSES} processes / {NODES} nodes / k = {COMM_FAULTS}, \
+         {COMM_SEEDS} seeds, {budget:?} per run per mode"
+    );
+    let comm_params = CommHeavyParams::dense(COMM_PROCESSES).with_density(COMM_DENSITY);
+    for seed in 0..COMM_SEEDS {
+        let problem =
+            comm_heavy_problem_with(&comm_params, NODES, COMM_FAULTS, Time::from_ms(5), seed);
+        let pr2 = run_pr2(&problem, budget);
+        let incr = run_incremental(&problem, budget);
+        println!(
+            "  seed {seed}: pr2 {} iters / {} evals (+{} hits, {} pruned) | \
+             comm-bound {} iters / {} evals (+{} hits, {} pruned)",
+            pr2.stats.tabu_iterations,
+            pr2.stats.evaluations,
+            pr2.stats.cache_hits,
+            pr2.stats.pruned,
+            incr.stats.tabu_iterations,
+            incr.stats.evaluations,
+            incr.stats.cache_hits,
+            incr.stats.pruned,
+        );
+        comm_pr2.add(&pr2);
+        comm_incr.add(&incr);
+    }
+
     let iter_speedup = ratio(
         incremental.tabu_iterations as f64,
         baseline.tabu_iterations.max(1) as f64,
@@ -210,12 +292,26 @@ fn main() {
         incremental.best_length_us as f64,
         baseline.best_length_us.max(1) as f64,
     );
+    let comm_cand_vs_pr2 = ratio(
+        comm_incr.candidates_per_sec(),
+        comm_pr2.candidates_per_sec(),
+    );
+    let comm_iter_vs_pr2 = ratio(
+        comm_incr.tabu_iterations as f64,
+        comm_pr2.tabu_iterations.max(1) as f64,
+    );
     let json = format!(
         "{{\n  \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
          \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"pr1\": {},\n  \
          \"incremental\": {},\n  \"speedup\": {{\"tabu_iterations\": {:.2}, \
          \"candidate_rate\": {:.2}, \"tabu_iterations_vs_pr1\": {:.2}, \
-         \"candidate_rate_vs_pr1\": {:.2}, \"best_length_ratio\": {:.3}}}\n}}\n",
+         \"candidate_rate_vs_pr1\": {:.2}, \"best_length_ratio\": {:.3}}},\n  \
+         \"comm_workload\": {{\"family\": \"comm_heavy\", \"processes\": {COMM_PROCESSES}, \
+         \"edge_density\": {COMM_DENSITY}, \"msg_wcet_ratio\": {}, \"nodes\": {NODES}, \
+         \"k\": {COMM_FAULTS}, \"seeds\": {COMM_SEEDS}, \
+         \"budget_ms\": {}}},\n  \"comm_pr2\": {},\n  \"comm\": {},\n  \
+         \"comm_speedup\": {{\"tabu_iterations_vs_pr2\": {:.2}, \
+         \"comm_candidate_rate_vs_pr2\": {:.2}}}\n}}\n",
         budget.as_millis(),
         baseline.json(),
         pr1.json(),
@@ -225,6 +321,12 @@ fn main() {
         iter_vs_pr1,
         cand_vs_pr1,
         length_ratio,
+        comm_params.msg_wcet_ratio,
+        budget.as_millis(),
+        comm_pr2.json(),
+        comm_incr.json(),
+        comm_iter_vs_pr2,
+        comm_cand_vs_pr2,
     );
     std::fs::write("BENCH_tabu.json", &json).expect("write BENCH_tabu.json");
     println!("\n{json}");
@@ -234,5 +336,9 @@ fn main() {
     println!(
         "vs PR 1 path:       {iter_vs_pr1:.2}x tabu iterations, {cand_vs_pr1:.2}x candidate rate \
          (best-length ratio {length_ratio:.3})"
+    );
+    println!(
+        "comm-heavy, bus-wait bound vs PR 2 path: {comm_iter_vs_pr2:.2}x tabu iterations, \
+         {comm_cand_vs_pr2:.2}x candidate rate"
     );
 }

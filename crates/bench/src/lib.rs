@@ -10,12 +10,14 @@
 //! | `... --bin table1c` | Table 1c — overhead vs fault duration µ |
 //! | `... --bin fig10` | Fig. 10 — MX / MR / SFX deviation from MXR |
 //! | `... --bin cruise_control` | the CC case study |
-//! | `... --bin perfgate` | evaluation-throughput gate → `BENCH_tabu.json` |
+//! | `... --bin perfgate` | evaluation-throughput gate (paper + comm-heavy workloads) → `BENCH_tabu.json` |
 //! | `... --bin evalprof` | per-phase profile of one candidate evaluation |
 //! | `... --bin incrprof` | incremental vs from-scratch per-move profile |
+//! | `... --bin commprof` | communication-heavy per-candidate profile (bus-wait bound + occupancy index vs the PR 2 path) |
 //! | `cargo bench -p ftdes-bench` | Criterion micro-benchmarks |
 //!
-//! Scale knobs (environment variables):
+//! Scale knobs (environment variables; the runtime `FTDES_*` knobs
+//! are canonically documented in the `ftdes-core` crate docs):
 //!
 //! * `FTDES_SEEDS` — applications per configuration (paper: 15,
 //!   default here: 5 to keep runs minutes-scale),
@@ -24,7 +26,9 @@
 //!   2005 hardware),
 //! * `FTDES_THREADS` / `RAYON_NUM_THREADS` — worker threads for
 //!   candidate evaluation (default: available parallelism),
-//! * `FTDES_NO_PARALLEL` — force single-threaded evaluation.
+//! * `FTDES_NO_PARALLEL` — force single-threaded evaluation,
+//! * `commprof` additionally reads `COMM_RATIO` / `COMM_DENSITY` /
+//!   `COMM_PROCS` to sweep the communication-heavy family.
 //!
 //! # Evaluations/sec methodology
 //!
@@ -75,7 +79,7 @@ use ftdes_core::{
     effective_threads, optimize, optimize_with_cache, EvalCache, Goal, Outcome, Problem,
     SearchConfig, Strategy, WorkerPool,
 };
-use ftdes_gen::paper_workload;
+use ftdes_gen::{comm_heavy, paper_workload, CommHeavyParams};
 use ftdes_model::architecture::Architecture;
 use ftdes_model::fault::FaultModel;
 use ftdes_model::time::Time;
@@ -132,6 +136,50 @@ pub fn synthetic_problem(processes: usize, nodes: usize, k: u32, mu: Time, seed:
         .unwrap_or(1)
         .max(1);
     let bus = BusConfig::initial(&arch, largest, BYTE_TIME)
+        .expect("synthetic architectures are non-empty");
+    Problem::new(
+        workload.graph,
+        arch,
+        workload.wcet,
+        FaultModel::new(k, mu),
+        bus,
+    )
+}
+
+/// Builds the problem instance for one communication-heavy
+/// application ([`ftdes_gen::comm_heavy`], dense defaults): dense
+/// DAGs, 4–16 byte messages and a per-byte bus time chosen so an
+/// average message transfer costs half an average WCET — the workload
+/// where bus waits, not computation, decide schedule length, and
+/// where the certified bus-wait lower bound and the indexed slot
+/// occupancy earn their keep. `perfgate`'s second gated entry runs
+/// on exactly this instance.
+#[must_use]
+pub fn comm_heavy_problem(processes: usize, nodes: usize, k: u32, mu: Time, seed: u64) -> Problem {
+    comm_heavy_problem_with(&CommHeavyParams::dense(processes), nodes, k, mu, seed)
+}
+
+/// [`comm_heavy_problem`] with explicit family parameters — the
+/// ratio/density ablations (`commprof`) sweep these.
+#[must_use]
+pub fn comm_heavy_problem_with(
+    params: &CommHeavyParams,
+    nodes: usize,
+    k: u32,
+    mu: Time,
+    seed: u64,
+) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let workload = comm_heavy(params, &arch, seed);
+    let largest = workload
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.message.size)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bus = BusConfig::initial(&arch, largest, params.byte_time())
         .expect("synthetic architectures are non-empty");
     Problem::new(
         workload.graph,

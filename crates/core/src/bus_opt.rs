@@ -11,14 +11,23 @@
 //!   largest message): bigger frames pack more messages per round but
 //!   stretch the round, delaying everyone.
 //!
-//! Every candidate configuration is evaluated by a full
-//! `ListScheduling` run of the *given* design, so the pass composes
-//! with any strategy result.
+//! Every candidate configuration is scored by scheduling the *given*
+//! design under it, so the pass composes with any strategy result.
+//! Slot-swap probes do not reschedule from scratch: the incumbent
+//! configuration's placement is recorded once
+//! ([`Evaluator::schedule_with_bus_recording`]) and each probe
+//! resumes from the last booking the swap provably cannot affect
+//! ([`ftdes_sched::schedule_cost_resumed_bus`]) — placement-prefix
+//! checkpoints keyed on *moves* don't apply here because a slot-order
+//! change shifts slot timing globally, so the resume limit is the
+//! first **booking** into either swapped slot instead. Capacity-sweep
+//! candidates change the slot length (and every slot's timing with
+//! it), so they are never resumable and always run from scratch.
 
 use std::sync::Arc;
 
 use ftdes_model::design::Design;
-use ftdes_sched::Schedule;
+use ftdes_sched::{PlacementCheckpoints, Schedule};
 use ftdes_ttp::config::BusConfig;
 
 use crate::cache::{EvalOutcome, Evaluator};
@@ -41,6 +50,14 @@ pub struct BusOptConfig {
     /// result is identical to the sequential sweep for every thread
     /// count.
     pub threads: usize,
+    /// Resume slot-swap probes from the incumbent configuration's
+    /// recorded placement checkpoints instead of rescheduling from
+    /// scratch (default on). Pure throughput knob: resumed and
+    /// from-scratch probes classify identically (guarded by the
+    /// `bus_resumed_equals_full` parity test), so the optimized bus,
+    /// its cost and the climb trajectory are the same either way —
+    /// disable for perf ablations.
+    pub checkpointed: bool,
 }
 
 impl Default for BusOptConfig {
@@ -49,6 +66,7 @@ impl Default for BusOptConfig {
             max_rounds: 8,
             capacity_multiples: vec![1, 2],
             threads: 0,
+            checkpointed: true,
         }
     }
 }
@@ -90,6 +108,10 @@ pub fn optimize_bus(
     let pool = WorkerPool::with_requested(cfg.threads);
     let base = problem.bus();
     let largest = problem.largest_message();
+    // Prefix checkpoints of the incumbent configuration's placement:
+    // re-recorded whenever the incumbent bus changes (capacity step
+    // or accepted swap), resumed from by every slot-swap probe.
+    let mut ckpts = PlacementCheckpoints::new();
 
     let mut best_bus = base.clone();
     let (mut best_cost, start_hit) = evaluator.evaluate(design)?;
@@ -100,9 +122,19 @@ pub fn optimize_bus(
         let mut bus = BusConfig::with_order(base.slot_order().to_vec(), capacity, base.byte_time())
             .expect("base order stays valid");
 
-        // Evaluate the capacity change itself.
-        let (mut current_cost, hit) = evaluator.evaluate_with_bus(&bus, design)?;
-        stats.record_eval(hit);
+        // Evaluate the capacity change itself — never resumable (the
+        // slot length changes every slot's timing), but with
+        // checkpointed probes enabled this full run doubles as the
+        // recording the upcoming swap sweep resumes from.
+        let mut current_cost = if cfg.checkpointed {
+            let incumbent = evaluator.schedule_with_bus_recording(&bus, design, &mut ckpts)?;
+            stats.record_eval(false);
+            incumbent.cost()
+        } else {
+            let (cost, hit) = evaluator.evaluate_with_bus(&bus, design)?;
+            stats.record_eval(hit);
+            cost
+        };
         if current_cost < best_cost {
             best_bus = bus.clone();
             best_cost = current_cost;
@@ -129,15 +161,22 @@ pub fn optimize_bus(
                 let chunk_len = pool.threads().max(1).min(pairs.len() - idx);
                 let chunk = &pairs[idx..idx + chunk_len];
                 let current = &bus;
+                let use_ckpts = if cfg.checkpointed && ckpts.is_valid() {
+                    Some(&ckpts)
+                } else {
+                    None
+                };
                 let probes = pool
                     .try_map_init(
                         chunk,
                         || (),
                         |(), _, &(a, b)| {
                             let cand_bus = current.swap_slots(a, b);
-                            let probe = evaluator.evaluate_with_bus_bounded(
+                            let probe = evaluator.evaluate_with_bus_swap_bounded(
                                 &cand_bus,
+                                (a, b),
                                 design,
+                                use_ckpts,
                                 Some(current_cost),
                             )?;
                             Ok(Some((probe, (a, b))))
@@ -175,6 +214,19 @@ pub fn optimize_bus(
                     bus = bus.swap_slots(a, b);
                     current_cost = c;
                     improved = true;
+                    if cfg.checkpointed {
+                        // The incumbent changed: re-record so further
+                        // probes resume against the new slot order.
+                        // One full run per *accepted* swap — probes
+                        // vastly outnumber acceptances.
+                        let incumbent =
+                            evaluator.schedule_with_bus_recording(&bus, design, &mut ckpts)?;
+                        debug_assert_eq!(
+                            incumbent.cost(),
+                            c,
+                            "resumed probe cost must match the full run"
+                        );
+                    }
                 }
                 idx += advanced;
             }

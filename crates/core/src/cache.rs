@@ -19,7 +19,8 @@
 //! hand; only a cache-hitting *winner* is re-materialized (one extra
 //! `ListScheduling` run per occurrence — rare, and recorded in the
 //! evaluation counters). Scheduling itself runs through a
-//! thread-local [`SchedScratch`], so worker threads reuse their
+//! thread-local [`SchedScratch`](ftdes_sched::SchedScratch), so
+//! worker threads reuse their
 //! ready-list and contingency buffers across evaluations.
 
 use std::cell::RefCell;
@@ -556,6 +557,72 @@ impl<'p> Evaluator<'p> {
         design: &Design,
     ) -> Result<Arc<Schedule>, SchedError> {
         self.schedule_keyed(design, Some(bus))
+    }
+
+    /// [`Evaluator::schedule_with_bus`] that additionally records the
+    /// placement's prefix checkpoints into `ckpts` — the bus-access
+    /// optimization materializes its incumbent `(design, bus)` this
+    /// way so that slot-swap probes resume through
+    /// [`Evaluator::evaluate_with_bus_swap_bounded`] instead of
+    /// re-placing the whole order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn schedule_with_bus_recording(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+        ckpts: &mut PlacementCheckpoints,
+    ) -> Result<Arc<Schedule>, SchedError> {
+        let schedule = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let scratch = scratch.core_mut();
+            self.problem
+                .evaluate_with_bus_recording(bus, design, scratch, Some(ckpts))
+        })?;
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), self.key_of(design, Some(bus))) {
+            cache.insert(key, schedule.cost());
+        }
+        ckpts.tag = design_fingerprint(design, self.base_fp);
+        Ok(Arc::new(schedule))
+    }
+
+    /// [`Evaluator::evaluate_with_bus_bounded`] for a candidate bus
+    /// that differs from the checkpointed incumbent by the single
+    /// slot swap `swapped`: the probe resumes from the last booking
+    /// the swap provably cannot affect (see
+    /// [`ftdes_sched::schedule_cost_resumed_bus`]) instead of
+    /// re-placing from scratch. Falls back to the from-scratch
+    /// bounded run when `ckpts` is `None` or not yet recorded.
+    /// Results — cost, classification, cache behaviour — are
+    /// identical to [`Evaluator::evaluate_with_bus_bounded`] on the
+    /// same `(bus, design, bound)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::evaluate_with_bus`].
+    pub fn evaluate_with_bus_swap_bounded(
+        &self,
+        bus: &BusConfig,
+        swapped: (usize, usize),
+        design: &Design,
+        ckpts: Option<&PlacementCheckpoints>,
+        bound: Option<ScheduleCost>,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        debug_assert!(
+            ckpts
+                .is_none_or(|c| !c.is_valid() || c.tag == design_fingerprint(design, self.base_fp)),
+            "checkpoints must belong to the probed design"
+        );
+        self.cached_bounded(self.key_of(design, Some(bus)), |scratch| match ckpts {
+            Some(ckpts) if ckpts.is_valid() => self
+                .problem
+                .evaluate_cost_bus_swapped(bus, swapped, scratch, ckpts, bound),
+            _ => self
+                .problem
+                .evaluate_cost_with_bus_bounded(bus, design, scratch, bound),
+        })
     }
 
     fn key_of(&self, design: &Design, bus: Option<&BusConfig>) -> Option<u128> {

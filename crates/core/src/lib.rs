@@ -18,6 +18,43 @@
 //! [`strategy::optimize`] with the policy spaces
 //! MXR / MX / MR and the SFX / NFT baselines.
 //!
+//! # The candidate-evaluation stack
+//!
+//! Solution quality under the paper's wall-clock protocol is decided
+//! by candidates scored per second, so the search runs on a layered
+//! evaluation stack:
+//!
+//! * [`cache::Evaluator`] — the single entry point the search phases
+//!   score candidates through: memoization (48-byte cost entries
+//!   keyed by XOR-decomposable design fingerprints, shareable across
+//!   `optimize` calls via [`strategy::optimize_with_cache`]),
+//!   incremental checkpoint-resumed evaluation, bounded early-exit
+//!   runs, and the checkpointed bus-swap probes of
+//!   [`bus_opt::optimize_bus`].
+//! * [`parallel::WorkerPool`] — deterministic window parallelism:
+//!   results indexed by input position plus `(cost, move index)`
+//!   selection make parallel runs bit-identical to sequential ones.
+//! * The engine toggles live on [`SearchConfig`]
+//!   (`incremental` / `bounded`) and [`problem::Problem`]
+//!   ([`problem::Problem::with_comm_lookahead`],
+//!   [`problem::Problem::with_flat_occupancy`],
+//!   [`problem::Problem::with_sparse_wcet_lookup`]) — every one of
+//!   them is a pure throughput knob, bit-identical by the parity
+//!   tests in `tests/incremental.rs` and `tests/determinism.rs`.
+//!
+//! # Environment variables
+//!
+//! The canonical list of runtime `FTDES_*` knobs (all optional):
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `FTDES_THREADS` | worker threads for candidate evaluation (default: available parallelism; also honours `RAYON_NUM_THREADS`) |
+//! | `FTDES_NO_PARALLEL` | force single-threaded evaluation (overrides everything) |
+//!
+//! Resolution order and details: [`parallel::effective_threads`].
+//! The benchmark harness (`ftdes-bench`) adds `FTDES_SEEDS` and
+//! `FTDES_TIME_MS` on top — documented in that crate.
+//!
 //! # Examples
 //!
 //! ```

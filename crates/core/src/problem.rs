@@ -13,9 +13,9 @@ use ftdes_model::ids::ProcessId;
 use ftdes_model::time::Time;
 use ftdes_model::wcet::{DenseWcet, WcetTable};
 use ftdes_sched::{
-    list_schedule, list_schedule_recording, schedule_cost_bounded, schedule_cost_resumed,
-    CostOutcome, CostScratch, PlacementCheckpoints, SchedError, SchedScratch, Schedule,
-    ScheduleCost, ScheduleOptions,
+    list_schedule_recording, list_schedule_with, schedule_cost_bounded, schedule_cost_resumed,
+    schedule_cost_resumed_bus, CostOutcome, CostScratch, PlacementCheckpoints, SchedError,
+    SchedScratch, Schedule, ScheduleCost, ScheduleOptions,
 };
 use ftdes_ttp::config::BusConfig;
 
@@ -56,6 +56,9 @@ pub struct Problem {
     fault_model: FaultModel,
     bus: BusConfig,
     constraints: DesignConstraints,
+    /// Scheduler switches every evaluation of this problem runs with
+    /// (slack sharing, the certified bus-wait lookahead, …).
+    options: ScheduleOptions,
 }
 
 impl Problem {
@@ -80,6 +83,7 @@ impl Problem {
             fault_model,
             bus,
             constraints: DesignConstraints::free(n),
+            options: ScheduleOptions::default(),
         }
     }
 
@@ -91,6 +95,36 @@ impl Problem {
     pub fn with_sparse_wcet_lookup(mut self) -> Self {
         self.dense_hot_path = false;
         self
+    }
+
+    /// Toggles the certified bus-wait lower bound of bounded
+    /// (early-exit) candidate evaluation
+    /// ([`ScheduleOptions::comm_lookahead`], default on). Pure
+    /// throughput knob: the bound is admissible, so costs, pruning
+    /// classification and search trajectories are bit-identical
+    /// either way — `false` gives the computation-only (PR 2)
+    /// lookahead for perf ablations.
+    #[must_use]
+    pub fn with_comm_lookahead(mut self, enabled: bool) -> Self {
+        self.options.comm_lookahead = enabled;
+        self
+    }
+
+    /// Books bus messages through the legacy flat tail scan instead
+    /// of the per-(node, slot) occupancy index — the PR 2 booking
+    /// path, kept as a perf-ablation knob
+    /// ([`ScheduleOptions::indexed_occupancy`]). Both paths choose
+    /// identical slot occurrences, so results are bit-identical.
+    #[must_use]
+    pub fn with_flat_occupancy(mut self) -> Self {
+        self.options.indexed_occupancy = false;
+        self
+    }
+
+    /// The scheduler switches evaluations of this problem run with.
+    #[must_use]
+    pub fn schedule_options(&self) -> ScheduleOptions {
+        self.options
     }
 
     /// Sets designer constraints (builder style).
@@ -191,22 +225,24 @@ impl Problem {
     /// problem.
     pub fn evaluate(&self, design: &Design) -> Result<Schedule, SchedError> {
         if self.dense_hot_path {
-            list_schedule(
+            list_schedule_with(
                 &self.graph,
                 &self.arch,
                 &self.dense_wcet,
                 &self.fault_model,
                 &self.bus,
                 design,
+                self.options,
             )
         } else {
-            list_schedule(
+            list_schedule_with(
                 &self.graph,
                 &self.arch,
                 &self.wcet,
                 &self.fault_model,
                 &self.bus,
                 design,
+                self.options,
             )
         }
     }
@@ -248,7 +284,7 @@ impl Problem {
                 &self.fault_model,
                 &self.bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 ckpts,
             )
@@ -260,7 +296,7 @@ impl Problem {
                 &self.fault_model,
                 &self.bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 ckpts,
             )
@@ -280,6 +316,25 @@ impl Problem {
         design: &Design,
         scratch: &mut SchedScratch,
     ) -> Result<Schedule, SchedError> {
+        self.evaluate_with_bus_recording(bus, design, scratch, None)
+    }
+
+    /// [`Problem::evaluate_with_bus_scratch`] that additionally
+    /// records the placement's prefix checkpoints — the bus-access
+    /// optimization records its incumbent configuration this way so
+    /// slot-swap probes can resume instead of re-placing from scratch
+    /// (see [`ftdes_sched::schedule_cost_resumed_bus`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_with_bus_recording(
+        &self,
+        bus: &BusConfig,
+        design: &Design,
+        scratch: &mut SchedScratch,
+        ckpts: Option<&mut PlacementCheckpoints>,
+    ) -> Result<Schedule, SchedError> {
         if self.dense_hot_path {
             list_schedule_recording(
                 &self.graph,
@@ -288,9 +343,9 @@ impl Problem {
                 &self.fault_model,
                 bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
-                None,
+                ckpts,
             )
         } else {
             list_schedule_recording(
@@ -300,9 +355,9 @@ impl Problem {
                 &self.fault_model,
                 bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
-                None,
+                ckpts,
             )
         }
     }
@@ -348,7 +403,7 @@ impl Problem {
                 &self.fault_model,
                 &self.bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 bound,
             )
@@ -360,7 +415,7 @@ impl Problem {
                 &self.fault_model,
                 &self.bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 bound,
             )
@@ -392,7 +447,7 @@ impl Problem {
                 &self.bus,
                 design,
                 moved,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 ckpts,
                 bound,
@@ -406,7 +461,7 @@ impl Problem {
                 &self.bus,
                 design,
                 moved,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 ckpts,
                 bound,
@@ -453,7 +508,7 @@ impl Problem {
                 &self.fault_model,
                 bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 bound,
             )
@@ -465,11 +520,44 @@ impl Problem {
                 &self.fault_model,
                 bus,
                 design,
-                ScheduleOptions::default(),
+                self.options,
                 scratch,
                 bound,
             )
         }
+    }
+
+    /// Evaluates the checkpointed base design under a bus
+    /// configuration differing from the recorded one by the single
+    /// slot swap `swapped`, resuming from the last booking the swap
+    /// cannot affect (see
+    /// [`ftdes_sched::schedule_cost_resumed_bus`]) — the fast path of
+    /// the bus-access optimization's probe sweep. The design is the
+    /// one `ckpts` was recorded for; no WCET lookups happen (the
+    /// recorded expansion already carries them).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::evaluate`].
+    pub fn evaluate_cost_bus_swapped(
+        &self,
+        bus: &BusConfig,
+        swapped: (usize, usize),
+        scratch: &mut CostScratch,
+        ckpts: &PlacementCheckpoints,
+        bound: Option<ScheduleCost>,
+    ) -> Result<CostOutcome, SchedError> {
+        schedule_cost_resumed_bus(
+            &self.graph,
+            &self.arch,
+            &self.fault_model,
+            bus,
+            swapped,
+            self.options,
+            scratch,
+            ckpts,
+            bound,
+        )
     }
 
     /// The sum over processes of the average WCET — a scale for

@@ -219,6 +219,31 @@ fn bounded_runs_classify_exactly_and_never_misorder() {
     }
 }
 
+/// A communication-heavy problem (dense graph, expensive messages) —
+/// the workload family where the bus-wait bound and the occupancy
+/// index actually bite.
+fn comm_problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let params = ftdes_gen::CommHeavyParams::dense(processes);
+    let w = ftdes_gen::comm_heavy(&params, &arch, seed);
+    let largest = w
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.message.size)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bus = BusConfig::initial(&arch, largest, params.byte_time()).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)),
+        bus,
+    )
+}
+
 #[test]
 fn search_results_invariant_under_engines() {
     for seed in [2u64, 8] {
@@ -247,6 +272,135 @@ fn search_results_invariant_under_engines() {
                 "seed {seed}: trajectory changed under incremental={incremental} bounded={bounded}"
             );
             assert_eq!(out.stats.greedy_steps, reference.stats.greedy_steps);
+        }
+    }
+}
+
+#[test]
+fn search_results_invariant_under_comm_engine_knobs() {
+    // The communication-aware engine's two knobs — the certified
+    // bus-wait lower bound and the per-(node, slot) occupancy index —
+    // are pure throughput knobs: the bound is admissible (it changes
+    // *when* a loser is certified, never *which* candidate wins) and
+    // both booking paths pick identical slot occurrences, so whole
+    // searches must be bit-identical with either knob flipped. Checked
+    // on the paper family and, more importantly, on the comm-heavy
+    // family where the knobs actually do work.
+    for base in [problem(14, 3, 2, 4), comm_problem(12, 4, 2, 7)] {
+        let run = |p: &Problem| {
+            let cfg = SearchConfig {
+                goal: Goal::MinimizeLength,
+                time_limit: None,
+                max_tabu_iterations: 30,
+                ..SearchConfig::default()
+            };
+            optimize(p, Strategy::Mxr, &cfg).unwrap()
+        };
+        let reference = run(&base);
+        let variants = [
+            base.clone().with_comm_lookahead(false),
+            base.clone().with_flat_occupancy(),
+            base.clone()
+                .with_comm_lookahead(false)
+                .with_flat_occupancy(),
+        ];
+        for (i, variant) in variants.iter().enumerate() {
+            let out = run(variant);
+            assert_eq!(out.design, reference.design, "variant {i}: design changed");
+            assert_eq!(out.schedule.cost(), reference.schedule.cost());
+            assert_eq!(
+                out.stats.tabu_iterations, reference.stats.tabu_iterations,
+                "variant {i}: trajectory changed"
+            );
+            assert_eq!(out.stats.greedy_steps, reference.stats.greedy_steps);
+            // Note: `pruned`/`evaluations` counters are NOT asserted —
+            // certificate values differ with the comm bound armed, so
+            // the winner-bounded resolution pass may re-evaluate a
+            // slightly different set of bounded candidates. The
+            // trajectory (and hence everything above) is still
+            // bit-identical because within-bound candidates always
+            // complete exactly either way.
+        }
+    }
+}
+
+#[test]
+fn bus_resumed_equals_full_for_slot_swaps() {
+    // The checkpointed bus-opt probe: a slot-swap candidate resumed
+    // from the recorded incumbent placement must classify exactly
+    // like the from-scratch run under the swapped bus — for every
+    // pair, unbounded and under a tight bound.
+    for (problem, label) in [
+        (problem(14, 4, 2, 6), "paper"),
+        (comm_problem(12, 4, 2, 5), "comm"),
+    ] {
+        let design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+        let mut core = ftdes_sched::SchedScratch::default();
+        let mut ckpts = PlacementCheckpoints::new();
+        let incumbent = problem
+            .evaluate_with_bus_recording(problem.bus(), &design, &mut core, Some(&mut ckpts))
+            .unwrap();
+        let incumbent_cost = incumbent.cost();
+        assert!(ckpts.is_valid());
+
+        let mut scratch = CostScratch::default();
+        let slots = problem.bus().slots_per_round();
+        for a in 0..slots {
+            for b in (a + 1)..slots {
+                let cand = problem.bus().swap_slots(a, b);
+                let full = problem
+                    .evaluate_cost_with_bus_bounded(&cand, &design, &mut scratch, None)
+                    .unwrap();
+                let resumed = problem
+                    .evaluate_cost_bus_swapped(&cand, (a, b), &mut scratch, &ckpts, None)
+                    .unwrap();
+                assert_eq!(
+                    resumed, full,
+                    "{label}: resumed bus probe diverged on swap ({a}, {b})"
+                );
+                let exact = match full {
+                    CostOutcome::Exact(c) => c,
+                    CostOutcome::LowerBound(_) => unreachable!("unbounded runs are exact"),
+                };
+                // Bounded probes: classification must agree with the
+                // exact cost for both engines; certificates must be
+                // admissible (they may differ in value — the two
+                // engines abort at different placement positions).
+                for bound in [incumbent_cost, exact] {
+                    for resumed in [false, true] {
+                        let outcome = if resumed {
+                            problem
+                                .evaluate_cost_bus_swapped(
+                                    &cand,
+                                    (a, b),
+                                    &mut scratch,
+                                    &ckpts,
+                                    Some(bound),
+                                )
+                                .unwrap()
+                        } else {
+                            problem
+                                .evaluate_cost_with_bus_bounded(
+                                    &cand,
+                                    &design,
+                                    &mut scratch,
+                                    Some(bound),
+                                )
+                                .unwrap()
+                        };
+                        match outcome {
+                            CostOutcome::Exact(c) => {
+                                assert_eq!(c, exact, "{label} swap ({a},{b})");
+                                assert!(exact <= bound, "{label}: aborted too eagerly");
+                            }
+                            CostOutcome::LowerBound(lb) => {
+                                assert!(exact > bound, "{label}: must complete within bound");
+                                assert!(lb > bound && lb <= exact, "{label}: bad certificate");
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }

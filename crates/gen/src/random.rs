@@ -156,7 +156,7 @@ fn chain_groups(params: &WorkloadParams, rng: &mut StdRng) -> ProcessGraph {
 /// Samples WCETs: a base time per process from the configured
 /// distribution, scaled per node by a speed factor in
 /// `[1 − spread, 1 + spread]`.
-fn sample_wcet(
+pub(crate) fn sample_wcet(
     params: &WorkloadParams,
     graph: &ProcessGraph,
     arch: &Architecture,

@@ -13,6 +13,41 @@
 //! * schedule cost = (deadline violation, worst-case length δ) for
 //!   the optimization loop.
 //!
+//! # The evaluation engine
+//!
+//! The optimizer scores hundreds of thousands of candidate designs
+//! per second, so the scheduler exposes a layered evaluation engine
+//! on top of one shared placement core (all layers run the *same*
+//! placement code, so they cannot diverge — guarded by parity tests
+//! in `ftdes-core`):
+//!
+//! * [`list_schedule`] — full materialization: tables, bus bookings,
+//!   MEDL. Used for the winner of each search iteration and anything
+//!   user-facing.
+//! * [`schedule_cost`] — the cost-only front-end: identical
+//!   placement, no-op sink, allocation-free via a caller-owned
+//!   [`CostScratch`]. The window-evaluation workhorse.
+//! * [`schedule_cost_bounded`] — cost-only with an incumbent bound:
+//!   the run aborts with a **certified lower bound** as soon as the
+//!   placement state proves the candidate cannot beat the incumbent.
+//!   Certificates combine the running worst-case completions, an
+//!   O(nodes) remaining-computation lookahead, and the certified
+//!   **bus-wait lower bound** (aggregate TDMA slot serialization of
+//!   the candidate's single-replica remote messages — see
+//!   [`list::ScheduleOptions::comm_lookahead`]).
+//! * [`schedule_cost_resumed`] — single-move candidates replay from
+//!   the latest [`incremental::PlacementCheckpoints`] prefix the move
+//!   provably cannot affect instead of placing from scratch.
+//! * [`schedule_cost_resumed_bus`] — the bus-configuration analogue:
+//!   slot-swap probes of the bus-access optimization resume from the
+//!   last *booking* the swap cannot affect (placement-prefix
+//!   checkpoints do not apply when slot timing shifts globally).
+//!
+//! Bus bookings go through a per-(node, slot) occupancy index (O(log
+//! occupied rounds) per booking; the legacy flat tail scan survives
+//! as the [`list::ScheduleOptions::indexed_occupancy`] ablation and
+//! as a debug-build parity assertion).
+//!
 //! # Examples
 //!
 //! Schedule a two-process chain, re-executed on one node:
@@ -52,6 +87,7 @@ pub mod error;
 pub mod incremental;
 pub mod instance;
 pub mod list;
+mod occupancy;
 pub mod priority;
 pub mod render;
 pub mod schedule;
@@ -60,7 +96,7 @@ pub mod stats;
 pub mod validate;
 
 pub use error::SchedError;
-pub use incremental::{schedule_cost_resumed, PlacementCheckpoints};
+pub use incremental::{schedule_cost_resumed, schedule_cost_resumed_bus, PlacementCheckpoints};
 pub use instance::{ExpandedDesign, Instance, InstanceId};
 pub use list::{
     list_schedule, list_schedule_recording, list_schedule_scratch, list_schedule_with,

@@ -1,0 +1,282 @@
+//! Indexed bus-slot occupancy: the booking table of the placement
+//! core.
+//!
+//! The list scheduler books every inter-node message into the
+//! earliest TDMA slot occurrence of its sender with spare capacity.
+//! The original implementation kept a flat `Vec<(round, slot, used)>`
+//! and scanned it (from the tail) per booking — fine for tens of
+//! messages, O(total bookings) per booking on communication-heavy
+//! workloads with thousands of them.
+//!
+//! [`SlotOccupancy`] replaces the flat scan with a per-slot index:
+//! one round-sorted occurrence list per slot, so a booking is a
+//! binary search plus a short forward walk over consecutive full
+//! rounds, and appends (the overwhelmingly common case — bookings
+//! arrive in roughly increasing time order) stay O(1) amortized.
+//!
+//! The per-slot byte totals ([`SlotOccupancy::slot_bytes`]) double as
+//! the cheap signal the checkpoint recorder diffs to attribute
+//! bookings to placement positions — the resume limit of
+//! checkpointed bus-configuration probes
+//! ([`crate::schedule_cost_resumed_bus`]).
+//!
+//! Debug builds additionally mirror every insertion into the legacy
+//! flat vector and assert that the indexed and scanned answers agree
+//! (`debug_assertions` only — the guard is stripped in release).
+
+/// Per-(node, slot) indexed occupancy of the TDMA bus, reused across
+/// evaluations like the rest of the scheduler scratch state.
+///
+/// Each slot keeps its occupied occurrences as a round-sorted
+/// `(round, used bytes)` list; slot indices map 1:1 to nodes through
+/// the active [`BusConfig`]. The legacy flat table survives as a
+/// selectable mode ([`SlotOccupancy::set_indexed`], the
+/// `ScheduleOptions::indexed_occupancy` ablation — the PR 2 booking
+/// path for perf comparisons) and as the debug-build parity
+/// reference.
+#[derive(Debug)]
+pub(crate) struct SlotOccupancy {
+    /// Occupied occurrences per slot, sorted by round (one entry per
+    /// occupied `(round, slot)` pair, mirroring the legacy flat vec).
+    per_slot: Vec<Vec<(u64, u32)>>,
+    /// Total booked bytes per slot — the cheap per-slot signal the
+    /// checkpoint recorder diffs to attribute bookings to placement
+    /// positions, and the byte totals of the certified bus-wait
+    /// bound. Maintained in both modes.
+    bytes: Vec<u64>,
+    /// Legacy flat table `(round, slot, used)`: the booking path of
+    /// the flat mode, and the tail-scan reference the parity
+    /// assertion replays in debug builds when indexed.
+    flat: Vec<(u64, usize, u32)>,
+    /// Whether bookings go through the per-slot index (default) or
+    /// the legacy flat tail scan.
+    indexed: bool,
+}
+
+impl Default for SlotOccupancy {
+    fn default() -> Self {
+        SlotOccupancy {
+            per_slot: Vec::new(),
+            bytes: Vec::new(),
+            flat: Vec::new(),
+            indexed: true,
+        }
+    }
+}
+
+impl Clone for SlotOccupancy {
+    fn clone(&self) -> Self {
+        SlotOccupancy {
+            per_slot: self.per_slot.clone(),
+            bytes: self.bytes.clone(),
+            flat: self.flat.clone(),
+            indexed: self.indexed,
+        }
+    }
+
+    /// Buffer-reusing clone: checkpoint snapshots capture and restore
+    /// the occupancy through `clone_from` once per resumed candidate
+    /// — the resume hot path — so the per-slot lists must reuse their
+    /// allocations instead of falling back to the derive's
+    /// reallocating `*self = source.clone()`.
+    fn clone_from(&mut self, source: &Self) {
+        self.per_slot.truncate(source.per_slot.len());
+        for (dst, src) in self.per_slot.iter_mut().zip(&source.per_slot) {
+            dst.clone_from(src);
+        }
+        for src in &source.per_slot[self.per_slot.len()..] {
+            self.per_slot.push(src.clone());
+        }
+        self.bytes.clone_from(&source.bytes);
+        self.flat.clone_from(&source.flat);
+        self.indexed = source.indexed;
+    }
+}
+
+impl SlotOccupancy {
+    /// Empties the table, keeping every allocation.
+    pub(crate) fn clear(&mut self) {
+        for list in &mut self.per_slot {
+            list.clear();
+        }
+        for b in &mut self.bytes {
+            *b = 0;
+        }
+        self.flat.clear();
+    }
+
+    /// Selects the booking path: indexed (default) or the legacy
+    /// flat tail scan. Called at the start of every placement run;
+    /// switching modes on a non-empty table is not supported (a
+    /// resumed run restores a snapshot recorded under the same
+    /// options it resumes with).
+    pub(crate) fn set_indexed(&mut self, indexed: bool) {
+        debug_assert!(
+            indexed == self.indexed || (self.flat.is_empty() && self.bytes.iter().all(|&b| b == 0)),
+            "occupancy mode switched on a non-empty table"
+        );
+        self.indexed = indexed;
+    }
+
+    /// Grows the per-slot lists to cover `slots` slots.
+    fn ensure_slots(&mut self, slots: usize) {
+        if self.per_slot.len() < slots {
+            self.per_slot.resize_with(slots, Vec::new);
+        }
+        if self.bytes.len() < slots {
+            self.bytes.resize(slots, 0);
+        }
+    }
+
+    /// Total booked bytes in `slot` (0 for never-extended slots).
+    pub(crate) fn slot_bytes(&self, slot: usize) -> u64 {
+        self.bytes.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Books `size` bytes into the earliest occurrence of `slot` at
+    /// or after `round` with spare capacity, and returns the round
+    /// chosen — through the per-slot index, or through the legacy
+    /// flat tail scan in flat mode.
+    pub(crate) fn book(&mut self, slot: usize, round: u64, size: u32, capacity: u32) -> u64 {
+        self.ensure_slots(slot + 1);
+        let start_round = round;
+        let round = if self.indexed {
+            let round = Self::indexed_book(&mut self.per_slot[slot], round, size, capacity);
+            #[cfg(debug_assertions)]
+            {
+                let scanned = Self::scanned_book(&mut self.flat, slot, start_round, size, capacity);
+                debug_assert_eq!(
+                    scanned, round,
+                    "indexed booking diverged from the flat tail scan \
+                     (slot {slot}, from round {start_round}, {size} bytes)"
+                );
+            }
+            round
+        } else {
+            Self::scanned_book(&mut self.flat, slot, start_round, size, capacity)
+        };
+        self.bytes[slot] += u64::from(size);
+        round
+    }
+
+    /// The indexed algorithm: binary-search the slot's round-sorted
+    /// occurrence list, walk over consecutive full rounds, insert or
+    /// top up.
+    fn indexed_book(list: &mut Vec<(u64, u32)>, mut round: u64, size: u32, capacity: u32) -> u64 {
+        let mut idx = list.partition_point(|&(r, _)| r < round);
+        loop {
+            match list.get_mut(idx) {
+                Some(&mut (r, ref mut used)) if r == round => {
+                    if *used + size <= capacity {
+                        *used += size;
+                        break;
+                    }
+                    round += 1;
+                    idx += 1;
+                }
+                _ => {
+                    list.insert(idx, (round, size));
+                    break;
+                }
+            }
+        }
+        round
+    }
+
+    /// The legacy algorithm verbatim: scan the flat table from the
+    /// tail for the `(round, slot)` entry, overflow to the next round
+    /// while full. The flat mode's booking path, and the parity
+    /// reference the indexed mode replays in debug builds.
+    fn scanned_book(
+        flat: &mut Vec<(u64, usize, u32)>,
+        slot: usize,
+        mut round: u64,
+        size: u32,
+        capacity: u32,
+    ) -> u64 {
+        loop {
+            match flat
+                .iter_mut()
+                .rev()
+                .find(|&&mut (r, s, _)| r == round && s == slot)
+            {
+                Some(&mut (_, _, ref mut used)) if *used + size <= capacity => {
+                    *used += size;
+                    break;
+                }
+                Some(_) => round += 1,
+                None => {
+                    flat.push((round, slot, size));
+                    break;
+                }
+            }
+        }
+        round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn books_fill_then_overflow() {
+        let mut occ = SlotOccupancy::default();
+        // Capacity 4: two 2-byte messages share, the third overflows.
+        assert_eq!(occ.book(0, 3, 2, 4), 3);
+        assert_eq!(occ.book(0, 3, 2, 4), 3);
+        assert_eq!(occ.book(0, 3, 2, 4), 4);
+        assert_eq!(occ.slot_bytes(0), 6);
+        // An earlier round with free space is still usable.
+        assert_eq!(occ.book(0, 1, 4, 4), 1);
+    }
+
+    #[test]
+    fn later_booking_can_fill_an_earlier_gap() {
+        let mut occ = SlotOccupancy::default();
+        occ.book(1, 0, 4, 4);
+        occ.book(1, 2, 2, 4);
+        // Round 1 was skipped: a new request from round 0 overflows
+        // round 0 (full) and lands in the round-1 gap.
+        assert_eq!(occ.book(1, 0, 3, 4), 1);
+        // Round 2 still has 2 spare bytes for a small message.
+        assert_eq!(occ.book(1, 2, 2, 4), 2);
+    }
+
+    #[test]
+    fn flat_mode_books_identically() {
+        let mut indexed = SlotOccupancy::default();
+        let mut flat = SlotOccupancy::default();
+        flat.set_indexed(false);
+        let requests: [(usize, u64, u32); 8] = [
+            (0, 0, 4),
+            (0, 0, 2),
+            (1, 2, 3),
+            (0, 1, 4),
+            (0, 0, 2),
+            (1, 0, 4),
+            (1, 1, 2),
+            (0, 3, 1),
+        ];
+        for (slot, round, size) in requests {
+            assert_eq!(
+                indexed.book(slot, round, size, 4),
+                flat.book(slot, round, size, 4),
+                "modes diverged on (slot {slot}, round {round}, {size}B)"
+            );
+        }
+        assert_eq!(indexed.slot_bytes(0), flat.slot_bytes(0));
+        assert_eq!(indexed.slot_bytes(1), flat.slot_bytes(1));
+    }
+
+    #[test]
+    fn clear_keeps_allocations_and_resets_bytes() {
+        let mut occ = SlotOccupancy::default();
+        occ.book(0, 0, 4, 4);
+        occ.book(2, 5, 1, 4);
+        occ.clear();
+        assert_eq!(occ.slot_bytes(0), 0);
+        assert_eq!(occ.slot_bytes(2), 0);
+        assert_eq!(occ.book(0, 0, 4, 4), 0, "table empty again");
+    }
+}

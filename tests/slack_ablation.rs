@@ -45,6 +45,7 @@ fn unshared_slack_never_shorter_and_both_sound() {
             &design,
             ScheduleOptions {
                 slack_sharing: true,
+                ..ScheduleOptions::default()
             },
         )
         .unwrap();
@@ -57,6 +58,7 @@ fn unshared_slack_never_shorter_and_both_sound() {
             &design,
             ScheduleOptions {
                 slack_sharing: false,
+                ..ScheduleOptions::default()
             },
         )
         .unwrap();
@@ -108,6 +110,7 @@ fn sharing_gain_is_substantial_on_chains() {
         &design,
         ScheduleOptions {
             slack_sharing: true,
+            ..ScheduleOptions::default()
         },
     )
     .unwrap();
@@ -120,6 +123,7 @@ fn sharing_gain_is_substantial_on_chains() {
         &design,
         ScheduleOptions {
             slack_sharing: false,
+            ..ScheduleOptions::default()
         },
     )
     .unwrap();

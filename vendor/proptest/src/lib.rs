@@ -168,7 +168,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,
