@@ -161,24 +161,23 @@ pub fn optimize_bus(
                 let chunk_len = pool.threads().max(1).min(pairs.len() - idx);
                 let chunk = &pairs[idx..idx + chunk_len];
                 let current = &bus;
-                let use_ckpts = if cfg.checkpointed && ckpts.is_valid() {
-                    Some(&ckpts)
-                } else {
-                    None
-                };
+                // The chunk's shared evaluation context: losing probes
+                // are bounded by the climbing incumbent, checkpointed
+                // probes resume from the incumbent's recording — the
+                // same facade the neighbourhood searches score moves
+                // through.
+                let ceval = evaluator.candidate_eval(
+                    design,
+                    cfg.checkpointed.then_some(&ckpts),
+                    Some(current_cost),
+                );
                 let probes = pool
                     .try_map_init(
                         chunk,
                         || (),
                         |(), _, &(a, b)| {
                             let cand_bus = current.swap_slots(a, b);
-                            let probe = evaluator.evaluate_with_bus_swap_bounded(
-                                &cand_bus,
-                                (a, b),
-                                design,
-                                use_ckpts,
-                                Some(current_cost),
-                            )?;
+                            let probe = ceval.eval_bus_swap(&cand_bus, (a, b), design)?;
                             Ok(Some((probe, (a, b))))
                         },
                     )

@@ -625,6 +625,30 @@ impl<'p> Evaluator<'p> {
         })
     }
 
+    /// Opens the candidate-evaluation context of one neighbourhood
+    /// window (or bus-probe sweep): the base design's O(n) cache key
+    /// (each candidate key is then O(1) by XOR decomposition), the
+    /// base solution's recorded placement checkpoints, and the
+    /// incumbent bound — bundled behind one [`CandidateEval`] facade
+    /// so every search phase (greedy, both tabu stages, the bus-access
+    /// optimization) scores candidates through the same stack:
+    /// memoization → suffix splice → checkpoint resume → bounded
+    /// early-exit.
+    #[must_use]
+    pub fn candidate_eval<'e>(
+        &'e self,
+        base: &Design,
+        ckpts: Option<&'e PlacementCheckpoints>,
+        bound: Option<ScheduleCost>,
+    ) -> CandidateEval<'e, 'p> {
+        CandidateEval {
+            evaluator: self,
+            base_key: self.design_key(base),
+            ckpts: ckpts.filter(|c| c.is_valid()),
+            bound,
+        }
+    }
+
     fn key_of(&self, design: &Design, bus: Option<&BusConfig>) -> Option<u128> {
         self.cache.as_ref().map(|_| {
             let seed = match bus {
@@ -680,6 +704,93 @@ impl<'p> Evaluator<'p> {
             cache.insert(key, schedule.cost());
         }
         Ok(Arc::new(schedule))
+    }
+}
+
+/// The per-window candidate-evaluation facade: one object carrying
+/// everything a window's candidates share — the base design's cache
+/// key, the base solution's recorded [`PlacementCheckpoints`] and the
+/// incumbent bound — so the search phases' hot loops reduce to one
+/// call per candidate.
+///
+/// Construct with [`Evaluator::candidate_eval`] once per window (the
+/// base key costs O(n); every candidate key after that is O(1)).
+/// `Sync`, so one facade serves all worker threads of a window.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateEval<'e, 'p> {
+    evaluator: &'e Evaluator<'p>,
+    base_key: Option<u128>,
+    ckpts: Option<&'e PlacementCheckpoints>,
+    bound: Option<ScheduleCost>,
+}
+
+impl CandidateEval<'_, '_> {
+    /// The incumbent bound candidates are pruned against.
+    #[must_use]
+    pub fn bound(&self) -> Option<ScheduleCost> {
+        self.bound
+    }
+
+    /// Scores the single-move candidate `(process, decision)` against
+    /// the window base held in `design`, through the full evaluation
+    /// stack (cache → splice → resume → bounded early-exit). The
+    /// design is restored before returning; the `bool` is `true` on a
+    /// cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn eval_move(
+        &self,
+        design: &mut Design,
+        process: ProcessId,
+        decision: &ProcessDesign,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        self.eval_move_bounded(design, process, decision, self.bound)
+    }
+
+    /// [`CandidateEval::eval_move`] under an explicit bound override —
+    /// the tabu search's winner-bounded resolution pass re-evaluates
+    /// pruned candidates against the would-be winner instead of the
+    /// window incumbent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError`].
+    pub fn eval_move_bounded(
+        &self,
+        design: &mut Design,
+        process: ProcessId,
+        decision: &ProcessDesign,
+        bound: Option<ScheduleCost>,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        self.evaluator.evaluate_move_incremental(
+            design,
+            process,
+            decision,
+            self.base_key,
+            self.ckpts,
+            bound,
+        )
+    }
+
+    /// Scores a bus-configuration probe differing from the recorded
+    /// incumbent by the single slot swap `swapped` (the bus-access
+    /// optimization's elementary move), resuming from the last
+    /// booking the swap provably cannot affect when checkpoints are
+    /// held.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::evaluate_with_bus_bounded`].
+    pub fn eval_bus_swap(
+        &self,
+        bus: &BusConfig,
+        swapped: (usize, usize),
+        design: &Design,
+    ) -> Result<(EvalOutcome, bool), SchedError> {
+        self.evaluator
+            .evaluate_with_bus_swap_bounded(bus, swapped, design, self.ckpts, self.bound)
     }
 }
 

@@ -91,13 +91,9 @@ pub fn greedy_mpa_with(
         } else {
             None
         };
-        let use_ckpts = if cfg.incremental && ckpts.is_valid() {
-            Some(&ckpts)
-        } else {
-            None
-        };
-        // One O(n) key per window; each candidate key is then O(1).
-        let base_key = evaluator.design_key(&design);
+        // The window's shared evaluation context (cache → splice →
+        // resume → bounded), one O(n) base key per window.
+        let ceval = evaluator.candidate_eval(&design, cfg.incremental.then_some(&ckpts), bound);
         let evaluated = pool
             .try_map_init(
                 &window,
@@ -106,13 +102,10 @@ pub fn greedy_mpa_with(
                     if cutoff.is_some_and(|c| Instant::now() >= c) {
                         return Ok(None);
                     }
-                    Ok(Some(evaluator.evaluate_move_incremental(
+                    Ok(Some(ceval.eval_move(
                         cand,
                         mv.process,
                         table.decision(*mv),
-                        base_key,
-                        use_ckpts,
-                        bound,
                     )?))
                 },
             )

@@ -50,6 +50,7 @@
 //! |---|---|
 //! | `FTDES_THREADS` | worker threads for candidate evaluation (default: available parallelism; also honours `RAYON_NUM_THREADS`) |
 //! | `FTDES_NO_PARALLEL` | force single-threaded evaluation (overrides everything) |
+//! | `FTDES_NO_SPLICE` | disable the suffix-splicing engine (evaluation engine v3): new [`problem::Problem`]s evaluate candidates through the PR 2/3 checkpoint-resumed path instead. Set to anything but `0`/empty; [`problem::Problem::with_suffix_splice`] overrides per problem. Pure throughput knob — results are bit-identical either way |
 //!
 //! Resolution order and details: [`parallel::effective_threads`].
 //! The benchmark harness (`ftdes-bench`) adds `FTDES_SEEDS` and
@@ -104,7 +105,7 @@ pub mod tabu;
 /// Convenience re-exports of the optimization entry points.
 pub mod prelude {
     pub use crate::bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
-    pub use crate::cache::{EvalCache, EvalOutcome, Evaluator};
+    pub use crate::cache::{CandidateEval, EvalCache, EvalOutcome, Evaluator};
     pub use crate::config::{Goal, SearchConfig, SearchStats};
     pub use crate::error::OptError;
     pub use crate::parallel::{effective_threads, WorkerPool};
@@ -115,7 +116,7 @@ pub mod prelude {
 }
 
 pub use bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
-pub use cache::{EvalCache, EvalOutcome, Evaluator};
+pub use cache::{CandidateEval, EvalCache, EvalOutcome, Evaluator};
 pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
 pub use parallel::{effective_threads, WorkerPool};

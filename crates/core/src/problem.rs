@@ -19,6 +19,19 @@ use ftdes_sched::{
 };
 use ftdes_ttp::config::BusConfig;
 
+/// Whether the suffix-splicing engine is enabled by default: on,
+/// unless the `FTDES_NO_SPLICE` kill switch is set (to anything but
+/// `0`). Read once — candidate evaluation constructs no problems, but
+/// sweeps construct many.
+fn splice_enabled_by_env() -> bool {
+    static DISABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    !*DISABLED.get_or_init(|| {
+        std::env::var("FTDES_NO_SPLICE")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false)
+    })
+}
+
 /// A complete problem instance.
 ///
 /// # Examples
@@ -83,7 +96,10 @@ impl Problem {
             fault_model,
             bus,
             constraints: DesignConstraints::free(n),
-            options: ScheduleOptions::default(),
+            options: ScheduleOptions {
+                suffix_splice: splice_enabled_by_env(),
+                ..ScheduleOptions::default()
+            },
         }
     }
 
@@ -118,6 +134,24 @@ impl Problem {
     #[must_use]
     pub fn with_flat_occupancy(mut self) -> Self {
         self.options.indexed_occupancy = false;
+        self
+    }
+
+    /// Toggles the **suffix-splicing engine** (evaluation engine v3,
+    /// [`ScheduleOptions::suffix_splice`], default on unless the
+    /// `FTDES_NO_SPLICE` environment variable is set): single-move
+    /// candidates re-place only their certified affected cone and
+    /// splice the base solution's recorded per-node segments and
+    /// per-slot bus timelines for everything outside it, falling back
+    /// to the PR 2 checkpoint-resumed replay when the independence
+    /// proof fails. Pure throughput knob — spliced costs are
+    /// bit-identical to full placement, so exact costs, pruning
+    /// classification and search trajectories are invariant (guarded
+    /// by `tests/splice.rs`); `false` gives the PR 3 evaluation path
+    /// for perf ablations.
+    #[must_use]
+    pub fn with_suffix_splice(mut self, enabled: bool) -> Self {
+        self.options.suffix_splice = enabled;
         self
     }
 

@@ -179,13 +179,11 @@ pub fn tabu_search_mpa_with(
         } else {
             None
         };
-        let use_ckpts = if cfg.incremental && ckpts.is_valid() {
-            Some(&ckpts)
-        } else {
-            None
-        };
-        // One O(n) key per window; each candidate key is then O(1).
-        let base_key = evaluator.design_key(&now_design);
+        // The window's shared evaluation context: one O(n) base key
+        // (per-candidate keys are then O(1)), the base solution's
+        // checkpoints, the bound — the whole cache → splice → resume
+        // → bounded stack behind one facade.
+        let ceval = evaluator.candidate_eval(&now_design, cfg.incremental.then_some(&ckpts), bound);
 
         // Evaluate the window in parallel (cost-only); results stay
         // in move order. Each worker clones the base design once and
@@ -199,13 +197,10 @@ pub fn tabu_search_mpa_with(
                     if cutoff.is_some_and(|c| Instant::now() >= c) {
                         return Ok(None);
                     }
-                    Ok(Some(evaluator.evaluate_move_incremental(
+                    Ok(Some(ceval.eval_move(
                         design,
                         mv.process,
                         table.decision(*mv),
-                        base_key,
-                        use_ckpts,
-                        bound,
                     )?))
                 },
             )
@@ -251,12 +246,10 @@ pub fn tabu_search_mpa_with(
             let mut resolved_any = false;
             for c in &mut candidates {
                 if !c.outcome.is_exact() && (c.outcome.cost(), c.index) <= (w_cost, w_index) {
-                    let (outcome, hit) = evaluator.evaluate_move_incremental(
+                    let (outcome, hit) = ceval.eval_move_bounded(
                         &mut now_design,
                         c.mv.process,
                         table.decision(c.mv),
-                        base_key,
-                        use_ckpts,
                         resolve_bound,
                     )?;
                     if outcome.is_exact() {

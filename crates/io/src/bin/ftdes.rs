@@ -7,15 +7,33 @@
 //! ftdes inject <problem.ftd> [--strategy ...] [--scenarios N] [--seed S]
 //! ftdes info  <problem.ftd>
 //! ```
+//!
+//! Instead of a problem file, every command also accepts a generated
+//! instance: `--family comm-heavy|paper` with `--procs N`, `--nodes N`,
+//! `--k N`, `--mu-ms N`, `--seed S` and (comm-heavy only) the family
+//! knobs `--density F` (mean edges per process) and
+//! `--msg-wcet-ratio F` (mean message transfer time over mean WCET) —
+//! the communication-heavy family the benchmarks sweep, reachable
+//! straight from the CLI:
+//!
+//! ```text
+//! ftdes solve --family comm-heavy --procs 50 --density 5 \
+//!             --msg-wcet-ratio 0.5 --goal length --bus-opt
+//! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use ftdes_core::{optimize, optimize_bus, BusOptConfig, Goal, SearchConfig, Strategy};
+use ftdes_core::{optimize, optimize_bus, BusOptConfig, Goal, Problem, SearchConfig, Strategy};
 use ftdes_faultsim::{adversarial_scenario, random_scenarios, simulate};
+use ftdes_gen::{comm_heavy, paper_workload, CommHeavyParams};
 use ftdes_io::format::parse_problem;
 use ftdes_io::report::{solution_report, to_json};
+use ftdes_model::architecture::Architecture;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::time::Time;
 use ftdes_sched::render::{render_gantt, render_medl, render_tables};
+use ftdes_ttp::config::BusConfig;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +46,66 @@ fn main() -> ExitCode {
     }
 }
 
+/// A generated-instance request (`--family …`) in place of a problem
+/// file.
+struct FamilyOptions {
+    family: String,
+    procs: usize,
+    nodes: usize,
+    k: u32,
+    mu_ms: u64,
+    density: f64,
+    msg_wcet_ratio: f64,
+}
+
+impl Default for FamilyOptions {
+    fn default() -> Self {
+        let dense = CommHeavyParams::dense(50);
+        FamilyOptions {
+            family: String::new(),
+            procs: 50,
+            nodes: 4,
+            k: 2,
+            mu_ms: 5,
+            density: dense.edge_density,
+            msg_wcet_ratio: dense.msg_wcet_ratio,
+        }
+    }
+}
+
+impl FamilyOptions {
+    /// Builds the generated problem instance.
+    fn into_problem(self, seed: u64) -> Result<Problem, String> {
+        let arch = Architecture::with_node_count(self.nodes);
+        let fm = FaultModel::new(self.k, Time::from_ms(self.mu_ms));
+        let (workload, byte_time) = match self.family.as_str() {
+            "comm-heavy" => {
+                let params = CommHeavyParams::dense(self.procs)
+                    .with_density(self.density)
+                    .with_ratio(self.msg_wcet_ratio);
+                (comm_heavy(&params, &arch, seed), params.byte_time())
+            }
+            // The paper's synthetic family: 1–4 byte messages over the
+            // experiments' 2.5 ms/byte bus.
+            "paper" => (
+                paper_workload(self.procs, &arch, seed),
+                Time::from_us(2_500),
+            ),
+            other => return Err(format!("unknown family {other:?} (comm-heavy | paper)")),
+        };
+        let largest = workload
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.message.size)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let bus = BusConfig::initial(&arch, largest, byte_time).map_err(|e| e.to_string())?;
+        Ok(Problem::new(workload.graph, arch, workload.wcet, fm, bus))
+    }
+}
+
 struct Options {
     strategy: Strategy,
     time_ms: u64,
@@ -37,6 +115,7 @@ struct Options {
     bus_opt: bool,
     scenarios: usize,
     seed: u64,
+    family: Option<FamilyOptions>,
 }
 
 impl Options {
@@ -50,6 +129,7 @@ impl Options {
             bus_opt: false,
             scenarios: 100,
             seed: 0,
+            family: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -94,6 +174,42 @@ impl Options {
                         .parse()
                         .map_err(|_| "invalid --seed".to_owned())?;
                 }
+                "--family" => {
+                    let mut fam = o.family.take().unwrap_or_default();
+                    fam.family = value("--family")?.to_lowercase();
+                    o.family = Some(fam);
+                }
+                "--procs" => {
+                    o.family.get_or_insert_with(Default::default).procs = value("--procs")?
+                        .parse()
+                        .map_err(|_| "invalid --procs".to_owned())?;
+                }
+                "--nodes" => {
+                    o.family.get_or_insert_with(Default::default).nodes = value("--nodes")?
+                        .parse()
+                        .map_err(|_| "invalid --nodes".to_owned())?;
+                }
+                "--k" => {
+                    o.family.get_or_insert_with(Default::default).k = value("--k")?
+                        .parse()
+                        .map_err(|_| "invalid --k".to_owned())?;
+                }
+                "--mu-ms" => {
+                    o.family.get_or_insert_with(Default::default).mu_ms = value("--mu-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --mu-ms".to_owned())?;
+                }
+                "--density" => {
+                    o.family.get_or_insert_with(Default::default).density = value("--density")?
+                        .parse()
+                        .map_err(|_| "invalid --density".to_owned())?;
+                }
+                "--msg-wcet-ratio" => {
+                    o.family.get_or_insert_with(Default::default).msg_wcet_ratio =
+                        value("--msg-wcet-ratio")?
+                            .parse()
+                            .map_err(|_| "invalid --msg-wcet-ratio".to_owned())?;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -113,14 +229,37 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(usage());
     };
-    let Some((path, flags)) = rest.split_first() else {
-        return Err(usage());
+    // Either a problem file, or a generated instance (`--family …` —
+    // the flags then start right after the command).
+    let (path, flags) = match rest.split_first() {
+        Some((p, tail)) if !p.starts_with("--") => (Some(p.as_str()), tail),
+        _ => (None, rest),
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let spec = parse_problem(&text).map_err(|e| format!("{path}: {e}"))?;
-    let node_names: Vec<String> = spec.arch.nodes().iter().map(|n| n.name.clone()).collect();
-    let options = Options::parse(flags)?;
-    let (problem, _merged) = spec.into_problem().map_err(|e| e.to_string())?;
+    let mut options = Options::parse(flags)?;
+    let (problem, node_names) = match (path, options.family.take()) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let spec = parse_problem(&text).map_err(|e| format!("{path}: {e}"))?;
+            let names: Vec<String> = spec.arch.nodes().iter().map(|n| n.name.clone()).collect();
+            let (problem, _merged) = spec.into_problem().map_err(|e| e.to_string())?;
+            (problem, names)
+        }
+        (None, Some(family)) => {
+            if family.family.is_empty() {
+                return Err("generator knobs need --family comm-heavy|paper".to_owned());
+            }
+            let problem = family.into_problem(options.seed)?;
+            let names = (0..problem.arch().node_count())
+                .map(|i| format!("N{i}"))
+                .collect();
+            (problem, names)
+        }
+        (Some(_), Some(_)) => {
+            return Err("pass either a problem file or --family, not both".to_owned())
+        }
+        (None, None) => return Err(usage()),
+    };
+    let options = options;
 
     match command.as_str() {
         "info" => {
@@ -210,8 +349,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ftdes <solve|inject|info> <problem.ftd> [flags]\n\
+    "usage: ftdes <solve|inject|info> <problem.ftd | --family comm-heavy|paper> [flags]\n\
      flags: --strategy mxr|mx|mr|sfx|nft  --time-ms N  --goal deadline|length\n\
-     \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S"
+     \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S\n\
+     generated instances: --family comm-heavy|paper  --procs N  --nodes N  --k N  --mu-ms N\n\
+     \x20      comm-heavy knobs: --density F (mean edges/process)  --msg-wcet-ratio F"
         .to_owned()
 }

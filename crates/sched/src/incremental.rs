@@ -59,16 +59,113 @@ use ftdes_model::time::Time;
 use ftdes_model::wcet::WcetLookup;
 use ftdes_ttp::config::BusConfig;
 
+#[doc(hidden)]
+pub mod metrics {
+    //! Env-gated engine counters (`FTDES_SPLICE_METRICS=1`): how
+    //! often the splice engages / falls back, and the wall time spent
+    //! on each path. Profiling aid for `incrprof`-style harnesses;
+    //! zero-cost when disabled (one relaxed load per candidate).
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    pub static ENGAGED: AtomicU64 = AtomicU64::new(0);
+    pub static GATE_REJECTED: AtomicU64 = AtomicU64::new(0);
+    pub static DIVERGED: AtomicU64 = AtomicU64::new(0);
+    pub static SPLICE_NS: AtomicU64 = AtomicU64::new(0);
+    pub static PR2_NS: AtomicU64 = AtomicU64::new(0);
+    pub static PR2_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub static CONE_NS: AtomicU64 = AtomicU64::new(0);
+    pub static PREP_NS: AtomicU64 = AtomicU64::new(0);
+    pub static CERT_NS: AtomicU64 = AtomicU64::new(0);
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    pub fn enable() {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot() -> (u64, u64, u64, u64, u64) {
+        (
+            ENGAGED.load(Ordering::Relaxed),
+            GATE_REJECTED.load(Ordering::Relaxed),
+            DIVERGED.load(Ordering::Relaxed),
+            SPLICE_NS.load(Ordering::Relaxed),
+            PR2_NS.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn phases() -> (u64, u64, u64, u64) {
+        (
+            CERT_NS.load(Ordering::Relaxed),
+            PREP_NS.load(Ordering::Relaxed),
+            CONE_NS.load(Ordering::Relaxed),
+            PR2_CALLS.load(Ordering::Relaxed),
+        )
+    }
+}
+
 use crate::error::SchedError;
 use crate::instance::{ExpandedDesign, InstanceId};
 use crate::list::{
-    accumulate_cost, drive_placement, init_placement, select_best, CostOnly, CostOutcome,
-    CostScratch, FrontierEntry, SchedScratch, ScheduleOptions,
+    accumulate_cost, drive_placement, init_placement, CostOnly, CostOutcome, CostScratch,
+    FrontierEntry, SchedScratch, ScheduleOptions,
 };
 use crate::occupancy::SlotOccupancy;
 use crate::priority::Priorities;
 use crate::schedule::ScheduleCost;
+use crate::segments::SegmentStore;
 use crate::slack::SlackAccount;
+
+/// How a candidate's selection order relates to the recorded base
+/// order — the independence certificate of the suffix-splicing
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OrderCert {
+    /// Every selection change is certified: the candidate's order is
+    /// the recorded one with each process in the caller's
+    /// [`FloatPlan`] removed from its recorded slot and re-inserted
+    /// just before its landing position — every third party keeps
+    /// its slot. An empty plan means the orders agree bit for bit.
+    /// `div` is the first position the raw selection differs at (the
+    /// PR 2 fallback's resume cap when the splice is gated off;
+    /// `order.len()` when aligned).
+    Splice { div: u32 },
+    /// The reordering could not be certified as independent floats:
+    /// the splice is impossible; the PR 2 replay resumes at/below
+    /// `div`.
+    Diverged { div: u32 },
+}
+
+/// One certified float: `process` vacates its recorded slot and is
+/// re-inserted just before base position `to` (which may equal the
+/// slot — a degenerate float used to route the moved process through
+/// the executor's common machinery).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FloatMove {
+    pub(crate) process: ProcessId,
+    pub(crate) slot: u32,
+    pub(crate) to: u32,
+}
+
+impl FloatMove {
+    /// The inclusive base-position interval the float perturbs.
+    fn span(&self) -> (u32, u32) {
+        (self.slot.min(self.to), self.slot.max(self.to))
+    }
+}
+
+/// The float set of one candidate, plus the early-readiness windows
+/// its certification must cross-check (reusable scratch).
+#[derive(Debug, Default)]
+pub struct FloatPlan {
+    pub(crate) floats: Vec<FloatMove>,
+    /// `(owner float index, lo, hi)`: a direct successor of an
+    /// early-floated process is ready over `[lo, hi)` earlier than
+    /// recorded; no *other* float's span may intersect it.
+    windows: Vec<(u32, u32, u32)>,
+}
 
 /// Captured per-node placement state.
 #[derive(Debug, Default)]
@@ -147,15 +244,15 @@ pub struct PlacementCheckpoints {
     pub tag: u128,
     stride: usize,
     /// Placement order of the base run.
-    order: Vec<ProcessId>,
+    pub(crate) order: Vec<ProcessId>,
     /// Position of each process in `order`.
-    position: Vec<u32>,
+    pub(crate) position: Vec<u32>,
     /// Snapshots at positions `stride, 2·stride, …` (`snap_len` of
     /// the buffers are live).
     snaps: Vec<Snapshot>,
     snap_len: usize,
     /// The base design's expansion.
-    expanded: ExpandedDesign,
+    pub(crate) expanded: ExpandedDesign,
     /// The base design's priorities (candidates copy them and
     /// recompute only the moved process and its ancestors).
     base_priorities: Priorities,
@@ -165,6 +262,13 @@ pub struct PlacementCheckpoints {
     /// base run — before the earliest entry of a priority-changed
     /// process, the base selection sequence provably stands.
     ready_pos: Vec<u32>,
+    /// The base run's ready set at every position, flattened
+    /// (`ready_sets[ready_offsets[pos]..ready_offsets[pos + 1]]`):
+    /// the divergence check compares a priority-changed process only
+    /// against selections inside its own in-flight window, instead of
+    /// re-simulating the whole ready list per candidate.
+    ready_sets: Vec<ProcessId>,
+    ready_offsets: Vec<u32>,
     /// Reachability bitsets: bit `q` of row `p` set iff `q` is
     /// reachable from `p` (including `p` itself) — the ancestor test
     /// of the incremental priority update.
@@ -173,7 +277,7 @@ pub struct PlacementCheckpoints {
     words: usize,
     /// Scratch predecessor counters of the `finish` replay.
     replay_preds: Vec<usize>,
-    node_count: usize,
+    pub(crate) node_count: usize,
     /// First placement position that booked a message into each bus
     /// slot (`u32::MAX` = the base run never books into that slot) —
     /// the resume limit of bus-configuration probes: a slot-order
@@ -190,6 +294,11 @@ pub struct PlacementCheckpoints {
     bus_slots: usize,
     bus_slot_bytes: u32,
     bus_byte_time: Time,
+    /// The segment-structured recording of the suffix-splicing engine
+    /// (per-node placement segments, per-slot bus timelines, final
+    /// state — see [`crate::segments`]). Captured alongside the
+    /// prefix snapshots when [`ScheduleOptions::suffix_splice`] is on.
+    pub(crate) segments: SegmentStore,
 }
 
 impl PlacementCheckpoints {
@@ -215,6 +324,7 @@ impl PlacementCheckpoints {
         priorities: &Priorities,
         node_count: usize,
         bus: &BusConfig,
+        record_segments: bool,
     ) {
         let topo = priorities.topo();
         self.valid = false;
@@ -241,6 +351,7 @@ impl PlacementCheckpoints {
         self.first_slot_book.resize(self.bus_slots, u32::MAX);
         self.prev_slot_bytes.clear();
         self.prev_slot_bytes.resize(self.bus_slots, 0);
+        self.segments.begin(record_segments, node_count, bus);
     }
 
     /// Records one placement (called by the driver after the ready
@@ -279,6 +390,13 @@ impl PlacementCheckpoints {
             );
             self.snap_len += 1;
         }
+        let PlacementCheckpoints {
+            segments, expanded, ..
+        } = self;
+        segments.note_placed(expanded.of_process(p), expanded, scratch, pos);
+        if placed == n_processes {
+            segments.finish(scratch, expanded.len());
+        }
     }
 
     /// Completes the recording: derives the ready-entry positions of
@@ -302,6 +420,34 @@ impl PlacementCheckpoints {
             }
         }
 
+        // The ready-set evolution of the recorded order (one replay
+        // per recording — candidates only read it).
+        self.ready_sets.clear();
+        self.ready_offsets.clear();
+        self.replay_preds.clear();
+        self.replay_preds
+            .extend((0..n).map(|i| graph.incoming(ProcessId::new(i as u32)).len()));
+        let mut ready: Vec<ProcessId> = (0..n)
+            .filter(|&i| self.replay_preds[i] == 0)
+            .map(|i| ProcessId::new(i as u32))
+            .collect();
+        for &p in &self.order {
+            self.ready_offsets.push(self.ready_sets.len() as u32);
+            self.ready_sets.extend_from_slice(&ready);
+            let at = ready
+                .iter()
+                .position(|&r| r == p)
+                .expect("recorded order is a valid topological placement");
+            ready.swap_remove(at);
+            for s in graph.successors_of(p) {
+                self.replay_preds[s.index()] -= 1;
+                if self.replay_preds[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        self.ready_offsets.push(self.ready_sets.len() as u32);
+
         let words = n.div_ceil(64).max(1);
         self.words = words;
         self.reach.clear();
@@ -321,6 +467,18 @@ impl PlacementCheckpoints {
         self.valid = true;
     }
 
+    /// The position of the latest recorded snapshot at or below
+    /// `pos` (0 when none): how far back the PR 2 replay of a resume
+    /// at `pos` actually starts — the comparison base of the splice
+    /// profitability gate.
+    fn snapshot_floor(&self, pos: usize) -> usize {
+        self.snaps[..self.snap_len]
+            .iter()
+            .rev()
+            .find(|s| s.placed <= pos)
+            .map_or(0, |s| s.placed)
+    }
+
     /// `true` when `q` is reachable from `p` (`p` included) — i.e.
     /// `p` is an ancestor of `q` or `q` itself.
     fn reaches(&self, p: ProcessId, q: ProcessId) -> bool {
@@ -328,57 +486,237 @@ impl PlacementCheckpoints {
         self.reach[p.index() * self.words + qi / 64] & (1 << (qi % 64)) != 0
     }
 
-    /// First position in `safe..limit` where the candidate's
-    /// priorities select a different process than the recorded order,
-    /// or `limit` if none. Positions below `safe` (the earliest
-    /// ready-list entry of a priority-changed process) provably
-    /// cannot diverge and are replayed with pure bookkeeping.
-    #[allow(clippy::too_many_arguments)]
-    fn divergence_scan(
+    /// The recorded ready set at `pos` (the processes the base run
+    /// chose among there).
+    fn ready_set(&self, pos: usize) -> &[ProcessId] {
+        &self.ready_sets[self.ready_offsets[pos] as usize..self.ready_offsets[pos + 1] as usize]
+    }
+
+    /// Certifies the candidate's selection order against the recorded
+    /// one (see [`OrderCert`]), filling `plan` with the certified
+    /// float set.
+    ///
+    /// Selection diverges only through a comparison involving a
+    /// priority-**changed** process, and only while that process is
+    /// in the ready set — its in-flight window `[ready_pos,
+    /// position)` of the recorded evolution. So instead of
+    /// re-simulating the ready list (O(n · width) per candidate, the
+    /// PR 2/3 engine's dominant fixed cost), check per changed
+    /// process `p`:
+    ///
+    /// 1. `p` must not preempt any base selection inside its window
+    ///    (one comparison per window position);
+    /// 2. at `p`'s own position, every other member of the recorded
+    ///    ready set must still rank behind it (one comparison per
+    ///    member).
+    ///
+    /// Induction over positions makes this exact, not conservative:
+    /// the minimal violated position is the true first divergence
+    /// (everything earlier passed, so the ready evolution up to it
+    /// *is* the recorded one), and if nothing is violated the
+    /// candidate replays the base order bit for bit.
+    ///
+    /// A violation doesn't give up immediately: the violating process
+    /// is certified as a **float** — removed from its recorded slot
+    /// and re-inserted at a provably forced landing
+    /// ([`PlacementCheckpoints::certify_float_late`] /
+    /// [`PlacementCheckpoints::certify_float_early`]). Floats compose
+    /// when their perturbed intervals are pairwise disjoint (at most
+    /// one deviation per region, so each per-float argument applies
+    /// verbatim) and no early-readiness successor window crosses
+    /// another float's span; anything else is a genuine reordering.
+    fn order_certificate(
         &self,
         graph: &ProcessGraph,
         priorities: &Priorities,
-        safe: usize,
-        limit: usize,
-        preds: &mut Vec<usize>,
-        ready: &mut Vec<ProcessId>,
-    ) -> usize {
-        let n = graph.process_count();
-        preds.clear();
-        preds.extend((0..n).map(|i| graph.incoming(ProcessId::new(i as u32)).len()));
-        ready.clear();
-        ready.extend(
-            (0..n)
-                .filter(|&i| preds[i] == 0)
-                .map(|i| ProcessId::new(i as u32)),
-        );
-        for pos in 0..limit {
-            let expected = self.order[pos];
-            if pos >= safe {
-                let Some(sel) = select_best(ready, priorities) else {
-                    return pos;
-                };
-                if ready[sel] != expected {
-                    return pos;
+        changed: &[ProcessId],
+        plan: &mut FloatPlan,
+    ) -> OrderCert {
+        let n = self.order.len();
+        plan.floats.clear();
+        plan.windows.clear();
+        let mut div = n;
+        let mut certified = true;
+        for &p in changed {
+            let entry = self.ready_pos[p.index()] as usize;
+            let exit = self.position[p.index()] as usize;
+            let key_p = priorities.key(p);
+            let mut viol = None;
+            for pos in entry..exit {
+                if key_p < priorities.key(self.order[pos]) {
+                    viol = Some(pos);
+                    break;
                 }
-                ready.swap_remove(sel);
-            } else {
-                // The selection provably matches the base here; only
-                // the ready bookkeeping needs replaying.
-                let at = ready
-                    .iter()
-                    .position(|&p| p == expected)
-                    .expect("recorded order is a valid topological placement");
-                ready.swap_remove(at);
             }
-            for s in graph.successors_of(expected) {
-                preds[s.index()] -= 1;
-                if preds[s.index()] == 0 {
-                    ready.push(s);
+            if let Some(d) = viol {
+                div = div.min(d);
+                certified =
+                    certified && self.certify_float_early(graph, priorities, changed, p, d, plan);
+            } else if self
+                .ready_set(exit)
+                .iter()
+                .any(|&r| r != p && priorities.key(r) < key_p)
+            {
+                div = div.min(exit);
+                certified = certified && self.certify_float_late(priorities, changed, p, plan);
+            }
+        }
+        if !certified {
+            return OrderCert::Diverged { div: div as u32 };
+        }
+        // Floats compose only when their perturbed intervals are
+        // pairwise disjoint…
+        for (i, f) in plan.floats.iter().enumerate() {
+            let (flo, fhi) = f.span();
+            for g in &plan.floats[i + 1..] {
+                let (glo, ghi) = g.span();
+                if flo <= ghi && glo <= fhi {
+                    return OrderCert::Diverged { div: div as u32 };
                 }
             }
         }
-        limit
+        // …and when no early-readiness window crosses another float's
+        // span (inside such a window a successor is compared against
+        // recorded selections, which another float would shift).
+        for &(owner, lo, hi) in &plan.windows {
+            for (i, f) in plan.floats.iter().enumerate() {
+                let (flo, fhi) = f.span();
+                if i as u32 != owner && flo < hi && lo <= fhi {
+                    return OrderCert::Diverged { div: div as u32 };
+                }
+            }
+        }
+        OrderCert::Splice { div: div as u32 }
+    }
+
+    /// `p` loses its recorded slot (its priority dropped): find the
+    /// slot it floats **down** to. Walking the recorded suffix, every
+    /// selection until the landing must beat `p` — `before` is a
+    /// total order, so beating the slot's winner transitively beats
+    /// every unchanged in-flight process; changed in-flight ones are
+    /// compared explicitly at the landing. The float fails on
+    /// reaching one of `p`'s graph successors first (it cannot be
+    /// selected while its producer waits — the candidate would
+    /// reorder third parties) unless `p` provably wins that slot
+    /// outright.
+    fn certify_float_late(
+        &self,
+        priorities: &Priorities,
+        changed: &[ProcessId],
+        p: ProcessId,
+        plan: &mut FloatPlan,
+    ) -> bool {
+        let n = self.order.len();
+        let slot = self.position[p.index()];
+        let key_p = priorities.key(p);
+        let beats_changed_in_flight = |to: usize| {
+            changed.iter().all(|&a| {
+                a == p
+                    || (self.ready_pos[a.index()] as usize) > to
+                    || (self.position[a.index()] as usize) <= to
+                    || key_p < priorities.key(a)
+            })
+        };
+        for pos in slot as usize + 1..n {
+            let s = self.order[pos];
+            if self.reaches(p, s) {
+                // The successor's slot: `p` is forced here iff it
+                // beats every non-successor member of the recorded
+                // ready set (successors are not ready while `p`
+                // waits).
+                let forced = self
+                    .ready_set(pos)
+                    .iter()
+                    .all(|&r| r == p || self.reaches(p, r) || key_p < priorities.key(r));
+                if forced {
+                    plan.floats.push(FloatMove {
+                        process: p,
+                        slot,
+                        to: pos as u32,
+                    });
+                }
+                return forced;
+            }
+            if key_p < priorities.key(s) {
+                if !beats_changed_in_flight(pos) {
+                    return false;
+                }
+                plan.floats.push(FloatMove {
+                    process: p,
+                    slot,
+                    to: pos as u32,
+                });
+                return true;
+            }
+        }
+        plan.floats.push(FloatMove {
+            process: p,
+            slot,
+            to: n as u32,
+        });
+        true
+    }
+
+    /// `p` preempts the recorded selection at `d` (its priority
+    /// rose): certify the float **up** to `d`. It wins the slot
+    /// transitively against unchanged in-flight processes; changed
+    /// in-flight ones are compared explicitly. Its direct graph
+    /// successors may become ready earlier than recorded (`p` was
+    /// their last producer) — none may preempt a selection inside its
+    /// advanced window, or third parties would reorder; the surviving
+    /// windows are recorded for the caller's cross-float check.
+    fn certify_float_early(
+        &self,
+        graph: &ProcessGraph,
+        priorities: &Priorities,
+        changed: &[ProcessId],
+        p: ProcessId,
+        d: usize,
+        plan: &mut FloatPlan,
+    ) -> bool {
+        let slot = self.position[p.index()];
+        let key_p = priorities.key(p);
+        for &a in changed {
+            if a != p
+                && (self.ready_pos[a.index()] as usize) <= d
+                && (self.position[a.index()] as usize) > d
+                && priorities.key(a) < key_p
+            {
+                return false;
+            }
+        }
+        let owner = plan.floats.len() as u32;
+        for s in graph.successors_of(p) {
+            // The successor's readiness advances to the latest of the
+            // float slot and its other producers' placements.
+            let mut entry_cand = d;
+            for &e in graph.incoming(s) {
+                let producer = graph.edge(e).from;
+                if producer != p {
+                    entry_cand = entry_cand.max(self.position[producer.index()] as usize + 1);
+                }
+            }
+            let entry_base = self.ready_pos[s.index()] as usize;
+            if entry_cand < entry_base {
+                let key_s = priorities.key(s);
+                for pos in entry_cand..entry_base {
+                    if pos == slot as usize {
+                        continue; // the vacated slot
+                    }
+                    if key_s < priorities.key(self.order[pos]) {
+                        return false;
+                    }
+                }
+                plan.windows
+                    .push((owner, entry_cand as u32, entry_base as u32));
+            }
+        }
+        plan.floats.push(FloatMove {
+            process: p,
+            slot,
+            to: d as u32,
+        });
+        true
     }
 
     /// The first placement position the given move can affect: the
@@ -454,66 +792,62 @@ pub fn schedule_cost_resumed<W: WcetLookup + ?Sized>(
     debug_assert_eq!(ckpts.node_count, arch.node_count());
     debug_assert_eq!(ckpts.order.len(), graph.process_count());
 
-    // Bring the worker's expansion to the window base (once per
-    // worker per window), then patch only the moved process's range
-    // in place — undone after the run, so the next candidate of the
-    // same window patches again without re-copying the base.
-    if scratch.expanded_tag != ckpts.tag || ckpts.tag == 0 {
-        scratch.expanded.clone_from(&ckpts.expanded);
-        scratch.expanded_tag = ckpts.tag;
+    let prep_started = metrics::on().then(std::time::Instant::now);
+    let limit = prepare_candidate(graph, wcet, fm, bus, design, moved, scratch, ckpts)?;
+    if let Some(st) = prep_started {
+        metrics::PREP_NS.fetch_add(
+            st.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
     }
-    scratch.expanded.patch_in_place(
-        moved,
-        design.decision(moved),
-        wcet,
-        fm,
-        &mut scratch.undo_insts,
-    )?;
-    // Priorities: copy the base's and recompute only the moved
-    // process and its ancestors — the only ranks a decision change
-    // can reach (ranks flow backwards; effective deadlines are
-    // design-independent).
-    let CostScratch {
-        expanded,
-        priorities,
-        changed,
-        ..
-    } = scratch;
-    priorities.update_for_move(
-        &ckpts.base_priorities,
+    let cert_started = metrics::on().then(std::time::Instant::now);
+    // Certify the candidate's selection order against the recorded
+    // one: aligned, a set of independent floats, or a genuine
+    // reordering.
+    let cert = ckpts.order_certificate(
         graph,
-        expanded,
-        bus,
-        &ckpts.topo,
-        |p| ckpts.reaches(p, moved),
-        changed,
+        &scratch.priorities,
+        &scratch.changed,
+        &mut scratch.float_plan,
     );
-
-    // Where must we resume? The structurally affected prefix (the
-    // moved process, or a predecessor whose bus booking flips)…
-    let limit = ckpts.resume_limit(graph, moved, design);
-    // …capped by the first position where the changed priorities
-    // actually reorder the ready-list selection. Before the earliest
-    // ready entry of a changed process nothing can diverge; from
-    // there the recorded order is replayed against the candidate's
-    // priorities (changed ranks rarely flip an argmin, so this scan
-    // usually returns `limit` itself).
-    let mut safe = limit;
-    for &p in scratch.changed.iter() {
-        safe = safe.min(ckpts.ready_pos[p.index()] as usize);
+    if let Some(st) = cert_started {
+        metrics::CERT_NS.fetch_add(
+            st.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
     }
-    let resume_pos = if safe >= limit {
-        limit
-    } else {
-        ckpts.divergence_scan(
-            graph,
-            &scratch.priorities,
-            safe,
-            limit,
-            &mut scratch.sim_preds,
-            &mut scratch.sim_ready,
-        )
+    let div = match cert {
+        OrderCert::Splice { div } | OrderCert::Diverged { div } => div as usize,
     };
+
+    // The suffix-splicing engine (see `delta`): when every third
+    // party provably keeps its recorded slot — the order is aligned,
+    // or differs exactly by the certified floats — re-place only the
+    // certified affected cone and splice the base recording for
+    // everything else. A genuine reordering fails the independence
+    // proof and falls through to the checkpoint-resumed replay below.
+    let resume_pos = div.min(limit);
+    if options.suffix_splice && ckpts.segments.is_recorded() {
+        if let OrderCert::Splice { .. } = cert {
+            if let Some(out) = splice_candidate(
+                graph,
+                bus,
+                fm,
+                moved,
+                options,
+                scratch,
+                ckpts,
+                bound,
+                Some(resume_pos),
+            ) {
+                scratch.expanded.unpatch(moved, &scratch.undo_insts);
+                return out;
+            }
+        } else if metrics::on() {
+            metrics::DIVERGED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    let pr2_started = metrics::on().then(std::time::Instant::now);
 
     let snap = ckpts.snaps[..ckpts.snap_len]
         .iter()
@@ -571,8 +905,222 @@ pub fn schedule_cost_resumed<W: WcetLookup + ?Sized>(
     );
     // Always restore the base expansion, error or not.
     scratch.expanded.unpatch(moved, &scratch.undo_insts);
+    if let Some(started) = pr2_started {
+        metrics::PR2_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        metrics::PR2_NS.fetch_add(
+            started.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
     let outcome = drive_res?;
     Ok(outcome.into())
+}
+
+/// Brings the worker's expansion to the window base and patches the
+/// moved process's decision in place, updates the priorities
+/// incrementally (the moved process and its ancestors — the only
+/// ranks a decision change can reach, since ranks flow backwards and
+/// effective deadlines are design-independent), and returns the
+/// structural resume limit.
+///
+/// The caller owns the unpatch.
+#[allow(clippy::too_many_arguments)]
+fn prepare_candidate<W: WcetLookup + ?Sized>(
+    graph: &ProcessGraph,
+    wcet: &W,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    moved: ProcessId,
+    scratch: &mut CostScratch,
+    ckpts: &PlacementCheckpoints,
+) -> Result<usize, SchedError> {
+    // Bring the worker's expansion to the window base (once per
+    // worker per window), then patch only the moved process's range
+    // in place — undone after the run, so the next candidate of the
+    // same window patches again without re-copying the base.
+    if scratch.expanded_tag != ckpts.tag || ckpts.tag == 0 {
+        scratch.expanded.clone_from(&ckpts.expanded);
+        scratch.expanded_tag = ckpts.tag;
+    }
+    scratch.expanded.patch_in_place(
+        moved,
+        design.decision(moved),
+        wcet,
+        fm,
+        &mut scratch.undo_insts,
+    )?;
+    // Priorities: copy the base's and recompute only the moved
+    // process and its ancestors — the only ranks a decision change
+    // can reach (ranks flow backwards; effective deadlines are
+    // design-independent).
+    let CostScratch {
+        expanded,
+        priorities,
+        changed,
+        ..
+    } = scratch;
+    priorities.update_for_move(
+        &ckpts.base_priorities,
+        graph,
+        expanded,
+        bus,
+        &ckpts.topo,
+        |p| ckpts.reaches(p, moved),
+        changed,
+    );
+
+    // The structurally affected prefix: the moved process, or a
+    // predecessor whose bus booking flips.
+    Ok(ckpts.resume_limit(graph, moved, design))
+}
+
+/// The splice-engagement step shared by [`schedule_cost_resumed`] and
+/// [`schedule_cost_spliced`], entered once the order certificate
+/// produced a float plan: routes the moved process through the float
+/// machinery (degenerately when its own slot stands), computes the
+/// affected cone, applies the profitability gate when the caller
+/// passes the PR 2 fallback's resume position, and executes the
+/// splice.
+///
+/// Returns `None` when the gate rejects (the caller falls back to the
+/// checkpoint replay — and owns the expansion unpatch either way).
+#[allow(clippy::too_many_arguments)]
+fn splice_candidate(
+    graph: &ProcessGraph,
+    bus: &BusConfig,
+    fm: &FaultModel,
+    moved: ProcessId,
+    options: ScheduleOptions,
+    scratch: &mut CostScratch,
+    ckpts: &PlacementCheckpoints,
+    bound: Option<ScheduleCost>,
+    gate_resume: Option<usize>,
+) -> Option<Result<CostOutcome, SchedError>> {
+    if !scratch.float_plan.floats.iter().any(|f| f.process == moved) {
+        let slot = ckpts.position[moved.index()];
+        scratch.float_plan.floats.push(FloatMove {
+            process: moved,
+            slot,
+            to: slot,
+        });
+    }
+    let CostScratch {
+        expanded,
+        core,
+        splice,
+        float_plan,
+        ..
+    } = scratch;
+    let cone_started = metrics::on().then(std::time::Instant::now);
+    crate::delta::compute_cone(graph, expanded, moved, &float_plan.floats, ckpts, splice);
+    if let Some(st) = cone_started {
+        metrics::CONE_NS.fetch_add(
+            st.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+    if let Some(resume_pos) = gate_resume {
+        // Profitability gate: the splice re-places `n_affected`
+        // processes and replays `n_rebook` senders' bookings, plus a
+        // fixed prefill/restore overhead; the PR 2 path re-places
+        // everything from the snapshot at/below its resume position.
+        // Deep-search cones (replicated decisions dirty most nodes)
+        // can approach the whole suffix — splicing there pays the
+        // overhead for nothing, so fall back. Deterministic (a pure
+        // function of the candidate), hence trajectory-neutral.
+        let n = ckpts.order.len();
+        let pr2_replay = n - ckpts.snapshot_floor(resume_pos);
+        // A spliced placement costs ~3/8 of a replayed one (no
+        // ready-list selection or bookkeeping), a booking replay
+        // ~1/4, plus a fixed prefill/restore overhead — measured on
+        // the perfgate workloads (`incrprof` reproduces the
+        // comparison).
+        let splice_cost = splice.n_affected * 3 / 8 + splice.n_rebook / 4 + 4 + n / 8;
+        if splice_cost >= pr2_replay {
+            if metrics::on() {
+                metrics::GATE_REJECTED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            return None;
+        }
+    }
+    let started = metrics::on().then(std::time::Instant::now);
+    let out = crate::delta::execute(
+        graph, expanded, moved, bus, fm, options, core, splice, ckpts, bound,
+    );
+    if let Some(started) = started {
+        metrics::ENGAGED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        metrics::SPLICE_NS.fetch_add(
+            started.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+    Some(out)
+}
+
+/// Evaluates a single-move candidate through the **suffix-splicing
+/// engine alone**: computes the certified affected cone and re-places
+/// only the cone, splicing the base recording's per-node segments and
+/// per-slot bus timelines for everything outside it (see the `delta`
+/// module docs for the cone construction).
+///
+/// Returns `Ok(None)` when the independence proof fails — the
+/// candidate's ready order diverges from the recorded order, or the
+/// checkpoints carry no segment recording
+/// ([`ScheduleOptions::suffix_splice`] was off while they were
+/// recorded) — in which case the caller falls back to
+/// [`schedule_cost_resumed`]'s checkpoint replay (which itself tries
+/// the splice first, so callers normally just call that). Exposed
+/// separately so parity tests and profilers can pin the engine.
+///
+/// A `Some` outcome carries the same classification contract as
+/// [`schedule_cost_resumed`]: the exact cost when it is within
+/// `bound` (or no bound was given), a certified lower bound
+/// otherwise.
+///
+/// # Errors
+///
+/// Same as [`crate::schedule_cost`].
+///
+/// # Panics
+///
+/// Debug builds assert `ckpts.is_valid()`.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_cost_spliced<W: WcetLookup + ?Sized>(
+    graph: &ProcessGraph,
+    arch: &Architecture,
+    wcet: &W,
+    fm: &FaultModel,
+    bus: &BusConfig,
+    design: &Design,
+    moved: ProcessId,
+    options: ScheduleOptions,
+    scratch: &mut CostScratch,
+    ckpts: &PlacementCheckpoints,
+    bound: Option<ScheduleCost>,
+) -> Result<Option<CostOutcome>, SchedError> {
+    debug_assert!(ckpts.is_valid(), "splice requires recorded checkpoints");
+    debug_assert_eq!(ckpts.node_count, arch.node_count());
+    if !ckpts.segments.is_recorded() {
+        return Ok(None);
+    }
+    let _limit = prepare_candidate(graph, wcet, fm, bus, design, moved, scratch, ckpts)?;
+    let cert = ckpts.order_certificate(
+        graph,
+        &scratch.priorities,
+        &scratch.changed,
+        &mut scratch.float_plan,
+    );
+    let result = if let OrderCert::Splice { .. } = cert {
+        splice_candidate(graph, bus, fm, moved, options, scratch, ckpts, bound, None)
+    } else {
+        None
+    };
+    scratch.expanded.unpatch(moved, &scratch.undo_insts);
+    match result {
+        Some(r) => r.map(Some),
+        None => Ok(None),
+    }
 }
 
 /// Computes the cost of the checkpointed base **design** under a
@@ -720,8 +1268,15 @@ fn restore_snapshot(
     let new_end = (old_end as i64 + delta) as usize;
     core.times[new_end..].copy_from_slice(&snap.times[old_end..]);
 
+    // Only read by the segment recorder (full runs) and the splice
+    // prefill (which fills it itself) — but the placement writes it
+    // per instance, so it must cover the candidate expansion.
+    core.wc_times.clear();
+    core.wc_times.resize(expanded.len(), Time::ZERO);
+
     core.completion.clone_from(&snap.completion);
 
+    core.nodes.truncate(ckpts.node_count);
     if core.nodes.len() < ckpts.node_count {
         core.nodes.resize_with(ckpts.node_count, Default::default);
     }

@@ -35,9 +35,19 @@
 //!   **bus-wait lower bound** (aggregate TDMA slot serialization of
 //!   the candidate's single-replica remote messages — see
 //!   [`list::ScheduleOptions::comm_lookahead`]).
-//! * [`schedule_cost_resumed`] — single-move candidates replay from
-//!   the latest [`incremental::PlacementCheckpoints`] prefix the move
-//!   provably cannot affect instead of placing from scratch.
+//! * [`schedule_cost_resumed`] — single-move candidates first try the
+//!   **suffix-splicing engine** (evaluation engine v3): the recorder
+//!   additionally captures per-node placement segments and
+//!   per-(node, slot) bus timelines, an order certificate proves the
+//!   candidate replays the recorded selection order (possibly with
+//!   priority-changed processes *floating* to certified landing
+//!   slots), and only the certified **affected cone** is re-placed —
+//!   everything else splices from the recording. Falls back to the
+//!   PR 2 checkpoint-resumed replay (latest
+//!   [`incremental::PlacementCheckpoints`] prefix the move provably
+//!   cannot affect) when the independence proof fails or the cone
+//!   approaches the whole suffix. [`schedule_cost_spliced`] pins the
+//!   splice engine for tests and profilers.
 //! * [`schedule_cost_resumed_bus`] — the bus-configuration analogue:
 //!   slot-swap probes of the bus-access optimization resume from the
 //!   last *booking* the swap cannot affect (placement-prefix
@@ -83,6 +93,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod delta;
 pub mod error;
 pub mod incremental;
 pub mod instance;
@@ -91,12 +102,15 @@ mod occupancy;
 pub mod priority;
 pub mod render;
 pub mod schedule;
+mod segments;
 pub mod slack;
 pub mod stats;
 pub mod validate;
 
 pub use error::SchedError;
-pub use incremental::{schedule_cost_resumed, schedule_cost_resumed_bus, PlacementCheckpoints};
+pub use incremental::{
+    schedule_cost_resumed, schedule_cost_resumed_bus, schedule_cost_spliced, PlacementCheckpoints,
+};
 pub use instance::{ExpandedDesign, Instance, InstanceId};
 pub use list::{
     list_schedule, list_schedule_recording, list_schedule_scratch, list_schedule_with,

@@ -118,6 +118,21 @@ pub struct ScheduleOptions {
     /// assert it per booking); disable to measure the PR 2 booking
     /// path.
     pub indexed_occupancy: bool,
+    /// Evaluate single-move candidates through the **suffix-splicing
+    /// engine** (evaluation engine v3, default on): while the base
+    /// solution materializes, the checkpoint recorder additionally
+    /// captures per-node placement segments and per-(node, slot) bus
+    /// timelines (the `segments` module); a candidate then computes
+    /// its certified **affected cone** (the `delta` module) and
+    /// re-places only the cone, splicing the base recording's
+    /// segments for every node and slot outside it. Falls back to the
+    /// PR 2 checkpoint-resumed replay whenever the independence proof
+    /// fails (ready-order divergence, or no segments recorded). Pure
+    /// throughput knob — spliced costs are bit-identical to full
+    /// placement (guarded by the `splice.rs` parity tests in
+    /// `ftdes-core`), so search trajectories are invariant; disable
+    /// to measure the PR 2/3 resumed path.
+    pub suffix_splice: bool,
 }
 
 impl Default for ScheduleOptions {
@@ -126,6 +141,7 @@ impl Default for ScheduleOptions {
             slack_sharing: true,
             comm_lookahead: true,
             indexed_occupancy: true,
+            suffix_splice: true,
         }
     }
 }
@@ -153,6 +169,11 @@ pub struct SchedScratch {
     frontier: Vec<FrontierEntry>,
     /// Fault-free finish per placed instance (predecessor lookups).
     pub(crate) times: Vec<Time>,
+    /// Worst-case finish per placed instance — the `earliest` its
+    /// outgoing messages were booked at. Recorded into the suffix
+    /// splice's final state so spliced (non-replaced) senders can
+    /// re-book into perturbed slots at their exact base request time.
+    pub(crate) wc_times: Vec<Time>,
     /// Worst-case completion per process (cost accumulation).
     pub(crate) completion: Vec<Time>,
     /// Per-node placement state.
@@ -421,15 +442,17 @@ pub struct CostScratch {
     /// Processes whose priorities a candidate move actually changed
     /// (working memory of the incremental engine).
     pub(crate) changed: Vec<ProcessId>,
-    /// Ready-list replay buffers of the divergence scan.
-    pub(crate) sim_preds: Vec<usize>,
-    pub(crate) sim_ready: Vec<ProcessId>,
     /// Which base design `expanded` currently holds (the checkpoint
     /// tag), so consecutive candidates of one window patch in place
     /// instead of re-copying the base expansion. `0` = unknown.
     pub(crate) expanded_tag: u128,
     /// Saved instances of the in-place patch (for undo).
     pub(crate) undo_insts: Vec<Instance>,
+    /// Working memory of the suffix-splicing engine's cone sweep.
+    pub(crate) splice: crate::delta::SpliceScratch,
+    /// The order certificate's float set (see
+    /// `incremental::FloatPlan`).
+    pub(crate) float_plan: crate::incremental::FloatPlan,
 }
 
 impl CostScratch {
@@ -567,7 +590,13 @@ pub fn list_schedule_recording<W: WcetLookup + ?Sized>(
     let expanded = ExpandedDesign::expand(graph, design, wcet, fm)?;
     let priorities = Priorities::compute(graph, &expanded, bus)?;
     if let Some(ckpts) = ckpts.as_deref_mut() {
-        ckpts.begin(&expanded, &priorities, arch.node_count(), bus);
+        ckpts.begin(
+            &expanded,
+            &priorities,
+            arch.node_count(),
+            bus,
+            options.suffix_splice,
+        );
     }
     let mut sink = Materialize {
         slots: vec![None; expanded.len()],
@@ -757,8 +786,15 @@ pub(crate) fn init_placement(
     let n = graph.process_count();
     scratch.times.clear();
     scratch.times.resize(expanded.len(), Time::ZERO);
+    scratch.wc_times.clear();
+    scratch.wc_times.resize(expanded.len(), Time::ZERO);
     scratch.completion.clear();
     scratch.completion.resize(n, Time::ZERO);
+    // Truncate too: bounded runs derive the node count from this
+    // buffer (remaining-work sums, the comm bound's per-slot tables),
+    // and a worker's scratch survives across problems of different
+    // sizes.
+    scratch.nodes.truncate(node_count);
     if scratch.nodes.len() < node_count {
         scratch.nodes.resize_with(node_count, NodeScratch::default);
     }
@@ -1020,7 +1056,7 @@ struct Scenario {
 /// the `book_scratch_matches_bus_schedule_book` test guards that
 /// mirror, and in debug builds [`SlotOccupancy::book`] replays the
 /// legacy flat tail scan and asserts the indexed answer agrees.
-fn book_scratch(
+pub(crate) fn book_scratch(
     bus: &BusConfig,
     occupancy: &mut SlotOccupancy,
     sender: NodeId,
@@ -1050,7 +1086,7 @@ fn book_scratch(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn place_process<S: PlacementSink>(
+pub(crate) fn place_process<S: PlacementSink>(
     p: ProcessId,
     graph: &ProcessGraph,
     expanded: &ExpandedDesign,
@@ -1193,6 +1229,7 @@ fn place_process<S: PlacementSink>(
         ns.last = Some(sid);
 
         scratch.times[sid.index()] = f_ff;
+        scratch.wc_times[sid.index()] = f_wc;
         let completion = &mut scratch.completion[p.index()];
         *completion = (*completion).max(f_wc);
         sink.instance_placed(ScheduledInstance {

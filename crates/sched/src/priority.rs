@@ -217,6 +217,18 @@ impl Priorities {
     }
 }
 
+/// The selection key of a process under a priority assignment —
+/// [`Priorities::before`]`(a, b)` is exactly `key(a) < key(b)`.
+pub(crate) type SelectionKey = (Time, std::cmp::Reverse<Time>, ProcessId);
+
+impl Priorities {
+    /// The selection key of `p` (hoisted out of certificate loops
+    /// that compare one process against many).
+    pub(crate) fn key(&self, p: ProcessId) -> SelectionKey {
+        (self.laxity(p), std::cmp::Reverse(self.rank(p)), p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
