@@ -1,0 +1,180 @@
+//! `cptable` — the checkpointing trade-off table (TVLSI-style).
+//!
+//! The TVLSI follow-up of the source paper (Pop/Izosimov/Eles/Peng,
+//! *Design Optimization of Time- and Cost-Constrained Fault-Tolerant
+//! Embedded Systems with Checkpointing and Replication*) adds
+//! checkpointing with rollback recovery as the third fault-tolerance
+//! technique and studies how its usefulness hinges on the
+//! checkpointing overhead `χ`. This bin reproduces that trade-off on
+//! the paper-family workload: for a sweep of `χ` (as a fraction of
+//! the mean WCET) it optimizes the same fixed-seed applications under
+//!
+//! * **MX** — pure re-execution, checkpoint axis off (the DATE 2005
+//!   baseline),
+//! * **MCX** — re-execution with the checkpoint axis open
+//!   (`max_checkpoints = 4`): rollbacks re-run one segment instead of
+//!   the whole process, at `χ` per interior save,
+//! * **MR** — pure replication (χ-independent; one shared reference
+//!   row),
+//! * **MCXR** — the full mixed space (replication × re-execution ×
+//!   checkpointing), the strongest optimizer,
+//!
+//! and reports mean worst-case schedule lengths plus the policy mix
+//! MCXR actually chose. The expected crossover: for small `χ`
+//! checkpointing dominates pure re-execution (MCX < MX) and MCXR
+//! leans on checkpointed policies; as `χ` grows the saves eat the
+//! rollback gain and MCX degrades toward MX (the axis still contains
+//! `n = 1`, so MCX can never end *worse* than MX on a full search —
+//! under a wall-clock budget the larger neighbourhood may cost a few
+//! percent).
+//!
+//! Results go to `BENCH_cptable.json` (published as a **non-gating**
+//! CI artifact — this table documents a trade-off; it is not a perf
+//! gate) and to stdout. Budget knobs: `FTDES_SEEDS`, `FTDES_TIME_MS`.
+
+use ftdes_bench::{seeds, synthetic_problem, time_budget};
+use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_gen::WorkloadParams;
+use ftdes_model::time::Time;
+
+const PROCESSES: usize = 24;
+const NODES: usize = 4;
+const FAULTS: u32 = 2;
+const MU_MS: u64 = 5;
+/// χ as a fraction of the mean WCET (the paper family's mean is
+/// 55 ms, so 0.02 ≈ 1.1 ms per save).
+const CHI_RATIOS: [f64; 6] = [0.01, 0.02, 0.05, 0.1, 0.25, 0.5];
+const MAX_CHECKPOINTS: u32 = 4;
+
+fn cfg() -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(time_budget()),
+        max_tabu_iterations: 4_000,
+        ..SearchConfig::default()
+    }
+}
+
+/// The problem of one `(seed, χ)` cell: the workload is χ-independent
+/// (same graph/WCETs for every row), only the fault model and the
+/// checkpoint axis vary.
+fn cell_problem(seed: u64, chi: Time, max_checkpoints: u32) -> Problem {
+    let base = synthetic_problem(PROCESSES, NODES, FAULTS, Time::from_ms(MU_MS), seed);
+    let fm = base.fault_model().with_checkpoint_overhead(chi);
+    base.with_fault_model(fm)
+        .with_max_checkpoints(max_checkpoints)
+}
+
+fn mean_len(outcomes: &[Outcome]) -> f64 {
+    outcomes
+        .iter()
+        .map(|o| o.length().as_us() as f64)
+        .sum::<f64>()
+        / outcomes.len().max(1) as f64
+}
+
+/// The per-process technique mix of a set of outcomes:
+/// `(pure re-execution, checkpointed re-execution, pure replication,
+/// replicated mixes)`.
+fn policy_mix(outcomes: &[Outcome]) -> (usize, usize, usize, usize) {
+    let (mut rex, mut cp, mut rep, mut mix) = (0, 0, 0, 0);
+    for o in outcomes {
+        for (_, d) in o.design.iter() {
+            if d.policy.is_pure_reexecution() {
+                if d.policy.is_checkpointed() {
+                    cp += 1;
+                } else {
+                    rex += 1;
+                }
+            } else if d.policy.is_pure_replication() {
+                rep += 1;
+            } else {
+                mix += 1;
+            }
+        }
+    }
+    (rex, cp, rep, mix)
+}
+
+fn main() {
+    let n_seeds = seeds() as u64;
+    let budget = time_budget();
+    println!(
+        "cptable: {PROCESSES} processes / {NODES} nodes / k = {FAULTS}, µ = {MU_MS} ms, \
+         {n_seeds} seeds, {budget:?} per run, checkpoint axis ≤ {MAX_CHECKPOINTS}"
+    );
+    let mean_wcet_us = {
+        // The paper family's configured WCET range; χ rows are
+        // expressed against its midpoint.
+        let p = WorkloadParams::paper(PROCESSES);
+        (p.wcet_min.as_us() + p.wcet_max.as_us()) / 2
+    };
+
+    // χ-independent references, computed once per seed.
+    let run = |problem: &Problem, strategy: Strategy| -> Outcome {
+        optimize(problem, strategy, &cfg())
+            .unwrap_or_else(|e| panic!("cptable {strategy} search: {e}"))
+    };
+    let mut mx = Vec::new();
+    let mut mr = Vec::new();
+    for seed in 0..n_seeds {
+        let plain = cell_problem(seed, Time::ZERO, 1);
+        mx.push(run(&plain, Strategy::Mx));
+        mr.push(run(&plain, Strategy::Mr));
+    }
+    let mx_len = mean_len(&mx);
+    let mr_len = mean_len(&mr);
+
+    println!(
+        "\n{:>8} | {:>10} | {:>10} | {:>10} | {:>10} | policy mix of MCXR (rex/cp/rep/mix)",
+        "chi", "MX", "MCX", "MR", "MCXR"
+    );
+    println!("{}", "-".repeat(96));
+
+    let mut rows = Vec::new();
+    for &ratio in &CHI_RATIOS {
+        let chi = Time::from_us((ratio * mean_wcet_us as f64).round() as u64);
+        let mut mcx = Vec::new();
+        let mut mcxr = Vec::new();
+        for seed in 0..n_seeds {
+            let problem = cell_problem(seed, chi, MAX_CHECKPOINTS);
+            mcx.push(run(&problem, Strategy::Mx));
+            mcxr.push(run(&problem, Strategy::Mxr));
+        }
+        let mcx_len = mean_len(&mcx);
+        let mcxr_len = mean_len(&mcxr);
+        let (rex, cp, rep, mix) = policy_mix(&mcxr);
+        println!(
+            "{:>8} | {:>10.0} | {:>10.0} | {:>10.0} | {:>10.0} | {rex}/{cp}/{rep}/{mix}",
+            format!("{:.0}%", ratio * 100.0),
+            mx_len,
+            mcx_len,
+            mr_len,
+            mcxr_len,
+        );
+        rows.push(format!(
+            "    {{\"chi_ratio\": {ratio}, \"chi_us\": {}, \"mx_len_us\": {mx_len:.0}, \
+             \"mcx_len_us\": {mcx_len:.0}, \"mr_len_us\": {mr_len:.0}, \
+             \"mcxr_len_us\": {mcxr_len:.0}, \"mcx_vs_mx\": {:.4}, \
+             \"mcxr_policy_mix\": {{\"reexec\": {rex}, \"checkpointed\": {cp}, \
+             \"replicated\": {rep}, \"mixed\": {mix}}}}}",
+            chi.as_us(),
+            mcx_len / mx_len.max(1.0),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"family\": \"paper\", \"processes\": {PROCESSES}, \
+         \"nodes\": {NODES}, \"k\": {FAULTS}, \"mu_ms\": {MU_MS}, \"seeds\": {n_seeds}, \
+         \"budget_ms\": {}, \"max_checkpoints\": {MAX_CHECKPOINTS}, \
+         \"mean_wcet_us\": {mean_wcet_us}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        budget.as_millis(),
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_cptable.json", &json).expect("write BENCH_cptable.json");
+    println!("\nwritten to BENCH_cptable.json (non-gating artifact)");
+    println!(
+        "expected shape: MCX/MX < 1 at small chi (rollbacks re-run one segment), \
+         rising toward 1 as chi grows (saves eat the gain)"
+    );
+}

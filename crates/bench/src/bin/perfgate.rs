@@ -97,9 +97,54 @@
 use std::time::Duration;
 
 use ftdes_bench::{comm_heavy_problem_with, synthetic_problem, time_budget};
-use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_core::{effective_threads, optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
 use ftdes_gen::CommHeavyParams;
 use ftdes_model::time::Time;
+
+/// The measurement environment, recorded into `BENCH_tabu.json` so
+/// runs stay comparable across machines: the resolved worker-thread
+/// count (everything so far is measured on 1-CPU containers — a
+/// future multi-core validation run must be distinguishable from
+/// them) and a snapshot of every `FTDES_*` knob that can bend the
+/// numbers.
+fn environment_json() -> String {
+    const KNOBS: [&str; 8] = [
+        "FTDES_TIME_MS",
+        "FTDES_SEEDS",
+        "FTDES_THREADS",
+        "FTDES_NO_PARALLEL",
+        "RAYON_NUM_THREADS",
+        "FTDES_NO_SPLICE",
+        "FTDES_MAX_CHECKPOINTS",
+        "FTDES_SPLICE_METRICS",
+    ];
+    // Minimal JSON string escaping (Rust's `escape_default` emits
+    // `\'`/`\u{..}` forms that are not valid JSON).
+    fn json_escape(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let knobs: Vec<String> = KNOBS
+        .iter()
+        .map(|k| match std::env::var(k) {
+            Ok(v) => format!("\"{k}\": \"{}\"", json_escape(&v)),
+            Err(_) => format!("\"{k}\": null"),
+        })
+        .collect();
+    format!(
+        "{{\"threads\": {}, \"knobs\": {{{}}}}}",
+        effective_threads(0),
+        knobs.join(", ")
+    )
+}
 
 /// Processes / nodes / k of the gate workload: large enough that a
 /// budgeted run is evaluation-bound, small enough to finish quickly.
@@ -425,7 +470,8 @@ fn main() {
         splice_pr3.tabu_iterations.max(1) as f64,
     );
     let json = format!(
-        "{{\n  \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
+        "{{\n  \"environment\": {},\n  \
+         \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
          \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"pr1\": {},\n  \
          \"pr3\": {},\n  \
          \"incremental\": {},\n  \"speedup\": {{\"tabu_iterations\": {:.2}, \
@@ -443,6 +489,7 @@ fn main() {
          \"budget_ms\": {}}},\n  \"comm_pr2\": {},\n  \"comm\": {},\n  \
          \"comm_speedup\": {{\"tabu_iterations_vs_pr2\": {:.2}, \
          \"comm_candidate_rate_vs_pr2\": {:.2}}}\n}}\n",
+        environment_json(),
         budget.as_millis(),
         baseline.json(),
         pr1.json(),

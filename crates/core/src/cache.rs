@@ -222,6 +222,7 @@ pub fn decision_fingerprint(
         Fingerprint::new(seed ^ (process.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     fp.mix(u64::from(decision.policy.replicas()));
     fp.mix(u64::from(decision.policy.reexecutions()));
+    fp.mix(u64::from(decision.policy.checkpoints()));
     for &node in &decision.mapping {
         fp.mix(node.index() as u64);
     }

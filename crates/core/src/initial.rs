@@ -57,8 +57,8 @@ pub fn initial_mpa(problem: &Problem, space: PolicySpace) -> Result<Design, OptE
         // the policy algebra covers the difference with re-executions
         // (the CC's pinned sensors under MR are the canonical case).
         let level = level.min(eligible.len() as u32);
-        let policy =
-            FtPolicy::new(level, fm).map_err(|_| OptError::NoFeasiblePlacement { process: p })?;
+        let policy = FtPolicy::new(p, level, fm)
+            .map_err(|_| OptError::NoFeasiblePlacement { process: p })?;
         // Least-loaded-first, breaking ties by WCET then id.
         eligible.sort_by_key(|&(node, c)| (load[node.index()], c, node));
 

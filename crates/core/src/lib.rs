@@ -51,6 +51,7 @@
 //! | `FTDES_THREADS` | worker threads for candidate evaluation (default: available parallelism; also honours `RAYON_NUM_THREADS`) |
 //! | `FTDES_NO_PARALLEL` | force single-threaded evaluation (overrides everything) |
 //! | `FTDES_NO_SPLICE` | disable the suffix-splicing engine (evaluation engine v3): new [`problem::Problem`]s evaluate candidates through the PR 2/3 checkpoint-resumed path instead. Set to anything but `0`/empty; [`problem::Problem::with_suffix_splice`] overrides per problem. Pure throughput knob — results are bit-identical either way |
+//! | `FTDES_MAX_CHECKPOINTS` | largest checkpoint count the move generators may assign per re-executable process (the third move axis). Default: `1` (axis off) while the fault model's `χ` is zero, `4` otherwise; [`problem::Problem::with_max_checkpoints`] overrides per problem. **Search-space knob** — unlike the throughput knobs it changes which designs are reachable |
 //!
 //! Resolution order and details: [`parallel::effective_threads`].
 //! The benchmark harness (`ftdes-bench`) adds `FTDES_SEEDS` and

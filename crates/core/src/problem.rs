@@ -32,6 +32,24 @@ fn splice_enabled_by_env() -> bool {
     })
 }
 
+/// The `FTDES_MAX_CHECKPOINTS` override of the checkpoint move axis
+/// (`None` when unset/unparsable). Read once.
+fn max_checkpoints_env() -> Option<u32> {
+    static VALUE: std::sync::OnceLock<Option<u32>> = std::sync::OnceLock::new();
+    *VALUE.get_or_init(|| {
+        std::env::var("FTDES_MAX_CHECKPOINTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// How many checkpointed segments the search may assign per process
+/// when none is configured explicitly: the axis stays off (`1`) while
+/// the fault model has no checkpointing overhead — with `χ = 0`,
+/// more segments are a free win and the "trade-off" degenerates —
+/// and opens to 4 levels once `χ > 0` gives rollbacks a real price.
+const DEFAULT_CHECKPOINT_LEVELS: u32 = 4;
+
 /// A complete problem instance.
 ///
 /// # Examples
@@ -72,6 +90,10 @@ pub struct Problem {
     /// Scheduler switches every evaluation of this problem runs with
     /// (slack sharing, the certified bus-wait lookahead, …).
     options: ScheduleOptions,
+    /// Largest checkpoint count the move generators may assign to a
+    /// re-executable process (the third move axis). `1` disables the
+    /// axis entirely.
+    max_checkpoints: u32,
 }
 
 impl Problem {
@@ -100,7 +122,33 @@ impl Problem {
                 suffix_splice: splice_enabled_by_env(),
                 ..ScheduleOptions::default()
             },
+            max_checkpoints: max_checkpoints_env().unwrap_or(if fault_model.chi().is_zero() {
+                1
+            } else {
+                DEFAULT_CHECKPOINT_LEVELS
+            }),
         }
+    }
+
+    /// Sets the largest checkpoint count the move generators may
+    /// assign per re-executable process — the third move axis of the
+    /// neighbourhood (replication level × primary node × checkpoint
+    /// count). `1` disables checkpoint moves. The default is derived
+    /// from the fault model (`1` when `χ = 0`, since free checkpoints
+    /// degenerate the trade-off; 4 otherwise) and can be overridden
+    /// globally with the `FTDES_MAX_CHECKPOINTS` environment
+    /// variable.
+    #[must_use]
+    pub fn with_max_checkpoints(mut self, max_checkpoints: u32) -> Self {
+        self.max_checkpoints = max_checkpoints.max(1);
+        self
+    }
+
+    /// The largest checkpoint count the move generators may assign
+    /// (see [`Problem::with_max_checkpoints`]).
+    #[must_use]
+    pub fn max_checkpoints(&self) -> u32 {
+        self.max_checkpoints
     }
 
     /// Routes every scheduling hot path through the sparse `BTreeMap`

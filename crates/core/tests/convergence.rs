@@ -40,7 +40,7 @@ fn all_decisions(problem: &Problem, p: ProcessId) -> Vec<ProcessDesign> {
             stack = next;
         }
         for mapping in stack {
-            out.push(ProcessDesign::new(FtPolicy::new(r, fm).unwrap(), mapping).unwrap());
+            out.push(ProcessDesign::new(FtPolicy::new(p, r, fm).unwrap(), mapping).unwrap());
         }
     }
     out

@@ -52,10 +52,36 @@ impl Rng {
     }
 }
 
+/// A paper-family problem with a checkpointing overhead χ and the
+/// checkpoint move axis open (`max_checkpoints = 3`): the walks below
+/// then contain checkpoint-count moves — candidates whose expansion
+/// keeps every node but changes the primary's recovery profile, which
+/// the restored snapshots' slack accounts must reproduce exactly.
+fn checkpointed_problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let w = paper_workload(processes, &arch, seed);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)).with_checkpoint_overhead(Time::from_ms(2)),
+        bus,
+    )
+    .with_max_checkpoints(3)
+}
+
 #[test]
 fn resumed_equals_full_for_random_move_sequences() {
-    for seed in [1u64, 5, 9] {
-        let problem = problem(12, 3, 2, seed);
+    let problems = [
+        problem(12, 3, 2, 1),
+        problem(12, 3, 2, 5),
+        problem(12, 3, 2, 9),
+        checkpointed_problem(12, 3, 2, 1),
+        checkpointed_problem(12, 3, 2, 9),
+    ];
+    for (case, problem) in problems.into_iter().enumerate() {
+        let seed = case as u64 + 1;
         let table = MoveTable::new(&problem, PolicySpace::Mixed);
         let mut design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
         let mut rng = Rng(seed);
@@ -96,7 +122,7 @@ fn resumed_equals_full_for_random_move_sequences() {
                 assert_eq!(
                     resumed,
                     CostOutcome::Exact(full),
-                    "seed {seed} step {step}: resumed evaluation diverged for {mv:?}"
+                    "case {case} step {step}: resumed evaluation diverged for {mv:?}"
                 );
                 // The resumed evaluation must also agree with the
                 // materializing scheduler.
@@ -110,7 +136,16 @@ fn resumed_equals_full_for_random_move_sequences() {
 
 #[test]
 fn bounded_runs_classify_exactly_and_never_misorder() {
-    let problem = problem(14, 3, 2, 3);
+    // Both the plain paper family and a checkpointed instance: the
+    // bounded engine's lookahead sums fault-free execution times
+    // (WCET + checkpoint saves) and its abort certificates price
+    // rollback recovery through the slack account.
+    for problem in [problem(14, 3, 2, 3), checkpointed_problem(14, 3, 2, 13)] {
+        bounded_classification_case(problem);
+    }
+}
+
+fn bounded_classification_case(problem: Problem) {
     let table = MoveTable::new(&problem, PolicySpace::Mixed);
     let design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
     let mut core = ftdes_sched::SchedScratch::default();
@@ -246,8 +281,11 @@ fn comm_problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
 
 #[test]
 fn search_results_invariant_under_engines() {
-    for seed in [2u64, 8] {
-        let problem = problem(14, 3, 2, seed);
+    for problem in [
+        problem(14, 3, 2, 2),
+        problem(14, 3, 2, 8),
+        checkpointed_problem(14, 3, 2, 8),
+    ] {
         let run = |incremental: bool, bounded: bool| {
             let cfg = SearchConfig {
                 goal: Goal::MinimizeLength,
@@ -264,12 +302,12 @@ fn search_results_invariant_under_engines() {
             let out = run(incremental, bounded);
             assert_eq!(
                 out.design, reference.design,
-                "seed {seed}: design changed under incremental={incremental} bounded={bounded}"
+                "design changed under incremental={incremental} bounded={bounded}"
             );
             assert_eq!(out.schedule.cost(), reference.schedule.cost());
             assert_eq!(
                 out.stats.tabu_iterations, reference.stats.tabu_iterations,
-                "seed {seed}: trajectory changed under incremental={incremental} bounded={bounded}"
+                "trajectory changed under incremental={incremental} bounded={bounded}"
             );
             assert_eq!(out.stats.greedy_steps, reference.stats.greedy_steps);
         }

@@ -37,6 +37,26 @@ fn problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
     )
 }
 
+/// A paper-family problem whose fault model charges a checkpointing
+/// overhead χ, with the checkpoint move axis open: the random walks
+/// below then apply and evaluate checkpoint-count moves, and the
+/// splice must stay bit-identical across recovery-profile changes
+/// (the slack registrations the segments replay differ per
+/// candidate).
+fn checkpointed_problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let w = paper_workload(processes, &arch, seed);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)).with_checkpoint_overhead(Time::from_ms(2)),
+        bus,
+    )
+    .with_max_checkpoints(3)
+}
+
 /// A communication-heavy problem — dense graph, expensive messages —
 /// where bookings overflow rounds and the slot-perturbation channel
 /// of the cone sweep does real work.
@@ -88,9 +108,25 @@ fn spliced_equals_full_for_random_move_sequences() {
         (problem(10, 4, 4, 13), "paper/13"),
         (comm_problem(12, 4, 2, 7), "comm/7"),
         (comm_problem(14, 3, 1, 15), "comm/15"),
+        (checkpointed_problem(12, 3, 2, 17), "checkpointed/17"),
+        (checkpointed_problem(14, 4, 3, 19), "checkpointed/19"),
     ];
     for (problem, label) in problems {
         let table = MoveTable::new(&problem, PolicySpace::Mixed);
+        if problem.max_checkpoints() > 1 {
+            // The extension must not be vacuous: the walks below must
+            // actually contain checkpoint-count moves.
+            let has_cp_moves = (0..problem.process_count()).any(|i| {
+                ftdes_core::moves::candidate_decisions(
+                    &problem,
+                    PolicySpace::Mixed,
+                    ftdes_model::ids::ProcessId::new(i as u32),
+                )
+                .iter()
+                .any(|d| d.policy.checkpoints() > 1)
+            });
+            assert!(has_cp_moves, "{label}: no checkpoint moves in the table");
+        }
         let mut design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
         let mut rng = Rng(42);
         let mut scratch = CostScratch::default();
@@ -177,6 +213,7 @@ fn spliced_bounded_classifies_exactly() {
     for (problem, label) in [
         (problem(14, 3, 2, 3), "paper"),
         (comm_problem(12, 4, 2, 5), "comm"),
+        (checkpointed_problem(14, 3, 2, 21), "checkpointed"),
     ] {
         let table = MoveTable::new(&problem, PolicySpace::Mixed);
         let design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
@@ -259,7 +296,11 @@ fn search_results_invariant_under_suffix_splice() {
     // may differ) are always resolved exactly before they can decide
     // a selection — so whole searches must walk identical
     // trajectories with the engine on or off.
-    for base in [problem(14, 3, 2, 4), comm_problem(12, 4, 2, 9)] {
+    for base in [
+        problem(14, 3, 2, 4),
+        comm_problem(12, 4, 2, 9),
+        checkpointed_problem(14, 3, 2, 23),
+    ] {
         let run = |p: &Problem| {
             let cfg = SearchConfig {
                 goal: Goal::MinimizeLength,

@@ -7,8 +7,13 @@
 //!   delays an instance the node switches to the contingency schedule
 //!   (everything after it shifts — transparently, since outgoing
 //!   messages keep their static MEDL slots);
-//! * a fault is detected at the very end of the attempt (worst case,
-//!   Fig. 2) and costs `µ` before the re-execution starts;
+//! * a fault is detected at the very end of the struck execution
+//!   segment (worst case, Fig. 2) and costs `µ` before the recovery
+//!   starts; an unsegmented instance then re-runs from the start,
+//!   while a checkpointed instance **rolls back** to its latest saved
+//!   checkpoint and re-runs only the struck segment (re-establishing
+//!   the segment's own save when it has one) — the segment-level
+//!   rollback replay;
 //! * an instance that exhausts its re-execution budget dies silently
 //!   (its replicas carry on);
 //! * a consumer starts once, per input edge, the *first valid*
@@ -18,8 +23,12 @@
 //!
 //! The engine reports, per instance, the actual finish time, which
 //! the test-suite compares against the analytic worst-case bound of
-//! the scheduler (`simulated ≤ analytic` is the central invariant).
+//! the scheduler (`simulated ≤ analytic` is the central invariant —
+//! per-hit rollback costs are bounded by the instance's recovery
+//! profile, so the analytic knapsack dominates every admissible
+//! segment choice).
 
+use ftdes_model::fault::FaultModel;
 use ftdes_model::graph::ProcessGraph;
 use ftdes_model::ids::NodeId;
 use ftdes_model::time::Time;
@@ -30,8 +39,9 @@ use crate::scenario::FaultScenario;
 
 /// Replays `schedule` under `scenario`.
 ///
-/// `mu` is the fault detection/recovery overhead of the fault model
-/// the schedule was built for.
+/// `fm` is the fault model the schedule was built for (`µ` prices the
+/// detection overhead of every hit, `χ` the checkpoint re-saves of
+/// rolled-back interior segments).
 ///
 /// # Panics
 ///
@@ -41,9 +51,10 @@ use crate::scenario::FaultScenario;
 pub fn simulate(
     schedule: &Schedule,
     graph: &ProcessGraph,
-    mu: Time,
+    fm: &FaultModel,
     scenario: &FaultScenario,
 ) -> SimulationReport {
+    let mu = fm.mu();
     let expanded = schedule.expanded();
     let total = expanded.len();
     let mut outcome: Vec<Option<InstanceOutcome>> = vec![None; total];
@@ -124,18 +135,24 @@ pub fn simulate(
                     let start = node_clock[node].max(release).max(input_ready);
                     let hits = scenario.hits_on(sid);
                     let survives = hits <= inst.budget;
-                    let attempts = hits.min(inst.budget + 1) + u32::from(survives);
-                    // `attempts` runs, each C long; every failed
-                    // attempt adds µ before the next (or before the
-                    // node resumes after the death of the instance).
-                    let failed = attempts - u32::from(survives);
-                    let busy_until =
-                        start + inst.wcet * u64::from(attempts) + mu * u64::from(failed);
+                    // The instance runs its fault-free execution
+                    // (WCET plus interior checkpoint saves) once;
+                    // every fault costs µ at detection; the first
+                    // `budget` faults additionally roll back and
+                    // re-run their struck segment (the whole process
+                    // when unsegmented), the one past the budget
+                    // kills the instance with no further re-run.
+                    let failed = hits.min(inst.budget + 1);
+                    let reruns = hits.min(inst.budget) as usize;
+                    let mut busy_until = start + inst.exec + mu * u64::from(failed);
+                    for hit in scenario.hits_of(sid).take(reruns) {
+                        busy_until += fm.segment_rerun(inst.wcet, inst.checkpoints, hit.segment);
+                    }
                     node_clock[node] = busy_until;
                     outcome[sid.index()] = Some(InstanceOutcome {
                         start: Some(start),
                         finish: survives.then_some(busy_until),
-                        attempts,
+                        attempts: 1 + reruns as u32,
                     });
                 }
                 cursor[node] += 1;
@@ -201,7 +218,7 @@ mod tests {
     #[test]
     fn fault_free_matches_static_times() {
         let (g, sched, fm) = chain_setup();
-        let report = simulate(&sched, &g, fm.mu(), &FaultScenario::none());
+        let report = simulate(&sched, &g, &fm, &FaultScenario::none());
         for slot in sched.slots() {
             let o = report.outcome(slot.instance.id);
             assert_eq!(o.start, Some(slot.start));
@@ -216,17 +233,8 @@ mod tests {
     fn double_fault_on_first_process() {
         let (g, sched, fm) = chain_setup();
         let a0 = sched.expanded().of_process(0.into())[0];
-        let scenario = FaultScenario::from_hits(vec![
-            FaultHit {
-                instance: a0,
-                occurrence: 0,
-            },
-            FaultHit {
-                instance: a0,
-                occurrence: 1,
-            },
-        ]);
-        let report = simulate(&sched, &g, fm.mu(), &scenario);
+        let scenario = FaultScenario::from_hits(vec![FaultHit::new(a0, 0), FaultHit::new(a0, 1)]);
+        let report = simulate(&sched, &g, &fm, &scenario);
         // P0: 30 + (10+30) * 2 = 110; P1 follows at 130.
         assert_eq!(report.outcome(a0).finish, Some(ms(110)));
         assert_eq!(report.outcome(a0).attempts, 3);
@@ -264,11 +272,8 @@ mod tests {
         let sched = list_schedule(&g, &arch, &wcet, &fm, &bus, &design).unwrap();
 
         let local = sched.expanded().of_process(a)[0];
-        let scenario = FaultScenario::from_hits(vec![FaultHit {
-            instance: local,
-            occurrence: 0,
-        }]);
-        let report = simulate(&sched, &g, fm.mu(), &scenario);
+        let scenario = FaultScenario::from_hits(vec![FaultHit::new(local, 0)]);
+        let report = simulate(&sched, &g, &fm, &scenario);
         assert_eq!(report.outcome(local).finish, None, "local replica died");
         // P1 waits for the remote copy: arrival 60, runs 60 ms.
         let b0 = sched.expanded().of_process(b)[0];

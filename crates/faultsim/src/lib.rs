@@ -33,7 +33,7 @@
 //!     vec![0.into()],
 //! )?]);
 //! let sched = list_schedule(&g, &arch, &wcet, &fm, &bus, &design)?;
-//! let report = simulate(&sched, &g, fm.mu(), &FaultScenario::none());
+//! let report = simulate(&sched, &g, &fm, &FaultScenario::none());
 //! assert!(report.all_processes_complete());
 //! assert!(report.max_overrun().is_none());
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -70,7 +70,7 @@ pub fn length_distribution(
     let mut lengths: Vec<Time> = Vec::with_capacity(samples);
     let mut deadline_miss_runs = 0usize;
     for scenario in random_scenarios(schedule, fm, samples, seed) {
-        let report = simulate(schedule, graph, fm.mu(), &scenario);
+        let report = simulate(schedule, graph, fm, &scenario);
         assert!(
             report.max_overrun().is_none(),
             "analytic bound violated under {scenario:?} — scheduler bug"

@@ -1,11 +1,14 @@
-//! Fault scenarios: concrete realizations of the `(k, µ)` fault
+//! Fault scenarios: concrete realizations of the `(k, µ, χ)` fault
 //! hypothesis.
 //!
 //! A scenario lists which execution attempts fail: hit `(instance,
-//! occurrence)` means the `occurrence`-th attempt of that replica
-//! instance experiences a transient fault at the worst moment (the
-//! very end of the attempt, paper Fig. 2). Scenarios are *admissible*
-//! when the total number of hits does not exceed `k`.
+//! occurrence, segment)` means the `occurrence`-th attempt of that
+//! replica instance experiences a transient fault at the worst moment
+//! of execution `segment` (the very end of the segment, paper
+//! Fig. 2). For unsegmented instances the only segment is the whole
+//! process; for a checkpointed primary the engine rolls back to the
+//! latest save and re-runs exactly the struck segment. Scenarios are
+//! *admissible* when the total number of hits does not exceed `k`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,6 +23,36 @@ pub struct FaultHit {
     pub instance: InstanceId,
     /// Which attempt fails (0 = the first execution).
     pub occurrence: u32,
+    /// Which checkpointed segment the fault strikes (0-based; the
+    /// engine clamps to the instance's segment count). Segment 0 is
+    /// always the longest — and, being interior when checkpoints
+    /// exist, re-establishes its save on re-run — so it is the
+    /// worst-case choice [`FaultHit::new`] defaults to.
+    pub segment: u32,
+}
+
+impl FaultHit {
+    /// A hit on the worst-case segment (segment 0: the longest, and
+    /// interior whenever checkpoints exist at all — its rollback cost
+    /// equals the analytic per-fault recovery bound).
+    #[must_use]
+    pub const fn new(instance: InstanceId, occurrence: u32) -> Self {
+        FaultHit {
+            instance,
+            occurrence,
+            segment: 0,
+        }
+    }
+
+    /// A hit striking a specific checkpointed segment.
+    #[must_use]
+    pub const fn in_segment(instance: InstanceId, occurrence: u32, segment: u32) -> Self {
+        FaultHit {
+            instance,
+            occurrence,
+            segment,
+        }
+    }
 }
 
 /// An admissible set of transient faults for one operation cycle.
@@ -62,6 +95,12 @@ impl FaultScenario {
         self.hits.iter().filter(|h| h.instance == instance).count() as u32
     }
 
+    /// The hits on one instance, in occurrence order (hits are kept
+    /// sorted) — the engine's rollback replay walks these.
+    pub fn hits_of(&self, instance: InstanceId) -> impl Iterator<Item = &FaultHit> {
+        self.hits.iter().filter(move |h| h.instance == instance)
+    }
+
     /// Returns `true` when the scenario respects the fault model
     /// (at most `k` faults in total) and hits consecutive attempts
     /// starting from the first (a later attempt cannot fail unless
@@ -96,11 +135,14 @@ impl FromIterator<FaultHit> for FaultScenario {
 
 /// Enumerates *all* admissible scenarios of up to `k` faults for
 /// `schedule` — feasible for small instances (the count grows as
-/// `(instances + 1)^k`).
+/// `(Σ segments + 1)^k`).
 ///
 /// Hits are generated as contiguous attempt prefixes per instance,
 /// capped at `budget + 1` attempts (further hits are meaningless: the
-/// instance is already dead).
+/// instance is already dead). On checkpointed instances every
+/// **segment choice** of every hit is enumerated too — the
+/// segment-level injection space the rollback replay is validated
+/// over.
 #[must_use]
 pub fn enumerate_scenarios(schedule: &Schedule, fm: &FaultModel) -> Vec<FaultScenario> {
     let instances = schedule.expanded().instances();
@@ -122,12 +164,11 @@ pub fn enumerate_scenarios(schedule: &Schedule, fm: &FaultModel) -> Vec<FaultSce
                         continue;
                     }
                 }
-                let mut hits = partial.clone();
-                hits.push(FaultHit {
-                    instance: inst.id,
-                    occurrence: already,
-                });
-                next.push(hits);
+                for segment in 0..inst.checkpoints.max(1) {
+                    let mut hits = partial.clone();
+                    hits.push(FaultHit::in_segment(inst.id, already, segment));
+                    next.push(hits);
+                }
             }
         }
         out.extend(next.iter().cloned().map(FaultScenario::from_hits));
@@ -157,10 +198,8 @@ pub fn random_scenarios(
             if already > inst.budget {
                 continue; // would hit a dead instance; drop the fault
             }
-            hits.push(FaultHit {
-                instance: inst.id,
-                occurrence: already,
-            });
+            let segment = rng.gen_range(0..inst.checkpoints.max(1));
+            hits.push(FaultHit::in_segment(inst.id, already, segment));
         }
         out.push(FaultScenario::from_hits(hits));
     }
@@ -168,12 +207,13 @@ pub fn random_scenarios(
 }
 
 /// A greedy adversarial scenario: spend the whole fault budget on the
-/// instances with the largest re-execution cost, preferring
-/// re-executable instances (they delay their whole node).
+/// instances with the largest per-fault recovery cost, preferring
+/// re-executable instances (they delay their whole node). Hits land
+/// on segment 0, the worst-case rollback of a checkpointed instance.
 #[must_use]
 pub fn adversarial_scenario(schedule: &Schedule, fm: &FaultModel) -> FaultScenario {
     let mut instances: Vec<_> = schedule.expanded().instances().to_vec();
-    instances.sort_by_key(|i| std::cmp::Reverse((i.budget > 0, i.wcet)));
+    instances.sort_by_key(|i| std::cmp::Reverse((i.budget > 0, i.recovery)));
     let mut hits = Vec::new();
     let mut remaining = fm.k();
     for inst in instances {
@@ -182,10 +222,7 @@ pub fn adversarial_scenario(schedule: &Schedule, fm: &FaultModel) -> FaultScenar
         }
         let take = remaining.min(inst.budget.max(1));
         for occurrence in 0..take {
-            hits.push(FaultHit {
-                instance: inst.id,
-                occurrence,
-            });
+            hits.push(FaultHit::new(inst.id, occurrence));
         }
         remaining -= take;
     }
@@ -198,10 +235,7 @@ mod tests {
     use ftdes_model::time::Time;
 
     fn hit(i: u32, o: u32) -> FaultHit {
-        FaultHit {
-            instance: InstanceId::new(i),
-            occurrence: o,
-        }
+        FaultHit::new(InstanceId::new(i), o)
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Exhaustive segment-level fault replay on small checkpointed
+//! instances: every admissible scenario — every fault count, every
+//! target instance, every attempt prefix AND every struck segment —
+//! is rolled back through the engine, and every realized finish must
+//! stay within the scheduler's analytic worst case.
+//!
+//! This is the checkpointing counterpart of the paper-family
+//! soundness suite: the analytic bounds now price rollback recovery
+//! (`⌈C/n⌉ + χ + µ` per fault) through the shared-slack knapsack, and
+//! the simulator realizes *segment-exact* rollbacks (`len(s) + χ·[s
+//! interior] + µ`), so the invariant `realized ≤ analytic` exercises
+//! the recovery-profile seam end to end.
+
+use ftdes_model::architecture::Architecture;
+use ftdes_model::design::{Design, ProcessDesign};
+use ftdes_model::fault::FaultModel;
+use ftdes_model::graph::{Message, ProcessGraph};
+use ftdes_model::ids::NodeId;
+use ftdes_model::policy::FtPolicy;
+use ftdes_model::time::Time;
+use ftdes_model::wcet::WcetTable;
+use ftdes_sched::{list_schedule, Schedule};
+use ftdes_ttp::config::BusConfig;
+
+use ftdes_faultsim::{adversarial_scenario, enumerate_scenarios, simulate};
+
+fn ms(v: u64) -> Time {
+    Time::from_ms(v)
+}
+
+/// A 4-process diamond over two nodes with one remote edge — small
+/// enough for exhaustive scenario enumeration, rich enough to cover
+/// local successors, remote consumers and replica contingencies.
+fn diamond(fm: &FaultModel, checkpoints: [u32; 4]) -> (ProcessGraph, Schedule) {
+    let mut g = ProcessGraph::new(0.into());
+    let a = g.add_process();
+    let b = g.add_process();
+    let c = g.add_process();
+    let d = g.add_process();
+    g.add_edge(a, b, Message::new(2)).unwrap();
+    g.add_edge(a, c, Message::new(2)).unwrap();
+    g.add_edge(b, d, Message::new(2)).unwrap();
+    g.add_edge(c, d, Message::new(2)).unwrap();
+    let mut wcet = WcetTable::new();
+    for (p, base) in [(a, 30), (b, 41), (c, 20), (d, 25)] {
+        wcet.set(p, NodeId::new(0), ms(base));
+        wcet.set(p, NodeId::new(1), ms(base + 5));
+    }
+    let arch = Architecture::with_node_count(2);
+    let bus = BusConfig::initial(&arch, 2, Time::from_us(2_500)).unwrap();
+    // a, b, d checkpointed re-execution on N0/N1; c replicated when
+    // the budget allows (two instances exercise kill contingencies).
+    let rep_level = fm.max_replicas().min(2);
+    let design = Design::from_decisions(vec![
+        ProcessDesign::new(
+            FtPolicy::checkpointed_reexecution(fm, checkpoints[0]),
+            vec![NodeId::new(0)],
+        )
+        .unwrap(),
+        ProcessDesign::new(
+            FtPolicy::checkpointed_reexecution(fm, checkpoints[1]),
+            vec![NodeId::new(1)],
+        )
+        .unwrap(),
+        ProcessDesign::new(
+            {
+                let p = FtPolicy::new(c, rep_level, fm).unwrap();
+                if p.reexecutions() > 0 {
+                    p.with_checkpoints(c, checkpoints[2], fm).unwrap()
+                } else {
+                    p
+                }
+            },
+            (0..rep_level).map(NodeId::new).collect(),
+        )
+        .unwrap(),
+        ProcessDesign::new(
+            FtPolicy::checkpointed_reexecution(fm, checkpoints[3]),
+            vec![NodeId::new(0)],
+        )
+        .unwrap(),
+    ]);
+    let schedule = list_schedule(&g, &arch, &wcet, fm, &bus, &design).unwrap();
+    (g, schedule)
+}
+
+#[test]
+fn exhaustive_replay_stays_within_the_analytic_bound() {
+    for (k, chi_ms) in [(1, 1), (2, 1), (2, 4), (3, 2)] {
+        let fm = FaultModel::new(k, ms(7)).with_checkpoint_overhead(ms(chi_ms));
+        for checkpoints in [[2, 3, 2, 1], [3, 2, 1, 4], [1, 1, 1, 1]] {
+            let (g, schedule) = diamond(&fm, checkpoints);
+            let scenarios = enumerate_scenarios(&schedule, &fm);
+            assert!(
+                scenarios.len() > 1,
+                "k = {k}: enumeration produced no faulty scenarios"
+            );
+            for scenario in &scenarios {
+                assert!(scenario.is_admissible(&fm), "{scenario:?}");
+                let report = simulate(&schedule, &g, &fm, scenario);
+                assert!(
+                    report.all_processes_complete(),
+                    "k = {k}, χ = {chi_ms} ms, n = {checkpoints:?}: \
+                     a process died under {scenario:?}"
+                );
+                assert!(
+                    report.lost_messages().is_empty(),
+                    "k = {k}, χ = {chi_ms} ms, n = {checkpoints:?}: \
+                     a sender missed its TDMA slot under {scenario:?}"
+                );
+                assert!(
+                    report.max_overrun().is_none(),
+                    "k = {k}, χ = {chi_ms} ms, n = {checkpoints:?}: \
+                     analytic bound violated under {scenario:?}: {:?}",
+                    report.max_overrun()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn segment_choice_changes_realized_rollback() {
+    // Segment-level injection is not cosmetic: on an instance whose
+    // WCET does not split evenly, striking different segments
+    // realizes different rollback costs — all within the worst case.
+    let fm = FaultModel::new(1, ms(7)).with_checkpoint_overhead(ms(1));
+    let (g, schedule) = diamond(&fm, [3, 1, 1, 1]);
+    let a0 = schedule.expanded().of_process(0.into())[0];
+    let mut lengths = Vec::new();
+    for segment in 0..3 {
+        let scenario = [ftdes_faultsim::FaultHit::in_segment(a0, 0, segment)]
+            .into_iter()
+            .collect::<ftdes_faultsim::FaultScenario>();
+        let report = simulate(&schedule, &g, &fm, &scenario);
+        assert!(report.max_overrun().is_none());
+        lengths.push(report.outcome(a0).finish.unwrap());
+    }
+    // Interior segments re-save their checkpoint; the final one does
+    // not — so the last segment's rollback is strictly cheaper.
+    assert!(
+        lengths[2] < lengths[0],
+        "segment-level rollback had no effect: {lengths:?}"
+    );
+    // Segment 0 is the worst case the analytic bound prices.
+    assert_eq!(lengths.iter().max(), lengths.first());
+}
+
+#[test]
+fn checkpointing_tightens_the_analytic_bound_for_small_chi() {
+    // The TVLSI-style trade-off at the schedule level: with a cheap χ
+    // the checkpointed schedule's worst case beats pure re-execution
+    // (rollbacks re-run one segment, not the whole process); with an
+    // extortionate χ the overheads eat the gain and pure re-execution
+    // wins again.
+    let k = 2;
+    let cheap = FaultModel::new(k, ms(7)).with_checkpoint_overhead(ms(1));
+    let (_, plain) = diamond(&cheap, [1, 1, 1, 1]);
+    let (_, checkpointed) = diamond(&cheap, [3, 3, 3, 3]);
+    assert!(
+        checkpointed.length() < plain.length(),
+        "cheap checkpoints must shorten the worst case: {} vs {}",
+        checkpointed.length(),
+        plain.length()
+    );
+
+    let pricey = FaultModel::new(k, ms(7)).with_checkpoint_overhead(ms(40));
+    let (_, plain) = diamond(&pricey, [1, 1, 1, 1]);
+    let (_, checkpointed) = diamond(&pricey, [3, 3, 3, 3]);
+    assert!(
+        checkpointed.length() > plain.length(),
+        "extortionate checkpoints must lose to plain re-execution: {} vs {}",
+        checkpointed.length(),
+        plain.length()
+    );
+}
+
+#[test]
+fn adversarial_scenario_targets_recovery_cost() {
+    let fm = FaultModel::new(2, ms(7)).with_checkpoint_overhead(ms(1));
+    let (g, schedule) = diamond(&fm, [2, 3, 2, 2]);
+    let adv = adversarial_scenario(&schedule, &fm);
+    assert!(adv.is_admissible(&fm));
+    let report = simulate(&schedule, &g, &fm, &adv);
+    assert!(report.all_processes_complete());
+    assert!(report.max_overrun().is_none());
+}

@@ -59,6 +59,10 @@ pub struct CommHeavyParams {
     /// Per-node speed variation (±fraction), as in
     /// [`WorkloadParams::node_speed_spread`].
     pub node_speed_spread: f64,
+    /// Checkpointing overhead `χ` as a fraction of the mean WCET
+    /// (`0.0` disables checkpointing). Realized through
+    /// [`CommHeavyParams::chi`] / [`CommHeavyParams::fault_model`].
+    pub chi_wcet_ratio: f64,
 }
 
 impl CommHeavyParams {
@@ -75,6 +79,7 @@ impl CommHeavyParams {
             wcet_min: Time::from_ms(5),
             wcet_max: Time::from_ms(30),
             node_speed_spread: 0.25,
+            chi_wcet_ratio: 0.0,
         }
     }
 
@@ -90,6 +95,28 @@ impl CommHeavyParams {
     pub fn with_ratio(mut self, msg_wcet_ratio: f64) -> Self {
         self.msg_wcet_ratio = msg_wcet_ratio;
         self
+    }
+
+    /// Sets the checkpointing-overhead ratio (builder style).
+    #[must_use]
+    pub fn with_chi_ratio(mut self, chi_wcet_ratio: f64) -> Self {
+        self.chi_wcet_ratio = chi_wcet_ratio;
+        self
+    }
+
+    /// The checkpointing overhead `χ` realizing
+    /// [`CommHeavyParams::chi_wcet_ratio`] against the family's mean
+    /// WCET.
+    #[must_use]
+    pub fn chi(&self) -> Time {
+        crate::params::chi_from_ratio(self.wcet_min, self.wcet_max, self.chi_wcet_ratio)
+    }
+
+    /// The fault model of an experiment on this family: `(k, µ)` plus
+    /// the family's checkpointing overhead `χ`.
+    #[must_use]
+    pub fn fault_model(&self, k: u32, mu: Time) -> ftdes_model::fault::FaultModel {
+        ftdes_model::fault::FaultModel::new(k, mu).with_checkpoint_overhead(self.chi())
     }
 
     /// The per-byte bus time that realizes

@@ -5,6 +5,7 @@
 //! exponential distributions within 10–100 ms, message sizes within
 //! 1–4 bytes.
 
+use ftdes_model::fault::FaultModel;
 use ftdes_model::time::Time;
 
 /// Shape of the generated process graph.
@@ -59,6 +60,13 @@ pub struct WorkloadParams {
     /// (±fraction, so heterogeneous architectures emerge; 0 gives a
     /// homogeneous platform).
     pub node_speed_spread: f64,
+    /// Checkpointing overhead `χ` as a fraction of the mean WCET
+    /// (`0.0` — the paper's original setup — disables checkpointing:
+    /// the optimizer's checkpoint move axis stays off for `χ = 0`
+    /// fault models). Realized through [`WorkloadParams::chi`] /
+    /// [`WorkloadParams::fault_model`]; the generated graph and WCETs
+    /// themselves are `χ`-independent.
+    pub chi_wcet_ratio: f64,
 }
 
 impl WorkloadParams {
@@ -75,6 +83,7 @@ impl WorkloadParams {
             msg_min: 1,
             msg_max: 4,
             node_speed_spread: 0.25,
+            chi_wcet_ratio: 0.0,
         }
     }
 
@@ -91,6 +100,37 @@ impl WorkloadParams {
         self.distribution = distribution;
         self
     }
+
+    /// Sets the checkpointing-overhead ratio (builder style).
+    #[must_use]
+    pub fn with_chi_ratio(mut self, chi_wcet_ratio: f64) -> Self {
+        self.chi_wcet_ratio = chi_wcet_ratio;
+        self
+    }
+
+    /// The checkpointing overhead `χ` this family's
+    /// [`WorkloadParams::chi_wcet_ratio`] realizes against its mean
+    /// WCET (rounded to whole microseconds; `ratio = 0` gives zero).
+    #[must_use]
+    pub fn chi(&self) -> Time {
+        chi_from_ratio(self.wcet_min, self.wcet_max, self.chi_wcet_ratio)
+    }
+
+    /// The fault model of an experiment on this family: `(k, µ)` plus
+    /// the family's checkpointing overhead `χ`.
+    #[must_use]
+    pub fn fault_model(&self, k: u32, mu: Time) -> FaultModel {
+        FaultModel::new(k, mu).with_checkpoint_overhead(self.chi())
+    }
+}
+
+/// The checkpointing overhead realizing a `χ : mean-WCET` ratio —
+/// the one formula both workload families (`WorkloadParams`,
+/// `CommHeavyParams`) derive their `χ` from, so the families cannot
+/// silently diverge.
+pub(crate) fn chi_from_ratio(wcet_min: Time, wcet_max: Time, ratio: f64) -> Time {
+    let mean_wcet = (wcet_min.as_us() + wcet_max.as_us()) as f64 / 2.0;
+    Time::from_us((ratio * mean_wcet).round().max(0.0) as u64)
 }
 
 #[cfg(test)]

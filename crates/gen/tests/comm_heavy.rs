@@ -41,6 +41,7 @@ fn arb_params() -> impl Strategy<Value = (CommHeavyParams, usize, u64)> {
                     wcet_min: Time::from_ms(wcet_min),
                     wcet_max: Time::from_ms(wcet_min + wcet_spread),
                     node_speed_spread: 0.25,
+                    chi_wcet_ratio: 0.0,
                 };
                 (params, nodes, seed)
             },

@@ -10,8 +10,10 @@
 //!
 //! Instead of a problem file, every command also accepts a generated
 //! instance: `--family comm-heavy|paper` with `--procs N`, `--nodes N`,
-//! `--k N`, `--mu-ms N`, `--seed S` and (comm-heavy only) the family
-//! knobs `--density F` (mean edges per process) and
+//! `--k N`, `--mu-ms N`, `--chi-ms N` (checkpointing overhead χ;
+//! non-zero values open the optimizer's checkpoint move axis, capped
+//! by `--max-checkpoints N`), `--seed S` and (comm-heavy only) the
+//! family knobs `--density F` (mean edges per process) and
 //! `--msg-wcet-ratio F` (mean message transfer time over mean WCET) —
 //! the communication-heavy family the benchmarks sweep, reachable
 //! straight from the CLI:
@@ -54,6 +56,7 @@ struct FamilyOptions {
     nodes: usize,
     k: u32,
     mu_ms: u64,
+    chi_ms: u64,
     density: f64,
     msg_wcet_ratio: f64,
 }
@@ -67,6 +70,7 @@ impl Default for FamilyOptions {
             nodes: 4,
             k: 2,
             mu_ms: 5,
+            chi_ms: 0,
             density: dense.edge_density,
             msg_wcet_ratio: dense.msg_wcet_ratio,
         }
@@ -77,7 +81,8 @@ impl FamilyOptions {
     /// Builds the generated problem instance.
     fn into_problem(self, seed: u64) -> Result<Problem, String> {
         let arch = Architecture::with_node_count(self.nodes);
-        let fm = FaultModel::new(self.k, Time::from_ms(self.mu_ms));
+        let fm = FaultModel::new(self.k, Time::from_ms(self.mu_ms))
+            .with_checkpoint_overhead(Time::from_ms(self.chi_ms));
         let (workload, byte_time) = match self.family.as_str() {
             "comm-heavy" => {
                 let params = CommHeavyParams::dense(self.procs)
@@ -116,6 +121,7 @@ struct Options {
     scenarios: usize,
     seed: u64,
     family: Option<FamilyOptions>,
+    max_checkpoints: Option<u32>,
 }
 
 impl Options {
@@ -130,6 +136,7 @@ impl Options {
             scenarios: 100,
             seed: 0,
             family: None,
+            max_checkpoints: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -199,6 +206,18 @@ impl Options {
                         .parse()
                         .map_err(|_| "invalid --mu-ms".to_owned())?;
                 }
+                "--chi-ms" => {
+                    o.family.get_or_insert_with(Default::default).chi_ms = value("--chi-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --chi-ms".to_owned())?;
+                }
+                "--max-checkpoints" => {
+                    o.max_checkpoints = Some(
+                        value("--max-checkpoints")?
+                            .parse()
+                            .map_err(|_| "invalid --max-checkpoints".to_owned())?,
+                    );
+                }
                 "--density" => {
                     o.family.get_or_insert_with(Default::default).density = value("--density")?
                         .parse()
@@ -259,17 +278,24 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         (None, None) => return Err(usage()),
     };
+    let problem = match options.max_checkpoints {
+        Some(n) => problem.with_max_checkpoints(n),
+        None => problem,
+    };
     let options = options;
 
     match command.as_str() {
         "info" => {
             println!(
-                "processes: {}, edges: {}, nodes: {}, k = {}, mu = {}",
+                "processes: {}, edges: {}, nodes: {}, k = {}, mu = {}, chi = {} \
+                 (checkpoint levels: {})",
                 problem.process_count(),
                 problem.graph().edge_count(),
                 problem.arch().node_count(),
                 problem.fault_model().k(),
-                problem.fault_model().mu()
+                problem.fault_model().mu(),
+                problem.fault_model().chi(),
+                problem.max_checkpoints()
             );
             println!(
                 "bus: {} slots of {} ({} bytes each), round {}",
@@ -327,7 +353,7 @@ fn run(args: &[String]) -> Result<(), String> {
             scenarios.push(adversarial_scenario(schedule, fm));
             let mut worst = ftdes_model::time::Time::ZERO;
             for scenario in &scenarios {
-                let report = simulate(schedule, problem.graph(), fm.mu(), scenario);
+                let report = simulate(schedule, problem.graph(), fm, scenario);
                 if !report.all_processes_complete() {
                     return Err(format!("a process died under {scenario:?}"));
                 }
@@ -353,6 +379,7 @@ fn usage() -> String {
      flags: --strategy mxr|mx|mr|sfx|nft  --time-ms N  --goal deadline|length\n\
      \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S\n\
      generated instances: --family comm-heavy|paper  --procs N  --nodes N  --k N  --mu-ms N\n\
+     \x20      --chi-ms N (checkpoint overhead)  --max-checkpoints N (move axis cap)\n\
      \x20      comm-heavy knobs: --density F (mean edges/process)  --msg-wcet-ratio F"
         .to_owned()
 }

@@ -210,6 +210,7 @@ impl<'a> Parser<'a> {
     fn fault_model(&mut self, ln: usize, rest: &[&str]) -> Result<(), ParseProblemError> {
         let mut k = None;
         let mut mu = None;
+        let mut chi = None;
         for tok in rest {
             let (key, value) = split_kv(ln, tok)?;
             match key {
@@ -219,12 +220,15 @@ impl<'a> Parser<'a> {
                     })?);
                 }
                 "mu" => mu = Some(parse_time(ln, value)?),
+                "chi" => chi = Some(parse_time(ln, value)?),
                 _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
             }
         }
         let k = k.ok_or_else(|| ParseProblemError::new(ln, "fault_model needs k="))?;
         let mu = mu.ok_or_else(|| ParseProblemError::new(ln, "fault_model needs mu="))?;
-        self.fault_model = Some(FaultModel::new(k, mu));
+        // chi is optional: pre-checkpointing problem files stay valid.
+        self.fault_model =
+            Some(FaultModel::new(k, mu).with_checkpoint_overhead(chi.unwrap_or_default()));
         Ok(())
     }
 

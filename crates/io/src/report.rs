@@ -17,6 +17,8 @@ pub struct PolicyReport {
     pub replicas: u32,
     /// Re-execution budget `e`.
     pub reexecutions: u32,
+    /// Checkpoint count `n` of the primary (1 = no checkpointing).
+    pub checkpoints: u32,
     /// Node names, primary first.
     pub nodes: Vec<String>,
 }
@@ -132,6 +134,7 @@ pub fn solution_report(
             policy: PolicyReport {
                 replicas: d.policy.replicas(),
                 reexecutions: d.policy.reexecutions(),
+                checkpoints: d.policy.checkpoints(),
                 nodes: d.mapping.iter().map(|&n| node_name(n)).collect(),
             },
             completion_us: schedule.completion(p).as_us(),

@@ -23,12 +23,22 @@ pub fn write_problem(spec: &ProblemSpec) -> String {
 
     let names: Vec<String> = spec.arch.nodes().iter().map(|n| n.name.clone()).collect();
     let _ = writeln!(out, "architecture {}", names.join(" "));
-    let _ = writeln!(
-        out,
-        "fault_model k={} mu={}",
-        spec.fault_model.k(),
-        fmt_time(spec.fault_model.mu())
-    );
+    if spec.fault_model.chi().is_zero() {
+        let _ = writeln!(
+            out,
+            "fault_model k={} mu={}",
+            spec.fault_model.k(),
+            fmt_time(spec.fault_model.mu())
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "fault_model k={} mu={} chi={}",
+            spec.fault_model.k(),
+            fmt_time(spec.fault_model.mu()),
+            fmt_time(spec.fault_model.chi())
+        );
+    }
     let order: Vec<String> = spec
         .bus
         .slot_order()

@@ -238,6 +238,21 @@ impl Design {
                     reason: "mapping arity mismatch".into(),
                 });
             }
+            if d.policy.checkpoints() == 0 {
+                return Err(ModelError::InvalidPolicy {
+                    process: p,
+                    reason: "checkpoint count must be at least 1".into(),
+                });
+            }
+            if d.policy.checkpoints() > 1 && d.policy.reexecutions() == 0 {
+                return Err(ModelError::InvalidPolicy {
+                    process: p,
+                    reason: format!(
+                        "checkpoint count {} needs a re-execution budget to recover with",
+                        d.policy.checkpoints()
+                    ),
+                });
+            }
             for &n in &d.mapping {
                 if !arch.contains(n) {
                     return Err(ModelError::UnknownNode { node: n });

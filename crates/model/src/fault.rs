@@ -1,4 +1,5 @@
-//! Transient fault model (paper §2.1).
+//! Transient fault model (paper §2.1, checkpointing per the TVLSI
+//! follow-up).
 //!
 //! At most `k` transient faults may occur anywhere in the system
 //! during one operation cycle of the application — several faults may
@@ -7,12 +8,33 @@
 //! fault costs a worst-case detection/recovery overhead `µ` from
 //! detection until normal operation resumes, and is confined to a
 //! single process.
+//!
+//! # Checkpointing (`χ`)
+//!
+//! The paper family's follow-up (Pop/Izosimov/Eles/Peng, TVLSI 2009)
+//! adds **checkpointing with rollback recovery** as the third
+//! fault-tolerance technique beside re-execution and replication. A
+//! process may save its state at `n − 1` evenly spaced checkpoints,
+//! splitting its execution into `n` segments; each save costs the
+//! checkpointing overhead `χ`. A fault then rolls the process back to
+//! the latest save and re-runs only the failed segment:
+//!
+//! * fault-free execution grows to `C + χ·(n − 1)`
+//!   ([`FaultModel::checkpointed_exec`]),
+//! * the worst-case marginal cost of one fault drops from `C + µ` to
+//!   `⌈C/n⌉ + χ + µ` ([`FaultModel::worst_case_recovery`] plus `µ`):
+//!   the longest segment is re-run and its ending checkpoint
+//!   re-established.
+//!
+//! With `n = 1` (no checkpoints) both formulas collapse to the
+//! paper's original re-execution accounting, and `χ` defaults to zero
+//! so existing `(k, µ)` models behave bit-identically.
 
 use serde::{Deserialize, Serialize};
 
 use crate::time::Time;
 
-/// The transient fault hypothesis `(k, µ)`.
+/// The transient fault hypothesis `(k, µ, χ)`.
 ///
 /// # Examples
 ///
@@ -26,19 +48,31 @@ use crate::time::Time;
 /// // A process tolerating all faults by pure replication needs k + 1
 /// // replicas (Fig. 2b).
 /// assert_eq!(fm.max_replicas(), 3);
+/// // Checkpointing: with χ = 1 ms, a 30 ms process split into 3
+/// // segments recovers a fault in 10 + 1 ms instead of 30 ms.
+/// let fm = fm.with_checkpoint_overhead(Time::from_ms(1));
+/// assert_eq!(fm.worst_case_recovery(Time::from_ms(30), 3), Time::from_ms(11));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FaultModel {
     k: u32,
     mu: Time,
+    /// Checkpointing overhead χ (cost of saving one checkpoint).
+    chi: Time,
 }
 
 impl FaultModel {
     /// Creates a fault model tolerating `k` transient faults of
-    /// worst-case duration `mu` each.
+    /// worst-case duration `mu` each. The checkpointing overhead `χ`
+    /// defaults to zero; set it with
+    /// [`FaultModel::with_checkpoint_overhead`].
     #[must_use]
     pub const fn new(k: u32, mu: Time) -> Self {
-        FaultModel { k, mu }
+        FaultModel {
+            k,
+            mu,
+            chi: Time::ZERO,
+        }
     }
 
     /// A fault model with no faults — used to derive the non-fault-
@@ -48,7 +82,15 @@ impl FaultModel {
         FaultModel {
             k: 0,
             mu: Time::ZERO,
+            chi: Time::ZERO,
         }
+    }
+
+    /// Sets the checkpointing overhead `χ` (builder style).
+    #[must_use]
+    pub const fn with_checkpoint_overhead(mut self, chi: Time) -> Self {
+        self.chi = chi;
+        self
     }
 
     /// The maximum number of transient faults per operation cycle.
@@ -61,6 +103,12 @@ impl FaultModel {
     #[must_use]
     pub const fn mu(&self) -> Time {
         self.mu
+    }
+
+    /// The checkpointing overhead χ (one state save).
+    #[must_use]
+    pub const fn chi(&self) -> Time {
+        self.chi
     }
 
     /// Returns `true` if no fault tolerance is required.
@@ -82,6 +130,62 @@ impl FaultModel {
     #[must_use]
     pub fn worst_case_reexecution(&self, c: Time, e: u32) -> Time {
         c + (self.mu + c) * u64::from(e)
+    }
+
+    /// Fault-free execution time of a process of WCET `c` split into
+    /// `n` checkpointed segments: the `n − 1` interior state saves
+    /// cost `χ` each. `n ≤ 1` means no checkpointing (plain `c`).
+    #[must_use]
+    pub fn checkpointed_exec(&self, c: Time, n: u32) -> Time {
+        if n <= 1 {
+            return c;
+        }
+        c + self.chi * u64::from(n - 1)
+    }
+
+    /// The worst-case per-fault rollback cost (excluding `µ`) of a
+    /// process of WCET `c` with `n` checkpointed segments: the
+    /// longest segment (`⌈c/n⌉`) is re-run and its ending checkpoint
+    /// re-established (`+ χ`, only when checkpoints exist at all).
+    /// For `n ≤ 1` this is the full re-execution `c` of the paper's
+    /// original model.
+    ///
+    /// This value dominates [`FaultModel::segment_rerun`] over every
+    /// segment, which is what makes the scheduler's analytic bounds
+    /// sound against the simulator's segment-level rollback replay.
+    #[must_use]
+    pub fn worst_case_recovery(&self, c: Time, n: u32) -> Time {
+        if n <= 1 {
+            return c;
+        }
+        Time::from_us(c.as_us().div_ceil(u64::from(n))) + self.chi
+    }
+
+    /// Length of segment `s` (0-based) of a process of WCET `c` split
+    /// into `n` segments: `c` is divided as evenly as possible, the
+    /// first `c mod n` segments getting the extra microsecond.
+    #[must_use]
+    pub fn segment_length(c: Time, n: u32, s: u32) -> Time {
+        let n = u64::from(n.max(1));
+        let s = u64::from(s).min(n - 1);
+        let base = c.as_us() / n;
+        let extra = u64::from(s < c.as_us() % n);
+        Time::from_us(base + extra)
+    }
+
+    /// The realized rollback cost (excluding `µ`) of a fault striking
+    /// segment `s` of a process of WCET `c` with `n` segments: the
+    /// segment is re-run, and interior segments (`s < n − 1`)
+    /// additionally re-establish their ending checkpoint (`+ χ`).
+    /// Always `≤` [`FaultModel::worst_case_recovery`]`(c, n)`.
+    #[must_use]
+    pub fn segment_rerun(&self, c: Time, n: u32, s: u32) -> Time {
+        if n <= 1 {
+            return c;
+        }
+        let s = s.min(n - 1);
+        let save = if s < n - 1 { self.chi } else { Time::ZERO };
+        Self::segment_length(c, n, s) + save
     }
 }
 
@@ -122,6 +226,63 @@ mod tests {
         let fm = FaultModel::new(3, Time::from_ms(5));
         assert_eq!(fm.k(), 3);
         assert_eq!(fm.mu(), Time::from_ms(5));
+        assert_eq!(fm.chi(), Time::ZERO);
         assert!(!fm.is_fault_free());
+        let cp = fm.with_checkpoint_overhead(Time::from_ms(1));
+        assert_eq!(cp.chi(), Time::from_ms(1));
+        assert_eq!((cp.k(), cp.mu()), (fm.k(), fm.mu()));
+    }
+
+    #[test]
+    fn checkpointed_exec_adds_interior_saves() {
+        let fm = FaultModel::new(2, Time::from_ms(10)).with_checkpoint_overhead(Time::from_ms(1));
+        let c = Time::from_ms(30);
+        assert_eq!(fm.checkpointed_exec(c, 1), c, "n = 1: no overhead");
+        assert_eq!(fm.checkpointed_exec(c, 3), Time::from_ms(32));
+        // χ = 0 keeps the execution time regardless of n.
+        let free = FaultModel::new(2, Time::from_ms(10));
+        assert_eq!(free.checkpointed_exec(c, 5), c);
+    }
+
+    #[test]
+    fn recovery_shrinks_with_segments() {
+        let fm = FaultModel::new(2, Time::from_ms(10)).with_checkpoint_overhead(Time::from_ms(1));
+        let c = Time::from_ms(30);
+        assert_eq!(fm.worst_case_recovery(c, 1), c, "n = 1: full re-run");
+        assert_eq!(fm.worst_case_recovery(c, 3), Time::from_ms(11));
+        // Indivisible WCETs round the segment up: ⌈31000/3⌉ + 1000.
+        assert_eq!(
+            fm.worst_case_recovery(Time::from_us(31_000), 3),
+            Time::from_us(11_334)
+        );
+    }
+
+    #[test]
+    fn segment_lengths_partition_the_wcet() {
+        let fm = FaultModel::new(1, Time::from_ms(5)).with_checkpoint_overhead(Time::from_us(100));
+        let c = Time::from_us(31_000);
+        for n in 1..=5u32 {
+            let total: u64 = (0..n)
+                .map(|s| FaultModel::segment_length(c, n, s).as_us())
+                .sum();
+            assert_eq!(total, c.as_us(), "n = {n}: segments partition C");
+            for s in 0..n {
+                assert!(
+                    fm.segment_rerun(c, n, s) <= fm.worst_case_recovery(c, n),
+                    "n = {n}, s = {s}: realized rollback exceeds the worst case"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_segment_rerun_skips_the_save() {
+        let fm = FaultModel::new(1, Time::from_ms(5)).with_checkpoint_overhead(Time::from_ms(2));
+        let c = Time::from_ms(30);
+        // Interior segment: 10 + 2; final segment: 10 alone.
+        assert_eq!(fm.segment_rerun(c, 3, 0), Time::from_ms(12));
+        assert_eq!(fm.segment_rerun(c, 3, 2), Time::from_ms(10));
+        // n = 1: the whole process, no save.
+        assert_eq!(fm.segment_rerun(c, 1, 0), c);
     }
 }

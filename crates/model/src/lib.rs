@@ -16,10 +16,14 @@
 //!   periodic graph sets merged over the hyper-period (paper §5.1),
 //! * [`architecture::Architecture`] and [`wcet::WcetTable`] — the
 //!   node set and per-node worst-case execution times,
-//! * [`fault::FaultModel`] — the `(k, µ)` transient-fault hypothesis
-//!   (paper §2.1),
-//! * [`policy::FtPolicy`] — re-execution / replication mixes
-//!   (paper §2.2, Fig. 2),
+//! * [`fault::FaultModel`] — the `(k, µ, χ)` transient-fault
+//!   hypothesis (paper §2.1; `χ` is the checkpointing overhead of the
+//!   TVLSI follow-up),
+//! * [`policy::FtPolicy`] — re-execution / replication /
+//!   checkpointing mixes (paper §2.2, Fig. 2), and
+//!   [`policy::RecoveryProfile`] — the derived per-instance recovery
+//!   accounting every downstream consumer (scheduler, bounds, fault
+//!   simulator) reads,
 //! * [`design::Design`] — a full system configuration ψ = ⟨F, M⟩
 //!   (paper §4).
 //!
@@ -74,7 +78,7 @@ pub mod prelude {
     pub use crate::graph::{Edge, Message, Process, ProcessGraph};
     pub use crate::ids::{EdgeId, GraphId, NodeId, ProcessId};
     pub use crate::merge::MergedApplication;
-    pub use crate::policy::{FtPolicy, MappingConstraint, PolicyConstraint};
+    pub use crate::policy::{FtPolicy, MappingConstraint, PolicyConstraint, RecoveryProfile};
     pub use crate::time::Time;
     pub use crate::wcet::WcetTable;
 }

@@ -1,24 +1,47 @@
-//! Fault-tolerance policies and their algebra (paper §2.2, §4).
+//! Fault-tolerance policies and their algebra (paper §2.2, §4;
+//! checkpointing per the TVLSI follow-up).
 //!
 //! For every process the designer (or the optimizer) picks a
-//! combination of *active replication* and *re-execution*. We encode
-//! the combination by the replication level `r` (number of replicas,
-//! `1 ≤ r ≤ k + 1`); the remaining fault budget `e = k + 1 − r` is
-//! covered by re-executions. The three cases of paper Fig. 2 map to:
+//! combination of *active replication*, *re-execution* and
+//! *checkpointing with rollback recovery*. We encode the combination
+//! by the replication level `r` (number of replicas,
+//! `1 ≤ r ≤ k + 1`) and the checkpoint count `n` (execution segments
+//! of the re-executable primary, `n ≥ 1`); the remaining fault budget
+//! `e = k + 1 − r` is covered by re-executions (rollbacks when
+//! `n > 1`). The cases map to:
 //!
-//! * `r = 1` — pure re-execution (`e = k` re-execution slots),
-//! * `r = k + 1` — pure replication (no re-execution),
-//! * `1 < r < k + 1` — re-executed replicas (Fig. 2c).
+//! * `r = 1, n = 1` — pure re-execution (`e = k` re-execution slots),
+//! * `r = 1, n > 1` — checkpointed re-execution: a fault rolls the
+//!   primary back to its latest checkpoint and re-runs only the
+//!   failed segment,
+//! * `r = k + 1` — pure replication (no re-execution, no
+//!   checkpoints),
+//! * `1 < r < k + 1` — re-executed replicas (Fig. 2c), optionally
+//!   checkpointed.
 //!
 //! In the scheduler the whole re-execution budget is carried by the
 //! *primary* (first) replica; the remaining replicas are pure. This
 //! matches Fig. 2c, where `P1/1` is re-executed while `P1/2` is not.
+//! Checkpoints therefore also live on the primary alone — a replica
+//! without a budget never rolls back, so its checkpoints would buy
+//! nothing and the algebra rejects them (`n > 1` requires `e > 0`).
+//!
+//! # The recovery-profile seam
+//!
+//! Every consumer of recovery time — the scheduler's shared-slack
+//! knapsack, the bounded-run lookahead, the splice recording and the
+//! fault simulator — reads one [`RecoveryProfile`] per instance
+//! (derived once at design expansion by
+//! [`FtPolicy::recovery_profile`]) instead of re-deriving `C + µ`
+//! from raw WCETs. That keeps the recovery-time accounting
+//! polymorphic over the technique mix at a single point.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
 use crate::fault::FaultModel;
 use crate::ids::{NodeId, ProcessId};
+use crate::time::Time;
 
 /// The fault-tolerance technique mix chosen for one process.
 ///
@@ -27,12 +50,17 @@ use crate::ids::{NodeId, ProcessId};
 /// ```
 /// use ftdes_model::policy::FtPolicy;
 /// use ftdes_model::fault::FaultModel;
+/// use ftdes_model::ids::ProcessId;
 /// use ftdes_model::time::Time;
 ///
 /// let fm = FaultModel::new(2, Time::from_ms(10));
-/// let combined = FtPolicy::new(2, &fm)?; // Fig. 2c: two replicas
+/// let p = ProcessId::new(7);
+/// let combined = FtPolicy::new(p, 2, &fm)?; // Fig. 2c: two replicas
 /// assert_eq!(combined.replicas(), 2);
 /// assert_eq!(combined.reexecutions(), 1); // primary re-executed once
+/// // Checkpoint the primary: rollbacks re-run one of 3 segments.
+/// let cp = combined.with_checkpoints(p, 3, &fm)?;
+/// assert_eq!(cp.checkpoints(), 3);
 /// # Ok::<(), ftdes_model::error::ModelError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -41,21 +69,38 @@ pub struct FtPolicy {
     replicas: u32,
     /// Re-execution budget `e = k + 1 - r`.
     reexecutions: u32,
+    /// Checkpoint count `n` of the primary: the number of execution
+    /// segments a rollback recovers at. `1` = no checkpointing.
+    checkpoints: u32,
+}
+
+/// The recovery profile of one replica instance: the derived,
+/// technique-independent view of its time accounting. See the module
+/// docs for who consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecoveryProfile {
+    /// Fault-free execution time on the node, including interior
+    /// checkpoint saves: `C + χ·(n − 1)`.
+    pub exec: Time,
+    /// Worst-case per-fault rollback/re-run cost, excluding the
+    /// detection overhead `µ`: `C` without checkpoints, `⌈C/n⌉ + χ`
+    /// with them.
+    pub recovery: Time,
 }
 
 impl FtPolicy {
-    /// Creates the policy with `replicas` instances under fault model
-    /// `fm`; the re-execution budget is derived as `k + 1 - replicas`.
+    /// Creates the policy of `process` with `replicas` instances
+    /// under fault model `fm`; the re-execution budget is derived as
+    /// `k + 1 - replicas` and no checkpoints are taken.
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::InvalidPolicy`] when `replicas` is zero
-    /// or exceeds `k + 1`. (The anonymous [`ProcessId`] 0 is reported
-    /// since the policy is not yet attached to a process.)
-    pub fn new(replicas: u32, fm: &FaultModel) -> Result<Self, ModelError> {
+    /// Returns [`ModelError::InvalidPolicy`] naming `process` when
+    /// `replicas` is zero or exceeds `k + 1`.
+    pub fn new(process: ProcessId, replicas: u32, fm: &FaultModel) -> Result<Self, ModelError> {
         if replicas == 0 || replicas > fm.max_replicas() {
             return Err(ModelError::InvalidPolicy {
-                process: ProcessId::new(0),
+                process,
                 reason: format!(
                     "replication level {replicas} outside 1..={}",
                     fm.max_replicas()
@@ -65,15 +110,82 @@ impl FtPolicy {
         Ok(FtPolicy {
             replicas,
             reexecutions: fm.max_replicas() - replicas,
+            checkpoints: 1,
         })
     }
 
-    /// Pure re-execution: one instance, `k` re-execution slots.
+    /// Creates the policy of `process` with `replicas` instances and
+    /// `checkpoints` segments on the primary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPolicy`] naming `process` when the
+    /// replication level is out of range or the checkpoint count is
+    /// invalid (zero, or `> 1` without a re-execution budget to roll
+    /// back with).
+    pub fn checkpointed(
+        process: ProcessId,
+        replicas: u32,
+        checkpoints: u32,
+        fm: &FaultModel,
+    ) -> Result<Self, ModelError> {
+        FtPolicy::new(process, replicas, fm)?.with_checkpoints(process, checkpoints, fm)
+    }
+
+    /// Returns this policy with the checkpoint count replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPolicy`] naming `process` when
+    /// `checkpoints` is zero, or `> 1` while the policy has no
+    /// re-execution budget (a pure replica never rolls back, so its
+    /// checkpoints would be dead weight — the algebra keeps such
+    /// policies unrepresentable).
+    pub fn with_checkpoints(
+        mut self,
+        process: ProcessId,
+        checkpoints: u32,
+        _fm: &FaultModel,
+    ) -> Result<Self, ModelError> {
+        if checkpoints == 0 {
+            return Err(ModelError::InvalidPolicy {
+                process,
+                reason: "checkpoint count must be at least 1".into(),
+            });
+        }
+        if checkpoints > 1 && self.reexecutions == 0 {
+            return Err(ModelError::InvalidPolicy {
+                process,
+                reason: format!(
+                    "checkpoint count {checkpoints} without a re-execution budget to recover with"
+                ),
+            });
+        }
+        self.checkpoints = checkpoints;
+        Ok(self)
+    }
+
+    /// Pure re-execution: one instance, `k` re-execution slots, no
+    /// checkpoints.
     #[must_use]
     pub fn reexecution(fm: &FaultModel) -> Self {
         FtPolicy {
             replicas: 1,
             reexecutions: fm.k(),
+            checkpoints: 1,
+        }
+    }
+
+    /// Checkpointed re-execution: one instance, `k` rollback slots,
+    /// `n` segments (clamped to at least 1; clamped to 1 when the
+    /// fault model is fault-free, since there is no budget to recover
+    /// with).
+    #[must_use]
+    pub fn checkpointed_reexecution(fm: &FaultModel, n: u32) -> Self {
+        FtPolicy {
+            replicas: 1,
+            reexecutions: fm.k(),
+            checkpoints: if fm.k() == 0 { 1 } else { n.max(1) },
         }
     }
 
@@ -83,6 +195,7 @@ impl FtPolicy {
         FtPolicy {
             replicas: fm.max_replicas(),
             reexecutions: 0,
+            checkpoints: 1,
         }
     }
 
@@ -98,6 +211,13 @@ impl FtPolicy {
         self.reexecutions
     }
 
+    /// The checkpoint count `n` (segments of the primary; 1 = no
+    /// checkpointing).
+    #[must_use]
+    pub const fn checkpoints(&self) -> u32 {
+        self.checkpoints
+    }
+
     /// Re-execution budget of replica number `instance` (0-based):
     /// the primary carries the whole budget, other replicas none.
     #[must_use]
@@ -106,6 +226,36 @@ impl FtPolicy {
             self.reexecutions
         } else {
             0
+        }
+    }
+
+    /// Checkpoint count of replica number `instance`: the primary
+    /// carries the checkpoints (it owns the rollback budget), pure
+    /// replicas run unsegmented.
+    #[must_use]
+    pub const fn checkpoints_of_instance(&self, instance: u32) -> u32 {
+        if instance == 0 {
+            self.checkpoints
+        } else {
+            1
+        }
+    }
+
+    /// The [`RecoveryProfile`] of replica number `instance` with raw
+    /// WCET `wcet` under `fm` — **the** seam every recovery-time
+    /// consumer derives its accounting from.
+    #[must_use]
+    pub fn recovery_profile(&self, instance: u32, wcet: Time, fm: &FaultModel) -> RecoveryProfile {
+        let n = self.checkpoints_of_instance(instance);
+        if self.budget_of_instance(instance) == 0 || n <= 1 {
+            return RecoveryProfile {
+                exec: wcet,
+                recovery: wcet,
+            };
+        }
+        RecoveryProfile {
+            exec: fm.checkpointed_exec(wcet, n),
+            recovery: fm.worst_case_recovery(wcet, n),
         }
     }
 
@@ -127,6 +277,12 @@ impl FtPolicy {
     pub const fn is_pure_replication(&self) -> bool {
         self.reexecutions == 0
     }
+
+    /// Returns `true` when the primary takes checkpoints (`n > 1`).
+    #[must_use]
+    pub const fn is_checkpointed(&self) -> bool {
+        self.checkpoints > 1
+    }
 }
 
 /// Designer-imposed restriction on the policy of a process (paper §4:
@@ -137,6 +293,8 @@ pub enum PolicyConstraint {
     #[default]
     Free,
     /// The designer fixed re-execution for this process (set `PX`).
+    /// Checkpointed re-execution (`r = 1, n > 1`) still qualifies —
+    /// the constraint forbids space redundancy, not rollbacks.
     Reexecution,
     /// The designer fixed full replication for this process (set `PR`).
     Replication,
@@ -183,18 +341,22 @@ impl MappingConstraint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::Time;
 
     fn fm2() -> FaultModel {
         FaultModel::new(2, Time::from_ms(10))
+    }
+
+    fn pid() -> ProcessId {
+        ProcessId::new(3)
     }
 
     #[test]
     fn policy_algebra_r_plus_e() {
         let fm = fm2();
         for r in 1..=fm.max_replicas() {
-            let p = FtPolicy::new(r, &fm).unwrap();
+            let p = FtPolicy::new(pid(), r, &fm).unwrap();
             assert_eq!(p.total_executions(), fm.k() + 1);
+            assert_eq!(p.checkpoints(), 1, "new() takes no checkpoints");
         }
     }
 
@@ -207,12 +369,15 @@ mod tests {
         let rep = FtPolicy::replication(&fm);
         assert!(rep.is_pure_replication());
         assert_eq!(rep.replicas(), 3);
+        let cp = FtPolicy::checkpointed_reexecution(&fm, 4);
+        assert!(cp.is_pure_reexecution() && cp.is_checkpointed());
+        assert_eq!(cp.checkpoints(), 4);
     }
 
     #[test]
     fn fig2c_combined() {
         // k = 2 tolerated with two replicas and one re-execution.
-        let p = FtPolicy::new(2, &fm2()).unwrap();
+        let p = FtPolicy::new(pid(), 2, &fm2()).unwrap();
         assert_eq!(p.replicas(), 2);
         assert_eq!(p.reexecutions(), 1);
         assert!(!p.is_pure_reexecution());
@@ -221,22 +386,65 @@ mod tests {
 
     #[test]
     fn budget_on_primary_only() {
-        let p = FtPolicy::new(2, &fm2()).unwrap();
+        let p = FtPolicy::checkpointed(pid(), 2, 3, &fm2()).unwrap();
         assert_eq!(p.budget_of_instance(0), 1);
         assert_eq!(p.budget_of_instance(1), 0);
+        assert_eq!(p.checkpoints_of_instance(0), 3);
+        assert_eq!(p.checkpoints_of_instance(1), 1, "pure replicas unsegmented");
     }
 
     #[test]
-    fn invalid_levels_rejected() {
+    fn invalid_levels_rejected_with_real_process_id() {
         let fm = fm2();
-        assert!(FtPolicy::new(0, &fm).is_err());
-        assert!(FtPolicy::new(4, &fm).is_err());
+        for bad in [0, 4] {
+            let err = FtPolicy::new(pid(), bad, &fm).unwrap_err();
+            match err {
+                ModelError::InvalidPolicy { process, .. } => assert_eq!(process, pid()),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_require_a_budget() {
+        let fm = fm2();
+        // Pure replication has no budget: n > 1 is unrepresentable.
+        let rep = FtPolicy::replication(&fm);
+        let err = rep.with_checkpoints(pid(), 2, &fm).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidPolicy { process, .. } if process == pid()));
+        // n = 1 is always fine, n = 0 never.
+        assert!(rep.with_checkpoints(pid(), 1, &fm).is_ok());
+        assert!(rep.with_checkpoints(pid(), 0, &fm).is_err());
+        // A budgeted mix takes checkpoints.
+        let mix = FtPolicy::checkpointed(pid(), 2, 3, &fm).unwrap();
+        assert_eq!(mix.checkpoints(), 3);
+        // The fault-free model clamps the convenience constructor.
+        assert_eq!(
+            FtPolicy::checkpointed_reexecution(&FaultModel::none(), 5).checkpoints(),
+            1
+        );
+    }
+
+    #[test]
+    fn recovery_profile_derivation() {
+        let fm = fm2().with_checkpoint_overhead(Time::from_ms(1));
+        let c = Time::from_ms(30);
+        let plain = FtPolicy::reexecution(&fm).recovery_profile(0, c, &fm);
+        assert_eq!((plain.exec, plain.recovery), (c, c));
+        let cp = FtPolicy::checkpointed_reexecution(&fm, 3);
+        let primary = cp.recovery_profile(0, c, &fm);
+        assert_eq!(primary.exec, Time::from_ms(32));
+        assert_eq!(primary.recovery, Time::from_ms(11));
+        // A pure replica of a checkpointed mix keeps the raw WCET.
+        let mix = FtPolicy::checkpointed(pid(), 2, 3, &fm).unwrap();
+        let replica = mix.recovery_profile(1, c, &fm);
+        assert_eq!((replica.exec, replica.recovery), (c, c));
     }
 
     #[test]
     fn fault_free_model_single_policy() {
         let fm = FaultModel::none();
-        let p = FtPolicy::new(1, &fm).unwrap();
+        let p = FtPolicy::new(pid(), 1, &fm).unwrap();
         assert_eq!(p.replicas(), 1);
         assert_eq!(p.reexecutions(), 0);
         assert!(p.is_pure_reexecution() && p.is_pure_replication());
@@ -246,11 +454,16 @@ mod tests {
     fn constraints_filter_policies() {
         let fm = fm2();
         let rex = FtPolicy::reexecution(&fm);
+        let cp_rex = FtPolicy::checkpointed_reexecution(&fm, 3);
         let rep = FtPolicy::replication(&fm);
-        let mix = FtPolicy::new(2, &fm).unwrap();
+        let mix = FtPolicy::new(pid(), 2, &fm).unwrap();
         assert!(PolicyConstraint::Free.allows(rex, &fm));
         assert!(PolicyConstraint::Free.allows(mix, &fm));
         assert!(PolicyConstraint::Reexecution.allows(rex, &fm));
+        assert!(
+            PolicyConstraint::Reexecution.allows(cp_rex, &fm),
+            "PX forbids replication, not rollbacks"
+        );
         assert!(!PolicyConstraint::Reexecution.allows(mix, &fm));
         assert!(PolicyConstraint::Replication.allows(rep, &fm));
         assert!(!PolicyConstraint::Replication.allows(mix, &fm));

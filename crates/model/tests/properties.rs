@@ -114,7 +114,7 @@ proptest! {
     fn policy_budget_split(k in 0u32..12, level_seed in 0u32..12) {
         let fm = FaultModel::new(k, Time::from_ms(1));
         let r = 1 + level_seed % fm.max_replicas();
-        let p = FtPolicy::new(r, &fm).unwrap();
+        let p = FtPolicy::new(ftdes_model::ids::ProcessId::new(0), r, &fm).unwrap();
         prop_assert_eq!(p.replicas() + p.reexecutions(), k + 1);
         let total: u32 = (0..r).map(|i| p.budget_of_instance(i)).sum();
         prop_assert_eq!(total, p.reexecutions());

@@ -404,7 +404,7 @@ pub(crate) fn execute(
                 ns.slack.clear();
                 for reg in segs {
                     ns.slack
-                        .register(remap(reg.reg_id), reg.reg_wcet, reg.reg_budget);
+                        .register(remap(reg.reg_id), reg.reg_recovery, reg.reg_budget);
                 }
             }
         }
@@ -458,7 +458,7 @@ pub(crate) fn execute(
             if bound.is_some() {
                 for &sid in cand.of_process(p) {
                     let inst = cand.instance(sid);
-                    core.look_sum[inst.node.index()] += inst.wcet;
+                    core.look_sum[inst.node.index()] += inst.exec;
                 }
             }
         }
@@ -530,7 +530,7 @@ pub(crate) fn execute(
             if let Some(b) = bound {
                 for &sid in cand.of_process(p) {
                     let inst = cand.instance(sid);
-                    core.look_sum[inst.node.index()] -= inst.wcet;
+                    core.look_sum[inst.node.index()] -= inst.exec;
                 }
                 let completion = core.completion[p.index()];
                 running.length = running.length.max(completion);

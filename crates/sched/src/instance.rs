@@ -44,6 +44,17 @@ impl fmt::Display for InstanceId {
 }
 
 /// One schedulable replica of a process.
+///
+/// Beside the raw WCET, every instance carries its **recovery
+/// profile** ([`ftdes_model::policy::RecoveryProfile`]), derived once
+/// at expansion: `exec` is the fault-free node occupancy (WCET plus
+/// interior checkpoint saves) and `recovery` the worst-case per-fault
+/// rollback cost (the full WCET without checkpoints, one segment plus
+/// a re-saved checkpoint with them). The scheduler, the shared-slack
+/// knapsack, the bounded-run lookaheads, the splice recording and the
+/// fault simulator all read these two fields instead of re-deriving
+/// `C + µ` arithmetic from policies — the one seam that keeps
+/// recovery accounting polymorphic over the technique mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Instance {
     /// Dense identifier.
@@ -54,10 +65,19 @@ pub struct Instance {
     pub replica: u32,
     /// The node the replica is mapped on.
     pub node: NodeId,
-    /// Worst-case execution time on that node.
+    /// Worst-case execution time on that node (raw `C`, excluding
+    /// checkpoint saves).
     pub wcet: Time,
     /// Re-execution budget of this instance.
     pub budget: u32,
+    /// Checkpoint count `n` (execution segments; 1 = no
+    /// checkpointing).
+    pub checkpoints: u32,
+    /// Fault-free execution time on the node: `C + χ·(n − 1)`.
+    pub exec: Time,
+    /// Worst-case per-fault rollback/re-run cost excluding `µ`:
+    /// `C` for `n = 1`, `⌈C/n⌉ + χ` otherwise.
+    pub recovery: Time,
 }
 
 impl Instance {
@@ -65,6 +85,32 @@ impl Instance {
     #[must_use]
     pub fn is_reexecutable(&self) -> bool {
         self.budget > 0
+    }
+
+    /// Builds the instance of `process`'s replica number `replica` on
+    /// `node` under `decision`'s policy — the one place the recovery
+    /// profile is derived.
+    fn derive(
+        id: InstanceId,
+        process: ProcessId,
+        replica: u32,
+        node: NodeId,
+        wcet: Time,
+        policy: &ftdes_model::policy::FtPolicy,
+        fm: &FaultModel,
+    ) -> Self {
+        let profile = policy.recovery_profile(replica, wcet, fm);
+        Instance {
+            id,
+            process,
+            replica,
+            node,
+            wcet,
+            budget: policy.budget_of_instance(replica),
+            checkpoints: policy.checkpoints_of_instance(replica),
+            exec: profile.exec,
+            recovery: profile.recovery,
+        }
     }
 }
 
@@ -139,14 +185,15 @@ impl ExpandedDesign {
                     return Err(SchedError::IneligibleMapping { process, node });
                 };
                 let id = InstanceId::new(self.instances.len() as u32);
-                self.instances.push(Instance {
+                self.instances.push(Instance::derive(
                     id,
                     process,
-                    replica: replica as u32,
+                    replica as u32,
                     node,
-                    wcet: c,
-                    budget: decision.policy.budget_of_instance(replica as u32),
-                });
+                    c,
+                    &decision.policy,
+                    fm,
+                ));
                 self.ids.push(id);
             }
             self.offsets.push(self.instances.len() as u32);
@@ -185,14 +232,15 @@ impl ExpandedDesign {
             let Some(c) = wcet.lookup(process, node) else {
                 return Err(SchedError::IneligibleMapping { process, node });
             };
-            self.instances.push(Instance {
-                id: InstanceId::new(self.instances.len() as u32),
+            self.instances.push(Instance::derive(
+                InstanceId::new(self.instances.len() as u32),
                 process,
-                replica: replica as u32,
+                replica as u32,
                 node,
-                wcet: c,
-                budget: decision.policy.budget_of_instance(replica as u32),
-            });
+                c,
+                &decision.policy,
+                fm,
+            ));
         }
         let delta = self.instances.len() as i64 - end as i64;
         self.instances
@@ -250,7 +298,7 @@ impl ExpandedDesign {
         let end = self.offsets[process.index() + 1] as usize;
         saved.clear();
         saved.extend_from_slice(&self.instances[start..end]);
-        self.replace_range(process, start, end, decision, wcet);
+        self.replace_range(process, start, end, decision, wcet, fm);
         Ok(())
     }
 
@@ -271,23 +319,23 @@ impl ExpandedDesign {
         end: usize,
         decision: &ProcessDesign,
         wcet: &W,
+        fm: &FaultModel,
     ) {
         let new_len = decision.mapping.len();
         let delta = new_len as i64 - (end - start) as i64;
         self.instances.splice(
             start..end,
-            decision
-                .mapping
-                .iter()
-                .enumerate()
-                .map(|(replica, &node)| Instance {
-                    id: InstanceId::new((start + replica) as u32),
+            decision.mapping.iter().enumerate().map(|(replica, &node)| {
+                Instance::derive(
+                    InstanceId::new((start + replica) as u32),
                     process,
-                    replica: replica as u32,
+                    replica as u32,
                     node,
-                    wcet: wcet.lookup(process, node).expect("validated above"),
-                    budget: decision.policy.budget_of_instance(replica as u32),
-                }),
+                    wcet.lookup(process, node).expect("validated above"),
+                    &decision.policy,
+                    fm,
+                )
+            }),
         );
         self.fix_tail(process, start + new_len, delta);
     }
@@ -463,7 +511,7 @@ mod more_tests {
             )
             .unwrap(),
             ProcessDesign::new(
-                FtPolicy::new(2, &fm).unwrap(),
+                FtPolicy::new(ProcessId::new(1), 2, &fm).unwrap(),
                 vec![NodeId::new(1), NodeId::new(2)],
             )
             .unwrap(),
@@ -509,7 +557,7 @@ mod more_tests {
         let base = ExpandedDesign::expand(&g, &base_design, &wcet, &fm).unwrap();
         let replacements = [
             ProcessDesign::new(
-                FtPolicy::new(2, &fm).unwrap(),
+                FtPolicy::new(ProcessId::new(1), 2, &fm).unwrap(),
                 vec![NodeId::new(1), NodeId::new(2)],
             )
             .unwrap(),
@@ -565,7 +613,7 @@ mod more_tests {
         // for every process position (head / middle / tail).
         let replacements = [
             ProcessDesign::new(
-                FtPolicy::new(2, &fm).unwrap(),
+                FtPolicy::new(ProcessId::new(1), 2, &fm).unwrap(),
                 vec![NodeId::new(1), NodeId::new(2)],
             )
             .unwrap(),

@@ -254,8 +254,9 @@ pub(crate) struct CommLookahead {
     proc_out: Vec<(u32, u32)>,
     /// The static all-messages floor of the armed candidate.
     static_floor: Time,
-    /// Smallest instance WCET of the armed expansion — the remote
-    /// consumer of the last message still executes at least this.
+    /// Smallest fault-free instance execution time (`exec`) of the
+    /// armed expansion — the remote consumer of the last message
+    /// still executes at least this.
     min_wcet: Time,
     /// Per node: the availability below which the node's dynamic
     /// term provably cannot exceed the armed bound — the O(1)
@@ -323,7 +324,7 @@ impl CommLookahead {
         self.min_wcet = expanded
             .instances()
             .iter()
-            .map(|i| i.wcet)
+            .map(|i| i.exec)
             .min()
             .unwrap_or(Time::ZERO);
         self.capacity = u64::from(bus.slot_bytes().max(1));
@@ -868,7 +869,7 @@ pub(crate) fn drive_placement<S: PlacementSink>(
         scratch.look_sum.resize(scratch.nodes.len(), Time::ZERO);
         for inst in expanded.instances() {
             if !scratch.placed[inst.process.index()] {
-                scratch.look_sum[inst.node.index()] += inst.wcet;
+                scratch.look_sum[inst.node.index()] += inst.exec;
             }
         }
         if options.comm_lookahead {
@@ -909,7 +910,7 @@ pub(crate) fn drive_placement<S: PlacementSink>(
         if let Some(bound) = bound {
             for &sid in expanded.of_process(p) {
                 let inst = expanded.instance(sid);
-                scratch.look_sum[inst.node.index()] -= inst.wcet;
+                scratch.look_sum[inst.node.index()] -= inst.exec;
             }
             if options.comm_lookahead {
                 // `p`'s messages are booked now — their weight moves
@@ -1131,9 +1132,12 @@ pub(crate) fn place_process<S: PlacementSink>(
                         .1
                 };
                 // Killing a local sender burns node time: all its
-                // re-runs plus the final recovery overhead.
+                // rollback re-runs (the recovery profile's per-fault
+                // cost — one segment for a checkpointed sender, the
+                // full WCET otherwise) plus the final recovery
+                // overhead.
                 let kill_delay = if local {
-                    (qi.wcet + mu) * u64::from(qi.budget) + mu
+                    (qi.recovery + mu) * u64::from(qi.budget) + mu
                 } else {
                     Time::ZERO
                 };
@@ -1183,10 +1187,10 @@ pub(crate) fn place_process<S: PlacementSink>(
                 None => StartBinding::Release,
             };
         }
-        let f_ff = s_ff + inst.wcet;
+        let f_ff = s_ff + inst.exec;
 
         // --- Worst-case finish. ---
-        ns.slack.register(sid, inst.wcet, inst.budget);
+        ns.slack.register(sid, inst.recovery, inst.budget);
         let dk = delay(&ns.slack, k);
         ns.delay_k = dk;
         let mut f_wc = f_ff + dk;
@@ -1194,7 +1198,7 @@ pub(crate) fn place_process<S: PlacementSink>(
         scratch.frontier.clear();
 
         for sc in &scratch.scenarios {
-            let raw = sc.time.max(s_ff + sc.local_kill_delay) + inst.wcet;
+            let raw = sc.time.max(s_ff + sc.local_kill_delay) + inst.exec;
             let value = raw + delay(&ns.slack, k - sc.spent);
             if value > f_wc {
                 f_wc = value;
@@ -1211,7 +1215,7 @@ pub(crate) fn place_process<S: PlacementSink>(
             }
         }
         for entry in &ns.frontier {
-            let raw = entry.finish.max(s_ff) + inst.wcet;
+            let raw = entry.finish.max(s_ff) + inst.exec;
             let value = raw + delay(&ns.slack, k - entry.spent);
             if value > f_wc {
                 f_wc = value;

@@ -54,8 +54,9 @@ impl Priorities {
     /// Computes the partial-critical-path rank of every process.
     ///
     /// The execution-time contribution of a process is the largest
-    /// WCET over its replicas (all replicas must complete for the
-    /// worst case); an edge contributes one TDMA round when any
+    /// fault-free execution time over its replicas — WCET plus
+    /// checkpoint saves (all replicas must complete for the worst
+    /// case); an edge contributes one TDMA round when any
     /// producer/consumer replica pair resides on different nodes —
     /// the worst-case wait for the sender's next slot.
     ///
@@ -129,7 +130,7 @@ impl Priorities {
             let exec = expanded
                 .of_process(p)
                 .iter()
-                .map(|&id| expanded.instance(id).wcet)
+                .map(|&id| expanded.instance(id).exec)
                 .max()
                 .unwrap_or(Time::ZERO);
             let mut best = Time::ZERO;
@@ -162,7 +163,7 @@ impl Priorities {
             let exec = expanded
                 .of_process(p)
                 .iter()
-                .map(|&id| expanded.instance(id).wcet)
+                .map(|&id| expanded.instance(id).exec)
                 .max()
                 .unwrap_or(Time::ZERO);
             let mut best = Time::ZERO;

@@ -44,7 +44,9 @@ use crate::list::{FrontierEntry, NodeScratch, SchedScratch};
 ///
 /// The shared slack account is **delta-encoded**: each segment
 /// records only the one registration its placement made
-/// (`reg_id`/`reg_wcet`/`reg_budget`), and a restore replays the
+/// (`reg_id`/`reg_recovery`/`reg_budget` — the instance's recovery
+/// profile, exactly what the live placement registered), and a
+/// restore replays the
 /// prefix's registrations in order — reproducing the account
 /// bit-identically (registration is order-insensitive sorted
 /// insertion) while keeping the recording's per-placement footprint
@@ -59,9 +61,10 @@ pub(crate) struct NodeSegment {
     pub(crate) avail: Time,
     pub(crate) last: Option<InstanceId>,
     pub(crate) delay_k: Time,
-    /// The slack registration this placement performed.
+    /// The slack registration this placement performed (the per-fault
+    /// recovery cost, not the raw WCET).
     pub(crate) reg_id: InstanceId,
-    pub(crate) reg_wcet: Time,
+    pub(crate) reg_recovery: Time,
     pub(crate) reg_budget: u32,
     pub(crate) frontier: Vec<FrontierEntry>,
 }
@@ -74,7 +77,7 @@ impl Default for NodeSegment {
             last: None,
             delay_k: Time::ZERO,
             reg_id: InstanceId::new(0),
-            reg_wcet: Time::ZERO,
+            reg_recovery: Time::ZERO,
             reg_budget: 0,
             frontier: Vec::new(),
         }
@@ -100,7 +103,7 @@ impl NodeTimeline {
         pos: u32,
         live: &NodeScratch,
         reg_id: InstanceId,
-        reg_wcet: Time,
+        reg_recovery: Time,
         reg_budget: u32,
     ) {
         if self.len == self.segs.len() {
@@ -112,7 +115,7 @@ impl NodeTimeline {
         seg.last = live.last;
         seg.delay_k = live.delay_k;
         seg.reg_id = reg_id;
-        seg.reg_wcet = reg_wcet;
+        seg.reg_recovery = reg_recovery;
         seg.reg_budget = reg_budget;
         seg.frontier.clone_from(&live.frontier);
         self.len += 1;
@@ -230,7 +233,7 @@ impl SegmentStore {
                 pos,
                 &scratch.nodes[inst.node.index()],
                 sid,
-                inst.wcet,
+                inst.recovery,
                 inst.budget,
             );
             let slot = self.slot_of[inst.node.index()] as usize;

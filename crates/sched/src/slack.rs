@@ -3,11 +3,15 @@
 //!
 //! Re-execution slack can be *shared*: one slack region per node is
 //! enough as long as it covers any admissible distribution of the `k`
-//! faults over the node's instances. The marginal cost of the faults
-//! hitting instance `j` (budget `e_j`) is decreasing:
+//! faults over the node's instances. Instances register their
+//! **recovery profile** (`ftdes_model::policy::RecoveryProfile`) —
+//! the per-fault rollback cost `R_j`, which is the full WCET `C_j`
+//! for plain re-execution and one segment plus a re-saved checkpoint
+//! (`⌈C_j/n⌉ + χ`) for a checkpointed primary. The marginal cost of
+//! the faults hitting instance `j` (budget `e_j`) is decreasing:
 //!
-//! * each of the first `e_j` faults costs `C_j + µ` (a re-run plus
-//!   the detection/recovery overhead),
+//! * each of the first `e_j` faults costs `R_j + µ` (a
+//!   rollback/re-run plus the detection/recovery overhead),
 //! * one further fault *kills* the instance and costs `µ` alone (the
 //!   failed attempt was already scheduled; only the recovery overhead
 //!   delays the node before it resumes — paper §2.1 defines `µ` as
@@ -15,9 +19,11 @@
 //!   is back to its normal operation").
 //!
 //! The worst-case delay is the greedy knapsack over these marginal
-//! costs: spend the fault budget on the largest `C + µ` items first;
+//! costs: spend the fault budget on the largest `R + µ` items first;
 //! any faults left once every budget is exhausted kill instances at
-//! `µ` each.
+//! `µ` each. Registering recovery costs instead of raw WCETs is what
+//! lets checkpointing change every bound in the system from this one
+//! seam.
 
 use ftdes_model::time::Time;
 
@@ -31,8 +37,8 @@ use crate::instance::InstanceId;
 /// completes" therefore ranges over everything registered so far.
 #[derive(Debug, Clone, Default)]
 pub struct SlackAccount {
-    /// `(wcet, budget, id)` of re-executable instances, sorted by
-    /// descending wcet.
+    /// `(recovery, budget, id)` of re-executable instances, sorted by
+    /// descending per-fault recovery cost.
     entries: Vec<(Time, u32, InstanceId)>,
     /// Sum of budgets, to cap the re-run fault count early.
     total_budget: u64,
@@ -55,15 +61,18 @@ impl SlackAccount {
         self.instance_count = 0;
     }
 
-    /// Registers an instance. Zero-budget instances cannot re-run but
+    /// Registers an instance by its per-fault `recovery` cost (the
+    /// raw WCET for plain re-execution, one segment plus a re-saved
+    /// checkpoint for a checkpointed primary — see
+    /// `Instance::recovery`). Zero-budget instances cannot re-run but
     /// still cost `µ` when a fault kills them.
-    pub fn register(&mut self, id: InstanceId, wcet: Time, budget: u32) {
+    pub fn register(&mut self, id: InstanceId, recovery: Time, budget: u32) {
         self.instance_count += 1;
         if budget == 0 {
             return;
         }
-        let pos = self.entries.partition_point(|&(c, _, _)| c > wcet);
-        self.entries.insert(pos, (wcet, budget, id));
+        let pos = self.entries.partition_point(|&(c, _, _)| c > recovery);
+        self.entries.insert(pos, (recovery, budget, id));
         self.total_budget += u64::from(budget);
     }
 

@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = simulate(
                 &outcome.schedule,
                 problem.graph(),
-                problem.fault_model().mu(),
+                problem.fault_model(),
                 &scenario,
             );
             assert!(report.all_processes_complete());

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut worst_realized = Time::ZERO;
     let mut worst_scenario = FaultScenario::none();
     for scenario in &scenarios {
-        let report = simulate(schedule, &g, problem.fault_model().mu(), scenario);
+        let report = simulate(schedule, &g, problem.fault_model(), scenario);
         assert!(
             report.all_processes_complete(),
             "fault tolerance broken under {scenario:?}"

@@ -100,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Validate by fault injection. ---
     let scenario = adversarial_scenario(schedule, problem.fault_model());
-    let report = simulate(schedule, &g, problem.fault_model().mu(), &scenario);
+    let report = simulate(schedule, &g, problem.fault_model(), &scenario);
     println!(
         "\nadversarial scenario ({} fault(s)): realized length {}, bound {} — {}",
         scenario.fault_count(),

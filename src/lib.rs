@@ -71,7 +71,9 @@ pub mod prelude {
         adversarial_scenario, enumerate_scenarios, length_distribution, random_scenarios, simulate,
         FaultHit, FaultScenario, LengthDistribution,
     };
-    pub use ftdes_gen::{cruise_controller, generate, paper_workload, WorkloadParams};
+    pub use ftdes_gen::{
+        comm_heavy, cruise_controller, generate, paper_workload, CommHeavyParams, WorkloadParams,
+    };
     pub use ftdes_model::prelude::*;
     pub use ftdes_sched::{list_schedule, Schedule, ScheduleCost};
     pub use ftdes_ttp::{BusConfig, BusSchedule, MessageTag};

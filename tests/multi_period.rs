@@ -72,7 +72,7 @@ fn merged_hyperperiod_application_schedules_and_optimizes() {
         let report = simulate(
             &outcome.schedule,
             problem.graph(),
-            problem.fault_model().mu(),
+            problem.fault_model(),
             &scenario,
         );
         assert!(report.all_processes_complete());
@@ -120,12 +120,7 @@ fn cruise_controller_pipeline_end_to_end() {
     // The optimized CC tolerates two faults.
     let schedule = &outcome.schedule;
     for scenario in random_scenarios(schedule, problem.fault_model(), 48, 21) {
-        let report = simulate(
-            schedule,
-            problem.graph(),
-            problem.fault_model().mu(),
-            &scenario,
-        );
+        let report = simulate(schedule, problem.graph(), problem.fault_model(), &scenario);
         assert!(report.all_processes_complete());
         assert!(report.max_overrun().is_none());
     }
@@ -207,7 +202,7 @@ fn multirate_cruise_controller_schedulable() {
         let report = simulate(
             &outcome.schedule,
             problem.graph(),
-            problem.fault_model().mu(),
+            problem.fault_model(),
             &scenario,
         );
         assert!(report.all_processes_complete());

@@ -46,7 +46,7 @@ fn fig2_worst_case_fault_scenarios() {
     // (c) re-executed replicas: two replicas, the primary re-executed
     // once -> worst case 30 + (10 + 30) = 70 ms.
     let mix = Design::from_decisions(vec![ProcessDesign::new(
-        FtPolicy::new(2, &fm).unwrap(),
+        FtPolicy::new(ProcessId::new(0), 2, &fm).unwrap(),
         vec![0.into(), 1.into()],
     )
     .unwrap()]);
@@ -55,7 +55,7 @@ fn fig2_worst_case_fault_scenarios() {
 
     // Cross-check (c) exhaustively through the simulator.
     for scenario in enumerate_scenarios(&s, &fm) {
-        let report = simulate(&s, &g, fm.mu(), &scenario);
+        let report = simulate(&s, &g, &fm, &scenario);
         assert!(report.all_processes_complete());
         assert!(report.realized_length() <= s.length());
     }
@@ -87,7 +87,7 @@ fn fig3_chain_slack_sharing() {
 
     // Exhaustive check: single faults on any process never exceed it.
     for scenario in enumerate_scenarios(&s, &fm) {
-        let report = simulate(&s, &g, fm.mu(), &scenario);
+        let report = simulate(&s, &g, &fm, &scenario);
         assert!(report.realized_length() <= ms(210));
     }
 }
@@ -260,12 +260,9 @@ fn fig7_contingency_without_extra_slack() {
     // Kill the local replica: the realized finish stays within the
     // analytic worst case, which itself stays below the naive
     // "always wait for the remote replica, then add full slack".
-    let scenario = FaultScenario::from_hits(vec![FaultHit {
-        instance: p2_local.instance.id,
-        occurrence: 0,
-    }]);
+    let scenario = FaultScenario::from_hits(vec![FaultHit::new(p2_local.instance.id, 0)]);
     assert!(scenario.is_admissible(&fm));
-    let report = simulate(&s, &g, fm.mu(), &scenario);
+    let report = simulate(&s, &g, &fm, &scenario);
     assert!(report.all_processes_complete());
     assert!(report.max_overrun().is_none());
 }

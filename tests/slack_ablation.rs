@@ -21,7 +21,7 @@ fn random_design(graph: &ProcessGraph, wcet: &WcetTable, fm: &FaultModel, seed: 
                 for _ in 0..r {
                     mapping.push(pool.swap_remove(rng.gen_range(0..pool.len())));
                 }
-                ProcessDesign::new(FtPolicy::new(r, fm).unwrap(), mapping).unwrap()
+                ProcessDesign::new(FtPolicy::new(p.id, r, fm).unwrap(), mapping).unwrap()
             })
             .collect(),
     )
@@ -72,7 +72,7 @@ fn unshared_slack_never_shorter_and_both_sound() {
 
         for schedule in [&shared, &unshared] {
             for scenario in random_scenarios(schedule, &fm, 24, seed) {
-                let report = simulate(schedule, &w.graph, fm.mu(), &scenario);
+                let report = simulate(schedule, &w.graph, &fm, &scenario);
                 assert!(report.all_processes_complete());
                 assert!(report.max_overrun().is_none(), "seed {seed}: {scenario:?}");
             }

@@ -46,7 +46,7 @@ fn build_case(
                 let idx = rng.gen_range(0..pool.len());
                 mapping.push(pool.swap_remove(idx));
             }
-            let policy = FtPolicy::new(r, &fm).expect("r within 1..=k+1");
+            let policy = FtPolicy::new(p.id, r, &fm).expect("r within 1..=k+1");
             ProcessDesign::new(policy, mapping).expect("distinct nodes by construction")
         })
         .collect();
@@ -99,7 +99,7 @@ proptest! {
             .expect("valid inputs schedule");
         for scenario in random_scenarios(&schedule, &fm, 24, sseed) {
             prop_assert!(scenario.is_admissible(&fm));
-            let report = simulate(&schedule, &graph, fm.mu(), &scenario);
+            let report = simulate(&schedule, &graph, &fm, &scenario);
             prop_assert!(report.all_processes_complete(),
                 "a process died under {scenario:?}");
             prop_assert!(report.max_overrun().is_none(),
@@ -125,7 +125,7 @@ proptest! {
         let schedule = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design)
             .expect("valid inputs schedule");
         for scenario in enumerate_scenarios(&schedule, &fm) {
-            let report = simulate(&schedule, &graph, fm.mu(), &scenario);
+            let report = simulate(&schedule, &graph, &fm, &scenario);
             prop_assert!(report.all_processes_complete());
             prop_assert!(report.max_overrun().is_none(),
                 "bound overrun {:?} under {scenario:?}", report.max_overrun());
@@ -146,7 +146,7 @@ proptest! {
             build_case(wseed, dseed, processes, nodes, k);
         let schedule = list_schedule(&graph, &arch, &wcet, &fm, &bus, &design)
             .expect("valid inputs schedule");
-        let report = simulate(&schedule, &graph, fm.mu(), &FaultScenario::none());
+        let report = simulate(&schedule, &graph, &fm, &FaultScenario::none());
         for slot in schedule.slots() {
             let out = report.outcome(slot.instance.id);
             prop_assert_eq!(out.start, Some(slot.start));

@@ -105,7 +105,7 @@ fn optimized_schedules_survive_fault_injection() {
     let mut scenarios = random_scenarios(schedule, problem.fault_model(), 64, 11);
     scenarios.push(adversarial_scenario(schedule, problem.fault_model()));
     for scenario in scenarios {
-        let report = simulate(schedule, graph, problem.fault_model().mu(), &scenario);
+        let report = simulate(schedule, graph, problem.fault_model(), &scenario);
         assert!(report.all_processes_complete(), "died under {scenario:?}");
         assert!(report.max_overrun().is_none(), "overrun under {scenario:?}");
         assert!(report.lost_messages().is_empty());
