@@ -46,7 +46,7 @@ fn profile(problem: &Problem, label: &str) -> Totals {
         for _ in 0..reps {
             outcome = problem
                 .evaluate_cost_bounded(&d, &mut scratch, Some(base_cost))
-                .unwrap();
+                .expect("generated problem schedules");
             std::hint::black_box(&outcome);
         }
         let us = started.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
@@ -80,7 +80,7 @@ fn diag(problem: &Problem) {
         problem.dense_wcet(),
         problem.fault_model(),
     )
-    .unwrap();
+    .expect("generated problem schedules");
     let bus = problem.bus();
     let nodes = problem.arch().node_count();
     let mut bytes = vec![0u64; nodes];
@@ -98,7 +98,10 @@ fn diag(problem: &Problem) {
             bytes[sender.index()] += u64::from(edge.message.size);
         }
     }
-    let cost = problem.evaluate(&design).unwrap().length();
+    let cost = problem
+        .evaluate(&design)
+        .expect("generated problem schedules")
+        .length();
     let cap = u64::from(bus.slot_bytes());
     print!(
         "  diag: length {cost}, cap {cap}, round {}, bytes/slot [",

@@ -96,7 +96,7 @@ fn policy_mix(outcomes: &[Outcome]) -> (usize, usize, usize, usize) {
     (rex, cp, rep, mix)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n_seeds = seeds() as u64;
     let budget = time_budget();
     println!(
@@ -171,10 +171,14 @@ fn main() {
         budget.as_millis(),
         rows.join(",\n"),
     );
-    std::fs::write("BENCH_cptable.json", &json).expect("write BENCH_cptable.json");
+    if let Err(e) = std::fs::write("BENCH_cptable.json", &json) {
+        eprintln!("cptable: cannot write BENCH_cptable.json: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     println!("\nwritten to BENCH_cptable.json (non-gating artifact)");
     println!(
         "expected shape: MCX/MX < 1 at small chi (rollbacks re-run one segment), \
          rising toward 1 as chi grows (saves eat the gain)"
     );
+    std::process::ExitCode::SUCCESS
 }

@@ -70,13 +70,13 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
         let with_segments = time_of(&mut || {
             let s = problem
                 .evaluate_recording(&design, &mut rec_core, Some(&mut rec_ckpts))
-                .unwrap();
+                .expect("generated problem schedules");
             std::hint::black_box(s.cost());
         });
         let without = time_of(&mut || {
             let s = pr3
                 .evaluate_recording(&design, &mut rec_core, Some(&mut rec_ckpts))
-                .unwrap();
+                .expect("generated problem schedules");
             std::hint::black_box(s.cost());
         });
         println!("winner materialization + recording (per iteration):");
@@ -112,7 +112,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 &mut scratch,
                 None,
             )
-            .unwrap();
+            .expect("generated problem schedules");
             std::hint::black_box(c.cost());
         });
         total_resumed += time_of(&mut || {
@@ -129,7 +129,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 &ckpts,
                 None,
             )
-            .unwrap();
+            .expect("generated problem schedules");
             std::hint::black_box(c.cost());
         });
         total_spliced += time_of(&mut || {
@@ -146,7 +146,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 &ckpts,
                 None,
             )
-            .unwrap();
+            .expect("generated problem schedules");
             std::hint::black_box(c.map(|o| o.cost()));
         });
         total_bounded_scratch += time_of(&mut || {
@@ -161,7 +161,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 &mut scratch,
                 Some(base_cost),
             )
-            .unwrap();
+            .expect("generated problem schedules");
             std::hint::black_box(c.cost());
         });
         total_bounded_resumed += time_of(&mut || {
@@ -178,7 +178,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 &ckpts,
                 Some(base_cost),
             )
-            .unwrap();
+            .expect("generated problem schedules");
             std::hint::black_box(c.cost());
         });
         total_bounded_spliced += time_of(&mut || {
@@ -195,7 +195,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 &ckpts,
                 Some(base_cost),
             )
-            .unwrap();
+            .expect("generated problem schedules");
             std::hint::black_box(c.map(|o| o.cost()));
         });
         let spliced = schedule_cost_spliced(
@@ -211,7 +211,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
             &ckpts,
             Some(base_cost),
         )
-        .unwrap();
+        .expect("generated problem schedules");
         if spliced.is_some() {
             spliced_moves += 1;
         }
@@ -228,7 +228,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
             &ckpts,
             Some(base_cost),
         )
-        .unwrap();
+        .expect("generated problem schedules");
         if !matches!(out, CostOutcome::Exact(_)) {
             pruned += 1;
         }

@@ -303,7 +303,7 @@ fn ratio(a: f64, b: f64) -> f64 {
     a / b.max(f64::MIN_POSITIVE)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     if std::env::var("FTDES_SPLICE_METRICS").is_ok() {
         ftdes_sched::incremental::metrics::enable();
     }
@@ -514,7 +514,10 @@ fn main() {
         comm_iter_vs_pr2,
         comm_cand_vs_pr2,
     );
-    std::fs::write("BENCH_tabu.json", &json).expect("write BENCH_tabu.json");
+    if let Err(e) = std::fs::write("BENCH_tabu.json", &json) {
+        eprintln!("perfgate: cannot write BENCH_tabu.json: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     println!("\n{json}");
     println!(
         "vs legacy baseline: {iter_speedup:.2}x tabu iterations, {cand_speedup:.2}x candidate rate"
@@ -535,4 +538,5 @@ fn main() {
         "comm-heavy, bus-wait bound vs PR 2 path: {comm_iter_vs_pr2:.2}x tabu iterations, \
          {comm_cand_vs_pr2:.2}x candidate rate"
     );
+    std::process::ExitCode::SUCCESS
 }

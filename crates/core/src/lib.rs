@@ -98,6 +98,7 @@ pub mod initial;
 pub mod moves;
 pub mod parallel;
 pub mod problem;
+pub mod repair;
 pub mod space;
 pub mod strategy;
 pub mod sweep;
@@ -111,6 +112,10 @@ pub mod prelude {
     pub use crate::error::OptError;
     pub use crate::parallel::{effective_threads, WorkerPool};
     pub use crate::problem::Problem;
+    pub use crate::repair::{
+        apply_delta, project_design, repair, repair_with_cache, RepairBudget, RepairError,
+        RepairOutcome, RepairRung, RungAttempt, RungStatus,
+    };
     pub use crate::space::PolicySpace;
     pub use crate::strategy::{optimize, optimize_with_cache, overhead_percent, Outcome, Strategy};
     pub use crate::sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};
@@ -122,6 +127,10 @@ pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
 pub use parallel::{effective_threads, WorkerPool};
 pub use problem::Problem;
+pub use repair::{
+    apply_delta, project_design, repair, repair_with_cache, RepairBudget, RepairError,
+    RepairOutcome, RepairRung, RungAttempt, RungStatus,
+};
 pub use space::PolicySpace;
 pub use strategy::{optimize, optimize_with_cache, overhead_percent, Outcome, Strategy};
 pub use sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};

@@ -1,0 +1,1024 @@
+//! Graceful degradation: repairing a deployed design after a
+//! [`ProblemDelta`] instead of re-solving from scratch.
+//!
+//! The paper's optimization runs offline with a generous time budget.
+//! A fielded system that loses a node (or revises a WCET) needs a
+//! *repaired* design orders of magnitude faster — and most of the old
+//! design is usually still right. The repair pipeline:
+//!
+//! 1. [`apply_delta`] builds the post-delta [`Problem`] (same
+//!    architecture and bus — killed nodes fall silent in their TDMA
+//!    slot — with the delta's graph/WCET and remapped designer
+//!    constraints).
+//! 2. [`project_design`] translates the previous design into the
+//!    post-delta id space: surviving decisions carry over, replicas
+//!    on dead nodes are shed (shrinking the replication level), and
+//!    removed/added processes are handled by the remap.
+//! 3. [`repair`] runs the **escalation ladder**: four rungs of
+//!    increasing effort, each with its own slice of the repair
+//!    budget, each falling through to the next when it cannot accept
+//!    — and the returned [`RepairOutcome`] records which rung
+//!    produced the design and why the earlier rungs fell through.
+//!
+//! | rung | effort | accepts when |
+//! |---|---|---|
+//! | 0 [`RepairRung::Revalidate`] | validate + one evaluation | projected design schedulable **and** nothing dirty |
+//! | 1 [`RepairRung::Localized`] | tabu over the dirty decisions only | converged to a schedulable local optimum in budget |
+//! | 2 [`RepairRung::Warm`] | full warm-started tabu | schedulable within its slice |
+//! | 3 [`RepairRung::Scratch`] | from-scratch [`optimize_with_cache`] | best effort (last resort) |
+//!
+//! Rung 0's acceptance returns immediately (nothing changed that the
+//! old design does not already answer). Rungs 1 and 2 form a
+//! progressive polish: an accepted localized repair is still handed
+//! to the warm tabu, whose slice widens the search to the clean
+//! decisions the delta's load shift may have invalidated in spirit if
+//! not in letter. Rung 3 runs only when no earlier rung accepted —
+//! it is the fallback, not a routine fourth pass.
+//!
+//! Every rung shares one [`Evaluator`] over one `Arc`-shared
+//! [`EvalCache`]: the cache keys mix the *post-delta* problem
+//! fingerprint, so entries from the pre-delta problem can never alias
+//! (soundness), while rungs 1–3 reuse each other's candidate costs
+//! (warmness). Rungs carry their best design forward, so escalation
+//! never loses quality already found.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ftdes_model::delta::{AppliedDelta, CompatibilityReport, ProblemDelta};
+use ftdes_model::design::{Design, DesignConstraints, ProcessDesign};
+use ftdes_model::error::ModelError;
+use ftdes_model::ids::{NodeId, ProcessId};
+use ftdes_model::policy::{FtPolicy, MappingConstraint};
+use ftdes_model::time::Time;
+use ftdes_sched::Schedule;
+
+use crate::cache::{EvalCache, EvalOutcome, Evaluator};
+use crate::config::{SearchConfig, SearchStats};
+use crate::error::OptError;
+use crate::moves::candidate_decisions;
+use crate::parallel::{effective_threads, WorkerPool};
+use crate::problem::Problem;
+use crate::space::PolicySpace;
+use crate::strategy::{optimize_with_cache, Strategy};
+use crate::tabu::tabu_search_mpa_with;
+
+/// Builds the post-delta problem: the delta's graph and WCET table on
+/// the unchanged architecture and bus, with designer constraints
+/// remapped to the new id space (a mapping constraint pinning a
+/// process to a node that died is dropped — keeping it would make the
+/// process unplaceable by decree) and the engine knobs
+/// (checkpoint range, splice/lookahead/occupancy toggles) carried
+/// over.
+///
+/// # Errors
+///
+/// Propagates every [`ProblemDelta::apply`] error — including
+/// [`ModelError::Unmappable`] when the platform degraded beyond what
+/// any repair can absorb.
+pub fn apply_delta(
+    problem: &Problem,
+    delta: &ProblemDelta,
+) -> Result<(Problem, AppliedDelta), ModelError> {
+    let applied = delta.apply(problem.graph(), problem.arch(), problem.wcet())?;
+
+    let old = problem.constraints();
+    let mut constraints = DesignConstraints::free(applied.graph.process_count());
+    for i in 0..problem.process_count() {
+        let p = ProcessId::new(i as u32);
+        if let Some(q) = applied.map_process(p) {
+            constraints.set_policy(q, old.policy(p));
+            match old.mapping(p) {
+                MappingConstraint::Fixed(n) if applied.killed_nodes().contains(&n) => {}
+                c => constraints.set_mapping(q, c),
+            }
+        }
+    }
+
+    let opts = problem.schedule_options();
+    let mut new = Problem::new(
+        applied.graph.clone(),
+        problem.arch().clone(),
+        applied.wcet.clone(),
+        *problem.fault_model(),
+        problem.bus().clone(),
+    )
+    .with_max_checkpoints(problem.max_checkpoints())
+    .with_constraints(constraints)
+    .with_comm_lookahead(opts.comm_lookahead)
+    .with_suffix_splice(opts.suffix_splice);
+    if !opts.indexed_occupancy {
+        new = new.with_flat_occupancy();
+    }
+    Ok((new, applied))
+}
+
+/// Projects the previous design onto the post-delta problem:
+///
+/// * a surviving process keeps its decision, with replicas on
+///   now-ineligible nodes shed and the replication level shrunk to
+///   match (checkpoint counts are clamped to the problem's range),
+/// * a process whose whole mapping died falls back to its cheapest
+///   admissible decision,
+/// * an added process gets its cheapest admissible decision.
+///
+/// The result always passes [`Design::validate`] on `problem` — it is
+/// the rung-0 candidate and every later rung's warm start.
+///
+/// # Errors
+///
+/// [`OptError::NoFeasiblePlacement`] when a process has no admissible
+/// decision at all (cannot happen for deltas accepted by
+/// [`apply_delta`], which re-validates mappability).
+pub fn project_design(
+    prev: &Design,
+    applied: &AppliedDelta,
+    problem: &Problem,
+) -> Result<Design, OptError> {
+    let fm = problem.fault_model();
+    let wcet = problem.wcet();
+    let n = problem.process_count();
+    let mut decisions = Vec::with_capacity(n);
+    for i in 0..n {
+        let q = ProcessId::new(i as u32);
+        let projected = applied.origin_of(q).and_then(|p| {
+            let d = prev.decision(p);
+            let surviving: Vec<NodeId> = d
+                .mapping
+                .iter()
+                .copied()
+                .filter(|&node| wcet.is_eligible(q, node))
+                .collect();
+            if surviving.is_empty() {
+                return None;
+            }
+            if let MappingConstraint::Fixed(required) = problem.constraints().mapping(q) {
+                if surviving[0] != required {
+                    // The primary moved off the pinned node: let the
+                    // fallback enumerate constraint-respecting
+                    // decisions instead of guessing here.
+                    return None;
+                }
+            }
+            let r = (surviving.len() as u32).min(fm.max_replicas());
+            let mapping: Vec<NodeId> = surviving.into_iter().take(r as usize).collect();
+            let policy =
+                rebuild_policy(q, r, d.policy.checkpoints(), fm, problem.max_checkpoints());
+            ProcessDesign::new(policy, mapping).ok()
+        });
+        match projected {
+            Some(d) => decisions.push(d),
+            None => decisions.push(fallback_decision(problem, q)?),
+        }
+    }
+    let design = Design::from_decisions(decisions);
+    debug_assert!(design
+        .validate(
+            problem.arch(),
+            problem.wcet(),
+            problem.fault_model(),
+            problem.constraints()
+        )
+        .is_ok());
+    Ok(design)
+}
+
+/// Rebuilds a policy for replication level `r`, keeping the previous
+/// checkpoint count when the new level still has a re-execution
+/// budget to roll back with.
+fn rebuild_policy(
+    q: ProcessId,
+    r: u32,
+    checkpoints: u32,
+    fm: &ftdes_model::fault::FaultModel,
+    max_checkpoints: u32,
+) -> FtPolicy {
+    let base = FtPolicy::new(q, r.clamp(1, fm.max_replicas()), fm)
+        .unwrap_or_else(|_| FtPolicy::reexecution(fm));
+    let want = checkpoints.clamp(1, max_checkpoints.max(1));
+    base.with_checkpoints(q, want, fm).unwrap_or(base)
+}
+
+/// The cheapest admissible decision for `q` — first entry of the
+/// deterministic candidate enumeration (lowest replication level,
+/// fastest primary, one segment).
+fn fallback_decision(problem: &Problem, q: ProcessId) -> Result<ProcessDesign, OptError> {
+    candidate_decisions(problem, PolicySpace::Mixed, q)
+        .into_iter()
+        .next()
+        .ok_or(OptError::NoFeasiblePlacement { process: q })
+}
+
+/// Per-rung wall-clock slices of a repair run. Rung 0 needs no slice
+/// (one validation + one evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairBudget {
+    /// Slice for rung 1, the localized tabu over dirty decisions.
+    pub localized: Duration,
+    /// Slice for rung 2, the full warm-started tabu.
+    pub warm: Duration,
+    /// Slice for rung 3, the from-scratch search.
+    pub scratch: Duration,
+}
+
+impl RepairBudget {
+    /// Splits `total` into the default 25% / 35% / 40% rung slices.
+    #[must_use]
+    pub fn from_total(total: Duration) -> Self {
+        RepairBudget {
+            localized: total.mul_f64(0.25),
+            warm: total.mul_f64(0.35),
+            scratch: total.mul_f64(0.40),
+        }
+    }
+
+    /// The summed wall-clock ceiling of the ladder.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.localized + self.warm + self.scratch
+    }
+}
+
+/// The four rungs of the escalation ladder, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairRung {
+    /// Rung 0: re-validate and re-evaluate the projected design
+    /// as-is.
+    Revalidate,
+    /// Rung 1: tabu search restricted to the decisions the
+    /// compatibility report marked dirty.
+    Localized,
+    /// Rung 2: full tabu search warm-started from the best design so
+    /// far.
+    Warm,
+    /// Rung 3: from-scratch optimization (shares the ladder's
+    /// evaluation cache).
+    Scratch,
+}
+
+impl fmt::Display for RepairRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RepairRung::Revalidate => "rung 0 (revalidate)",
+            RepairRung::Localized => "rung 1 (localized tabu)",
+            RepairRung::Warm => "rung 2 (warm tabu)",
+            RepairRung::Scratch => "rung 3 (from scratch)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How one rung of the ladder ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RungStatus {
+    /// The rung produced a schedulable design within its budget
+    /// slice. The ladder still lets rung 2 polish an accepted
+    /// localized repair; it stops escalating to the from-scratch
+    /// fallback once any rung has accepted.
+    Accepted,
+    /// The rung ran but its result could not be accepted; the reason
+    /// (not schedulable, dirty decisions remain, ...) is recorded.
+    Rejected(String),
+    /// The rung hit its budget slice before converging and escalated.
+    TimedOut,
+    /// The rung did not apply (e.g. nothing dirty to search locally).
+    Skipped(String),
+}
+
+/// One ladder step as recorded in the [`RepairOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungAttempt {
+    /// Which rung.
+    pub rung: RepairRung,
+    /// How it ended.
+    pub status: RungStatus,
+    /// Wall-clock spent on this rung.
+    pub elapsed: Duration,
+    /// Best schedule length the rung produced, if it produced one.
+    pub length: Option<Time>,
+}
+
+/// The result of a repair: the post-delta problem, the repaired
+/// design/schedule, and the full provenance of how the ladder got
+/// there.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The post-delta problem the design solves.
+    pub problem: Problem,
+    /// The repaired design.
+    pub design: Design,
+    /// Its schedule on the post-delta problem.
+    pub schedule: Schedule,
+    /// The rung that produced `design`.
+    pub rung: RepairRung,
+    /// Every rung attempted, in order, with its outcome — the
+    /// retry/timeout/fallback audit trail.
+    pub attempts: Vec<RungAttempt>,
+    /// Which decisions of the previous design survived the delta.
+    pub report: CompatibilityReport,
+    /// Aggregated search statistics over all rungs.
+    pub stats: SearchStats,
+}
+
+impl RepairOutcome {
+    /// Worst-case schedule length δ of the repaired design.
+    #[must_use]
+    pub fn length(&self) -> Time {
+        self.schedule.length()
+    }
+
+    /// Returns `true` when the repaired design meets all deadlines.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.schedule.is_schedulable()
+    }
+}
+
+/// Errors of the repair pipeline.
+#[derive(Debug)]
+pub enum RepairError {
+    /// The delta itself could not be applied (unknown references,
+    /// platform degraded beyond mappability, ...).
+    Delta(ModelError),
+    /// The search failed (no feasible placement, scheduler error).
+    Opt(OptError),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Delta(e) => write!(f, "delta rejected: {e}"),
+            RepairError::Opt(e) => write!(f, "repair search failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<ModelError> for RepairError {
+    fn from(e: ModelError) -> Self {
+        RepairError::Delta(e)
+    }
+}
+
+impl From<OptError> for RepairError {
+    fn from(e: OptError) -> Self {
+        RepairError::Opt(e)
+    }
+}
+
+/// Repairs `prev` after `delta` with a fresh evaluation cache. See
+/// [`repair_with_cache`].
+///
+/// # Errors
+///
+/// Same as [`repair_with_cache`].
+pub fn repair(
+    problem: &Problem,
+    prev: &Design,
+    delta: &ProblemDelta,
+    budget: &RepairBudget,
+    cfg: &SearchConfig,
+) -> Result<RepairOutcome, RepairError> {
+    let cache = Arc::new(EvalCache::default());
+    repair_with_cache(problem, prev, delta, budget, cfg, &cache)
+}
+
+/// Repairs `prev` — a design for `problem` — after `delta`, running
+/// the escalation ladder described in the module docs over the shared
+/// `cache`.
+///
+/// `cfg` supplies the search knobs (goal, tenure, window sizes,
+/// iteration caps); its `time_limit` is ignored — the rung slices of
+/// `budget` govern wall-clock instead.
+///
+/// # Errors
+///
+/// * [`RepairError::Delta`] when the delta cannot be applied,
+/// * [`RepairError::Opt`] when no rung could produce any schedule at
+///   all.
+///
+/// A *schedulability* failure is not an error: the outcome's schedule
+/// reports `is_schedulable() == false` and the attempts record why
+/// every rung fell through — callers decide whether a degraded-mode
+/// (deadline-missing) design is acceptable.
+pub fn repair_with_cache(
+    problem: &Problem,
+    prev: &Design,
+    delta: &ProblemDelta,
+    budget: &RepairBudget,
+    cfg: &SearchConfig,
+    cache: &Arc<EvalCache>,
+) -> Result<RepairOutcome, RepairError> {
+    let (new_problem, applied) = apply_delta(problem, delta)?;
+    let report = applied.compatibility(prev, new_problem.fault_model());
+    let projected = project_design(prev, &applied, &new_problem)?;
+    run_ladder(new_problem, projected, report, budget, cfg, cache)
+}
+
+/// Best-so-far carried between rungs.
+struct Carried {
+    design: Design,
+    schedule: Arc<Schedule>,
+    rung: RepairRung,
+}
+
+impl Carried {
+    fn offer(&mut self, design: Design, schedule: Arc<Schedule>, rung: RepairRung) {
+        if schedule.cost() < self.schedule.cost() {
+            self.design = design;
+            self.schedule = schedule;
+            self.rung = rung;
+        }
+    }
+}
+
+fn run_ladder(
+    problem: Problem,
+    projected: Design,
+    report: CompatibilityReport,
+    budget: &RepairBudget,
+    cfg: &SearchConfig,
+    cache: &Arc<EvalCache>,
+) -> Result<RepairOutcome, RepairError> {
+    let pool = WorkerPool::new(effective_threads(cfg.threads));
+    let evaluator = Evaluator::with_shared_cache(&problem, Arc::clone(cache));
+    let mut stats = SearchStats::default();
+    let mut attempts = Vec::new();
+    let started = Instant::now();
+
+    // Rung slices ignore cfg.time_limit: the ladder owns wall-clock.
+    let cfg = SearchConfig {
+        time_limit: None,
+        ..cfg.clone()
+    };
+
+    // --- Rung 0: re-validate the projected design as-is. ---
+    let t0 = Instant::now();
+    let projected_schedule = match projected.validate(
+        problem.arch(),
+        problem.wcet(),
+        problem.fault_model(),
+        problem.constraints(),
+    ) {
+        Ok(()) => match evaluator.schedule(&projected) {
+            Ok(schedule) => Some(schedule),
+            Err(e) => {
+                attempts.push(RungAttempt {
+                    rung: RepairRung::Revalidate,
+                    status: RungStatus::Rejected(format!(
+                        "projected design fails to schedule: {e}"
+                    )),
+                    elapsed: t0.elapsed(),
+                    length: None,
+                });
+                None
+            }
+        },
+        Err(e) => {
+            attempts.push(RungAttempt {
+                rung: RepairRung::Revalidate,
+                status: RungStatus::Rejected(format!("projected design invalid: {e}")),
+                elapsed: t0.elapsed(),
+                length: None,
+            });
+            None
+        }
+    };
+    let mut carried = match projected_schedule {
+        Some(schedule) => {
+            stats.evaluations += 1;
+            let schedulable = schedule.is_schedulable();
+            if schedulable && report.fully_compatible() {
+                attempts.push(RungAttempt {
+                    rung: RepairRung::Revalidate,
+                    status: RungStatus::Accepted,
+                    elapsed: t0.elapsed(),
+                    length: Some(schedule.length()),
+                });
+                stats.elapsed = started.elapsed();
+                return Ok(RepairOutcome {
+                    problem,
+                    design: projected,
+                    schedule: Arc::unwrap_or_clone(schedule),
+                    rung: RepairRung::Revalidate,
+                    attempts,
+                    report,
+                    stats,
+                });
+            }
+            attempts.push(RungAttempt {
+                rung: RepairRung::Revalidate,
+                status: RungStatus::Rejected(if schedulable {
+                    format!("{} dirty decision(s) to re-optimize", report.dirty().len())
+                } else {
+                    "projected design misses deadlines".to_string()
+                }),
+                elapsed: t0.elapsed(),
+                length: Some(schedule.length()),
+            });
+            Some(Carried {
+                design: projected.clone(),
+                schedule,
+                rung: RepairRung::Revalidate,
+            })
+        }
+        None => None,
+    };
+
+    // --- Rung 1: localized tabu over the dirty decisions. ---
+    let t1 = Instant::now();
+    let dirty: Vec<ProcessId> = report.dirty_processes().collect();
+    if dirty.is_empty() {
+        attempts.push(RungAttempt {
+            rung: RepairRung::Localized,
+            status: RungStatus::Skipped("no dirty decisions to search".into()),
+            elapsed: Duration::ZERO,
+            length: None,
+        });
+    } else if let Some(base) = &carried {
+        let deadline = t1 + budget.localized;
+        match localized_tabu(
+            &evaluator,
+            &pool,
+            &dirty,
+            base.design.clone(),
+            &cfg,
+            deadline,
+            &mut stats,
+        ) {
+            Ok(local) => {
+                let accepted = local.converged && local.schedule.is_schedulable();
+                let length = local.schedule.length();
+                carried.as_mut().expect("base exists").offer(
+                    local.design,
+                    local.schedule,
+                    RepairRung::Localized,
+                );
+                // Accepted does not return yet: rung 2 polishes the
+                // localized optimum within its own slice (the
+                // localized neighborhood cannot move clean decisions,
+                // whose context the delta may have changed a lot).
+                attempts.push(RungAttempt {
+                    rung: RepairRung::Localized,
+                    status: if accepted {
+                        RungStatus::Accepted
+                    } else if local.converged {
+                        RungStatus::Rejected("local optimum misses deadlines".into())
+                    } else {
+                        RungStatus::TimedOut
+                    },
+                    elapsed: t1.elapsed(),
+                    length: Some(length),
+                });
+            }
+            Err(e) => attempts.push(RungAttempt {
+                rung: RepairRung::Localized,
+                status: RungStatus::Rejected(format!("localized search failed: {e}")),
+                elapsed: t1.elapsed(),
+                length: None,
+            }),
+        }
+    } else {
+        attempts.push(RungAttempt {
+            rung: RepairRung::Localized,
+            status: RungStatus::Skipped("no valid warm start to search from".into()),
+            elapsed: Duration::ZERO,
+            length: None,
+        });
+    }
+
+    // --- Rung 2: full warm-started tabu. ---
+    let t2 = Instant::now();
+    if budget.warm.is_zero() {
+        // Warm tabu is an anytime search: with a cutoff already in the
+        // past it would hand back the start design unchanged, which
+        // must not count as this rung "producing" a repair.
+        attempts.push(RungAttempt {
+            rung: RepairRung::Warm,
+            status: RungStatus::TimedOut,
+            elapsed: Duration::ZERO,
+            length: None,
+        });
+    } else if let Some(base) = &carried {
+        let start = (base.design.clone(), (*base.schedule).clone());
+        let cutoff = Some(t2 + budget.warm);
+        match tabu_search_mpa_with(
+            &evaluator,
+            &pool,
+            PolicySpace::Mixed,
+            start,
+            &cfg,
+            cutoff,
+            &mut stats,
+        ) {
+            Ok((design, schedule)) => {
+                let schedule = Arc::new(schedule);
+                let length = schedule.length();
+                let accepted = schedule.is_schedulable();
+                carried.as_mut().expect("base exists").offer(
+                    design,
+                    Arc::clone(&schedule),
+                    RepairRung::Warm,
+                );
+                attempts.push(RungAttempt {
+                    rung: RepairRung::Warm,
+                    status: if accepted {
+                        RungStatus::Accepted
+                    } else {
+                        RungStatus::Rejected("warm tabu result misses deadlines".into())
+                    },
+                    elapsed: t2.elapsed(),
+                    length: Some(length),
+                });
+            }
+            Err(e) => attempts.push(RungAttempt {
+                rung: RepairRung::Warm,
+                status: RungStatus::Rejected(format!("warm tabu failed: {e}")),
+                elapsed: t2.elapsed(),
+                length: None,
+            }),
+        }
+    } else {
+        attempts.push(RungAttempt {
+            rung: RepairRung::Warm,
+            status: RungStatus::Skipped("no valid warm start".into()),
+            elapsed: Duration::ZERO,
+            length: None,
+        });
+    }
+
+    // Rungs 1–2 are a progressive polish of the projected design;
+    // the from-scratch fallback only runs when neither of them (nor
+    // rung 0) *accepted* — a merely-schedulable carry (e.g. a dirty
+    // projection that happens to meet deadlines) is not endorsement,
+    // or the ladder could return unpolished designs whenever the
+    // earlier rungs time out.
+    let endorsed = attempts.iter().any(|a| a.status == RungStatus::Accepted);
+    if endorsed {
+        if let Some(best) = carried {
+            // An Accepted rung produced a zero-violation design and
+            // `offer` keeps the cost minimum (violation first), so
+            // the carried best is schedulable.
+            stats.elapsed = started.elapsed();
+            return Ok(RepairOutcome {
+                problem,
+                design: best.design,
+                schedule: Arc::unwrap_or_clone(best.schedule),
+                rung: best.rung,
+                attempts,
+                report,
+                stats,
+            });
+        }
+    }
+
+    // --- Rung 3: from scratch (shares the ladder's cache). ---
+    let t3 = Instant::now();
+    let scratch_cfg = SearchConfig {
+        time_limit: Some(budget.scratch),
+        ..cfg.clone()
+    };
+    match optimize_with_cache(&problem, Strategy::Mxr, &scratch_cfg, cache) {
+        Ok(outcome) => {
+            stats.evaluations += outcome.stats.evaluations;
+            stats.cache_hits += outcome.stats.cache_hits;
+            stats.pruned += outcome.stats.pruned;
+            stats.greedy_steps += outcome.stats.greedy_steps;
+            stats.tabu_iterations += outcome.stats.tabu_iterations;
+            let schedule = Arc::new(outcome.schedule);
+            let length = schedule.length();
+            attempts.push(RungAttempt {
+                rung: RepairRung::Scratch,
+                status: if schedule.is_schedulable() {
+                    RungStatus::Accepted
+                } else {
+                    RungStatus::Rejected("even from-scratch search misses deadlines".into())
+                },
+                elapsed: t3.elapsed(),
+                length: Some(length),
+            });
+            match carried.as_mut() {
+                Some(c) => c.offer(outcome.design, schedule, RepairRung::Scratch),
+                None => {
+                    carried = Some(Carried {
+                        design: outcome.design,
+                        schedule,
+                        rung: RepairRung::Scratch,
+                    });
+                }
+            }
+        }
+        Err(e) => {
+            attempts.push(RungAttempt {
+                rung: RepairRung::Scratch,
+                status: RungStatus::Rejected(format!("from-scratch search failed: {e}")),
+                elapsed: t3.elapsed(),
+                length: None,
+            });
+        }
+    }
+
+    stats.elapsed = started.elapsed();
+    let best = carried.ok_or(RepairError::Opt(OptError::NoFeasiblePlacement {
+        process: ProcessId::new(0),
+    }))?;
+    Ok(RepairOutcome {
+        problem,
+        design: best.design,
+        schedule: Arc::unwrap_or_clone(best.schedule),
+        rung: best.rung,
+        attempts,
+        report,
+        stats,
+    })
+}
+
+/// The result of the localized search.
+struct LocalResult {
+    design: Design,
+    schedule: Arc<Schedule>,
+    /// `true` when the search reached a local optimum before its
+    /// deadline (as opposed to being cut off mid-descent).
+    converged: bool,
+}
+
+/// Tabu search restricted to the dirty decisions: the move set is the
+/// full decision neighbourhood of each dirty process (replication
+/// level × primary × checkpoints), clean processes are frozen. The
+/// trajectory is deterministic — candidates are enumerated in a fixed
+/// order and the winner is the `(cost, index)` minimum, exactly like
+/// the full tabu search.
+#[allow(clippy::too_many_arguments)]
+fn localized_tabu(
+    evaluator: &Evaluator<'_>,
+    pool: &WorkerPool,
+    dirty: &[ProcessId],
+    start: Design,
+    cfg: &SearchConfig,
+    deadline: Instant,
+    stats: &mut SearchStats,
+) -> Result<LocalResult, OptError> {
+    let problem = evaluator.problem();
+    // Fixed candidate table over the dirty set only.
+    let cands: Vec<(ProcessId, Vec<ProcessDesign>)> = dirty
+        .iter()
+        .map(|&p| (p, candidate_decisions(problem, PolicySpace::Mixed, p)))
+        .filter(|(_, c)| !c.is_empty())
+        .collect();
+
+    let mut now = start;
+    let (mut now_cost, _) = evaluator.evaluate(&now).map_err(OptError::from)?;
+    let mut best = now.clone();
+    let mut best_cost = now_cost;
+
+    // Tabu memory over dirty-process indices.
+    let tenure = (dirty.len() / 2).max(2);
+    let mut tabu_until = vec![0usize; cands.len()];
+    let stall_limit = (dirty.len() * 2).max(4);
+    let mut stall = 0usize;
+    let mut iter = 0usize;
+    let mut converged = false;
+    let max_iters = cfg.max_tabu_iterations.max(1);
+
+    while iter < max_iters {
+        if Instant::now() >= deadline {
+            break;
+        }
+        iter += 1;
+        stats.tabu_iterations += 1;
+
+        // The window: every non-no-op candidate of every dirty
+        // process, in (process, candidate) order.
+        let mut window: Vec<(usize, ProcessId, &ProcessDesign)> = Vec::new();
+        for (ci, (p, decisions)) in cands.iter().enumerate() {
+            let current = now.decision(*p);
+            for d in decisions {
+                if d != current {
+                    window.push((ci, *p, d));
+                }
+            }
+        }
+        if window.is_empty() {
+            converged = true;
+            break;
+        }
+
+        let ceval = evaluator.candidate_eval(&now, None, None);
+        let scored = pool
+            .try_map_init(
+                &window,
+                || now.clone(),
+                |design, _, &(_, p, d)| {
+                    ceval
+                        .eval_move(design, p, d)
+                        .map(|(outcome, hit)| Some((outcome, hit)))
+                },
+            )
+            .map_err(OptError::from)?;
+
+        // Deterministic winner: (cost, window index) minimum over
+        // non-tabu candidates, with aspiration on the global best.
+        let mut winner: Option<(ftdes_sched::ScheduleCost, usize)> = None;
+        for (wi, slot) in scored.iter().enumerate() {
+            let Some((outcome, hit)) = slot else { continue };
+            if *hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.evaluations += 1;
+            }
+            let cost = match outcome {
+                EvalOutcome::Exact(c) => *c,
+                EvalOutcome::LowerBound(c) => *c,
+            };
+            let (ci, _, _) = window[wi];
+            let is_tabu = tabu_until[ci] > iter && cost >= best_cost;
+            if is_tabu {
+                continue;
+            }
+            if winner.is_none_or(|(wc, wwi)| (cost, wi) < (wc, wwi)) {
+                winner = Some((cost, wi));
+            }
+        }
+        let Some((w_cost, wi)) = winner else {
+            converged = true;
+            break;
+        };
+        let (ci, p, d) = window[wi];
+        now.set_decision(p, d.clone());
+        now_cost = w_cost;
+        tabu_until[ci] = iter + tenure;
+
+        if now_cost < best_cost {
+            best = now.clone();
+            best_cost = now_cost;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= stall_limit {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let schedule = evaluator.schedule(&best).map_err(OptError::from)?;
+    Ok(LocalResult {
+        design: best,
+        schedule,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdes_gen::paper_workload;
+    use ftdes_model::architecture::Architecture;
+    use ftdes_model::fault::FaultModel;
+    use ftdes_ttp::config::BusConfig;
+
+    fn small_problem(seed: u64) -> Problem {
+        let arch = Architecture::with_node_count(3);
+        let workload = paper_workload(12, &arch, seed);
+        let largest = workload
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.message.size)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let bus = BusConfig::initial(&arch, largest, Time::from_us(2_500)).unwrap();
+        Problem::new(
+            workload.graph,
+            arch,
+            workload.wcet,
+            FaultModel::new(1, Time::from_ms(5)),
+            bus,
+        )
+    }
+
+    fn quick_cfg() -> SearchConfig {
+        SearchConfig {
+            max_tabu_iterations: 60,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn identity_delta_accepts_at_rung_zero() {
+        let problem = small_problem(7);
+        let outcome = crate::optimize(&problem, Strategy::Mxr, &quick_cfg()).unwrap();
+        let budget = RepairBudget::from_total(Duration::from_millis(400));
+        let repaired = repair(
+            &problem,
+            &outcome.design,
+            &ProblemDelta::new(),
+            &budget,
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert_eq!(repaired.rung, RepairRung::Revalidate);
+        assert!(repaired.report.fully_compatible());
+        assert_eq!(repaired.length(), outcome.schedule.length());
+        assert_eq!(repaired.attempts.len(), 1);
+        assert_eq!(repaired.attempts[0].status, RungStatus::Accepted);
+    }
+
+    #[test]
+    fn kill_node_repairs_off_the_dead_node() {
+        let problem = small_problem(11);
+        let outcome = crate::optimize(&problem, Strategy::Mxr, &quick_cfg()).unwrap();
+        let dead = NodeId::new(0);
+        let budget = RepairBudget::from_total(Duration::from_millis(800));
+        let repaired = repair(
+            &problem,
+            &outcome.design,
+            &ProblemDelta::kill_node(dead),
+            &budget,
+            &quick_cfg(),
+        )
+        .unwrap();
+        // No replica of the repaired design may reference the dead
+        // node, and the design must validate on the new problem.
+        for (_, d) in repaired.design.iter() {
+            assert!(!d.mapping.contains(&dead));
+        }
+        repaired
+            .design
+            .validate(
+                repaired.problem.arch(),
+                repaired.problem.wcet(),
+                repaired.problem.fault_model(),
+                repaired.problem.constraints(),
+            )
+            .unwrap();
+        // The ladder recorded how it got there.
+        assert!(!repaired.attempts.is_empty());
+        assert!(repaired.attempts.iter().any(|a| a.rung == repaired.rung));
+    }
+
+    #[test]
+    fn projection_sheds_dead_replicas() {
+        let problem = small_problem(3);
+        let outcome = crate::optimize(&problem, Strategy::Mr, &quick_cfg()).unwrap();
+        let dead = NodeId::new(1);
+        let (new_problem, applied) = apply_delta(&problem, &ProblemDelta::kill_node(dead)).unwrap();
+        let projected = project_design(&outcome.design, &applied, &new_problem).unwrap();
+        projected
+            .validate(
+                new_problem.arch(),
+                new_problem.wcet(),
+                new_problem.fault_model(),
+                new_problem.constraints(),
+            )
+            .unwrap();
+        for (_, d) in projected.iter() {
+            assert!(!d.mapping.contains(&dead));
+        }
+    }
+
+    #[test]
+    fn ladder_times_out_into_later_rungs_with_zero_budget() {
+        // A zero localized/warm budget forces the ladder to fall
+        // through (dirty decisions exist, but no time to fix them
+        // locally), ending at the scratch rung.
+        let problem = small_problem(5);
+        let outcome = crate::optimize(&problem, Strategy::Mxr, &quick_cfg()).unwrap();
+        let budget = RepairBudget {
+            localized: Duration::ZERO,
+            warm: Duration::ZERO,
+            scratch: Duration::from_millis(500),
+        };
+        let repaired = repair(
+            &problem,
+            &outcome.design,
+            &ProblemDelta::kill_node(NodeId::new(2)),
+            &budget,
+            &quick_cfg(),
+        )
+        .unwrap();
+        let rungs: Vec<RepairRung> = repaired.attempts.iter().map(|a| a.rung).collect();
+        assert!(rungs.contains(&RepairRung::Revalidate));
+        assert!(rungs.contains(&RepairRung::Scratch));
+    }
+
+    #[test]
+    fn unmappable_delta_is_an_error() {
+        let problem = small_problem(2);
+        let outcome = crate::optimize(&problem, Strategy::Mxr, &quick_cfg()).unwrap();
+        // Killing every node is beyond repair.
+        let delta = ProblemDelta::kill_node(NodeId::new(0))
+            .and(ftdes_model::delta::DeltaOp::KillNode {
+                node: NodeId::new(1),
+            })
+            .and(ftdes_model::delta::DeltaOp::KillNode {
+                node: NodeId::new(2),
+            });
+        let budget = RepairBudget::from_total(Duration::from_millis(100));
+        let err = repair(&problem, &outcome.design, &delta, &budget, &quick_cfg()).unwrap_err();
+        assert!(matches!(err, RepairError::Delta(_)));
+    }
+}

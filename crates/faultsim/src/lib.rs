@@ -42,11 +42,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod degrade;
 pub mod engine;
 pub mod montecarlo;
 pub mod report;
 pub mod scenario;
 
+pub use degrade::{
+    degrade_and_repair, degrade_and_repair_adversarial, most_loaded_node, DegradeError,
+    DegradeReport,
+};
 pub use engine::simulate;
 pub use montecarlo::{length_distribution, LengthDistribution};
 pub use report::{InstanceOutcome, SimulationReport};

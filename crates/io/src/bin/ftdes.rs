@@ -5,8 +5,17 @@
 //!                           [--time-ms N] [--goal deadline|length]
 //!                           [--json <out.json>] [--gantt] [--bus-opt]
 //! ftdes inject <problem.ftd> [--strategy ...] [--scenarios N] [--seed S]
+//! ftdes repair <problem.ftd> --delta <spec> [--delta <spec> ...]
+//!                            [--repair-ms N] [--strategy ...] [--scenarios N]
 //! ftdes info  <problem.ftd>
 //! ```
+//!
+//! `repair` optimizes the intact problem, applies the composite
+//! delta (`kill-node:N1`, `degrade-node:N1:150`, `rescale-wcet:120`,
+//! `remove-process:P2`, `add-process:w:N0=10ms,...` — see
+//! [`ftdes_io::delta`]), repairs the design through the escalation
+//! ladder within `--repair-ms`, prints the per-rung audit trail, and
+//! replays fault scenarios against the repaired schedule.
 //!
 //! Instead of a problem file, every command also accepts a generated
 //! instance: `--family comm-heavy|paper` with `--procs N`, `--nodes N`,
@@ -26,9 +35,11 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use ftdes_core::repair::{repair, RepairBudget};
 use ftdes_core::{optimize, optimize_bus, BusOptConfig, Goal, Problem, SearchConfig, Strategy};
 use ftdes_faultsim::{adversarial_scenario, random_scenarios, simulate};
 use ftdes_gen::{comm_heavy, paper_workload, CommHeavyParams};
+use ftdes_io::delta::parse_delta_with;
 use ftdes_io::format::parse_problem;
 use ftdes_io::report::{solution_report, to_json};
 use ftdes_model::architecture::Architecture;
@@ -122,6 +133,8 @@ struct Options {
     seed: u64,
     family: Option<FamilyOptions>,
     max_checkpoints: Option<u32>,
+    deltas: Vec<String>,
+    repair_ms: u64,
 }
 
 impl Options {
@@ -137,6 +150,8 @@ impl Options {
             seed: 0,
             family: None,
             max_checkpoints: None,
+            deltas: Vec::new(),
+            repair_ms: 500,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -169,6 +184,12 @@ impl Options {
                     };
                 }
                 "--json" => o.json = Some(value("--json")?),
+                "--delta" => o.deltas.push(value("--delta")?),
+                "--repair-ms" => {
+                    o.repair_ms = value("--repair-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --repair-ms".to_owned())?;
+                }
                 "--gantt" => o.gantt = true,
                 "--bus-opt" => o.bus_opt = true,
                 "--scenarios" => {
@@ -370,14 +391,97 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "repair" => {
+            if options.deltas.is_empty() {
+                return Err("repair needs at least one --delta <spec>".to_owned());
+            }
+            let names = ftdes_io::DeltaNames {
+                nodes: node_names.clone(),
+                processes: problem
+                    .graph()
+                    .processes()
+                    .iter()
+                    .map(|p| p.name.clone())
+                    .collect(),
+            };
+            let delta = parse_delta_with(&options.deltas, &names).map_err(|e| e.to_string())?;
+            let outcome = optimize(&problem, options.strategy, &options.search_config())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "intact {}: delta = {}, schedulable: {}",
+                options.strategy,
+                outcome.length(),
+                outcome.is_schedulable()
+            );
+            println!("applying: {delta}");
+            let budget = RepairBudget::from_total(Duration::from_millis(options.repair_ms));
+            let repaired = repair(
+                &problem,
+                &outcome.design,
+                &delta,
+                &budget,
+                &options.search_config(),
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "compatibility: {}/{} decisions survive ({} dirty, {} removed)",
+                repaired.report.clean().len(),
+                repaired.report.clean().len() + repaired.report.dirty().len(),
+                repaired.report.dirty().len(),
+                repaired.report.removed().len()
+            );
+            for attempt in &repaired.attempts {
+                let length = match attempt.length {
+                    Some(l) => format!(", delta = {l}"),
+                    None => String::new(),
+                };
+                println!(
+                    "  {}: {:?} in {:?}{length}",
+                    attempt.rung, attempt.status, attempt.elapsed
+                );
+            }
+            println!(
+                "repaired by {}: delta = {}, schedulable: {}",
+                repaired.rung,
+                repaired.length(),
+                repaired.is_schedulable()
+            );
+            if !repaired.is_schedulable() {
+                return Err("no schedulable repair within the budget".to_owned());
+            }
+            let post = &repaired.problem;
+            let fm = post.fault_model();
+            let mut scenarios =
+                random_scenarios(&repaired.schedule, fm, options.scenarios, options.seed);
+            scenarios.push(adversarial_scenario(&repaired.schedule, fm));
+            for scenario in &scenarios {
+                let report = simulate(&repaired.schedule, post.graph(), fm, scenario);
+                if !report.all_processes_complete() {
+                    return Err(format!("a process died under {scenario:?}"));
+                }
+                if let Some(over) = report.max_overrun() {
+                    return Err(format!("worst-case bound violated: {over:?}"));
+                }
+            }
+            println!(
+                "{} scenarios replayed against the repaired schedule: all complete in bound",
+                scenarios.len()
+            );
+            if options.gantt {
+                print!("{}", render_gantt(&repaired.schedule, post.graph(), 72));
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: ftdes <solve|inject|info> <problem.ftd | --family comm-heavy|paper> [flags]\n\
+    "usage: ftdes <solve|inject|repair|info> <problem.ftd | --family comm-heavy|paper> [flags]\n\
      flags: --strategy mxr|mx|mr|sfx|nft  --time-ms N  --goal deadline|length\n\
      \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S\n\
+     repair: --delta kill-node:N1|degrade-node:N1:150|rescale-wcet:120|remove-process:P2\n\
+     \x20      --delta add-process:name:N0=10ms,...  (repeatable)  --repair-ms N\n\
      generated instances: --family comm-heavy|paper  --procs N  --nodes N  --k N  --mu-ms N\n\
      \x20      --chi-ms N (checkpoint overhead)  --max-checkpoints N (move axis cap)\n\
      \x20      comm-heavy knobs: --density F (mean edges/process)  --msg-wcet-ratio F"

@@ -1,0 +1,382 @@
+//! Parsing of `--delta` specs into a [`ProblemDelta`].
+//!
+//! The `ftdes repair` command takes one or more `--delta <spec>`
+//! flags; each spec is one elementary [`DeltaOp`], colon-separated:
+//!
+//! ```text
+//! kill-node:<node>                     kill-node:N1
+//! degrade-node:<node>:<percent>        degrade-node:N1:150
+//! rescale-wcet:<percent>               rescale-wcet:120
+//! rescale-wcet:<process>:<percent>     rescale-wcet:P3:120
+//! remove-process:<process>             remove-process:P2
+//! add-process:<name>:<node>=<time>[,<node>=<time>...]
+//!                                      add-process:watchdog:N0=10ms,N2=12ms
+//! ```
+//!
+//! Node references are `N<i>` or a bare index; process references are
+//! `P<i>` or a bare index (post-parse ids, i.e. declaration order in
+//! the problem file). When the caller knows the problem — the CLI
+//! does — [`parse_delta_with`] additionally resolves the *declared*
+//! names (`kill-node:TCM`, `remove-process:sense`) via
+//! [`DeltaNames`]. Times take a `us`, `ms` or `s` suffix.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftdes_io::delta::parse_delta;
+//!
+//! let delta = parse_delta(&["kill-node:N1".into(), "rescale-wcet:120".into()])?;
+//! assert_eq!(delta.ops().len(), 2);
+//! # Ok::<(), ftdes_io::delta::ParseDeltaError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use ftdes_model::delta::{DeltaOp, NewProcess, ProblemDelta};
+use ftdes_model::ids::{NodeId, ProcessId};
+use ftdes_model::time::Time;
+
+/// A malformed `--delta` spec, with the spec that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeltaError {
+    /// The offending spec, verbatim.
+    pub spec: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseDeltaError {
+    fn new(spec: &str, message: impl Into<String>) -> Self {
+        ParseDeltaError {
+            spec: spec.to_owned(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseDeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "--delta {:?}: {}", self.spec, self.message)
+    }
+}
+
+impl Error for ParseDeltaError {}
+
+/// Name→id context for resolving references in delta specs.
+///
+/// The bare parser accepts `N<i>` / `P<i>` / bare indices; a caller
+/// that knows the problem can pass the declared node and process
+/// names so specs read the way the problem file does
+/// (`kill-node:TCM`, `remove-process:sense`). Names are tried first,
+/// so a node literally named `N1` resolves by name, not by index.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaNames {
+    /// Node names, indexed by [`NodeId`] (declaration order).
+    pub nodes: Vec<String>,
+    /// Process names, indexed by [`ProcessId`] (post-merge order).
+    pub processes: Vec<String>,
+}
+
+/// Parses one `--delta` spec into its [`DeltaOp`].
+///
+/// # Errors
+///
+/// [`ParseDeltaError`] naming the offending spec on any syntax
+/// problem (unknown op, malformed reference, zero percent, ...).
+pub fn parse_delta_op(spec: &str) -> Result<DeltaOp, ParseDeltaError> {
+    parse_delta_op_with(spec, &DeltaNames::default())
+}
+
+/// [`parse_delta_op`] with declared-name resolution (see
+/// [`DeltaNames`]).
+///
+/// # Errors
+///
+/// [`ParseDeltaError`] naming the offending spec.
+pub fn parse_delta_op_with(spec: &str, names: &DeltaNames) -> Result<DeltaOp, ParseDeltaError> {
+    let (op, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match op {
+        "kill-node" => Ok(DeltaOp::KillNode {
+            node: parse_node(spec, rest, names)?,
+        }),
+        "degrade-node" => {
+            let (node, percent) = rest.split_once(':').ok_or_else(|| {
+                ParseDeltaError::new(spec, "expected degrade-node:<node>:<percent>")
+            })?;
+            Ok(DeltaOp::DegradeNode {
+                node: parse_node(spec, node, names)?,
+                percent: parse_percent(spec, percent)?,
+            })
+        }
+        "rescale-wcet" => match rest.split_once(':') {
+            Some((process, percent)) => Ok(DeltaOp::RescaleWcet {
+                process: Some(parse_process(spec, process, names)?),
+                percent: parse_percent(spec, percent)?,
+            }),
+            None => Ok(DeltaOp::RescaleWcet {
+                process: None,
+                percent: parse_percent(spec, rest)?,
+            }),
+        },
+        "remove-process" => Ok(DeltaOp::RemoveProcess {
+            process: parse_process(spec, rest, names)?,
+        }),
+        "add-process" => {
+            let (name, entries) = rest.split_once(':').ok_or_else(|| {
+                ParseDeltaError::new(spec, "expected add-process:<name>:<node>=<time>,...")
+            })?;
+            if name.is_empty() {
+                return Err(ParseDeltaError::new(spec, "process name is empty"));
+            }
+            let mut wcet = Vec::new();
+            for entry in entries.split(',') {
+                let (node, time) = entry.split_once('=').ok_or_else(|| {
+                    ParseDeltaError::new(spec, format!("expected <node>=<time>, got {entry:?}"))
+                })?;
+                wcet.push((parse_node(spec, node, names)?, parse_time(spec, time)?));
+            }
+            if wcet.is_empty() {
+                return Err(ParseDeltaError::new(spec, "add-process needs a WCET entry"));
+            }
+            Ok(DeltaOp::AddProcess(Box::new(NewProcess::named(name, wcet))))
+        }
+        other => Err(ParseDeltaError::new(
+            spec,
+            format!(
+                "unknown delta op {other:?} (kill-node | degrade-node | rescale-wcet | \
+                 remove-process | add-process)"
+            ),
+        )),
+    }
+}
+
+/// Parses a sequence of `--delta` specs into one composite
+/// [`ProblemDelta`], applied in order.
+///
+/// # Errors
+///
+/// The first [`ParseDeltaError`] among the specs.
+pub fn parse_delta(specs: &[String]) -> Result<ProblemDelta, ParseDeltaError> {
+    parse_delta_with(specs, &DeltaNames::default())
+}
+
+/// [`parse_delta`] with declared-name resolution (see [`DeltaNames`]).
+///
+/// # Errors
+///
+/// The first [`ParseDeltaError`] among the specs.
+pub fn parse_delta_with(
+    specs: &[String],
+    names: &DeltaNames,
+) -> Result<ProblemDelta, ParseDeltaError> {
+    let mut delta = ProblemDelta::new();
+    for spec in specs {
+        delta.push(parse_delta_op_with(spec, names)?);
+    }
+    Ok(delta)
+}
+
+fn parse_node(spec: &str, text: &str, names: &DeltaNames) -> Result<NodeId, ParseDeltaError> {
+    if let Some(i) = names.nodes.iter().position(|n| n == text) {
+        return Ok(NodeId::new(i as u32));
+    }
+    let digits = text.strip_prefix(['N', 'n']).unwrap_or(text);
+    digits
+        .parse::<u32>()
+        .map(NodeId::new)
+        .map_err(|_| ParseDeltaError::new(spec, format!("invalid node reference {text:?}")))
+}
+
+fn parse_process(spec: &str, text: &str, names: &DeltaNames) -> Result<ProcessId, ParseDeltaError> {
+    if let Some(i) = names.processes.iter().position(|p| p == text) {
+        return Ok(ProcessId::new(i as u32));
+    }
+    let digits = text.strip_prefix(['P', 'p']).unwrap_or(text);
+    digits
+        .parse::<u32>()
+        .map(ProcessId::new)
+        .map_err(|_| ParseDeltaError::new(spec, format!("invalid process reference {text:?}")))
+}
+
+fn parse_percent(spec: &str, text: &str) -> Result<u32, ParseDeltaError> {
+    let percent: u32 = text
+        .strip_suffix('%')
+        .unwrap_or(text)
+        .parse()
+        .map_err(|_| ParseDeltaError::new(spec, format!("invalid percent {text:?}")))?;
+    if percent == 0 {
+        return Err(ParseDeltaError::new(spec, "percent must be non-zero"));
+    }
+    Ok(percent)
+}
+
+fn parse_time(spec: &str, text: &str) -> Result<Time, ParseDeltaError> {
+    let err = || {
+        ParseDeltaError::new(
+            spec,
+            format!("invalid time {text:?} (e.g. 10ms, 250us, 1s)"),
+        )
+    };
+    let (digits, scale) = if let Some(d) = text.strip_suffix("us") {
+        (d, 1u64)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        return Err(err());
+    };
+    let n: u64 = digits.parse().map_err(|_| err())?;
+    let us = n.checked_mul(scale).ok_or_else(err)?;
+    if us == 0 {
+        return Err(ParseDeltaError::new(spec, "time must be non-zero"));
+    }
+    Ok(Time::from_us(us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_form() {
+        assert_eq!(
+            parse_delta_op("kill-node:N1").unwrap(),
+            DeltaOp::KillNode {
+                node: NodeId::new(1)
+            }
+        );
+        assert_eq!(
+            parse_delta_op("degrade-node:2:150%").unwrap(),
+            DeltaOp::DegradeNode {
+                node: NodeId::new(2),
+                percent: 150
+            }
+        );
+        assert_eq!(
+            parse_delta_op("rescale-wcet:120").unwrap(),
+            DeltaOp::RescaleWcet {
+                process: None,
+                percent: 120
+            }
+        );
+        assert_eq!(
+            parse_delta_op("rescale-wcet:P3:80").unwrap(),
+            DeltaOp::RescaleWcet {
+                process: Some(ProcessId::new(3)),
+                percent: 80
+            }
+        );
+        assert_eq!(
+            parse_delta_op("remove-process:P2").unwrap(),
+            DeltaOp::RemoveProcess {
+                process: ProcessId::new(2)
+            }
+        );
+        let DeltaOp::AddProcess(spec) =
+            parse_delta_op("add-process:watchdog:N0=10ms,N2=250us").unwrap()
+        else {
+            panic!("expected AddProcess");
+        };
+        assert_eq!(spec.name, "watchdog");
+        assert_eq!(
+            spec.wcet,
+            vec![
+                (NodeId::new(0), Time::from_ms(10)),
+                (NodeId::new(2), Time::from_us(250)),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "explode",
+            "kill-node:",
+            "kill-node:Nx",
+            "degrade-node:N1",
+            "degrade-node:N1:0",
+            "rescale-wcet:",
+            "rescale-wcet:P1:pct",
+            "remove-process:",
+            "add-process:w",
+            "add-process::N0=1ms",
+            "add-process:w:N0",
+            "add-process:w:N0=10",
+            "add-process:w:N0=0ms",
+        ] {
+            let err = parse_delta_op(bad).unwrap_err();
+            assert_eq!(err.spec, bad);
+            assert!(err.to_string().contains("--delta"), "{err}");
+        }
+    }
+
+    #[test]
+    fn resolves_declared_names_before_index_forms() {
+        let names = DeltaNames {
+            nodes: vec!["ETM".into(), "ABS".into(), "N0".into()],
+            processes: vec!["sense".into(), "act".into()],
+        };
+        assert_eq!(
+            parse_delta_op_with("kill-node:TCM", &names)
+                .unwrap_err()
+                .message,
+            "invalid node reference \"TCM\""
+        );
+        assert_eq!(
+            parse_delta_op_with("kill-node:ABS", &names).unwrap(),
+            DeltaOp::KillNode {
+                node: NodeId::new(1)
+            }
+        );
+        // A node literally named "N0" wins over the index reading.
+        assert_eq!(
+            parse_delta_op_with("kill-node:N0", &names).unwrap(),
+            DeltaOp::KillNode {
+                node: NodeId::new(2)
+            }
+        );
+        assert_eq!(
+            parse_delta_op_with("remove-process:act", &names).unwrap(),
+            DeltaOp::RemoveProcess {
+                process: ProcessId::new(1)
+            }
+        );
+        let delta = parse_delta_with(
+            &[
+                "degrade-node:ETM:150".into(),
+                "rescale-wcet:sense:120".into(),
+            ],
+            &names,
+        )
+        .unwrap();
+        assert_eq!(
+            delta.ops(),
+            &[
+                DeltaOp::DegradeNode {
+                    node: NodeId::new(0),
+                    percent: 150
+                },
+                DeltaOp::RescaleWcet {
+                    process: Some(ProcessId::new(0)),
+                    percent: 120
+                },
+            ]
+        );
+        let DeltaOp::AddProcess(spec) =
+            parse_delta_op_with("add-process:watchdog:ABS=10ms", &names).unwrap()
+        else {
+            panic!("expected AddProcess");
+        };
+        assert_eq!(spec.wcet, vec![(NodeId::new(1), Time::from_ms(10))]);
+    }
+
+    #[test]
+    fn composes_specs_in_order() {
+        let delta =
+            parse_delta(&["kill-node:N0".to_owned(), "rescale-wcet:110".to_owned()]).unwrap();
+        assert_eq!(delta.ops().len(), 2);
+        assert_eq!(delta.to_string(), "kill-node N0 + rescale-wcet to 110%");
+    }
+}

@@ -3,11 +3,48 @@
 use std::error::Error;
 use std::fmt;
 
-/// A parse error with its line number.
+/// Coarse classification of a parse failure, so callers (and the
+/// malformed-input test matrix) can assert on *why* a file was
+/// rejected without string-matching the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Malformed line shape: unknown directive/key, missing tokens.
+    Syntax,
+    /// A value that does not parse or is out of range (bad time,
+    /// negative/non-finite number where an unsigned value is needed).
+    InvalidValue,
+    /// A numeric value that parses but overflows its representation.
+    Overflow,
+    /// A node or process declared twice.
+    Duplicate,
+    /// A reference to a node or process that was never declared.
+    UnknownReference,
+    /// The file parses line-by-line but the assembled model is
+    /// invalid (cyclic graph, unmappable process, bad bus order).
+    Structure,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Syntax => "syntax",
+            ErrorKind::InvalidValue => "invalid value",
+            ErrorKind::Overflow => "overflow",
+            ErrorKind::Duplicate => "duplicate",
+            ErrorKind::UnknownReference => "unknown reference",
+            ErrorKind::Structure => "structure",
+        })
+    }
+}
+
+/// A parse error with its line number and classification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseProblemError {
     /// 1-based line where the error occurred (0 = end of input).
     pub line: usize,
+    /// Why the input was rejected.
+    pub kind: ErrorKind,
     /// What went wrong.
     pub message: String,
 }
@@ -16,6 +53,15 @@ impl ParseProblemError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
         ParseProblemError {
             line,
+            kind: ErrorKind::Syntax,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn with_kind(line: usize, kind: ErrorKind, message: impl Into<String>) -> Self {
+        ParseProblemError {
+            line,
+            kind,
             message: message.into(),
         }
     }
@@ -37,7 +83,17 @@ mod tests {
     fn carries_line_numbers() {
         let e = ParseProblemError::new(7, "unknown directive");
         assert_eq!(e.to_string(), "line 7: unknown directive");
+        assert_eq!(e.kind, ErrorKind::Syntax);
         fn assert_error<E: Error + Send + Sync + 'static>() {}
         assert_error::<ParseProblemError>();
+    }
+
+    #[test]
+    fn kinds_are_displayable() {
+        assert_eq!(ErrorKind::Overflow.to_string(), "overflow");
+        assert_eq!(
+            ParseProblemError::with_kind(2, ErrorKind::Duplicate, "dup").kind,
+            ErrorKind::Duplicate
+        );
     }
 }

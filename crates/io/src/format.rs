@@ -41,7 +41,7 @@ use ftdes_model::time::Time;
 use ftdes_model::wcet::WcetTable;
 use ftdes_ttp::config::BusConfig;
 
-use crate::error::ParseProblemError;
+use crate::error::{ErrorKind, ParseProblemError};
 
 /// A fully parsed problem file, before graph merging.
 #[derive(Debug, Clone)]
@@ -68,12 +68,27 @@ impl ProblemSpec {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseProblemError`] (line 0) when the model is
-    /// structurally invalid (cyclic graphs, deadline beyond period).
+    /// Returns a [`ParseProblemError`] (line 0, kind
+    /// [`ErrorKind::Structure`]) when the model is structurally
+    /// invalid: cyclic graphs, deadline beyond period, or a process
+    /// with no WCET entry on any node (unmappable).
     pub fn into_problem(self) -> Result<(Problem, MergedApplication), ParseProblemError> {
         let merged = MergedApplication::merge(&self.application)
-            .map_err(|e| ParseProblemError::new(0, e.to_string()))?;
+            .map_err(|e| ParseProblemError::with_kind(0, ErrorKind::Structure, e.to_string()))?;
         let wcet = merged.remap_wcet(&self.wcet);
+        // A process nobody can execute would only surface as a solver
+        // failure (or worse) much later; reject it here, by name.
+        let ids = (0..merged.process_count()).map(|i| ProcessId::new(i as u32));
+        wcet.validate(ids, &self.arch).map_err(|e| {
+            let message = match e {
+                ftdes_model::error::ModelError::Unmappable { process } => format!(
+                    "process {:?} has no WCET entry on any node",
+                    merged.graph().process(process).name
+                ),
+                other => other.to_string(),
+            };
+            ParseProblemError::with_kind(0, ErrorKind::Structure, message)
+        })?;
         let mut constraints = DesignConstraints::free(merged.process_count());
         for global in 0..merged.process_count() {
             let gid = ProcessId::new(global as u32);
@@ -197,8 +212,9 @@ impl<'a> Parser<'a> {
                 .insert((*name).to_owned(), NodeId::new(i as u32))
                 .is_some()
             {
-                return Err(ParseProblemError::new(
+                return Err(ParseProblemError::with_kind(
                     ln,
+                    ErrorKind::Duplicate,
                     format!("duplicate node name {name:?}"),
                 ));
             }
@@ -216,7 +232,11 @@ impl<'a> Parser<'a> {
             match key {
                 "k" => {
                     k = Some(value.parse::<u32>().map_err(|_| {
-                        ParseProblemError::new(ln, format!("invalid fault count {value:?}"))
+                        ParseProblemError::with_kind(
+                            ln,
+                            ErrorKind::InvalidValue,
+                            format!("invalid fault count {value:?}"),
+                        )
                     })?);
                 }
                 "mu" => mu = Some(parse_time(ln, value)?),
@@ -238,7 +258,11 @@ impl<'a> Parser<'a> {
             match key {
                 "slot_bytes" => {
                     self.bus_slot_bytes = value.parse().map_err(|_| {
-                        ParseProblemError::new(ln, format!("invalid slot_bytes {value:?}"))
+                        ParseProblemError::with_kind(
+                            ln,
+                            ErrorKind::InvalidValue,
+                            format!("invalid slot_bytes {value:?}"),
+                        )
                     })?;
                 }
                 "byte_time" => self.bus_byte_time = parse_time(ln, value)?,
@@ -300,8 +324,9 @@ impl<'a> Parser<'a> {
         let name = (*name).to_owned();
         let draft = self.current_graph(ln)?;
         if draft.names.contains_key(&name) {
-            return Err(ParseProblemError::new(
+            return Err(ParseProblemError::with_kind(
                 ln,
+                ErrorKind::Duplicate,
                 format!("duplicate process {name:?}"),
             ));
         }
@@ -324,25 +349,35 @@ impl<'a> Parser<'a> {
             match key {
                 "bytes" => {
                     bytes = value.parse().map_err(|_| {
-                        ParseProblemError::new(ln, format!("invalid bytes {value:?}"))
+                        ParseProblemError::with_kind(
+                            ln,
+                            ErrorKind::InvalidValue,
+                            format!("invalid bytes {value:?}"),
+                        )
                     })?;
                 }
                 _ => return Err(ParseProblemError::new(ln, format!("unknown key {key:?}"))),
             }
         }
         let draft = self.current_graph(ln)?;
-        let f = *draft
-            .names
-            .get(*from)
-            .ok_or_else(|| ParseProblemError::new(ln, format!("unknown process {from:?}")))?;
-        let t = *draft
-            .names
-            .get(*to)
-            .ok_or_else(|| ParseProblemError::new(ln, format!("unknown process {to:?}")))?;
+        let f = *draft.names.get(*from).ok_or_else(|| {
+            ParseProblemError::with_kind(
+                ln,
+                ErrorKind::UnknownReference,
+                format!("unknown process {from:?}"),
+            )
+        })?;
+        let t = *draft.names.get(*to).ok_or_else(|| {
+            ParseProblemError::with_kind(
+                ln,
+                ErrorKind::UnknownReference,
+                format!("unknown process {to:?}"),
+            )
+        })?;
         draft
             .graph
             .add_edge(f, t, Message::new(bytes))
-            .map_err(|e| ParseProblemError::new(ln, e.to_string()))?;
+            .map_err(|e| ParseProblemError::with_kind(ln, ErrorKind::Structure, e.to_string()))?;
         Ok(())
     }
 
@@ -388,10 +423,13 @@ impl<'a> Parser<'a> {
     }
 
     fn node(&self, ln: usize, name: &str) -> Result<NodeId, ParseProblemError> {
-        self.node_names
-            .get(name)
-            .copied()
-            .ok_or_else(|| ParseProblemError::new(ln, format!("unknown node {name:?}")))
+        self.node_names.get(name).copied().ok_or_else(|| {
+            ParseProblemError::with_kind(
+                ln,
+                ErrorKind::UnknownReference,
+                format!("unknown node {name:?}"),
+            )
+        })
     }
 
     /// Finds the unique graph declaring `name`.
@@ -400,15 +438,22 @@ impl<'a> Parser<'a> {
         for (gi, draft) in self.graphs.iter().enumerate() {
             if let Some(&p) = draft.names.get(name) {
                 if found.is_some() {
-                    return Err(ParseProblemError::new(
+                    return Err(ParseProblemError::with_kind(
                         ln,
+                        ErrorKind::Duplicate,
                         format!("process name {name:?} is ambiguous across graphs"),
                     ));
                 }
                 found = Some((gi, p));
             }
         }
-        found.ok_or_else(|| ParseProblemError::new(ln, format!("unknown process {name:?}")))
+        found.ok_or_else(|| {
+            ParseProblemError::with_kind(
+                ln,
+                ErrorKind::UnknownReference,
+                format!("unknown process {name:?}"),
+            )
+        })
     }
 
     fn finish(self) -> Result<ProblemSpec, ParseProblemError> {
@@ -463,7 +508,7 @@ impl<'a> Parser<'a> {
             Some(order) => BusConfig::with_order(order.clone(), slot_bytes, byte_time),
             None => BusConfig::initial(&arch, slot_bytes, byte_time),
         }
-        .map_err(|e| ParseProblemError::new(0, e.to_string()))?;
+        .map_err(|e| ParseProblemError::with_kind(0, ErrorKind::Structure, e.to_string()))?;
 
         // Constraints.
         let mut fixed_mappings = Vec::new();
@@ -478,8 +523,9 @@ impl<'a> Parser<'a> {
                 "reexecution" => PolicyConstraint::Reexecution,
                 "replication" => PolicyConstraint::Replication,
                 other => {
-                    return Err(ParseProblemError::new(
+                    return Err(ParseProblemError::with_kind(
                         *ln,
+                        ErrorKind::InvalidValue,
                         format!("unknown policy {other:?} (use reexecution or replication)"),
                     ))
                 }
@@ -518,10 +564,20 @@ fn parse_time(ln: usize, value: &str) -> Result<Time, ParseProblemError> {
     } else {
         (value, 1_000)
     };
-    let n: u64 = digits
-        .parse()
-        .map_err(|_| ParseProblemError::new(ln, format!("invalid time {value:?}")))?;
-    Ok(Time::from_us(n * scale))
+    // u64 parsing rejects negative and non-finite spellings ("-5ms",
+    // "NaN", "inf") outright; the multiply is checked so a hostile
+    // magnitude is an error, not a wrap-around.
+    let n: u64 = digits.parse().map_err(|_| {
+        ParseProblemError::with_kind(
+            ln,
+            ErrorKind::InvalidValue,
+            format!("invalid time {value:?}"),
+        )
+    })?;
+    let us = n.checked_mul(scale).ok_or_else(|| {
+        ParseProblemError::with_kind(ln, ErrorKind::Overflow, format!("time {value:?} overflows"))
+    })?;
+    Ok(Time::from_us(us))
 }
 
 #[cfg(test)]

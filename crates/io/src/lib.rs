@@ -6,6 +6,7 @@
 //! * [`mod@format`] — a TGFF-style text format describing an
 //!   architecture, a fault model, periodic process graphs, WCETs and
 //!   designer constraints (see the module docs for the grammar),
+//! * [`mod@delta`] — `--delta` spec parsing for the `repair` command,
 //! * [`report`] — stable JSON serialization of optimization results,
 //! * the `ftdes` binary — `solve` / `inject` / `info` commands over
 //!   problem files.
@@ -33,12 +34,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod delta;
 pub mod error;
 pub mod format;
 pub mod report;
 pub mod write;
 
-pub use error::ParseProblemError;
+pub use delta::{
+    parse_delta, parse_delta_op, parse_delta_op_with, parse_delta_with, DeltaNames, ParseDeltaError,
+};
+pub use error::{ErrorKind, ParseProblemError};
 pub use format::{parse_problem, ProblemSpec};
 pub use report::{solution_report, to_json, SolutionReport};
 pub use write::write_problem;

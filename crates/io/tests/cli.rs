@@ -112,3 +112,58 @@ fn missing_arguments_show_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+const THREE_NODE: &str = r"
+architecture A B C
+fault_model k=1 mu=5ms
+graph period=500ms deadline=400ms
+  process x
+  process y
+  edge x y bytes=2
+wcet x * 20ms
+wcet y * 30ms
+";
+
+#[test]
+fn repair_kills_a_node_and_replays() {
+    let path = write_problem("repair.ftd", THREE_NODE);
+    let out = ftdes(&[
+        "repair",
+        path.to_str().unwrap(),
+        "--time-ms",
+        "200",
+        "--repair-ms",
+        "200",
+        "--scenarios",
+        "20",
+        "--delta",
+        "kill-node:N2",
+        "--delta",
+        "rescale-wcet:110",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("applying: kill-node N2 + rescale-wcet to 110%"));
+    assert!(stdout.contains("repaired by rung"), "stdout: {stdout}");
+    assert!(stdout.contains("scenarios replayed against the repaired schedule"));
+}
+
+#[test]
+fn repair_rejects_malformed_delta() {
+    let path = write_problem("repair-bad.ftd", THREE_NODE);
+    let out = ftdes(&["repair", path.to_str().unwrap(), "--delta", "explode:N1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown delta op"));
+}
+
+#[test]
+fn repair_requires_a_delta() {
+    let path = write_problem("repair-none.ftd", THREE_NODE);
+    let out = ftdes(&["repair", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--delta"));
+}

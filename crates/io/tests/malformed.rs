@@ -1,0 +1,211 @@
+//! Malformed-input matrix for the problem-file parser.
+//!
+//! Every case here is hostile or corrupt input that must come back as
+//! a structured [`ParseProblemError`] — never a panic, never a
+//! silently wrong model. Cases assert the error *kind* so regressions
+//! in classification are caught, not just rejection.
+
+use ftdes_io::{parse_problem, ErrorKind};
+
+/// A valid prefix that cases below corrupt one line at a time.
+const VALID: &str = "
+architecture A B
+fault_model k=1 mu=10ms
+graph period=100ms
+process x
+process y
+edge x y bytes=2
+wcet x * 1ms
+wcet y * 1ms
+";
+
+fn parse_err(text: &str) -> ftdes_io::ParseProblemError {
+    match parse_problem(text) {
+        Err(e) => e,
+        Ok(spec) => match spec.into_problem() {
+            Err(e) => e,
+            Ok(_) => panic!("malformed input accepted:\n{text}"),
+        },
+    }
+}
+
+#[test]
+fn accepts_the_valid_baseline() {
+    let spec = parse_problem(VALID).expect("baseline parses");
+    spec.into_problem().expect("baseline converts");
+}
+
+#[test]
+fn rejects_negative_times() {
+    for field in [
+        "fault_model k=1 mu=-10ms",
+        "graph period=-100ms",
+        "process x release=-1ms",
+    ] {
+        let text = format!("architecture A\n{field}\n");
+        let err = parse_err(&text);
+        assert_eq!(err.kind, ErrorKind::InvalidValue, "{field}: {err}");
+    }
+}
+
+#[test]
+fn rejects_non_finite_times() {
+    for bad in ["NaN", "inf", "-inf", "1e9ms", "0x10ms"] {
+        let text = format!("architecture A\nfault_model k=1 mu={bad}\n");
+        let err = parse_err(&text);
+        assert_eq!(err.kind, ErrorKind::InvalidValue, "mu={bad}: {err}");
+    }
+}
+
+#[test]
+fn rejects_overflowing_times() {
+    // Parses as u64 microseconds-per-ms but the multiply overflows.
+    let text = "architecture A\nfault_model k=1 mu=99999999999999999999us\n";
+    assert_eq!(parse_err(text).kind, ErrorKind::InvalidValue);
+    let text = "architecture A\nfault_model k=1 mu=18446744073709551615ms\n";
+    let err = parse_err(text);
+    assert_eq!(err.kind, ErrorKind::Overflow, "{err}");
+    assert!(err.message.contains("overflows"), "{err}");
+}
+
+#[test]
+fn rejects_negative_counts() {
+    for field in ["fault_model k=-1 mu=1ms", "bus slot_bytes=-4"] {
+        let text = format!("architecture A\n{field}\n");
+        let err = parse_err(&text);
+        assert_eq!(err.kind, ErrorKind::InvalidValue, "{field}: {err}");
+    }
+    let text = format!("{VALID}bus slot_bytes=4\n");
+    parse_problem(&text).expect("valid bus accepted");
+}
+
+#[test]
+fn rejects_duplicate_node_ids() {
+    let err = parse_err("architecture A B A\n");
+    assert_eq!(err.kind, ErrorKind::Duplicate);
+    assert!(err.message.contains('A'), "{err}");
+}
+
+#[test]
+fn rejects_duplicate_process_ids() {
+    let text = "
+architecture A
+fault_model k=0 mu=1ms
+graph period=10ms
+process x
+process x
+";
+    let err = parse_err(text);
+    assert_eq!(err.kind, ErrorKind::Duplicate);
+    assert_eq!(err.line, 6, "points at the second declaration");
+}
+
+#[test]
+fn rejects_ambiguous_cross_graph_references() {
+    let text = "
+architecture A
+fault_model k=0 mu=1ms
+graph period=10ms
+process x
+graph period=20ms
+process x
+wcet x * 1ms
+";
+    let err = parse_err(text);
+    assert_eq!(err.kind, ErrorKind::Duplicate);
+    assert!(err.message.contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn rejects_edges_referencing_unknown_processes() {
+    for edge in ["edge x ghost", "edge ghost y"] {
+        let text = format!("{VALID}{edge}\n");
+        let err = parse_err(&text);
+        assert_eq!(err.kind, ErrorKind::UnknownReference, "{edge}: {err}");
+        assert!(err.message.contains("ghost"), "{err}");
+    }
+}
+
+#[test]
+fn rejects_wcet_and_constraints_on_unknown_names() {
+    for line in [
+        "wcet ghost * 1ms",
+        "wcet x GhostNode 1ms",
+        "fix_mapping ghost A",
+        "fix_mapping x GhostNode",
+        "fix_policy ghost replication",
+        "bus order=A,GhostNode",
+    ] {
+        let text = format!("{VALID}{line}\n");
+        let err = parse_err(&text);
+        assert_eq!(err.kind, ErrorKind::UnknownReference, "{line}: {err}");
+    }
+}
+
+#[test]
+fn rejects_unmappable_processes_at_conversion() {
+    // `y` never gets a WCET entry: the file parses line-by-line but
+    // the assembled model is rejected instead of panicking later in
+    // the solver.
+    let text = "
+architecture A
+fault_model k=0 mu=1ms
+graph period=10ms
+process x
+process y
+wcet x * 1ms
+";
+    let spec = parse_problem(text).expect("parses line-by-line");
+    let err = spec.into_problem().unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Structure);
+    assert!(err.message.contains("\"y\""), "{err}");
+}
+
+#[test]
+fn rejects_cyclic_graphs_at_conversion() {
+    let text = "
+architecture A
+fault_model k=0 mu=1ms
+graph period=10ms
+process x
+process y
+edge x y
+edge y x
+wcet x * 1ms
+wcet y * 1ms
+";
+    let err = parse_err(text);
+    assert_eq!(err.kind, ErrorKind::Structure, "{err}");
+}
+
+#[test]
+fn rejects_syntax_garbage() {
+    for text in [
+        "flux_capacitor on",
+        "architecture A\nfault_model k=1\n",
+        "architecture A\nfault_model mu=1ms\n",
+        "architecture A\nfault_model k=1 mu=1ms warp=9\n",
+        "architecture\n",
+        "process orphan\n",
+        "architecture A\nfault_model k=0 mu=1ms\ngraph\n",
+        "architecture A\nfault_model k=0 mu=1ms\ngraph period=10ms\nwcet\n",
+    ] {
+        let err = parse_err(text);
+        assert_eq!(err.kind, ErrorKind::Syntax, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn unknown_policy_is_an_invalid_value() {
+    let text = format!("{VALID}fix_policy x voodoo\n");
+    let err = parse_err(&text);
+    assert_eq!(err.kind, ErrorKind::InvalidValue);
+    assert!(err.message.contains("voodoo"), "{err}");
+}
+
+#[test]
+fn errors_carry_the_offending_line() {
+    let err = parse_err("architecture A\nfault_model k=1 mu=bogus\n");
+    assert_eq!(err.line, 2);
+    assert!(err.to_string().starts_with("line 2:"), "{err}");
+}

@@ -77,6 +77,12 @@ pub enum ModelError {
         /// What was empty.
         what: &'static str,
     },
+    /// A [`crate::delta::ProblemDelta`] op is malformed (zero scale
+    /// percent, arithmetic overflow, ...).
+    InvalidDelta {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -111,6 +117,9 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::Empty { what } => write!(f, "model has no {what}"),
+            ModelError::InvalidDelta { reason } => {
+                write!(f, "invalid problem delta: {reason}")
+            }
         }
     }
 }

@@ -58,6 +58,7 @@
 
 pub mod application;
 pub mod architecture;
+pub mod delta;
 pub mod design;
 pub mod error;
 pub mod fault;
@@ -72,6 +73,10 @@ pub mod wcet;
 pub mod prelude {
     pub use crate::application::{Application, GraphSpec};
     pub use crate::architecture::{Architecture, Node};
+    pub use crate::delta::{
+        AppliedDelta, CompatibilityReport, DeltaOp, DirtyDecision, DirtyReason, NewProcess,
+        ProblemDelta,
+    };
     pub use crate::design::{Design, DesignConstraints, ProcessDesign};
     pub use crate::error::ModelError;
     pub use crate::fault::FaultModel;

@@ -77,6 +77,13 @@ impl WcetTable {
             .map(|(&(_, n), &t)| (n, t))
     }
 
+    /// Iterates over every `(process, node, wcet)` entry in key
+    /// order — the whole-table view problem deltas (node kills,
+    /// degradations, rescales) transform.
+    pub fn entries(&self) -> impl Iterator<Item = (ProcessId, NodeId, Time)> + '_ {
+        self.entries.iter().map(|(&(p, n), &t)| (p, n, t))
+    }
+
     /// The average WCET of `process` over its eligible nodes — the
     /// node-independent estimate used by the partial-critical-path
     /// priority function.

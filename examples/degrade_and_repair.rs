@@ -1,0 +1,116 @@
+//! Graceful degradation: lose a node, repair the design, prove it.
+//!
+//! Optimizes a 12-process application on four nodes, then plays the
+//! adversary: kills the node the schedule leans on hardest and asks
+//! the repair ladder for a new design — warm-started from the old
+//! one — instead of re-solving from scratch. The example then checks
+//! everything the repair claims:
+//!
+//! 1. the repaired design schedules, with nothing on the dead node,
+//! 2. the ladder's audit trail names the rung that produced it,
+//! 3. adversarial + random fault scenarios replayed against the
+//!    repaired schedule all complete within bounds,
+//! 4. a second, composite delta (node loss + a 15% WCET inflation)
+//!    repairs too, and its schedule scores bit-identically to a cold
+//!    evaluation of the repaired design on the post-delta problem.
+//!
+//! Run with: `cargo run --release --example degrade_and_repair`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ftdes::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = Architecture::with_node_count(4);
+    let workload = paper_workload(12, &arch, 42);
+    let largest = workload
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.message.size)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bus = BusConfig::initial(&arch, largest, Time::from_us(2_500))?;
+    let fm = FaultModel::new(1, Time::from_ms(5));
+    let problem = Problem::new(workload.graph, arch, workload.wcet, fm, bus);
+
+    let cfg = SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: Some(Duration::from_millis(300)),
+        ..SearchConfig::default()
+    };
+    let cache = Arc::new(EvalCache::default());
+    let intact = optimize_with_cache(&problem, Strategy::Mxr, &cfg, &cache)?;
+    println!("intact design: delta = {}", intact.length());
+
+    // --- Act 1: adversarial node loss -----------------------------
+    let budget = RepairBudget::from_total(Duration::from_millis(500));
+    let report = degrade_and_repair_adversarial(
+        &problem,
+        &intact.design,
+        &intact.schedule,
+        &budget,
+        &cfg,
+        &cache,
+        16,
+        0xD15A57E5,
+    )?;
+
+    println!("\nkilled {} (the most replica-loaded node)", report.killed);
+    println!("escalation ladder:");
+    for attempt in &report.outcome.attempts {
+        println!(
+            "  {}: {:?} in {:?}",
+            attempt.rung, attempt.status, attempt.elapsed
+        );
+    }
+    println!(
+        "repaired by {}: delta = {} ({} fault scenarios replayed)",
+        report.outcome.rung,
+        report.repaired_length(),
+        report.scenarios_replayed
+    );
+
+    assert!(
+        report.verified,
+        "repair verification failed: {:?}",
+        report.violations
+    );
+    assert!(report.outcome.is_schedulable());
+    for inst in report.outcome.schedule.expanded().instances() {
+        assert_ne!(inst.node, report.killed, "instance left on the dead node");
+    }
+    assert!(
+        report
+            .outcome
+            .attempts
+            .iter()
+            .any(|a| a.rung == report.outcome.rung),
+        "audit trail must name the producing rung"
+    );
+
+    // --- Act 2: composite delta, checked against cold evaluation --
+    let mut delta = ProblemDelta::kill_node(report.killed);
+    delta.push(DeltaOp::RescaleWcet {
+        process: None,
+        percent: 115,
+    });
+    println!("\napplying composite delta: {delta}");
+    let outcome = repair_with_cache(&problem, &intact.design, &delta, &budget, &cfg, &cache)?;
+    assert!(outcome.is_schedulable(), "composite repair must schedule");
+
+    // Bit-identity: the schedule the ladder hands back is exactly
+    // what a cache-free evaluation of the same design produces.
+    let cold = outcome.problem.evaluate(&outcome.design)?;
+    assert_eq!(outcome.schedule.cost(), cold.cost());
+    println!(
+        "composite repair by {}: delta = {} (matches cold evaluation)",
+        outcome.rung,
+        outcome.schedule.length()
+    );
+
+    println!("\nall degradation checks pass");
+    Ok(())
+}

@@ -20,9 +20,11 @@
 //!   (transparent re-execution, slack sharing, contingency
 //!   schedules),
 //! * [`faultsim`] — a replay engine that injects concrete fault
-//!   scenarios and validates the analytic worst case,
+//!   scenarios, validates the analytic worst case, and drives
+//!   end-to-end degrade-and-repair recovery scenarios,
 //! * [`core`] — the optimization strategies (MXR / MX / MR / SFX /
-//!   NFT: initial construction, greedy improvement, tabu search),
+//!   NFT: initial construction, greedy improvement, tabu search) and
+//!   the problem-delta repair ladder for graceful degradation,
 //! * [`gen`] — synthetic workload generation and the 32-process
 //!   cruise-controller case study.
 //!
@@ -68,8 +70,9 @@ pub use ftdes_ttp as ttp;
 pub mod prelude {
     pub use ftdes_core::prelude::*;
     pub use ftdes_faultsim::{
-        adversarial_scenario, enumerate_scenarios, length_distribution, random_scenarios, simulate,
-        FaultHit, FaultScenario, LengthDistribution,
+        adversarial_scenario, degrade_and_repair, degrade_and_repair_adversarial,
+        enumerate_scenarios, length_distribution, most_loaded_node, random_scenarios, simulate,
+        DegradeError, DegradeReport, FaultHit, FaultScenario, LengthDistribution,
     };
     pub use ftdes_gen::{
         comm_heavy, cruise_controller, generate, paper_workload, CommHeavyParams, WorkloadParams,
