@@ -32,8 +32,11 @@
 //! CI artifact — this table documents a trade-off; it is not a perf
 //! gate) and to stdout. Budget knobs: `FTDES_SEEDS`, `FTDES_TIME_MS`.
 
-use ftdes_bench::{seeds, synthetic_problem, time_budget};
-use ftdes_core::{optimize, Goal, Outcome, Problem, SearchConfig, Strategy};
+use ftdes_bench::{
+    budgeted_config, mean_length_us, seeds, synthetic_problem, time_budget, write_artifact,
+    PolicyMix,
+};
+use ftdes_core::{optimize, Outcome, Problem, Strategy};
 use ftdes_gen::WorkloadParams;
 use ftdes_model::time::Time;
 
@@ -46,15 +49,6 @@ const MU_MS: u64 = 5;
 const CHI_RATIOS: [f64; 6] = [0.01, 0.02, 0.05, 0.1, 0.25, 0.5];
 const MAX_CHECKPOINTS: u32 = 4;
 
-fn cfg() -> SearchConfig {
-    SearchConfig {
-        goal: Goal::MinimizeLength,
-        time_limit: Some(time_budget()),
-        max_tabu_iterations: 4_000,
-        ..SearchConfig::default()
-    }
-}
-
 /// The problem of one `(seed, χ)` cell: the workload is χ-independent
 /// (same graph/WCETs for every row), only the fault model and the
 /// checkpoint axis vary.
@@ -63,37 +57,6 @@ fn cell_problem(seed: u64, chi: Time, max_checkpoints: u32) -> Problem {
     let fm = base.fault_model().with_checkpoint_overhead(chi);
     base.with_fault_model(fm)
         .with_max_checkpoints(max_checkpoints)
-}
-
-fn mean_len(outcomes: &[Outcome]) -> f64 {
-    outcomes
-        .iter()
-        .map(|o| o.length().as_us() as f64)
-        .sum::<f64>()
-        / outcomes.len().max(1) as f64
-}
-
-/// The per-process technique mix of a set of outcomes:
-/// `(pure re-execution, checkpointed re-execution, pure replication,
-/// replicated mixes)`.
-fn policy_mix(outcomes: &[Outcome]) -> (usize, usize, usize, usize) {
-    let (mut rex, mut cp, mut rep, mut mix) = (0, 0, 0, 0);
-    for o in outcomes {
-        for (_, d) in o.design.iter() {
-            if d.policy.is_pure_reexecution() {
-                if d.policy.is_checkpointed() {
-                    cp += 1;
-                } else {
-                    rex += 1;
-                }
-            } else if d.policy.is_pure_replication() {
-                rep += 1;
-            } else {
-                mix += 1;
-            }
-        }
-    }
-    (rex, cp, rep, mix)
 }
 
 fn main() -> std::process::ExitCode {
@@ -112,7 +75,7 @@ fn main() -> std::process::ExitCode {
 
     // χ-independent references, computed once per seed.
     let run = |problem: &Problem, strategy: Strategy| -> Outcome {
-        optimize(problem, strategy, &cfg())
+        optimize(problem, strategy, &budgeted_config(4_000))
             .unwrap_or_else(|e| panic!("cptable {strategy} search: {e}"))
     };
     let mut mx = Vec::new();
@@ -122,8 +85,8 @@ fn main() -> std::process::ExitCode {
         mx.push(run(&plain, Strategy::Mx));
         mr.push(run(&plain, Strategy::Mr));
     }
-    let mx_len = mean_len(&mx);
-    let mr_len = mean_len(&mr);
+    let mx_len = mean_length_us(&mx);
+    let mr_len = mean_length_us(&mr);
 
     println!(
         "\n{:>8} | {:>10} | {:>10} | {:>10} | {:>10} | policy mix of MCXR (rex/cp/rep/mix)",
@@ -141,11 +104,11 @@ fn main() -> std::process::ExitCode {
             mcx.push(run(&problem, Strategy::Mx));
             mcxr.push(run(&problem, Strategy::Mxr));
         }
-        let mcx_len = mean_len(&mcx);
-        let mcxr_len = mean_len(&mcxr);
-        let (rex, cp, rep, mix) = policy_mix(&mcxr);
+        let mcx_len = mean_length_us(&mcx);
+        let mcxr_len = mean_length_us(&mcxr);
+        let mix = PolicyMix::from_outcomes(&mcxr);
         println!(
-            "{:>8} | {:>10.0} | {:>10.0} | {:>10.0} | {:>10.0} | {rex}/{cp}/{rep}/{mix}",
+            "{:>8} | {:>10.0} | {:>10.0} | {:>10.0} | {:>10.0} | {mix}",
             format!("{:.0}%", ratio * 100.0),
             mx_len,
             mcx_len,
@@ -156,10 +119,10 @@ fn main() -> std::process::ExitCode {
             "    {{\"chi_ratio\": {ratio}, \"chi_us\": {}, \"mx_len_us\": {mx_len:.0}, \
              \"mcx_len_us\": {mcx_len:.0}, \"mr_len_us\": {mr_len:.0}, \
              \"mcxr_len_us\": {mcxr_len:.0}, \"mcx_vs_mx\": {:.4}, \
-             \"mcxr_policy_mix\": {{\"reexec\": {rex}, \"checkpointed\": {cp}, \
-             \"replicated\": {rep}, \"mixed\": {mix}}}}}",
+             \"mcxr_policy_mix\": {}}}",
             chi.as_us(),
             mcx_len / mx_len.max(1.0),
+            mix.json(),
         ));
     }
 
@@ -171,8 +134,8 @@ fn main() -> std::process::ExitCode {
         budget.as_millis(),
         rows.join(",\n"),
     );
-    if let Err(e) = std::fs::write("BENCH_cptable.json", &json) {
-        eprintln!("cptable: cannot write BENCH_cptable.json: {e}");
+    if let Err(e) = write_artifact("BENCH_cptable.json", &json) {
+        eprintln!("cptable: {e}");
         return std::process::ExitCode::FAILURE;
     }
     println!("\nwritten to BENCH_cptable.json (non-gating artifact)");

@@ -26,11 +26,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ftdes_bench::{comm_heavy_problem, synthetic_problem, time_budget};
-use ftdes_core::repair::{repair_with_cache, RepairBudget};
-use ftdes_core::{
-    effective_threads, optimize_with_cache, EvalCache, Goal, Problem, SearchConfig, Strategy,
+use ftdes_bench::{
+    budgeted_config, comm_heavy_problem, synthetic_problem, time_budget, write_artifact,
 };
+use ftdes_core::repair::{repair_with_cache, RepairBudget};
+use ftdes_core::{effective_threads, optimize_with_cache, EvalCache, Problem, Strategy};
 use ftdes_faultsim::most_loaded_node;
 use ftdes_model::delta::ProblemDelta;
 use ftdes_model::time::Time;
@@ -90,20 +90,11 @@ impl Run {
     }
 }
 
-fn cfg() -> SearchConfig {
-    SearchConfig {
-        goal: Goal::MinimizeLength,
-        time_limit: Some(time_budget()),
-        max_tabu_iterations: 10_000,
-        ..SearchConfig::default()
-    }
-}
-
 /// One seed of one family: intact solve → kill → repair (warm, T/4)
 /// vs degraded from-scratch (cold, T).
 fn run_one(family: &'static str, problem: &Problem, seed: u64) -> Result<Run, String> {
     let budget = time_budget();
-    let cfg = cfg();
+    let cfg = budgeted_config(10_000);
 
     // 1. Intact solve (warms the cache the fleet would already hold).
     let cache = Arc::new(EvalCache::default());
@@ -219,8 +210,8 @@ fn main() -> ExitCode {
         runs.len(),
         within == runs.len(),
     );
-    if let Err(e) = std::fs::write("BENCH_repair.json", &json) {
-        eprintln!("repairbench: cannot write BENCH_repair.json: {e}");
+    if let Err(e) = write_artifact("BENCH_repair.json", &json) {
+        eprintln!("repairbench: {e}");
         return ExitCode::FAILURE;
     }
     println!("\n{json}");

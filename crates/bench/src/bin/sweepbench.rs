@@ -1,0 +1,224 @@
+//! `sweepbench` — crash-recovery overhead of the sweep orchestrator.
+//!
+//! The crash matrices prove resume is *correct* (bit-identical to an
+//! uncrashed run at every registered fault point); this bench measures
+//! what that safety costs. For one moderate χ sweep it times
+//!
+//! 1. a **cold** uncrashed run (create store → drive to completion),
+//! 2. for every fault point: a run crashed there (in-process
+//!    `CrashMode::Error` — log-identical to a kill), then a fresh-store
+//!    **resume** with `takeover`,
+//!
+//! and records, per point, the crashed/resume wall-clocks, the
+//! crash-to-finish total against the cold baseline, and whether the
+//! resumed results matched the cold run byte-for-byte. Event-sourced
+//! recovery means the only real overhead is re-executing the one
+//! in-flight job the crash destroyed plus replaying the log; the
+//! `total_vs_cold` ratios document exactly that.
+//!
+//! Results land in `BENCH_sweep.json` — a **non-gating** CI artifact
+//! (timings document the trajectory; only a bit-identity violation or
+//! an I/O error fails the process, because those are correctness
+//! bugs, not perf regressions).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ftdes_bench::jobs::{ChiSweep, SweepExec, SweepSpec};
+use ftdes_bench::write_artifact;
+use ftdes_serve::{
+    drive, CrashMode, DriveError, Injector, SweepClock, SweepState, SweepStore, WorkerConfig,
+    FAULT_POINTS,
+};
+
+/// Moderate enough that per-point timings are non-trivial, small
+/// enough that the full point loop stays in CI budget.
+fn spec() -> SweepSpec {
+    SweepSpec::Chi(ChiSweep {
+        processes: 8,
+        nodes: 3,
+        faults: 1,
+        mu_ms: 5,
+        seeds: 2,
+        chi_permille: vec![20, 100],
+        max_checkpoints: 2,
+        max_iterations: 50,
+        faultsim_samples: 32,
+    })
+}
+
+fn cfg(worker: &str, takeover: bool) -> WorkerConfig {
+    WorkerConfig {
+        worker: worker.into(),
+        lease_ms: 60_000,
+        max_attempts: 2,
+        backoff_base_ms: 10,
+        takeover,
+    }
+}
+
+fn store_path(name: &str) -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join("ftdes-sweepbench");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    if path.exists() {
+        std::fs::remove_file(&path).map_err(|e| format!("clearing {}: {e}", path.display()))?;
+    }
+    Ok(path)
+}
+
+/// Every committed result in job order — the sweep's byte identity.
+fn results_bytes(state: &SweepState) -> Result<String, String> {
+    let mut out = String::new();
+    for job in state.jobs() {
+        let rendered = match state.result(job.spec.id) {
+            Some(v) => serde_json::to_string(v).map_err(|e| format!("encoding result: {e:?}"))?,
+            None => "<none>".to_owned(),
+        };
+        out.push_str(&job.spec.name);
+        out.push(' ');
+        out.push_str(&rendered);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+struct PointRun {
+    point: &'static str,
+    fired: bool,
+    crashed_ms: u128,
+    resume_ms: u128,
+    bit_identical: bool,
+}
+
+fn run() -> Result<(), String> {
+    let spec = spec();
+    let jobs = spec.jobs();
+    println!(
+        "sweepbench: {} sweep, {} jobs, crash matrix over {} fault points",
+        spec.name(),
+        jobs.len(),
+        FAULT_POINTS.len()
+    );
+
+    // 1. The cold baseline.
+    let clock = SweepClock::virtual_at(0);
+    let path = store_path("cold.jsonl")?;
+    let (mut store, mut state) =
+        SweepStore::create(&path, spec.name(), &jobs).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    drive(
+        &mut store,
+        &mut state,
+        &SweepExec::new(),
+        &clock,
+        &mut Injector::none(),
+        &cfg("cold", false),
+    )
+    .map_err(|e| e.to_string())?;
+    let cold_ms = t.elapsed().as_millis();
+    let baseline = results_bytes(&state)?;
+    println!("  cold run: {} jobs in {cold_ms} ms", jobs.len());
+
+    // 2. Crash at every point, resume, compare.
+    let mut points = Vec::new();
+    for &point in FAULT_POINTS {
+        let path = store_path(&format!("{}.jsonl", point.replace('.', "-")))?;
+        let (mut store, mut state) =
+            SweepStore::create(&path, spec.name(), &jobs).map_err(|e| e.to_string())?;
+        let mut injector = Injector::at(point, 1, CrashMode::Error)?;
+        let t = Instant::now();
+        let crashed = drive(
+            &mut store,
+            &mut state,
+            &SweepExec::new(),
+            &clock,
+            &mut injector,
+            &cfg("victim", false),
+        );
+        let crashed_ms = t.elapsed().as_millis();
+        let fired = match crashed {
+            Err(DriveError::InjectedCrash { .. }) => true,
+            // A healthy sweep never reaches the failure-path points.
+            Ok(_) => false,
+            Err(other) => return Err(format!("[{point}] drive failed: {other}")),
+        };
+        drop(store);
+
+        let t = Instant::now();
+        let (mut store, mut state, _report) = SweepStore::open(&path).map_err(|e| e.to_string())?;
+        drive(
+            &mut store,
+            &mut state,
+            &SweepExec::new(),
+            &clock,
+            &mut Injector::none(),
+            &cfg("rescuer", true),
+        )
+        .map_err(|e| format!("[{point}] resume failed: {e}"))?;
+        let resume_ms = t.elapsed().as_millis();
+        let bit_identical = results_bytes(&state)? == baseline;
+        println!(
+            "  {point}: crashed at {crashed_ms} ms{}, resume {resume_ms} ms, \
+             total x{:.2} vs cold, bit-identical: {bit_identical}",
+            if fired { "" } else { " (point unfired)" },
+            (crashed_ms + resume_ms) as f64 / cold_ms.max(1) as f64,
+        );
+        points.push(PointRun {
+            point,
+            fired,
+            crashed_ms,
+            resume_ms,
+            bit_identical,
+        });
+    }
+
+    let all_identical = points.iter().all(|p| p.bit_identical);
+    let worst_total = points
+        .iter()
+        .map(|p| (p.crashed_ms + p.resume_ms) as f64 / cold_ms.max(1) as f64)
+        .fold(f64::MIN, f64::max);
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"point\": \"{}\", \"fired\": {}, \"crashed_ms\": {}, \
+                 \"resume_ms\": {}, \"total_vs_cold\": {:.4}, \"bit_identical\": {}}}",
+                p.point,
+                p.fired,
+                p.crashed_ms,
+                p.resume_ms,
+                (p.crashed_ms + p.resume_ms) as f64 / cold_ms.max(1) as f64,
+                p.bit_identical,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"sweep\": \"{}\",\n  \"jobs\": {},\n  \"cold_ms\": {cold_ms},\n  \
+         \"points\": [\n{}\n  ],\n  \"worst_total_vs_cold\": {worst_total:.4},\n  \
+         \"all_bit_identical\": {all_identical}\n}}\n",
+        spec.name(),
+        jobs.len(),
+        entries.join(",\n"),
+    );
+    write_artifact("BENCH_sweep.json", &json)?;
+    println!("\n{json}");
+    println!("written to BENCH_sweep.json (non-gating artifact)");
+
+    // Timings never gate; broken recovery always does.
+    if !all_identical {
+        return Err("bit-identity violated after crash+resume".to_owned());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweepbench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

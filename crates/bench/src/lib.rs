@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod jobs;
 pub mod legacy;
 
 use std::sync::Arc;
@@ -114,12 +115,119 @@ pub fn time_budget() -> Duration {
 /// an imposed time limit").
 #[must_use]
 pub fn experiment_config() -> SearchConfig {
+    budgeted_config(10_000)
+}
+
+/// The wall-clock-budgeted configuration every table/bench bin shares:
+/// minimize δ, stop at `FTDES_TIME_MS` or `max_iterations`, whichever
+/// comes first.
+#[must_use]
+pub fn budgeted_config(max_iterations: usize) -> SearchConfig {
     SearchConfig {
         goal: Goal::MinimizeLength,
         time_limit: Some(time_budget()),
-        max_tabu_iterations: 10_000,
+        max_tabu_iterations: max_iterations,
         ..SearchConfig::default()
     }
+}
+
+/// The **iteration-bounded** configuration of the sweep jobs: no
+/// wall-clock limit at all, so for a fixed `max_iterations` the search
+/// trajectory — and therefore every job result — is bit-identical
+/// across runs, thread counts and machines. This is what makes
+/// crash-resumed sweeps reproduce uncrashed ones exactly.
+#[must_use]
+pub fn iteration_config(max_iterations: usize) -> SearchConfig {
+    SearchConfig {
+        goal: Goal::MinimizeLength,
+        time_limit: None,
+        max_tabu_iterations: max_iterations,
+        ..SearchConfig::default()
+    }
+}
+
+/// Mean worst-case schedule length of a set of outcomes, in µs.
+#[must_use]
+pub fn mean_length_us(outcomes: &[Outcome]) -> f64 {
+    outcomes
+        .iter()
+        .map(|o| o.length().as_us() as f64)
+        .sum::<f64>()
+        / outcomes.len().max(1) as f64
+}
+
+/// The per-process fault-tolerance technique mix of a set of designs:
+/// how often the optimizer chose each technique (paper §6 discusses
+/// the mix MXR settles on; the cptable sweep tracks how it shifts
+/// with χ).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyMix {
+    /// Pure re-execution decisions (no checkpoints).
+    pub reexec: usize,
+    /// Checkpointed re-execution decisions.
+    pub checkpointed: usize,
+    /// Pure replication decisions.
+    pub replicated: usize,
+    /// Replicated mixes (replicas and a re-execution budget).
+    pub mixed: usize,
+}
+
+impl PolicyMix {
+    /// Tallies the decisions of one design into the mix.
+    pub fn add_design(&mut self, design: &ftdes_model::design::Design) {
+        for (_, d) in design.iter() {
+            if d.policy.is_pure_reexecution() {
+                if d.policy.is_checkpointed() {
+                    self.checkpointed += 1;
+                } else {
+                    self.reexec += 1;
+                }
+            } else if d.policy.is_pure_replication() {
+                self.replicated += 1;
+            } else {
+                self.mixed += 1;
+            }
+        }
+    }
+
+    /// The mix across a set of outcomes.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[Outcome]) -> Self {
+        let mut mix = PolicyMix::default();
+        for o in outcomes {
+            mix.add_design(&o.design);
+        }
+        mix
+    }
+
+    /// The JSON object fragment every artifact writer embeds.
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"reexec\": {}, \"checkpointed\": {}, \"replicated\": {}, \"mixed\": {}}}",
+            self.reexec, self.checkpointed, self.replicated, self.mixed
+        )
+    }
+}
+
+impl std::fmt::Display for PolicyMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.reexec, self.checkpointed, self.replicated, self.mixed
+        )
+    }
+}
+
+/// Writes a `BENCH_*.json` artifact, with the error reporting every
+/// bin previously hand-rolled.
+///
+/// # Errors
+///
+/// A formatted message naming the artifact and the I/O failure.
+pub fn write_artifact(name: &str, json: &str) -> Result<(), String> {
+    std::fs::write(name, json).map_err(|e| format!("cannot write {name}: {e}"))
 }
 
 /// Builds the problem instance for one synthetic application.

@@ -1,0 +1,189 @@
+//! The crash matrix over the *real* sweep adapters: for every
+//! registered fault point, crash a sweep mid-run, reopen, resume —
+//! and require byte-identical aggregate results.
+//!
+//! This is the end-to-end form of the property the `ftdes-serve` toy
+//! matrix isolates: the optimizer jobs are iteration-bounded (no
+//! wall-clock limits), results carry no timestamps, and committed
+//! results replay from the log, so crashing a sweep at any durability
+//! boundary must not change a single byte of what it finally reports.
+
+use std::path::{Path, PathBuf};
+
+use ftdes_bench::jobs::{ChiSweep, RepairSweep, SweepExec, SweepSpec};
+use ftdes_serve::{
+    drive, CrashMode, DriveError, Injector, SweepClock, SweepState, SweepStore, WorkerConfig,
+    FAULT_POINTS,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftdes-bench-crash-matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Small enough to finish a full matrix in seconds, large enough to
+/// exercise every job kind (generate, optimize, faultsim, aggregate).
+fn tiny_chi() -> SweepSpec {
+    SweepSpec::Chi(ChiSweep {
+        processes: 6,
+        nodes: 2,
+        faults: 1,
+        mu_ms: 5,
+        seeds: 1,
+        chi_permille: vec![50],
+        max_checkpoints: 2,
+        max_iterations: 2,
+        faultsim_samples: 8,
+    })
+}
+
+fn cfg(worker: &str, takeover: bool) -> WorkerConfig {
+    WorkerConfig {
+        worker: worker.into(),
+        lease_ms: 1_000,
+        max_attempts: 2,
+        backoff_base_ms: 10,
+        takeover,
+    }
+}
+
+/// Every committed result, serialized in job order — the sweep's
+/// byte-level identity.
+fn results_bytes(state: &SweepState) -> String {
+    let mut out = String::new();
+    for job in state.jobs() {
+        out.push_str(&format!(
+            "{} {}\n",
+            job.spec.name,
+            state
+                .result(job.spec.id)
+                .map(|v| serde_json::to_string(v).unwrap())
+                .unwrap_or_else(|| "<none>".into()),
+        ));
+    }
+    out
+}
+
+fn run_uncrashed(spec: &SweepSpec, path: &Path) -> String {
+    let (mut store, mut state) = SweepStore::create(path, spec.name(), &spec.jobs()).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    drive(
+        &mut store,
+        &mut state,
+        &SweepExec::new(),
+        &clock,
+        &mut Injector::none(),
+        &cfg("base", false),
+    )
+    .unwrap();
+    assert!(state.is_complete(), "uncrashed sweep completes fully");
+    results_bytes(&state)
+}
+
+#[test]
+fn chi_sweep_resumes_bit_identically_after_every_crash_point() {
+    let spec = tiny_chi();
+    let baseline = run_uncrashed(&spec, &tmp("chi-baseline.jsonl"));
+
+    // No failing jobs in this sweep, so the fail/quarantine points
+    // never fire — drive then completes uncrashed, which is the
+    // correct degenerate case (crash-at-point ≡ no-crash when the
+    // point is never reached).
+    for &point in FAULT_POINTS {
+        let path = tmp(&format!("chi-{}.jsonl", point.replace('.', "-")));
+        let (mut store, mut state) = SweepStore::create(&path, spec.name(), &spec.jobs()).unwrap();
+        let clock = SweepClock::virtual_at(0);
+        let mut injector = Injector::at(point, 1, CrashMode::Error).unwrap();
+        let crashed = drive(
+            &mut store,
+            &mut state,
+            &SweepExec::new(),
+            &clock,
+            &mut injector,
+            &cfg("victim", false),
+        );
+        match crashed {
+            Err(DriveError::InjectedCrash { point: p }) => assert_eq!(p, point),
+            Ok(_) => assert!(
+                point.starts_with("fail.") || point.starts_with("quarantine."),
+                "[{point}] only failure points may go unfired on a healthy sweep"
+            ),
+            Err(other) => panic!("[{point}] unexpected error {other:?}"),
+        }
+        drop(store);
+
+        // A fresh executor simulates the fresh process of a real
+        // resume: empty cache pool, no carried state.
+        let (mut store, mut state, report) = SweepStore::open(&path).unwrap();
+        assert_eq!(
+            report.dropped_torn_line,
+            point == "done.torn_append",
+            "[{point}] torn-line detection"
+        );
+        drive(
+            &mut store,
+            &mut state,
+            &SweepExec::new(),
+            &clock,
+            &mut Injector::none(),
+            &cfg("rescuer", true),
+        )
+        .unwrap();
+        assert!(state.is_complete(), "[{point}] resumed sweep completes");
+        assert_eq!(
+            results_bytes(&state),
+            baseline,
+            "[{point}] resumed results differ from the uncrashed run"
+        );
+    }
+}
+
+#[test]
+fn repair_sweep_crash_resume_is_bit_identical() {
+    // One representative crash point for the heavier repair sweep:
+    // the result-loss case (job ran, commit never landed), which
+    // forces a full re-execution of a repair job on resume.
+    let spec = SweepSpec::Repair(RepairSweep {
+        processes: 6,
+        comm_processes: 5,
+        nodes: 3,
+        faults: 1,
+        mu_ms: 5,
+        seeds: 1,
+        max_iterations: 2,
+    });
+    let baseline = run_uncrashed(&spec, &tmp("repair-baseline.jsonl"));
+
+    let path = tmp("repair-crash.jsonl");
+    let (mut store, mut state) = SweepStore::create(&path, spec.name(), &spec.jobs()).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    // Crash on the 4th commit: deep enough that generates and an
+    // optimize have landed and an in-flight job's work is lost.
+    let mut injector = Injector::at("done.before_append", 4, CrashMode::Error).unwrap();
+    drive(
+        &mut store,
+        &mut state,
+        &SweepExec::new(),
+        &clock,
+        &mut injector,
+        &cfg("victim", false),
+    )
+    .unwrap_err();
+    drop(store);
+
+    let (mut store, mut state, _) = SweepStore::open(&path).unwrap();
+    drive(
+        &mut store,
+        &mut state,
+        &SweepExec::new(),
+        &clock,
+        &mut Injector::none(),
+        &cfg("rescuer", true),
+    )
+    .unwrap();
+    assert!(state.is_complete());
+    assert_eq!(results_bytes(&state), baseline);
+}

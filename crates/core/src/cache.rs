@@ -122,6 +122,59 @@ impl EvalCache {
     }
 }
 
+/// A pool of [`EvalCache`]s shared across independent solver runs,
+/// keyed by [`problem_fingerprint`] — the cache-sharing seam of the
+/// sweep-orchestration layer.
+///
+/// Sweep jobs that re-solve the same problem under different fault
+/// hypotheses or strategies (the cptable χ sweep, repair benches)
+/// fetch their cache through one pool, so a re-run — in particular a
+/// job re-executed after a crash — warm-starts from every evaluation
+/// its siblings already paid for. Cost entries are keyed by problem
+/// *and* fault model inside the cache, so pooling by problem alone is
+/// sound; pooling by fingerprint (not object identity) means two
+/// structurally identical problems built independently — e.g. by a
+/// re-run generate job — share as well.
+#[derive(Debug, Default)]
+pub struct CachePool {
+    caches: Mutex<HashMap<u64, Arc<EvalCache>>>,
+}
+
+impl CachePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        CachePool::default()
+    }
+
+    /// The shared cache for `problem`, created on first request.
+    /// Structurally identical problems (same [`problem_fingerprint`])
+    /// return clones of the same `Arc`.
+    #[must_use]
+    pub fn for_problem(&self, problem: &Problem) -> Arc<EvalCache> {
+        self.for_fingerprint(problem_fingerprint(problem))
+    }
+
+    /// [`CachePool::for_problem`] by precomputed fingerprint.
+    #[must_use]
+    pub fn for_fingerprint(&self, fingerprint: u64) -> Arc<EvalCache> {
+        let mut caches = self.caches.lock().expect("cache pool");
+        Arc::clone(caches.entry(fingerprint).or_default())
+    }
+
+    /// Number of distinct problems the pool holds caches for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.caches.lock().expect("cache pool").len()
+    }
+
+    /// True when no cache has been requested yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One running accumulator of the 128-bit fingerprint (two
 /// independently-seeded 64-bit streams).
 #[derive(Clone, Copy)]
@@ -170,6 +223,9 @@ pub fn fault_fingerprint(fm: &FaultModel) -> u64 {
     let mut fp = Fingerprint::new(0xfa17);
     fp.mix(u64::from(fm.k()));
     fp.mix(fm.mu().as_us());
+    // χ changes every checkpointed design's cost; omitting it would
+    // alias the rows of a checkpoint-overhead sweep sharing one cache.
+    fp.mix(fm.chi().as_us());
     fp.finish() as u64
 }
 
@@ -882,6 +938,43 @@ mod tests {
         let eval = Evaluator::with_cache(&problem, false);
         assert!(!eval.evaluate(&design).unwrap().1);
         assert!(!eval.evaluate(&design).unwrap().1);
+    }
+
+    #[test]
+    fn fault_fingerprint_separates_checkpoint_overhead() {
+        let fm = FaultModel::new(2, Time::from_ms(5));
+        let cp = fm.with_checkpoint_overhead(Time::from_ms(1));
+        assert_ne!(
+            fault_fingerprint(&fm),
+            fault_fingerprint(&cp),
+            "χ-only differences must not alias in a shared cache"
+        );
+    }
+
+    #[test]
+    fn pool_shares_caches_by_problem_structure() {
+        let (problem, design) = tiny();
+        let pool = CachePool::new();
+        assert!(pool.is_empty());
+        let cache_a = pool.for_problem(&problem);
+        let cache_b = pool.for_problem(&problem);
+        assert!(Arc::ptr_eq(&cache_a, &cache_b), "same problem, same cache");
+        assert_eq!(pool.len(), 1);
+
+        // A solve through one handle warms the other: the second
+        // evaluator's very first evaluation is already a hit.
+        let eval_a = Evaluator::with_shared_cache(&problem, cache_a);
+        let (cost_a, hit_a) = eval_a.evaluate(&design).unwrap();
+        assert!(!hit_a);
+        let eval_b = Evaluator::with_shared_cache(&problem, cache_b);
+        let (cost_b, hit_b) = eval_b.evaluate(&design).unwrap();
+        assert!(hit_b, "pooled cache shares entries across evaluators");
+        assert_eq!(cost_a, cost_b);
+
+        // A different fingerprint gets its own cache.
+        let other = pool.for_fingerprint(problem_fingerprint(&problem) ^ 1);
+        assert_eq!(pool.len(), 2);
+        assert!(!Arc::ptr_eq(&other, &pool.for_problem(&problem)));
     }
 
     #[test]

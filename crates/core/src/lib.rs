@@ -107,7 +107,7 @@ pub mod tabu;
 /// Convenience re-exports of the optimization entry points.
 pub mod prelude {
     pub use crate::bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
-    pub use crate::cache::{CandidateEval, EvalCache, EvalOutcome, Evaluator};
+    pub use crate::cache::{CachePool, CandidateEval, EvalCache, EvalOutcome, Evaluator};
     pub use crate::config::{Goal, SearchConfig, SearchStats};
     pub use crate::error::OptError;
     pub use crate::parallel::{effective_threads, WorkerPool};
@@ -122,7 +122,7 @@ pub mod prelude {
 }
 
 pub use bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
-pub use cache::{CandidateEval, EvalCache, EvalOutcome, Evaluator};
+pub use cache::{CachePool, CandidateEval, EvalCache, EvalOutcome, Evaluator};
 pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
 pub use parallel::{effective_threads, WorkerPool};

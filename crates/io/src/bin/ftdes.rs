@@ -8,7 +8,24 @@
 //! ftdes repair <problem.ftd> --delta <spec> [--delta <spec> ...]
 //!                            [--repair-ms N] [--strategy ...] [--scenarios N]
 //! ftdes info  <problem.ftd>
+//! ftdes sweep run    --spec <sweep.txt> --store <log.jsonl> [--out results.json]
+//!                    [--workers N] [--lease-ms N] [--max-attempts N]
+//! ftdes sweep resume --store <log.jsonl> [--takeover] [--out results.json] [--workers N]
+//! ftdes sweep status --store <log.jsonl>
 //! ```
+//!
+//! `sweep` drives a whole experiment sweep (a χ trade-off table or a
+//! degrade-and-repair study — see [`ftdes_io::sweep`] for the spec
+//! format) as a crash-safe job DAG over an append-only event log
+//! (`ftdes-serve`). Kill the process at any instant and `sweep
+//! resume --takeover` continues from the log; the final results are
+//! bit-identical to an uncrashed run. `FTDES_CRASH_AT=<point>[:<n>]`
+//! arms the crash-injection harness (real `abort()` at a registered
+//! fault point) for exactly that drill.
+//!
+//! Exit codes are classified sysexits-style: `2` usage, `65` malformed
+//! input (problem file, sweep spec, or corrupt store), `74` I/O
+//! failure, `1` anything else (solver errors, stalled sweeps, ...).
 //!
 //! `repair` optimizes the intact problem, applies the composite
 //! delta (`kill-node:N1`, `degrade-node:N1:150`, `rescale-wcet:120`,
@@ -32,9 +49,11 @@
 //!             --msg-wcet-ratio 0.5 --goal length --bus-opt
 //! ```
 
+use std::fmt;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use ftdes_bench::jobs::SweepExec;
 use ftdes_core::repair::{repair, RepairBudget};
 use ftdes_core::{optimize, optimize_bus, BusOptConfig, Goal, Problem, SearchConfig, Strategy};
 use ftdes_faultsim::{adversarial_scenario, random_scenarios, simulate};
@@ -42,19 +61,82 @@ use ftdes_gen::{comm_heavy, paper_workload, CommHeavyParams};
 use ftdes_io::delta::parse_delta_with;
 use ftdes_io::format::parse_problem;
 use ftdes_io::report::{solution_report, to_json};
+use ftdes_io::sweep::parse_sweep;
 use ftdes_model::architecture::Architecture;
 use ftdes_model::fault::FaultModel;
 use ftdes_model::time::Time;
 use ftdes_sched::render::{render_gantt, render_medl, render_tables};
+use ftdes_serve::{
+    drive, drive_parallel, Injector, JobStatus, StoreError, SweepClock, SweepState, SweepStore,
+    WorkerConfig,
+};
 use ftdes_ttp::config::BusConfig;
+use serde::Value;
+
+/// A classified CLI failure. The variant picks the process exit code
+/// (sysexits-style) so scripts and the e2e tests can tell *why* a run
+/// failed without parsing stderr.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command/flag, missing argument. Exit 2.
+    Usage(String),
+    /// Malformed input data: problem file, sweep spec, corrupt or
+    /// inconsistent store. Exit 65 (`EX_DATAERR`).
+    Parse(String),
+    /// The OS said no: unreadable file, failed write/sync. Exit 74
+    /// (`EX_IOERR`).
+    Io(String),
+    /// Everything else (solver failure, stalled sweep, ...). Exit 1.
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 65,
+            CliError::Io(_) => 74,
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Io(m) | CliError::Other(m) => {
+                f.write_str(m)
+            }
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Other(message)
+    }
+}
+
+/// Store failures keep their classification: OS errors are I/O,
+/// corrupt or inconsistent logs are data errors.
+fn store_err(e: StoreError) -> CliError {
+    match e {
+        StoreError::Io { .. } => CliError::Io(e.to_string()),
+        _ => CliError::Parse(e.to_string()),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let result = match args.split_first() {
+        Some((command, rest)) if command == "sweep" => run_sweep(rest),
+        _ => run(&args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -265,9 +347,9 @@ impl Options {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = args.split_first() else {
-        return Err(usage());
+        return Err(CliError::Usage(usage()));
     };
     // Either a problem file, or a generated instance (`--family …` —
     // the flags then start right after the command).
@@ -275,18 +357,23 @@ fn run(args: &[String]) -> Result<(), String> {
         Some((p, tail)) if !p.starts_with("--") => (Some(p.as_str()), tail),
         _ => (None, rest),
     };
-    let mut options = Options::parse(flags)?;
+    let mut options = Options::parse(flags).map_err(CliError::Usage)?;
     let (problem, node_names) = match (path, options.family.take()) {
         (Some(path), None) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let spec = parse_problem(&text).map_err(|e| format!("{path}: {e}"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+            let spec = parse_problem(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
             let names: Vec<String> = spec.arch.nodes().iter().map(|n| n.name.clone()).collect();
-            let (problem, _merged) = spec.into_problem().map_err(|e| e.to_string())?;
+            let (problem, _merged) = spec
+                .into_problem()
+                .map_err(|e| CliError::Parse(e.to_string()))?;
             (problem, names)
         }
         (None, Some(family)) => {
             if family.family.is_empty() {
-                return Err("generator knobs need --family comm-heavy|paper".to_owned());
+                return Err(CliError::Usage(
+                    "generator knobs need --family comm-heavy|paper".to_owned(),
+                ));
             }
             let problem = family.into_problem(options.seed)?;
             let names = (0..problem.arch().node_count())
@@ -295,9 +382,11 @@ fn run(args: &[String]) -> Result<(), String> {
             (problem, names)
         }
         (Some(_), Some(_)) => {
-            return Err("pass either a problem file or --family, not both".to_owned())
+            return Err(CliError::Usage(
+                "pass either a problem file or --family, not both".to_owned(),
+            ))
         }
-        (None, None) => return Err(usage()),
+        (None, None) => return Err(CliError::Usage(usage())),
     };
     let problem = match options.max_checkpoints {
         Some(n) => problem.with_max_checkpoints(n),
@@ -360,7 +449,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     &node_names,
                     &outcome,
                 );
-                std::fs::write(out, to_json(&report)).map_err(|e| format!("writing {out}: {e}"))?;
+                std::fs::write(out, to_json(&report))
+                    .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
                 println!("report written to {out}");
             }
             Ok(())
@@ -376,10 +466,14 @@ fn run(args: &[String]) -> Result<(), String> {
             for scenario in &scenarios {
                 let report = simulate(schedule, problem.graph(), fm, scenario);
                 if !report.all_processes_complete() {
-                    return Err(format!("a process died under {scenario:?}"));
+                    return Err(CliError::Other(format!(
+                        "a process died under {scenario:?}"
+                    )));
                 }
                 if let Some(over) = report.max_overrun() {
-                    return Err(format!("worst-case bound violated: {over:?}"));
+                    return Err(CliError::Other(format!(
+                        "worst-case bound violated: {over:?}"
+                    )));
                 }
                 worst = worst.max(report.realized_length());
             }
@@ -393,7 +487,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "repair" => {
             if options.deltas.is_empty() {
-                return Err("repair needs at least one --delta <spec>".to_owned());
+                return Err(CliError::Usage(
+                    "repair needs at least one --delta <spec>".to_owned(),
+                ));
             }
             let names = ftdes_io::DeltaNames {
                 nodes: node_names.clone(),
@@ -404,7 +500,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map(|p| p.name.clone())
                     .collect(),
             };
-            let delta = parse_delta_with(&options.deltas, &names).map_err(|e| e.to_string())?;
+            let delta = parse_delta_with(&options.deltas, &names)
+                .map_err(|e| CliError::Parse(e.to_string()))?;
             let outcome = optimize(&problem, options.strategy, &options.search_config())
                 .map_err(|e| e.to_string())?;
             println!(
@@ -447,7 +544,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 repaired.is_schedulable()
             );
             if !repaired.is_schedulable() {
-                return Err("no schedulable repair within the budget".to_owned());
+                return Err(CliError::Other(
+                    "no schedulable repair within the budget".to_owned(),
+                ));
             }
             let post = &repaired.problem;
             let fm = post.fault_model();
@@ -457,10 +556,14 @@ fn run(args: &[String]) -> Result<(), String> {
             for scenario in &scenarios {
                 let report = simulate(&repaired.schedule, post.graph(), fm, scenario);
                 if !report.all_processes_complete() {
-                    return Err(format!("a process died under {scenario:?}"));
+                    return Err(CliError::Other(format!(
+                        "a process died under {scenario:?}"
+                    )));
                 }
                 if let Some(over) = report.max_overrun() {
-                    return Err(format!("worst-case bound violated: {over:?}"));
+                    return Err(CliError::Other(format!(
+                        "worst-case bound violated: {over:?}"
+                    )));
                 }
             }
             println!(
@@ -472,12 +575,277 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
     }
 }
 
+/// Flags of the `sweep` subcommands.
+struct SweepOptions {
+    store: Option<String>,
+    spec: Option<String>,
+    out: Option<String>,
+    workers: usize,
+    takeover: bool,
+    lease_ms: u64,
+    max_attempts: u32,
+}
+
+impl SweepOptions {
+    fn parse(args: &[String]) -> Result<SweepOptions, CliError> {
+        let mut o = SweepOptions {
+            store: None,
+            spec: None,
+            out: None,
+            workers: 1,
+            takeover: false,
+            lease_ms: 60_000,
+            max_attempts: 3,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            let number = |name: &str, v: String| {
+                v.parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("invalid {name}: {v:?}")))
+            };
+            match flag.as_str() {
+                "--store" => o.store = Some(value("--store")?),
+                "--spec" => o.spec = Some(value("--spec")?),
+                "--out" => o.out = Some(value("--out")?),
+                "--takeover" => o.takeover = true,
+                "--workers" => o.workers = number("--workers", value("--workers")?)? as usize,
+                "--lease-ms" => o.lease_ms = number("--lease-ms", value("--lease-ms")?)?,
+                "--max-attempts" => {
+                    o.max_attempts = number("--max-attempts", value("--max-attempts")?)? as u32;
+                }
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown sweep flag {other:?}\n{}",
+                        sweep_usage()
+                    )))
+                }
+            }
+        }
+        Ok(o)
+    }
+
+    fn store(&self) -> Result<&str, CliError> {
+        self.store
+            .as_deref()
+            .ok_or_else(|| CliError::Usage("sweep needs --store <log.jsonl>".to_owned()))
+    }
+
+    fn worker_config(&self, takeover: bool) -> WorkerConfig {
+        WorkerConfig {
+            worker: format!("cli-{}", std::process::id()),
+            lease_ms: self.lease_ms,
+            max_attempts: self.max_attempts,
+            takeover,
+            ..WorkerConfig::default()
+        }
+    }
+}
+
+fn run_sweep(args: &[String]) -> Result<(), CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(CliError::Usage(sweep_usage()));
+    };
+    let o = SweepOptions::parse(rest)?;
+    match sub.as_str() {
+        "run" => {
+            let spec_path = o
+                .spec
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("sweep run needs --spec <sweep.txt>".to_owned()))?;
+            let text = std::fs::read_to_string(spec_path)
+                .map_err(|e| CliError::Io(format!("reading {spec_path}: {e}")))?;
+            let spec =
+                parse_sweep(&text).map_err(|e| CliError::Parse(format!("{spec_path}: {e}")))?;
+            let jobs = spec.jobs();
+            println!(
+                "sweep {}: {} jobs -> {}",
+                spec.name(),
+                jobs.len(),
+                o.store()?
+            );
+            let (mut store, mut state) =
+                SweepStore::create(std::path::Path::new(o.store()?), spec.name(), &jobs)
+                    .map_err(store_err)?;
+            drive_sweep(&o, &mut store, &mut state, false)?;
+            finish_sweep(&o, &state)
+        }
+        "resume" => {
+            let (mut store, mut state, report) =
+                SweepStore::open(std::path::Path::new(o.store()?)).map_err(store_err)?;
+            if report.dropped_torn_line {
+                println!("recovered from a torn append (dropped the partial line)");
+            }
+            println!(
+                "resuming sweep {} from {} replayed events",
+                state.sweep, report.events
+            );
+            drive_sweep(&o, &mut store, &mut state, o.takeover)?;
+            finish_sweep(&o, &state)
+        }
+        "status" => {
+            let (_store, state, report) =
+                SweepStore::open(std::path::Path::new(o.store()?)).map_err(store_err)?;
+            print_status(&state, report.events, report.dropped_torn_line);
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown sweep subcommand {other:?}\n{}",
+            sweep_usage()
+        ))),
+    }
+}
+
+/// Drives the sweep to a settled state. A crash injector armed via
+/// `FTDES_CRASH_AT` forces the single-worker loop (injection is a
+/// single-worker instrument); otherwise `--workers N` fans out.
+fn drive_sweep(
+    o: &SweepOptions,
+    store: &mut SweepStore,
+    state: &mut SweepState,
+    takeover: bool,
+) -> Result<(), CliError> {
+    let mut injector = Injector::from_env().map_err(CliError::Usage)?;
+    let exec = SweepExec::new();
+    let cfg = o.worker_config(takeover);
+    let report = if o.workers > 1 && injector.armed_point().is_none() {
+        drive_parallel(store, state, &exec, &SweepClock::Wall, &cfg, o.workers)
+    } else {
+        drive(store, state, &exec, &SweepClock::Wall, &mut injector, &cfg)
+    }
+    .map_err(|e| match e {
+        ftdes_serve::DriveError::Store(s) => store_err(s),
+        other => CliError::Other(other.to_string()),
+    })?;
+    println!(
+        "drove sweep: {} executed, {} reclaimed, {} failed attempts, {} quarantined, {} blocked",
+        report.executed,
+        report.reclaimed,
+        report.failed_attempts,
+        report.quarantined,
+        report.blocked
+    );
+    Ok(())
+}
+
+/// Prints the outcome and writes `--out` (deterministic job-order
+/// JSON — the file two independent complete runs must agree on
+/// byte-for-byte).
+fn finish_sweep(o: &SweepOptions, state: &SweepState) -> Result<(), CliError> {
+    print_status(state, 0, false);
+    if let Some(out) = &o.out {
+        if !state.is_complete() {
+            return Err(CliError::Other(
+                "sweep settled with unfinished jobs; not writing --out".to_owned(),
+            ));
+        }
+        let json = results_json(state)?;
+        std::fs::write(out, json).map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+        println!("results written to {out}");
+    }
+    if !state.is_complete() {
+        return Err(CliError::Other(
+            "sweep settled but some jobs are quarantined or blocked".to_owned(),
+        ));
+    }
+    Ok(())
+}
+
+/// Every committed result in job order, as one stable JSON document.
+fn results_json(state: &SweepState) -> Result<String, CliError> {
+    let jobs: Vec<Value> = state
+        .jobs()
+        .map(|job| {
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(job.spec.name.clone())),
+                (
+                    "result".to_owned(),
+                    state.result(job.spec.id).cloned().unwrap_or(Value::Null),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("sweep".to_owned(), Value::Str(state.sweep.clone())),
+        ("jobs".to_owned(), Value::Array(jobs)),
+    ]);
+    serde_json::to_string(&doc)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| CliError::Other(format!("encoding results: {e:?}")))
+}
+
+fn print_status(state: &SweepState, events: usize, torn: bool) {
+    let c = state.counts();
+    println!(
+        "sweep {} [fp {:016x}]: {} done, {} ready, {} waiting, {} claimed, {} failed, \
+         {} quarantined{}{}",
+        state.sweep,
+        state.spec_fp,
+        c.done,
+        c.ready,
+        c.waiting,
+        c.claimed,
+        c.failed,
+        c.quarantined,
+        if events > 0 {
+            format!(" ({events} events replayed)")
+        } else {
+            String::new()
+        },
+        if torn { ", torn line dropped" } else { "" },
+    );
+    for job in state.jobs() {
+        let line = match &job.status {
+            JobStatus::Done { .. } => continue,
+            JobStatus::Ready if state.deps_done(job.spec.id) => "ready".to_owned(),
+            JobStatus::Ready if state.blocked_forever(job.spec.id) => {
+                "blocked (dependency quarantined)".to_owned()
+            }
+            JobStatus::Ready => "waiting on dependencies".to_owned(),
+            JobStatus::Claimed {
+                worker,
+                attempt,
+                expires_ms,
+            } => format!("claimed by {worker} (attempt {attempt}, lease to {expires_ms})"),
+            JobStatus::Failed { attempt, retry_ms } => {
+                format!("failed attempt {attempt}, retry at {retry_ms}")
+            }
+            JobStatus::Quarantined => format!(
+                "quarantined after {} attempts: {}",
+                job.failures.len(),
+                job.failures.last().map_or("", String::as_str)
+            ),
+        };
+        println!("  {}: {line}", job.spec.name);
+    }
+}
+
+fn sweep_usage() -> String {
+    "usage: ftdes sweep run    --spec <sweep.txt> --store <log.jsonl> [--out results.json]\n\
+     \x20                     [--workers N] [--lease-ms N] [--max-attempts N]\n\
+     \x20      ftdes sweep resume --store <log.jsonl> [--takeover] [--out results.json] [--workers N]\n\
+     \x20      ftdes sweep status --store <log.jsonl>\n\
+     crash drills: FTDES_CRASH_AT=<fault-point>[:<n>] aborts the worker at a registered\n\
+     durability boundary; `sweep resume --takeover` then continues from the log"
+        .to_owned()
+}
+
 fn usage() -> String {
-    "usage: ftdes <solve|inject|repair|info> <problem.ftd | --family comm-heavy|paper> [flags]\n\
+    "usage: ftdes <solve|inject|repair|info|sweep> <problem.ftd | --family comm-heavy|paper> [flags]\n\
      flags: --strategy mxr|mx|mr|sfx|nft  --time-ms N  --goal deadline|length\n\
      \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S\n\
      repair: --delta kill-node:N1|degrade-node:N1:150|rescale-wcet:120|remove-process:P2\n\

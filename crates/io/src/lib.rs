@@ -8,8 +8,11 @@
 //!   designer constraints (see the module docs for the grammar),
 //! * [`mod@delta`] — `--delta` spec parsing for the `repair` command,
 //! * [`report`] — stable JSON serialization of optimization results,
-//! * the `ftdes` binary — `solve` / `inject` / `info` commands over
-//!   problem files.
+//! * [`mod@sweep`] — sweep-spec parsing for the crash-safe experiment
+//!   orchestrator (`ftdes-serve` + `ftdes-bench::jobs`),
+//! * the `ftdes` binary — `solve` / `inject` / `repair` / `info`
+//!   commands over problem files, plus `sweep run|resume|status`
+//!   over sweep stores.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@ pub mod delta;
 pub mod error;
 pub mod format;
 pub mod report;
+pub mod sweep;
 pub mod write;
 
 pub use delta::{
@@ -46,4 +50,5 @@ pub use delta::{
 pub use error::{ErrorKind, ParseProblemError};
 pub use format::{parse_problem, ProblemSpec};
 pub use report::{solution_report, to_json, SolutionReport};
+pub use sweep::{parse_sweep, ParseSweepError};
 pub use write::write_problem;

@@ -209,3 +209,103 @@ fn errors_carry_the_offending_line() {
     assert_eq!(err.line, 2);
     assert!(err.to_string().starts_with("line 2:"), "{err}");
 }
+
+// ---------------------------------------------------------------
+// Sweep-spec parser: the same contract, the same taxonomy. Hostile
+// sweep specs come back as structured `ParseSweepError`s — never a
+// panic, never a silently defaulted knob.
+// ---------------------------------------------------------------
+
+use ftdes_io::sweep::{parse_sweep, ParseSweepError};
+
+fn sweep_err(text: &str) -> ParseSweepError {
+    match parse_sweep(text) {
+        Err(e) => e,
+        Ok(spec) => panic!("malformed sweep spec accepted as {spec:?}:\n{text}"),
+    }
+}
+
+#[test]
+fn sweep_accepts_the_valid_baselines() {
+    parse_sweep("sweep chi\n").expect("bare chi header");
+    parse_sweep("sweep repair\nseeds 2\nmax_iterations 10\n").expect("repair overrides");
+}
+
+#[test]
+fn sweep_rejects_missing_or_garbled_headers() {
+    for text in [
+        "",
+        "# only comments\n",
+        "processes 6\n",
+        "sweep\n",
+        "sweep chi repair\n",
+        "sweep chi\nprocesses\n",
+        "sweep chi\nprocesses 1 2\n",
+        "sweep chi\nwarp_factor 9\n",
+    ] {
+        let err = sweep_err(text);
+        assert_eq!(err.kind, ErrorKind::Syntax, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn sweep_rejects_bad_values() {
+    for text in [
+        "sweep warp\n",
+        "sweep chi\nseeds -1\n",
+        "sweep chi\nseeds 1.5\n",
+        "sweep chi\nprocesses many\n",
+        "sweep chi\nchi_permille 10 x 30\n",
+    ] {
+        let err = sweep_err(text);
+        assert_eq!(err.kind, ErrorKind::InvalidValue, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn sweep_distinguishes_overflow_from_noise() {
+    let err = sweep_err("sweep chi\nseeds 99999999999999999999999\n");
+    assert_eq!(err.kind, ErrorKind::Overflow, "{err}");
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("overflows"), "{err}");
+}
+
+#[test]
+fn sweep_rejects_duplicate_keys() {
+    let err = sweep_err("sweep chi\nseeds 1\nnodes 2\nseeds 3\n");
+    assert_eq!(err.kind, ErrorKind::Duplicate, "{err}");
+    assert_eq!(err.line, 4);
+}
+
+#[test]
+fn sweep_rejects_cross_kind_keys_as_unknown_references() {
+    let err = sweep_err("sweep repair\nchi_permille 10\n");
+    assert_eq!(err.kind, ErrorKind::UnknownReference, "{err}");
+    let err = sweep_err("sweep chi\ncomm_processes 12\n");
+    assert_eq!(err.kind, ErrorKind::UnknownReference, "{err}");
+    assert!(
+        err.message.contains("repair"),
+        "names the right kind: {err}"
+    );
+}
+
+#[test]
+fn sweep_rejects_degenerate_specs_as_structure_errors() {
+    for text in [
+        "sweep chi\nseeds 0\n",
+        "sweep chi\nprocesses 0\n",
+        "sweep chi\nmax_iterations 0\n",
+        "sweep chi\nmax_checkpoints 0\n",
+        "sweep repair\nnodes 0\n",
+    ] {
+        let err = sweep_err(text);
+        assert_eq!(err.kind, ErrorKind::Structure, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn sweep_errors_carry_the_offending_line() {
+    let err = sweep_err("sweep chi\n\n# pad\nnodes zero\n");
+    assert_eq!(err.line, 4);
+    assert!(err.to_string().starts_with("line 4:"), "{err}");
+}

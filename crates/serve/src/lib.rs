@@ -1,0 +1,57 @@
+//! # ftdes-serve
+//!
+//! Crash-safe sweep orchestration: a persistent job graph over an
+//! append-only JSONL event log, holding the experiment layer to the
+//! same fault-tolerance standard the optimizer designs for.
+//!
+//! A **sweep** is a DAG of [`JobSpec`]s (generate → optimize →
+//! faultsim → aggregate; the domain adapters live in `ftdes-bench`).
+//! The DAG and everything that happens to it — claims, results,
+//! failures, quarantines — is an event stream in one JSONL file
+//! ([`SweepStore`]), and all state is reconstructed by replay
+//! ([`SweepState`]): crash recovery is a no-op by construction, and a
+//! write torn mid-append is detected and dropped on the next open.
+//!
+//! Robustness machinery:
+//!
+//! * **lease-based claims** — a claim carries an absolute expiry;
+//!   a crashed worker's jobs become claimable again when their lease
+//!   runs out (or immediately under `takeover`, when the caller knows
+//!   no other worker survives). Lease arithmetic takes explicit
+//!   `now` values — a deterministic [`SweepClock::virtual_at`] clock
+//!   drives expiry in tests, no wall-clock dependence anywhere in the
+//!   store or scheduler;
+//! * **bounded retries with exponential backoff** — failures are
+//!   events too; after `max_attempts` the job is **quarantined** with
+//!   its full failure chain, and dependents are reported as
+//!   permanently blocked instead of spinning;
+//! * **crash-injection harness** — every durability boundary of the
+//!   worker loop is a registered fault point ([`FAULT_POINTS`]);
+//!   [`Injector`] kills the worker there (for real via
+//!   `FTDES_CRASH_AT`, or in-process as an error), and the
+//!   crash-matrix suites check that *resume after any crash produces
+//!   aggregate results bit-identical to the uncrashed run*.
+//!
+//! The `ftdes sweep run|resume|status` CLI (in `ftdes-io`) drives
+//! full experiment sweeps through this store; `ftdes-bench::jobs`
+//! maps sweep specs onto job DAGs and executes them against the
+//! deterministic optimizer.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod crash;
+pub mod error;
+pub mod event;
+pub mod state;
+pub mod store;
+pub mod worker;
+
+pub use clock::SweepClock;
+pub use crash::{CrashMode, Injector, CRASH_ENV, FAULT_POINTS};
+pub use error::{DriveError, StoreError};
+pub use event::{fingerprint, jobs_fingerprint, Event, JobSpec};
+pub use state::{JobState, JobStatus, StatusCounts, SweepState};
+pub use store::{ReplayReport, SweepStore};
+pub use worker::{drive, drive_parallel, DepResult, DriveReport, JobExec, WorkerConfig};

@@ -1,0 +1,246 @@
+//! The crash matrix: for every registered fault point, crash the
+//! worker there, reopen the store, resume — and require the final
+//! aggregate results to be **bit-identical** to an uncrashed run.
+//!
+//! The executor here is a toy (pure arithmetic over `Value`), which
+//! isolates the property to the orchestration layer itself; the
+//! `ftdes-bench` crate repeats the matrix with the real optimizer
+//! jobs.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ftdes_serve::{
+    drive, CrashMode, DepResult, DriveError, Injector, JobExec, JobSpec, JobStatus, SweepClock,
+    SweepState, SweepStore, WorkerConfig, FAULT_POINTS,
+};
+use serde::Value;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftdes-serve-crash-matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The matrix DAG exercises every event type: three pure jobs, one
+/// transient failure (fails its first call per process), one poison
+/// job, and an aggregate over the survivors.
+fn matrix_jobs() -> Vec<JobSpec> {
+    let mut jobs: Vec<JobSpec> = (1..=3)
+        .map(|id| JobSpec {
+            id,
+            name: format!("double-{id}"),
+            kind: "double".into(),
+            params: Value::U64(id * 7),
+            deps: vec![],
+        })
+        .collect();
+    jobs.push(JobSpec {
+        id: 4,
+        name: "flaky".into(),
+        kind: "fail:1".into(),
+        params: Value::U64(0),
+        deps: vec![],
+    });
+    jobs.push(JobSpec {
+        id: 5,
+        name: "poison".into(),
+        kind: "poison".into(),
+        params: Value::Null,
+        deps: vec![],
+    });
+    jobs.push(JobSpec {
+        id: 6,
+        name: "aggregate".into(),
+        kind: "sum".into(),
+        params: Value::Null,
+        deps: vec![1, 2, 3, 4],
+    });
+    jobs
+}
+
+/// Deterministic-by-value executor: re-running any job with the same
+/// spec and dependency results yields the same `Ok` value, which is
+/// all the bit-identity contract requires. (The *number* of failures
+/// a transient job takes may differ across crashed runs — those are
+/// log-visible, not result-visible.)
+#[derive(Default)]
+struct Toy {
+    calls: Mutex<BTreeMap<u64, u32>>,
+}
+
+impl JobExec for Toy {
+    fn execute(&self, spec: &JobSpec, deps: &[DepResult]) -> Result<Value, String> {
+        let calls_so_far = {
+            let mut calls = self.calls.lock().unwrap();
+            let n = calls.entry(spec.id).or_insert(0);
+            *n += 1;
+            *n
+        };
+        match spec.kind.as_str() {
+            "double" => Ok(Value::U64(spec.params.as_u64().unwrap_or(0) * 2)),
+            "sum" => Ok(Value::U64(
+                deps.iter().filter_map(|d| d.result.as_u64()).sum(),
+            )),
+            "poison" => Err(format!("poison attempt {calls_so_far}")),
+            kind => match kind.strip_prefix("fail:") {
+                Some(n) if calls_so_far <= n.parse::<u32>().unwrap() => {
+                    Err(format!("transient failure {calls_so_far}"))
+                }
+                Some(_) => Ok(Value::U64(77)),
+                None => Err(format!("unknown kind {kind}")),
+            },
+        }
+    }
+}
+
+fn cfg(worker: &str, takeover: bool) -> WorkerConfig {
+    WorkerConfig {
+        worker: worker.into(),
+        lease_ms: 1_000,
+        max_attempts: 3,
+        backoff_base_ms: 50,
+        takeover,
+    }
+}
+
+/// Serializes every committed result, in job order — the
+/// bit-identity fingerprint of a finished sweep.
+fn results_bytes(state: &SweepState) -> String {
+    let mut out = String::new();
+    for job in state.jobs() {
+        let line = match state.result(job.spec.id) {
+            Some(v) => format!("{}={}\n", job.spec.id, serde_json::to_string(v).unwrap()),
+            None => format!("{}=<none>\n", job.spec.id),
+        };
+        out.push_str(&line);
+    }
+    out
+}
+
+fn run_uncrashed(path: &Path) -> String {
+    let (mut store, mut state) = SweepStore::create(path, "matrix", &matrix_jobs()).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &cfg("base", false),
+    )
+    .unwrap();
+    assert!(state.is_settled());
+    results_bytes(&state)
+}
+
+#[test]
+fn resume_after_any_crash_is_bit_identical_to_the_uncrashed_run() {
+    let baseline = run_uncrashed(&tmp("baseline.jsonl"));
+    assert!(baseline.contains("6="), "aggregate committed in baseline");
+
+    for &point in FAULT_POINTS {
+        let path = tmp(&format!("crash-{}.jsonl", point.replace('.', "-")));
+        let (mut store, mut state) = SweepStore::create(&path, "matrix", &matrix_jobs()).unwrap();
+        let clock = SweepClock::virtual_at(0);
+
+        // Crash exactly at `point`. Each simulated process gets a
+        // fresh Toy, like a real kill would.
+        let mut injector = Injector::at(point, 1, CrashMode::Error).unwrap();
+        let err = drive(
+            &mut store,
+            &mut state,
+            &Toy::default(),
+            &clock,
+            &mut injector,
+            &cfg("victim", false),
+        )
+        .unwrap_err();
+        match err {
+            DriveError::InjectedCrash { point: p } => assert_eq!(p, point),
+            other => panic!("[{point}] expected injected crash, got {other:?}"),
+        }
+        drop(store);
+
+        // Reopen (replay) and resume with takeover, as the CLI's
+        // `sweep resume --takeover` would.
+        let (mut store, mut state, report) = SweepStore::open(&path).unwrap();
+        assert_eq!(
+            report.dropped_torn_line,
+            point == "done.torn_append",
+            "[{point}] torn line detected iff the crash tore an append"
+        );
+        drive(
+            &mut store,
+            &mut state,
+            &Toy::default(),
+            &clock,
+            &mut Injector::none(),
+            &cfg("rescuer", true),
+        )
+        .unwrap();
+        assert!(state.is_settled(), "[{point}] resumed run settles");
+        assert!(
+            matches!(state.job(5).unwrap().status, JobStatus::Quarantined),
+            "[{point}] the poison job still quarantines"
+        );
+
+        let resumed = results_bytes(&state);
+        assert_eq!(
+            resumed, baseline,
+            "[{point}] resumed aggregate differs from uncrashed run"
+        );
+
+        // The recovered log itself replays to the same results — a
+        // third process sees the same sweep.
+        let (_s, replayed, report) = SweepStore::open(&path).unwrap();
+        assert!(!report.dropped_torn_line, "[{point}] log is clean now");
+        assert_eq!(results_bytes(&replayed), baseline);
+    }
+}
+
+#[test]
+fn repeated_crashes_on_the_same_store_still_converge() {
+    // Crash at every point in sequence against ONE store — a worker
+    // that dies seven times in a row — then finish. The surviving log
+    // must still produce the baseline results.
+    let baseline = run_uncrashed(&tmp("multi-baseline.jsonl"));
+    let path = tmp("multi-crash.jsonl");
+    let (store, state) = SweepStore::create(&path, "matrix", &matrix_jobs()).unwrap();
+    drop((store, state));
+    let clock = SweepClock::virtual_at(0);
+
+    for &point in FAULT_POINTS {
+        let (mut store, mut state, _report) = SweepStore::open(&path).unwrap();
+        if state.is_settled() {
+            break;
+        }
+        let mut injector = Injector::at(point, 1, CrashMode::Error).unwrap();
+        // The run either crashes at `point` or settles before ever
+        // reaching it — both are legitimate.
+        let _ = drive(
+            &mut store,
+            &mut state,
+            &Toy::default(),
+            &clock,
+            &mut injector,
+            &cfg("victim", true),
+        );
+    }
+
+    let (mut store, mut state, _report) = SweepStore::open(&path).unwrap();
+    drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &cfg("rescuer", true),
+    )
+    .unwrap();
+    assert!(state.is_settled());
+    assert_eq!(results_bytes(&state), baseline);
+}

@@ -1,0 +1,315 @@
+//! Lease expiry, reclaim, retry backoff and quarantine under the
+//! deterministic virtual clock.
+//!
+//! No test here sleeps or reads the wall clock: every time-dependent
+//! transition (lease running out, backoff elapsing) is driven by
+//! explicit `SweepClock::virtual_at` advances, so the schedules below
+//! are exact and repeatable.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use ftdes_serve::{
+    drive, CrashMode, DepResult, DriveError, Event, Injector, JobSpec, JobStatus, SweepClock,
+    SweepState, SweepStore, WorkerConfig,
+};
+use serde::Value;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ftdes-serve-lease-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn job(id: u64, kind: &str, deps: Vec<u64>) -> JobSpec {
+    JobSpec {
+        id,
+        name: format!("{kind}-{id}"),
+        kind: kind.into(),
+        params: Value::U64(id * 10),
+        deps,
+    }
+}
+
+/// Deterministic toy executor: `double` returns 2·params, `sum` adds
+/// its dependencies, `fail:N` fails its first N calls (tracked
+/// internally), `poison` always fails.
+#[derive(Default)]
+struct Toy {
+    calls: Mutex<HashMap<u64, u32>>,
+}
+
+impl ftdes_serve::JobExec for Toy {
+    fn execute(&self, spec: &JobSpec, deps: &[DepResult]) -> Result<Value, String> {
+        let mut calls = self.calls.lock().unwrap();
+        let n = calls.entry(spec.id).or_insert(0);
+        *n += 1;
+        let calls_so_far = *n;
+        drop(calls);
+        match spec.kind.as_str() {
+            "double" => Ok(Value::U64(spec.params.as_u64().unwrap_or(0) * 2)),
+            "sum" => Ok(Value::U64(
+                deps.iter().filter_map(|d| d.result.as_u64()).sum(),
+            )),
+            "poison" => Err(format!("poison attempt {calls_so_far}")),
+            kind => match kind.strip_prefix("fail:") {
+                Some(n) => {
+                    let threshold: u32 = n.parse().unwrap();
+                    if calls_so_far <= threshold {
+                        Err(format!("transient failure {calls_so_far}"))
+                    } else {
+                        Ok(Value::U64(77))
+                    }
+                }
+                None => Err(format!("unknown kind {kind}")),
+            },
+        }
+    }
+}
+
+fn worker(name: &str) -> WorkerConfig {
+    WorkerConfig {
+        worker: name.into(),
+        lease_ms: 1_000,
+        max_attempts: 3,
+        backoff_base_ms: 100,
+        takeover: false,
+    }
+}
+
+#[test]
+fn crashed_workers_lease_expires_and_job_is_reclaimed() {
+    let path = tmp("reclaim.jsonl");
+    let jobs = vec![job(1, "double", vec![]), job(2, "sum", vec![1])];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    let clock = SweepClock::virtual_at(0);
+
+    // Worker A claims job 1 and "dies" right after the claim lands.
+    let mut crash = Injector::at("claim.after_append", 1, CrashMode::Error).unwrap();
+    let err = drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut crash,
+        &worker("a"),
+    )
+    .unwrap_err();
+    assert!(matches!(err, DriveError::InjectedCrash { .. }));
+    let held = state.job(1).unwrap();
+    assert!(
+        matches!(
+            held.status,
+            JobStatus::Claimed {
+                expires_ms: 1_000,
+                ..
+            }
+        ),
+        "job 1 holds A's lease: {:?}",
+        held.status
+    );
+
+    // Worker B resumes in a fresh process (reopen the store). At
+    // t = 0 nothing is claimable — the drive loop must *advance the
+    // virtual clock to the lease expiry* and then reclaim.
+    let (mut store, mut state, report) = SweepStore::open(&path).unwrap();
+    assert!(!report.dropped_torn_line);
+    let report = drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &worker("b"),
+    )
+    .unwrap();
+    assert_eq!(report.executed, 2);
+    assert_eq!(report.reclaimed, 1, "job 1 was taken over from A");
+    assert!(clock.now_ms() >= 1_000, "the clock advanced past expiry");
+    assert_eq!(state.result(1), Some(&Value::U64(20)));
+    assert_eq!(state.result(2), Some(&Value::U64(20)));
+
+    // The second claim of job 1 is attempt 2 by worker b.
+    let claims: Vec<(String, u32)> = replay_claims(&path, 1);
+    assert_eq!(claims, vec![("a".into(), 1), ("b".into(), 2)]);
+}
+
+#[test]
+fn takeover_reclaims_immediately_without_waiting_out_the_lease() {
+    let path = tmp("takeover.jsonl");
+    let jobs = vec![job(1, "double", vec![])];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let mut crash = Injector::at("claim.after_append", 1, CrashMode::Error).unwrap();
+    drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut crash,
+        &worker("a"),
+    )
+    .unwrap_err();
+
+    let (mut store, mut state, _) = SweepStore::open(&path).unwrap();
+    let cfg = WorkerConfig {
+        takeover: true,
+        ..worker("b")
+    };
+    let report = drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(report.reclaimed, 1);
+    assert_eq!(clock.now_ms(), 0, "takeover never touches the clock");
+    assert_eq!(state.result(1), Some(&Value::U64(20)));
+}
+
+#[test]
+fn transient_failures_retry_with_exponential_backoff() {
+    let path = tmp("backoff.jsonl");
+    let jobs = vec![job(1, "fail:2", vec![])];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let report = drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &worker("w"),
+    )
+    .unwrap();
+    assert_eq!(report.failed_attempts, 2);
+    assert_eq!(report.executed, 1);
+    assert_eq!(state.result(1), Some(&Value::U64(77)));
+    // Backoffs: attempt 1 fails at t=0 → retry at 100; attempt 2
+    // fails at t=100 → retry at 100 + 200 = 300.
+    let retries = replay_retries(&path, 1);
+    assert_eq!(retries, vec![100, 300]);
+    assert_eq!(
+        clock.now_ms(),
+        300,
+        "the clock advanced exactly per backoff"
+    );
+}
+
+#[test]
+fn poison_jobs_quarantine_with_their_failure_chain_and_block_dependents() {
+    let path = tmp("poison.jsonl");
+    let jobs = vec![
+        job(1, "poison", vec![]),
+        job(2, "double", vec![]),
+        job(3, "sum", vec![1, 2]), // forever blocked behind the poison job
+        job(4, "sum", vec![2]),    // unaffected
+    ];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let report = drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &worker("w"),
+    )
+    .unwrap();
+    assert_eq!(report.quarantined, 1);
+    assert_eq!(report.blocked, 1, "only job 3 is blocked");
+    assert_eq!(report.executed, 2, "jobs 2 and 4 still complete");
+    assert!(matches!(
+        state.job(1).unwrap().status,
+        JobStatus::Quarantined
+    ));
+    assert_eq!(
+        state.job(1).unwrap().failures,
+        vec![
+            "poison attempt 1".to_owned(),
+            "poison attempt 2".to_owned(),
+            "poison attempt 3".to_owned(),
+        ],
+        "the full failure chain is preserved"
+    );
+    assert!(state.blocked_forever(3));
+    assert!(state.is_settled());
+    assert!(!state.is_complete());
+
+    // The chain survives replay from the log alone.
+    let (_s, replayed, _r) = SweepStore::open(&path).unwrap();
+    assert_eq!(replayed.job(1).unwrap().failures.len(), 3);
+    assert!(matches!(
+        replayed.job(1).unwrap().status,
+        JobStatus::Quarantined
+    ));
+}
+
+#[test]
+fn parallel_drive_settles_the_graph() {
+    let path = tmp("parallel.jsonl");
+    let mut jobs: Vec<JobSpec> = (1..=8).map(|i| job(i, "double", vec![])).collect();
+    jobs.push(job(9, "sum", (1..=8).collect()));
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let toy = Toy::default();
+    let report =
+        ftdes_serve::drive_parallel(&mut store, &mut state, &toy, &clock, &worker("pool"), 4)
+            .unwrap();
+    assert_eq!(report.executed, 9);
+    // sum of 2·10i for i in 1..=8 = 2·10·36 = 720.
+    assert_eq!(state.result(9), Some(&Value::U64(720)));
+}
+
+/// Replays the raw log, returning `(worker, attempt)` per claim of
+/// `id`.
+fn replay_claims(path: &PathBuf, id: u64) -> Vec<(String, u32)> {
+    raw_events(path)
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Claim {
+                id: j,
+                worker,
+                attempt,
+                ..
+            } if j == id => Some((worker, attempt)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Replays the raw log, returning the `retry_ms` of each failure of
+/// `id`.
+fn replay_retries(path: &PathBuf, id: u64) -> Vec<u64> {
+    raw_events(path)
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Fail {
+                id: j, retry_ms, ..
+            } if j == id => Some(retry_ms),
+            _ => None,
+        })
+        .collect()
+}
+
+fn raw_events(path: &PathBuf) -> Vec<Event> {
+    std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect()
+}
+
+/// The state type is exported and usable without the store (pure
+/// replay consumers like dashboards).
+#[test]
+fn state_is_reexported() {
+    fn assert_pub<T>() {}
+    assert_pub::<SweepState>();
+}

@@ -26,7 +26,14 @@
 //!   NFT: initial construction, greedy improvement, tabu search) and
 //!   the problem-delta repair ladder for graceful degradation,
 //! * [`gen`] — synthetic workload generation and the 32-process
-//!   cruise-controller case study.
+//!   cruise-controller case study,
+//! * [`serve`] — crash-safe sweep orchestration: experiment DAGs over
+//!   an append-only event log, lease-based claims, bounded retries
+//!   with quarantine, and a crash-injection harness whose contract is
+//!   *resume ≡ uncrashed, bit-identical*,
+//! * [`mod@bench`] — the experiment harness regenerating the paper's
+//!   tables, plus the sweep-job adapters that map χ and repair
+//!   sweeps onto [`serve`] job DAGs.
 //!
 //! # Quickstart
 //!
@@ -59,11 +66,13 @@
 
 #![warn(missing_docs)]
 
+pub use ftdes_bench as bench;
 pub use ftdes_core as core;
 pub use ftdes_faultsim as faultsim;
 pub use ftdes_gen as gen;
 pub use ftdes_model as model;
 pub use ftdes_sched as sched;
+pub use ftdes_serve as serve;
 pub use ftdes_ttp as ttp;
 
 /// One-stop imports for applications using the library.
