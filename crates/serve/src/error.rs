@@ -20,9 +20,10 @@ pub enum StoreError {
         /// The OS error message.
         message: String,
     },
-    /// A non-final line of the log does not parse. A torn *final*
-    /// line is recovered silently (dropped on replay); torn interior
-    /// lines cannot happen under append-only writes, so they mean the
+    /// A newline-terminated line of the log does not parse. A torn
+    /// final line (newline missing — the crash signature) is
+    /// recovered silently by dropping it on replay; a complete
+    /// malformed line cannot result from a crash, so it means the
     /// file was damaged after the fact.
     Corrupt {
         /// 1-based line number of the damaged event.

@@ -182,8 +182,12 @@ impl SweepState {
                 ..
             } => {
                 let job = self.job_mut(*id)?;
-                job.failures.push(error.clone());
+                // A Fail raced by another worker's committed Done (or
+                // a stale Fail after Quarantine) is ignored entirely:
+                // recording it would inflate attempts() on later
+                // reclaims and pollute the quarantine failure chain.
                 if !matches!(job.status, JobStatus::Done { .. } | JobStatus::Quarantined) {
+                    job.failures.push(error.clone());
                     job.status = JobStatus::Failed {
                         attempt: *attempt,
                         retry_ms: *retry_ms,

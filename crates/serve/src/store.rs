@@ -6,12 +6,14 @@
 //!   followed by `sync_data` — an acknowledged append survives a
 //!   process kill;
 //! * a crash *during* an append leaves at most one torn final line
-//!   (a prefix of the intended bytes, missing its `\n`). Replay
-//!   detects it — the last line either lacks the newline or fails to
-//!   parse — drops it, and truncates the file back to the last good
-//!   line so the next append starts clean;
-//! * a malformed line anywhere *else* cannot result from a crash and
-//!   is reported as [`StoreError::Corrupt`].
+//!   (a prefix of the intended bytes, missing its `\n` — the newline
+//!   is the last byte written, so a torn line can never carry one).
+//!   Replay detects the missing newline, drops the fragment, and
+//!   truncates the file back to the last good line so the next
+//!   append starts clean;
+//! * a malformed *newline-terminated* line anywhere — including the
+//!   last — cannot result from a crash and is reported as
+//!   [`StoreError::Corrupt`].
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -198,7 +200,6 @@ fn replay_lines(bytes: &[u8]) -> Result<(Vec<Event>, usize, ReplayReport), Store
         let line_no = index + 1;
         let complete = segment.ends_with('\n');
         let content = segment.trim_end_matches('\n');
-        let is_last = offset + segment.len() >= text.len();
         if content.is_empty() {
             offset += segment.len();
             if complete {
@@ -212,20 +213,24 @@ fn replay_lines(bytes: &[u8]) -> Result<(Vec<Event>, usize, ReplayReport), Store
                 offset += segment.len();
                 good_len = offset;
             }
-            Ok(_) | Err(_) if is_last => {
-                // A final line missing its newline — or present but
-                // unparseable — is the signature of an append torn by
-                // a crash. Drop it.
+            _ if !complete => {
+                // Only a missing trailing newline marks an append
+                // torn by a crash — the newline is the last byte
+                // written, so a crash can never produce a complete
+                // line. Drop the fragment (whether or not it happens
+                // to parse: the append was never acknowledged).
                 report.dropped_torn_line = true;
                 break;
             }
             Err(e) => {
+                // Complete but unparseable: genuine corruption of an
+                // acknowledged event, even on the final line.
                 return Err(StoreError::Corrupt {
                     line: line_no,
                     message: format!("{e:?}"),
                 });
             }
-            Ok(_) => unreachable!("complete non-last lines are consumed above"),
+            Ok(_) => unreachable!("complete parseable lines are consumed above"),
         }
     }
     report.events = events.len();
@@ -312,6 +317,24 @@ mod tests {
         let (_s, replayed, report) = SweepStore::open(&path).unwrap();
         assert!(!report.dropped_torn_line);
         assert_eq!(replayed.result(1), Some(&Value::U64(10)));
+    }
+
+    #[test]
+    fn complete_but_unparseable_final_line_is_corruption_not_torn() {
+        let path = tmp("tail-corrupt.jsonl");
+        let jobs = vec![job(1, vec![])];
+        let (store, _state) = SweepStore::create(&path, "s", &jobs).unwrap();
+        drop(store);
+        // A newline-terminated garbage line cannot be a torn append
+        // (the newline is the last byte written): it is a damaged
+        // acknowledged event and must not be silently discarded.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"garbage\n");
+        std::fs::write(&path, bytes).unwrap();
+        match SweepStore::open(&path) {
+            Err(StoreError::Corrupt { line: 3, .. }) => {}
+            other => panic!("expected tail corruption error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! therefore loses at most the work of its in-flight job, which a
 //! later incarnation re-claims once the lease expires.
 
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 
 use serde::Value;
@@ -57,9 +58,10 @@ pub struct WorkerConfig {
     pub max_attempts: u32,
     /// First retry backoff; doubles per failed attempt.
     pub backoff_base_ms: u64,
-    /// Treat every outstanding lease as expired at claim time. Sound
-    /// only when the caller knows no other worker process is alive
-    /// (the single-process CLI after a crash).
+    /// Treat every lease outstanding *when the drive starts* as
+    /// expired. Sound only when the caller knows no other worker
+    /// process is alive (the single-process CLI after a crash);
+    /// leases created during the drive itself are never taken over.
     pub takeover: bool,
 }
 
@@ -108,13 +110,16 @@ pub fn drive(
     cfg: &WorkerConfig,
 ) -> Result<DriveReport, DriveError> {
     let mut report = DriveReport::default();
-    let mut takeover = cfg.takeover;
+    // A takeover covers exactly the leases left behind by dead
+    // workers — the ones outstanding when this drive starts. Leases
+    // this run creates are live and must never be stolen.
+    let mut stale = stale_leases(state, cfg.takeover);
     loop {
         if state.is_settled() {
             break;
         }
         let now = clock.now_ms();
-        let Some(id) = state.next_ready(now, takeover) else {
+        let Some(id) = pick_claimable(state, &stale, now) else {
             match state.next_wakeup(now) {
                 Some(t) => {
                     clock.wait_until(t);
@@ -127,10 +132,8 @@ pub fn drive(
                 }
             }
         };
+        stale.remove(&id);
         step(store, state, exec, injector, cfg, id, now, &mut report)?;
-        // A takeover covers only the leases left behind by dead
-        // workers; leases this run creates are live.
-        takeover = false;
     }
     report.blocked = state
         .jobs()
@@ -175,21 +178,88 @@ fn step(
     let deps = dep_results(state, &spec);
     match exec.execute(&spec, &deps) {
         Ok(result) => {
-            let done = Event::Done {
-                id,
-                attempt,
-                at_ms: now,
-                result,
-            };
             injector.hit("done.before_append")?;
             if injector.fires_next("done.torn_append") {
-                store.append_torn(&done)?;
+                store.append_torn(&Event::Done {
+                    id,
+                    attempt,
+                    at_ms: now,
+                    result,
+                })?;
                 injector.hit("done.torn_append")?;
                 unreachable!("torn-append injection always crashes");
             }
-            store.append(state, &done)?;
-            report.executed += 1;
+            commit_outcome(store, state, cfg, id, attempt, Ok(result), now, report)?;
             injector.hit("done.after_append")?;
+        }
+        Err(error) => {
+            injector.hit(if attempt >= cfg.max_attempts {
+                "quarantine.before_append"
+            } else {
+                "fail.before_append"
+            })?;
+            commit_outcome(store, state, cfg, id, attempt, Err(error), now, report)?;
+        }
+    }
+    Ok(())
+}
+
+/// The leases outstanding right now — the takeover set snapshot. An
+/// empty set when takeover is off.
+fn stale_leases(state: &SweepState, takeover: bool) -> BTreeSet<u64> {
+    if !takeover {
+        return BTreeSet::new();
+    }
+    state
+        .jobs()
+        .filter(|j| matches!(j.status, JobStatus::Claimed { .. }))
+        .map(|j| j.spec.id)
+        .collect()
+}
+
+/// The lowest-id job claimable at `now`: naturally ready (never
+/// claimed, backoff elapsed, lease expired) or held by a stale lease
+/// from the takeover snapshot.
+fn pick_claimable(state: &SweepState, stale: &BTreeSet<u64>, now: u64) -> Option<u64> {
+    let natural = state.next_ready(now, false);
+    let taken_over = stale.iter().copied().find(|&id| {
+        state.deps_done(id)
+            && matches!(
+                state.job(id).map(|j| &j.status),
+                Some(JobStatus::Claimed { .. })
+            )
+    });
+    match (natural, taken_over) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Appends the outcome of one executed attempt (done, retryable fail,
+/// or quarantine) and tallies it into `report`.
+#[allow(clippy::too_many_arguments)]
+fn commit_outcome(
+    store: &mut SweepStore,
+    state: &mut SweepState,
+    cfg: &WorkerConfig,
+    id: u64,
+    attempt: u32,
+    outcome: Result<Value, String>,
+    now: u64,
+    report: &mut DriveReport,
+) -> Result<(), DriveError> {
+    match outcome {
+        Ok(result) => {
+            store.append(
+                state,
+                &Event::Done {
+                    id,
+                    attempt,
+                    at_ms: now,
+                    result,
+                },
+            )?;
+            report.executed += 1;
         }
         Err(error) => {
             if attempt >= cfg.max_attempts {
@@ -198,7 +268,6 @@ fn step(
                     .map(|j| j.failures.clone())
                     .unwrap_or_default();
                 failures.push(error);
-                injector.hit("quarantine.before_append")?;
                 store.append(
                     state,
                     &Event::Quarantine {
@@ -212,7 +281,6 @@ fn step(
                 let backoff = cfg
                     .backoff_base_ms
                     .saturating_mul(1u64 << (attempt - 1).min(16));
-                injector.hit("fail.before_append")?;
                 store.append(
                     state,
                     &Event::Fail {
@@ -268,42 +336,50 @@ pub fn drive_parallel(
     if workers == 1 {
         return drive(store, state, exec, clock, &mut Injector::none(), cfg);
     }
+    // The takeover set is shared: it covers exactly the leases left
+    // by the dead previous process, consumed once per job. Giving
+    // each thread its own takeover flag would let sibling threads
+    // steal each other's just-created live leases at startup.
+    let stale = Mutex::new(stale_leases(state, cfg.takeover));
     let shared = Mutex::new((store, state));
     let in_flight = std::sync::atomic::AtomicUsize::new(0);
-    let result = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let shared = &shared;
-            let in_flight = &in_flight;
-            let worker_cfg = WorkerConfig {
-                worker: format!("{}-{w}", cfg.worker),
-                ..cfg.clone()
-            };
-            handles.push(
-                scope.spawn(move || parallel_loop(shared, in_flight, exec, clock, &worker_cfg)),
-            );
-        }
-        let mut report = DriveReport::default();
-        let mut first_err = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(Ok(r)) => {
-                    report.executed += r.executed;
-                    report.reclaimed += r.reclaimed;
-                    report.failed_attempts += r.failed_attempts;
-                    report.quarantined += r.quarantined;
-                }
-                Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                Err(_) => {
-                    first_err = first_err.or(Some(DriveError::Stalled { blocked: vec![] }));
+    let result =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let shared = &shared;
+                let stale = &stale;
+                let in_flight = &in_flight;
+                let worker_cfg = WorkerConfig {
+                    worker: format!("{}-{w}", cfg.worker),
+                    takeover: false,
+                    ..cfg.clone()
+                };
+                handles.push(scope.spawn(move || {
+                    parallel_loop(shared, stale, in_flight, exec, clock, &worker_cfg)
+                }));
+            }
+            let mut report = DriveReport::default();
+            let mut first_err = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(r)) => {
+                        report.executed += r.executed;
+                        report.reclaimed += r.reclaimed;
+                        report.failed_attempts += r.failed_attempts;
+                        report.quarantined += r.quarantined;
+                    }
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(_) => {
+                        first_err = first_err.or(Some(DriveError::Stalled { blocked: vec![] }));
+                    }
                 }
             }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(report),
-        }
-    });
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(report),
+            }
+        });
     let mut report = result?;
     let (_, state) = shared.into_inner().unwrap_or_else(|e| e.into_inner());
     report.blocked = state
@@ -315,6 +391,7 @@ pub fn drive_parallel(
 
 fn parallel_loop(
     shared: &Mutex<(&mut SweepStore, &mut SweepState)>,
+    stale: &Mutex<BTreeSet<u64>>,
     in_flight: &std::sync::atomic::AtomicUsize,
     exec: &dyn JobExec,
     clock: &SweepClock,
@@ -322,121 +399,101 @@ fn parallel_loop(
 ) -> Result<DriveReport, DriveError> {
     use std::sync::atomic::Ordering;
     let mut report = DriveReport::default();
-    let mut takeover = cfg.takeover;
     loop {
         let now = clock.now_ms();
-        // Claim under the lock.
-        let claimed = {
+        // Decide under the lock: claim a job, poll, advance the
+        // clock, or finish. `in_flight` only moves under this lock
+        // (raised at claim, lowered after the outcome commits), so a
+        // thread holding the lock that reads zero knows every lease
+        // in the replayed state is stale — there is no executed-but-
+        // uncommitted job whose live lease a clock jump could leap.
+        let (spec, attempt, deps) = {
             let mut guard = shared.lock().unwrap_or_else(|e| e.into_inner());
             let (store, state) = &mut *guard;
             if state.is_settled() {
                 return Ok(report);
             }
-            match state.next_ready(now, takeover) {
-                Some(id) => {
-                    let job = state.job(id).expect("ready job exists");
-                    let spec = job.spec.clone();
-                    let attempt = job.attempts() + 1;
-                    let reclaim = matches!(job.status, JobStatus::Claimed { .. });
-                    store.append(
-                        state,
-                        &Event::Claim {
-                            id,
-                            worker: cfg.worker.clone(),
-                            attempt,
-                            at_ms: now,
-                            expires_ms: now + cfg.lease_ms,
-                        },
-                    )?;
-                    if reclaim {
-                        report.reclaimed += 1;
-                    }
-                    let deps = dep_results(state, &spec);
-                    in_flight.fetch_add(1, Ordering::SeqCst);
-                    Some((spec, attempt, deps))
-                }
-                None => None,
-            }
-        };
-        takeover = false;
-        let Some((spec, attempt, deps)) = claimed else {
-            // Nothing claimable. If peers are executing, their
-            // completions may unblock us — poll. Otherwise advance to
-            // the next lease/retry instant, or finish.
-            if in_flight.load(Ordering::SeqCst) > 0 {
-                std::thread::yield_now();
-                std::thread::sleep(std::time::Duration::from_millis(1));
-                continue;
-            }
-            let wakeup = {
-                let guard = shared.lock().unwrap_or_else(|e| e.into_inner());
-                let (_, state) = &*guard;
-                if state.is_settled() {
-                    return Ok(report);
-                }
-                state.next_wakeup(now)
+            let picked = {
+                let stale_set = stale.lock().unwrap_or_else(|e| e.into_inner());
+                pick_claimable(state, &stale_set, now)
             };
-            match wakeup {
-                Some(t) => {
-                    clock.wait_until(t);
+            let Some(id) = picked else {
+                if in_flight.load(Ordering::SeqCst) > 0 {
+                    // Peers are executing; their commits may unblock
+                    // us — poll outside the lock.
+                    drop(guard);
+                    std::thread::yield_now();
+                    std::thread::sleep(std::time::Duration::from_millis(1));
                     continue;
                 }
-                None => return Ok(report),
+                match state.next_wakeup(now) {
+                    Some(t) => {
+                        // Advance while still holding the lock: no
+                        // claim can land between computing the wakeup
+                        // and the jump, so a live lease is never
+                        // leapt. (A virtual wait returns instantly; a
+                        // wall wait sleeps holding the lock, which is
+                        // harmless — nothing is in flight, so no peer
+                        // has an outcome to commit.)
+                        clock.wait_until(t);
+                        continue;
+                    }
+                    None => return Ok(report),
+                }
+            };
+            stale.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
+            let job = state.job(id).expect("ready job exists");
+            let spec = job.spec.clone();
+            let attempt = job.attempts() + 1;
+            let reclaim = matches!(job.status, JobStatus::Claimed { .. });
+            store.append(
+                state,
+                &Event::Claim {
+                    id,
+                    worker: cfg.worker.clone(),
+                    attempt,
+                    at_ms: now,
+                    expires_ms: now + cfg.lease_ms,
+                },
+            )?;
+            if reclaim {
+                report.reclaimed += 1;
             }
+            let deps = dep_results(state, &spec);
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            (spec, attempt, deps)
         };
-        // Execute outside the lock.
-        let outcome = exec.execute(&spec, &deps);
-        in_flight.fetch_sub(1, Ordering::SeqCst);
-        // Commit under the lock.
+        // Execute outside the lock. A panicking executor becomes a
+        // failed attempt — leaving in_flight raised forever would
+        // strand every polling peer in the loop above.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.execute(&spec, &deps)))
+                .unwrap_or_else(|payload| Err(panic_text(payload.as_ref())));
+        // Commit under the lock; only then is the job out of flight.
         let mut guard = shared.lock().unwrap_or_else(|e| e.into_inner());
         let (store, state) = &mut *guard;
         let now = clock.now_ms();
-        match outcome {
-            Ok(result) => {
-                store.append(
-                    state,
-                    &Event::Done {
-                        id: spec.id,
-                        attempt,
-                        at_ms: now,
-                        result,
-                    },
-                )?;
-                report.executed += 1;
-            }
-            Err(error) => {
-                if attempt >= cfg.max_attempts {
-                    let mut failures = state
-                        .job(spec.id)
-                        .map(|j| j.failures.clone())
-                        .unwrap_or_default();
-                    failures.push(error);
-                    store.append(
-                        state,
-                        &Event::Quarantine {
-                            id: spec.id,
-                            at_ms: now,
-                            failures,
-                        },
-                    )?;
-                    report.quarantined += 1;
-                } else {
-                    let backoff = cfg
-                        .backoff_base_ms
-                        .saturating_mul(1u64 << (attempt - 1).min(16));
-                    store.append(
-                        state,
-                        &Event::Fail {
-                            id: spec.id,
-                            attempt,
-                            at_ms: now,
-                            error,
-                            retry_ms: now + backoff,
-                        },
-                    )?;
-                    report.failed_attempts += 1;
-                }
-            }
-        }
+        let committed = commit_outcome(
+            store,
+            state,
+            cfg,
+            spec.id,
+            attempt,
+            outcome,
+            now,
+            &mut report,
+        );
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        committed?;
     }
+}
+
+/// Renders a caught panic payload as a failure-chain message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    format!("executor panicked: {message}")
 }

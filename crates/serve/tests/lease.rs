@@ -252,6 +252,88 @@ fn poison_jobs_quarantine_with_their_failure_chain_and_block_dependents() {
 }
 
 #[test]
+fn takeover_covers_every_lease_left_by_the_dead_process() {
+    let path = tmp("takeover-multi.jsonl");
+    let jobs = vec![job(1, "double", vec![]), job(2, "double", vec![])];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    // A parallel process died holding BOTH leases.
+    for (id, w) in [(1u64, "dead-0"), (2u64, "dead-1")] {
+        store
+            .append(
+                &mut state,
+                &Event::Claim {
+                    id,
+                    worker: w.into(),
+                    attempt: 1,
+                    at_ms: 0,
+                    expires_ms: 1_000,
+                },
+            )
+            .unwrap();
+    }
+    drop(store);
+
+    let (mut store, mut state, _) = SweepStore::open(&path).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let cfg = WorkerConfig {
+        takeover: true,
+        ..worker("b")
+    };
+    let report = drive(
+        &mut store,
+        &mut state,
+        &Toy::default(),
+        &clock,
+        &mut Injector::none(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(report.reclaimed, 2, "both dead leases taken over");
+    assert_eq!(clock.now_ms(), 0, "neither lease was waited out");
+    assert_eq!(state.result(1), Some(&Value::U64(20)));
+    assert_eq!(state.result(2), Some(&Value::U64(40)));
+}
+
+#[test]
+fn stale_fail_after_done_is_ignored() {
+    let path = tmp("stale-fail.jsonl");
+    let jobs = vec![job(1, "double", vec![])];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    store
+        .append(
+            &mut state,
+            &Event::Done {
+                id: 1,
+                attempt: 1,
+                at_ms: 5,
+                result: Value::U64(20),
+            },
+        )
+        .unwrap();
+    // A slow sibling's Fail lands after the committed Done: it must
+    // not pollute the failure chain or inflate attempts().
+    store
+        .append(
+            &mut state,
+            &Event::Fail {
+                id: 1,
+                attempt: 1,
+                at_ms: 6,
+                error: "stale".into(),
+                retry_ms: 106,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        state.job(1).unwrap().status,
+        JobStatus::Done { .. }
+    ));
+    assert!(state.job(1).unwrap().failures.is_empty());
+    let (_s, replayed, _r) = SweepStore::open(&path).unwrap();
+    assert!(replayed.job(1).unwrap().failures.is_empty());
+}
+
+#[test]
 fn parallel_drive_settles_the_graph() {
     let path = tmp("parallel.jsonl");
     let mut jobs: Vec<JobSpec> = (1..=8).map(|i| job(i, "double", vec![])).collect();
@@ -265,6 +347,114 @@ fn parallel_drive_settles_the_graph() {
     assert_eq!(report.executed, 9);
     // sum of 2·10i for i in 1..=8 = 2·10·36 = 720.
     assert_eq!(state.result(9), Some(&Value::U64(720)));
+}
+
+#[test]
+fn parallel_drive_counts_are_exact_across_repeated_runs() {
+    // Regression: an idle worker once observed in_flight == 0 before
+    // a finished job's outcome was committed, computed a wakeup from
+    // that stale view, leapt the virtual clock past the live lease
+    // and re-executed the job (executed 10 instead of 9,
+    // intermittently). The counts below must be exact every time.
+    for round in 0..25 {
+        let path = tmp(&format!("parallel-exact-{round}.jsonl"));
+        let mut jobs: Vec<JobSpec> = (1..=8).map(|i| job(i, "double", vec![])).collect();
+        jobs.push(job(9, "sum", (1..=8).collect()));
+        let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+        let clock = SweepClock::virtual_at(0);
+        let toy = Toy::default();
+        let report =
+            ftdes_serve::drive_parallel(&mut store, &mut state, &toy, &clock, &worker("pool"), 4)
+                .unwrap();
+        assert_eq!(report.executed, 9, "round {round}: one execution per job");
+        assert_eq!(
+            report.reclaimed, 0,
+            "round {round}: no live lease was leapt"
+        );
+        assert_eq!(clock.now_ms(), 0, "round {round}: the clock never advanced");
+        assert_eq!(state.result(9), Some(&Value::U64(720)));
+    }
+}
+
+#[test]
+fn parallel_takeover_covers_dead_leases_but_never_live_siblings() {
+    let path = tmp("parallel-takeover.jsonl");
+    let mut jobs: Vec<JobSpec> = (1..=4).map(|i| job(i, "double", vec![])).collect();
+    jobs.push(job(5, "sum", (1..=4).collect()));
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    // A 2-worker process died holding leases on jobs 1 and 2.
+    for (id, w) in [(1u64, "dead-0"), (2u64, "dead-1")] {
+        store
+            .append(
+                &mut state,
+                &Event::Claim {
+                    id,
+                    worker: w.into(),
+                    attempt: 1,
+                    at_ms: 0,
+                    expires_ms: 1_000,
+                },
+            )
+            .unwrap();
+    }
+    drop(store);
+
+    let (mut store, mut state, _) = SweepStore::open(&path).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let toy = Toy::default();
+    let cfg = WorkerConfig {
+        takeover: true,
+        ..worker("rescue")
+    };
+    let report =
+        ftdes_serve::drive_parallel(&mut store, &mut state, &toy, &clock, &cfg, 2).unwrap();
+    // Exactly the two dead leases are taken over; the threads never
+    // steal each other's just-created live leases, and nothing waits
+    // out (or leaps) a lease on the clock.
+    assert_eq!(report.executed, 5);
+    assert_eq!(report.reclaimed, 2);
+    assert_eq!(clock.now_ms(), 0);
+    assert_eq!(state.result(5), Some(&Value::U64(200)));
+}
+
+/// Panics on its first `boom` call, succeeds after — the panic must
+/// surface as a failed attempt, not hang the sibling workers.
+#[derive(Default)]
+struct Panicky {
+    calls: Mutex<u32>,
+}
+
+impl ftdes_serve::JobExec for Panicky {
+    fn execute(&self, spec: &JobSpec, _deps: &[DepResult]) -> Result<Value, String> {
+        if spec.kind == "boom" {
+            let mut calls = self.calls.lock().unwrap_or_else(|e| e.into_inner());
+            *calls += 1;
+            let first = *calls == 1;
+            drop(calls);
+            assert!(!first, "first boom call panics");
+        }
+        Ok(Value::U64(spec.params.as_u64().unwrap_or(0) * 2))
+    }
+}
+
+#[test]
+fn parallel_panicking_executor_becomes_a_failed_attempt_not_a_hang() {
+    let path = tmp("parallel-panic.jsonl");
+    let jobs = vec![job(1, "boom", vec![]), job(2, "double", vec![])];
+    let (mut store, mut state) = SweepStore::create(&path, "lease", &jobs).unwrap();
+    let clock = SweepClock::virtual_at(0);
+    let exec = Panicky::default();
+    let report =
+        ftdes_serve::drive_parallel(&mut store, &mut state, &exec, &clock, &worker("pool"), 2)
+            .unwrap();
+    assert_eq!(report.failed_attempts, 1, "the panic is one failed attempt");
+    assert_eq!(report.executed, 2, "both jobs still complete");
+    assert_eq!(state.result(1), Some(&Value::U64(20)));
+    assert!(
+        state.job(1).unwrap().failures[0].contains("executor panicked"),
+        "panic text lands in the failure chain: {:?}",
+        state.job(1).unwrap().failures
+    );
 }
 
 /// Replays the raw log, returning `(worker, attempt)` per claim of
