@@ -1,0 +1,164 @@
+//! Seed-level parallelism benchmark: portfolio scaling and worker-pool
+//! wake-up latency.
+//!
+//! Two measurements, written to `BENCH_par.json`:
+//!
+//! 1. **Portfolio scaling** — the portfolio engine
+//!    ([`ftdes_core::portfolio`]) on the paper gate workload
+//!    (40 processes / 4 nodes / k = 3) at 1 / 2 / 4 / 8 workers with a
+//!    fixed iteration budget per worker and single-threaded per-worker
+//!    evaluation. Reports aggregate candidate rate, scaling efficiency
+//!    vs one worker, solution quality vs the single-worker run, and
+//!    the per-worker diversification trail (variant label, iterations,
+//!    adoptions).
+//! 2. **Pool wake-up latency** — the ROADMAP-flagged worst case for
+//!    the persistent [`WorkerPool`]: thousands of *tiny* (3-item)
+//!    windows, where the submit/park/wake round-trip dominates the
+//!    useful work. Measured as ns per submission across pool widths;
+//!    the 1-thread pool (inline execution, no round-trip) is the
+//!    floor the protocol overhead is judged against.
+//!
+//! Like `perfgate`'s `multicore` section these numbers are
+//! informational on a 1-CPU container (scaling ≈ 1.0× by
+//! construction) — `available_parallelism` is recorded so multi-core
+//! runs are distinguishable.
+
+use std::time::{Duration, Instant};
+
+use ftdes_bench::{synthetic_problem, write_artifact};
+use ftdes_core::{
+    effective_threads, optimize_portfolio, Goal, PolicySpace, PortfolioConfig, SearchConfig,
+    WorkerPool,
+};
+use ftdes_model::time::Time;
+
+const PROCESSES: usize = 40;
+const NODES: usize = 4;
+const FAULTS: u32 = 3;
+const SEEDS: u64 = 2;
+const ITERATIONS_PER_WORKER: usize = 100;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const TINY_WINDOWS: usize = 2_000;
+const TINY_ITEMS: usize = 3;
+
+fn main() -> std::process::ExitCode {
+    let cores = effective_threads(0);
+    println!(
+        "parbench: portfolio scaling on {PROCESSES} processes / {NODES} nodes / k = {FAULTS}, \
+         {SEEDS} seeds, {ITERATIONS_PER_WORKER} iterations per worker ({cores} cores)"
+    );
+
+    // --- Portfolio scaling sweep -------------------------------------
+    let mut sweep_json: Vec<String> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    let mut single_best_us: u64 = 0;
+    for &workers in &WORKER_SWEEP {
+        let mut candidates = 0usize;
+        let mut elapsed = Duration::ZERO;
+        let mut best_us = 0u64;
+        let mut exchanges = 0usize;
+        let mut worker_lines: Vec<String> = Vec::new();
+        for seed in 0..SEEDS {
+            let problem = synthetic_problem(PROCESSES, NODES, FAULTS, Time::from_ms(5), seed);
+            let cfg = SearchConfig {
+                goal: Goal::MinimizeLength,
+                time_limit: None,
+                max_tabu_iterations: ITERATIONS_PER_WORKER,
+                threads: 1,
+                ..SearchConfig::default()
+            };
+            let pcfg = PortfolioConfig {
+                workers,
+                epoch_candidates: 2_048,
+                ..PortfolioConfig::default()
+            };
+            let out = optimize_portfolio(&problem, PolicySpace::Mixed, &cfg, &pcfg)
+                .unwrap_or_else(|e| panic!("parbench portfolio ({workers} workers): {e}"));
+            candidates += out.outcome.stats.candidates();
+            elapsed += out.outcome.stats.elapsed;
+            best_us += out.outcome.length().as_us();
+            exchanges += out.exchanges;
+            if seed == 0 {
+                for w in &out.workers {
+                    worker_lines.push(format!(
+                        "{{\"index\": {}, \"label\": \"{}\", \"tabu_iterations\": {}, \
+                         \"lookups\": {}, \"adopted\": {}}}",
+                        w.index, w.label, w.tabu_iterations, w.lookups, w.adopted
+                    ));
+                }
+            }
+        }
+        let rate = candidates as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        rates.push(rate);
+        if workers == 1 {
+            single_best_us = best_us;
+        }
+        let quality = best_us as f64 / single_best_us.max(1) as f64;
+        println!(
+            "  {workers} workers: {candidates} candidates in {} ms -> {rate:.1}/s \
+             ({:.2}x vs 1 worker), best-length ratio {quality:.3}, {exchanges} exchanges",
+            elapsed.as_millis(),
+            rate / rates[0].max(f64::MIN_POSITIVE),
+        );
+        sweep_json.push(format!(
+            "{{\"workers\": {workers}, \"candidates\": {candidates}, \"elapsed_ms\": {}, \
+             \"aggregate_candidate_rate\": {rate:.1}, \"scaling_vs_1w\": {:.2}, \
+             \"best_length_us\": {best_us}, \"best_length_vs_1w\": {quality:.3}, \
+             \"exchanges\": {exchanges}, \"workers_detail\": [{}]}}",
+            elapsed.as_millis(),
+            rate / rates[0].max(f64::MIN_POSITIVE),
+            worker_lines.join(", ")
+        ));
+    }
+
+    // --- Pool wake-up latency ----------------------------------------
+    println!(
+        "parbench: pool wake-up latency, {TINY_WINDOWS} windows of {TINY_ITEMS} items per width"
+    );
+    let items: Vec<usize> = (0..TINY_ITEMS).collect();
+    let mut latency_json: Vec<String> = Vec::new();
+    for &width in &POOL_WIDTHS {
+        let pool = WorkerPool::new(width);
+        // Warm-up: park/wake the workers once before timing.
+        for _ in 0..16 {
+            pool.try_map_init(&items, || (), |(), i, &v| Ok::<_, ()>(Some(i + v)))
+                .unwrap_or_else(|()| panic!("parbench warmup"));
+        }
+        let started = Instant::now();
+        let mut checksum = 0usize;
+        for _ in 0..TINY_WINDOWS {
+            let out = pool
+                .try_map_init(&items, || (), |(), i, &v| Ok::<_, ()>(Some(i + v)))
+                .unwrap_or_else(|()| panic!("parbench tiny window"));
+            checksum += out.iter().flatten().sum::<usize>();
+        }
+        let elapsed = started.elapsed();
+        let ns_per_submission = elapsed.as_nanos() as f64 / TINY_WINDOWS as f64;
+        println!(
+            "  width {width}: {:.0} ns/submission (checksum {checksum})",
+            ns_per_submission
+        );
+        latency_json.push(format!(
+            "{{\"threads\": {width}, \"ns_per_submission\": {ns_per_submission:.0}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"environment\": {{\"available_parallelism\": {cores}}},\n  \
+         \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
+         \"seeds\": {SEEDS}, \"iterations_per_worker\": {ITERATIONS_PER_WORKER}}},\n  \
+         \"portfolio_scaling\": [\n    {}\n  ],\n  \
+         \"pool_wakeup\": {{\"windows\": {TINY_WINDOWS}, \"items_per_window\": {TINY_ITEMS}, \
+         \"latency\": [{}]}}\n}}\n",
+        sweep_json.join(",\n    "),
+        latency_json.join(", ")
+    );
+    if let Err(e) = write_artifact("BENCH_par.json", &json) {
+        eprintln!("parbench: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("\n{json}");
+    std::process::ExitCode::SUCCESS
+}

@@ -83,6 +83,15 @@ pub struct SearchConfig {
     /// the `(cost, move index)` total order behind them) are
     /// bit-identical either way.
     pub bounded: bool,
+    /// Round the neighbourhood window cap up to a multiple of the
+    /// evaluation pool width, so the last parallel chunk of every
+    /// window keeps all workers busy. **This is a search-space knob,
+    /// not a pure throughput knob**: the cap (and therefore the
+    /// trajectory) depends on the resolved thread count, so runs with
+    /// different thread counts are no longer bit-identical. For a
+    /// *fixed* thread count the search stays fully deterministic.
+    /// Off by default; the determinism test matrix runs with it off.
+    pub adaptive_window: bool,
 }
 
 impl SearchConfig {
@@ -121,6 +130,7 @@ impl Default for SearchConfig {
             eval_cache: true,
             incremental: true,
             bounded: true,
+            adaptive_window: false,
         }
     }
 }

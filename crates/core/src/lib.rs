@@ -97,6 +97,7 @@ pub mod greedy;
 pub mod initial;
 pub mod moves;
 pub mod parallel;
+pub mod portfolio;
 pub mod problem;
 pub mod repair;
 pub mod space;
@@ -111,6 +112,10 @@ pub mod prelude {
     pub use crate::config::{Goal, SearchConfig, SearchStats};
     pub use crate::error::OptError;
     pub use crate::parallel::{effective_threads, WorkerPool};
+    pub use crate::portfolio::{
+        optimize_portfolio, optimize_portfolio_with_cache, PortfolioConfig, PortfolioOutcome,
+        WorkerSummary,
+    };
     pub use crate::problem::Problem;
     pub use crate::repair::{
         apply_delta, project_design, repair, repair_with_cache, RepairBudget, RepairError,
@@ -126,6 +131,10 @@ pub use cache::{CachePool, CandidateEval, EvalCache, EvalOutcome, Evaluator};
 pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
 pub use parallel::{effective_threads, WorkerPool};
+pub use portfolio::{
+    optimize_portfolio, optimize_portfolio_with_cache, PortfolioConfig, PortfolioOutcome,
+    WorkerSummary,
+};
 pub use problem::Problem;
 pub use repair::{
     apply_delta, project_design, repair, repair_with_cache, RepairBudget, RepairError,

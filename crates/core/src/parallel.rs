@@ -185,7 +185,9 @@ struct PoolState {
     /// Workers still executing the current epoch's job.
     pending: usize,
     shutdown: bool,
-    panicked: bool,
+    /// First worker panic payload of the current job; resumed on the
+    /// submitting thread so the original message surfaces there.
+    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 struct PoolShared {
@@ -210,10 +212,12 @@ fn worker_loop(shared: &PoolShared) {
                 st = shared.work.wait(st).expect("pool state");
             }
         };
-        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx) })).is_ok();
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx) }));
         let mut st = shared.state.lock().expect("pool state");
-        if !ok {
-            st.panicked = true;
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
         }
         st.pending -= 1;
         if st.pending == 0 {
@@ -270,7 +274,7 @@ impl WorkerPool {
                 epoch: 0,
                 pending: 0,
                 shutdown: false,
-                panicked: false,
+                panic: None,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -314,7 +318,14 @@ impl WorkerPool {
         unsafe fn call<F: Fn()>(ptr: *const ()) {
             unsafe { (*ptr.cast::<F>())() }
         }
-        let _serial = self.submit.lock().expect("pool submit lock");
+        // A previous submission may have re-raised a worker panic
+        // while holding this guard; it only serializes submissions
+        // (no data behind it), so poisoning is recovered, keeping the
+        // pool usable after a surfaced panic.
+        let _serial = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         {
             let mut st = shared.state.lock().expect("pool state");
             st.job = Some(Job {
@@ -327,18 +338,24 @@ impl WorkerPool {
         }
         // The submitting thread participates in its own job.
         let caller = catch_unwind(AssertUnwindSafe(f));
-        let worker_panicked = {
+        let worker_panic = {
             let mut st = shared.state.lock().expect("pool state");
             while st.pending > 0 {
                 st = shared.done.wait(st).expect("pool state");
             }
             st.job = None;
-            std::mem::replace(&mut st.panicked, false)
+            st.panic.take()
         };
+        // The caller's own panic wins (it is the closest frame);
+        // otherwise re-raise the first worker's payload here so the
+        // original message surfaces on the submitting thread and the
+        // pool remains usable afterwards.
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
         }
-        assert!(!worker_panicked, "worker panicked during pool job");
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
     }
 
     /// [`try_par_map_init`] on the persistent pool: maps `f` over

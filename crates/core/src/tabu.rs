@@ -86,6 +86,371 @@ fn select_candidate(
     selected.or_else(|| best_of(&|_| true))
 }
 
+/// Why [`TabuSearch::run`] returned control to its caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TabuPause {
+    /// The per-call iteration budget was consumed; the search can
+    /// continue from exactly where it stopped (this is the portfolio
+    /// engine's epoch barrier).
+    Budget,
+    /// The search is done: the goal was reached, the neighbourhood is
+    /// empty, the iteration cap was hit, or the wall-clock cutoff
+    /// passed. Further calls return immediately unless
+    /// [`TabuSearch::inject`] opens a new neighbourhood.
+    Finished,
+}
+
+/// A resumable tabu search (paper Fig. 9) over one policy space.
+///
+/// [`tabu_search_mpa`] runs it to completion in one call; the
+/// portfolio engine ([`crate::portfolio`]) instead interleaves
+/// bounded [`TabuSearch::run`] chunks with deterministic elite
+/// exchanges ([`TabuSearch::inject`]) at epoch barriers. All search
+/// state — tabu tenures, waiting times, the rotating neighbourhood
+/// window offset, the incremental placement checkpoints — survives
+/// across calls, so a sequence of budgeted `run` calls walks the
+/// *identical* trajectory as one unbudgeted call.
+pub struct TabuSearch<'e, 'p> {
+    evaluator: &'e Evaluator<'p>,
+    pool: &'e WorkerPool,
+    cfg: SearchConfig,
+    table: MoveTable,
+    tabu: Vec<usize>,
+    wait: Vec<usize>,
+    window: Vec<MoveRef>,
+    candidates: Vec<Candidate>,
+    // Prefix checkpoints of the current solution's placement: empty
+    // for the first window (the start schedule was materialized
+    // elsewhere), then refreshed for free by every winner
+    // materialization.
+    ckpts: PlacementCheckpoints,
+    now_design: Design,
+    now_schedule: Arc<Schedule>,
+    best_design: Design,
+    best_schedule: Arc<Schedule>,
+    tenure: usize,
+    n: usize,
+}
+
+impl std::fmt::Debug for TabuSearch<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabuSearch")
+            .field("best_cost", &self.best_schedule.cost())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'e, 'p> TabuSearch<'e, 'p> {
+    /// Prepares a search from `start` over `space`, sharing the
+    /// caller's evaluator (memoization) and worker pool (window
+    /// parallelism). `cfg` is captured by clone; its limits apply to
+    /// the externally supplied `stats` counter, so several stages may
+    /// share one budget (see [`tabu_search_mpa_with`]).
+    #[must_use]
+    pub fn new(
+        evaluator: &'e Evaluator<'p>,
+        pool: &'e WorkerPool,
+        space: PolicySpace,
+        start: (Design, Arc<Schedule>),
+        cfg: &SearchConfig,
+    ) -> Self {
+        let problem = evaluator.problem();
+        let n = problem.process_count();
+        let (start_design, start_schedule) = start;
+        TabuSearch {
+            evaluator,
+            pool,
+            cfg: cfg.clone(),
+            table: MoveTable::new(problem, space),
+            tabu: vec![0usize; n],
+            wait: vec![0usize; n],
+            window: Vec::new(),
+            candidates: Vec::new(),
+            ckpts: PlacementCheckpoints::new(),
+            best_design: start_design.clone(),
+            best_schedule: Arc::clone(&start_schedule),
+            now_design: start_design,
+            now_schedule: start_schedule,
+            tenure: cfg.tenure_for(n),
+            n,
+        }
+    }
+
+    /// The cost of the best solution found so far.
+    #[must_use]
+    pub fn best_cost(&self) -> ftdes_sched::ScheduleCost {
+        self.best_schedule.cost()
+    }
+
+    /// Whether the best solution meets every deadline.
+    #[must_use]
+    pub fn best_is_schedulable(&self) -> bool {
+        self.best_schedule.is_schedulable()
+    }
+
+    /// A clone of the best solution (design + shared schedule).
+    #[must_use]
+    pub fn best(&self) -> (Design, Arc<Schedule>) {
+        (self.best_design.clone(), Arc::clone(&self.best_schedule))
+    }
+
+    /// Consumes the search, returning the best solution found.
+    #[must_use]
+    pub fn into_best(self) -> (Design, Schedule) {
+        let TabuSearch {
+            best_design,
+            best_schedule,
+            now_schedule,
+            ..
+        } = self;
+        drop(now_schedule);
+        let schedule = Arc::try_unwrap(best_schedule).unwrap_or_else(|shared| (*shared).clone());
+        (best_design, schedule)
+    }
+
+    /// Adopts `design` as the current solution (the portfolio's elite
+    /// exchange): materializes its schedule (recording placement
+    /// checkpoints when the incremental engine is on, so subsequent
+    /// windows resume from it), replaces the working solution, and
+    /// updates the best-so-far when the elite is strictly better.
+    /// Tabu tenures and waiting times are deliberately kept — they
+    /// describe the worker's own move history, which is what keeps a
+    /// diversified worker diversified after adopting a shared elite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptError::Sched`] when the design cannot be
+    /// scheduled.
+    pub fn inject(&mut self, design: Design, stats: &mut SearchStats) -> Result<(), OptError> {
+        let schedule = if self.cfg.incremental {
+            self.evaluator
+                .schedule_recording(&design, &mut self.ckpts)?
+        } else {
+            self.evaluator.schedule(&design)?
+        };
+        stats.evaluations += 1;
+        if schedule.cost() < self.best_schedule.cost() {
+            self.best_design = design.clone();
+            self.best_schedule = Arc::clone(&schedule);
+        }
+        self.now_design = design;
+        self.now_schedule = schedule;
+        Ok(())
+    }
+
+    /// Runs until the goal is reached, the limits are exhausted, or
+    /// `budget` further iterations were performed (`None` =
+    /// unlimited). The trajectory of a budgeted call sequence is
+    /// bit-identical to one unbudgeted call — only *where control
+    /// returns* differs, never *what is searched*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptError::Sched`] when a candidate cannot be
+    /// evaluated.
+    pub fn run(
+        &mut self,
+        stats: &mut SearchStats,
+        cutoff: Option<Instant>,
+        budget: Option<usize>,
+    ) -> Result<TabuPause, OptError> {
+        let mut left = budget;
+        loop {
+            if (self.cfg.goal == Goal::MeetDeadline && self.best_schedule.is_schedulable())
+                || stats.tabu_iterations >= self.cfg.max_tabu_iterations
+                || cutoff.is_some_and(|c| Instant::now() >= c)
+            {
+                return Ok(TabuPause::Finished);
+            }
+            if let Some(l) = &mut left {
+                if *l == 0 {
+                    return Ok(TabuPause::Budget);
+                }
+                *l -= 1;
+            }
+            if !self.step(stats, cutoff)? {
+                return Ok(TabuPause::Finished);
+            }
+        }
+    }
+
+    /// One tabu iteration (window → selection → acceptance). Returns
+    /// `false` when the search cannot advance (empty neighbourhood or
+    /// no selectable candidate).
+    fn step(&mut self, stats: &mut SearchStats, cutoff: Option<Instant>) -> Result<bool, OptError> {
+        let (cfg, problem) = (&self.cfg, self.evaluator.problem());
+        stats.tabu_iterations += 1;
+
+        // Line 7: moves for the critical path of the current solution.
+        let cp = self
+            .now_schedule
+            .move_candidates(problem.graph(), cfg.min_move_candidates);
+        self.table.window(&self.now_design, &cp, &mut self.window);
+        if self.window.is_empty() {
+            return Ok(false);
+        }
+        // Bound the neighbourhood: rotate a deterministic window over
+        // the full move list so every move still gets its turn. With
+        // `adaptive_window` the cap rounds up to a multiple of the
+        // pool width so no evaluation worker idles on the last chunk
+        // (a search-space knob across thread counts — see the
+        // `SearchConfig` docs).
+        let mut cap = cfg.max_moves_per_iteration.max(1);
+        if cfg.adaptive_window {
+            let width = self.pool.threads().max(1);
+            cap = cap.div_ceil(width) * width;
+        }
+        if self.window.len() > cap {
+            let offset = (stats.tabu_iterations.wrapping_sub(1) * cap) % self.window.len();
+            self.window.rotate_left(offset);
+            self.window.truncate(cap);
+        }
+
+        // The incumbent bound: the current solution's exact cost. A
+        // candidate that provably exceeds it aborts mid-placement.
+        // Deterministic (no racy window incumbent), so the pruned set
+        // is identical across thread counts and cache states.
+        let bound = if cfg.bounded {
+            Some(self.now_schedule.cost())
+        } else {
+            None
+        };
+        // The window's shared evaluation context: one O(n) base key
+        // (per-candidate keys are then O(1)), the base solution's
+        // checkpoints, the bound — the whole cache → splice → resume
+        // → bounded stack behind one facade.
+        let ceval = self.evaluator.candidate_eval(
+            &self.now_design,
+            cfg.incremental.then_some(&self.ckpts),
+            bound,
+        );
+
+        // Evaluate the window in parallel (cost-only); results stay
+        // in move order. Each worker clones the base design once and
+        // applies/undoes one decision per candidate — no per-candidate
+        // design clone, no schedule materialization.
+        let (window, table, now_design) = (&self.window, &self.table, &self.now_design);
+        let evaluated = self
+            .pool
+            .try_map_init(
+                window,
+                || now_design.clone(),
+                |design, _, mv| {
+                    if cutoff.is_some_and(|c| Instant::now() >= c) {
+                        return Ok(None);
+                    }
+                    Ok(Some(ceval.eval_move(
+                        design,
+                        mv.process,
+                        table.decision(*mv),
+                    )?))
+                },
+            )
+            .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
+        self.candidates.clear();
+        for (index, (mv, slot)) in self.window.iter().zip(evaluated).enumerate() {
+            if let Some((outcome, hit)) = slot {
+                if outcome.is_exact() {
+                    stats.record_eval(hit);
+                } else {
+                    stats.pruned += 1;
+                }
+                self.candidates.push(Candidate {
+                    index,
+                    mv: *mv,
+                    outcome,
+                });
+            }
+        }
+
+        let best_cost = self.best_schedule.cost();
+
+        // Lines 14–20 with bounded-evaluation resolution: run the
+        // selection, then exactly re-evaluate every pruned candidate
+        // whose lower bound is at or below the would-be winner — its
+        // true cost could still change the outcome. Repeat until the
+        // winner is exact and nothing below it is unresolved. Each
+        // pass resolves at least one candidate, the resolution set is
+        // a deterministic function of the (deterministic) bounds, and
+        // lower bounds never under-rank a candidate, so the final
+        // selection equals the all-exact selection bit for bit.
+        let selected = loop {
+            let Some(sel) = select_candidate(
+                &self.candidates,
+                best_cost,
+                &self.tabu,
+                &self.wait,
+                cfg,
+                self.n,
+            ) else {
+                break None;
+            };
+            let (w_cost, w_index) = (self.candidates[sel].cost(), self.candidates[sel].index);
+            // When the winner is exact, a resolution only has to push
+            // each unresolved candidate past it — re-evaluate bounded
+            // by the winner's cost (still a certified classification,
+            // far cheaper than a full run). A pruned winner is
+            // resolved exactly.
+            let resolve_bound = self.candidates[sel].outcome.is_exact().then_some(w_cost);
+            let mut resolved_any = false;
+            for c in &mut self.candidates {
+                if !c.outcome.is_exact() && (c.outcome.cost(), c.index) <= (w_cost, w_index) {
+                    let (outcome, hit) = ceval.eval_move_bounded(
+                        &mut self.now_design,
+                        c.mv.process,
+                        self.table.decision(c.mv),
+                        resolve_bound,
+                    )?;
+                    if outcome.is_exact() {
+                        stats.record_eval(hit);
+                    } else {
+                        stats.pruned += 1;
+                    }
+                    debug_assert!(outcome.is_exact() || outcome.cost() > w_cost);
+                    c.outcome = outcome;
+                    resolved_any = true;
+                }
+            }
+            if !resolved_any {
+                break Some(sel);
+            }
+        };
+        let Some(selected) = selected else {
+            return Ok(false);
+        };
+
+        let chosen = self.candidates.swap_remove(selected);
+        self.now_design
+            .set_decision(chosen.mv.process, self.table.decision(chosen.mv).clone());
+        // Materialize the winner's schedule (the next iteration needs
+        // its critical path); one full run per iteration, counted —
+        // and the incremental engine records its checkpoints on it.
+        stats.evaluations += 1;
+        self.now_schedule = if cfg.incremental {
+            self.evaluator
+                .schedule_recording(&self.now_design, &mut self.ckpts)?
+        } else {
+            self.evaluator.schedule(&self.now_design)?
+        };
+        debug_assert_eq!(self.now_schedule.cost(), chosen.cost());
+
+        // Lines 23–25: best-so-far and history updates.
+        if self.now_schedule.cost() < best_cost {
+            self.best_design = self.now_design.clone();
+            self.best_schedule = Arc::clone(&self.now_schedule);
+        }
+        for t in &mut self.tabu {
+            *t = t.saturating_sub(1);
+        }
+        for w in &mut self.wait {
+            *w += 1;
+        }
+        self.tabu[chosen.mv.process.index()] = self.tenure;
+        self.wait[chosen.mv.process.index()] = 0;
+        Ok(true)
+    }
+}
+
 /// Runs the tabu search from `start` until the goal is reached or
 /// the limits are exhausted, returning the best design found.
 ///
@@ -129,177 +494,16 @@ pub fn tabu_search_mpa_with(
     cutoff: Option<Instant>,
     stats: &mut SearchStats,
 ) -> Result<(Design, Schedule), OptError> {
-    let problem = evaluator.problem();
-    let n = problem.process_count();
-    let tenure = cfg.tenure_for(n);
-    let table = MoveTable::new(problem, space);
-    let mut tabu = vec![0usize; n];
-    let mut wait = vec![0usize; n];
-    let mut window: Vec<MoveRef> = Vec::new();
-    let mut candidates: Vec<Candidate> = Vec::new();
-    // Prefix checkpoints of the current solution's placement: empty
-    // for the first window (the start schedule was materialized
-    // elsewhere), then refreshed for free by every winner
-    // materialization.
-    let mut ckpts = PlacementCheckpoints::new();
-
     let (start_design, start_schedule) = start;
-    let mut best_design = start_design.clone();
-    let mut best_schedule = Arc::new(start_schedule);
-    let mut now_design = start_design;
-    let mut now_schedule = Arc::clone(&best_schedule);
-
-    while !(cfg.goal == Goal::MeetDeadline && best_schedule.is_schedulable())
-        && stats.tabu_iterations < cfg.max_tabu_iterations
-        && cutoff.is_none_or(|c| Instant::now() < c)
-    {
-        stats.tabu_iterations += 1;
-
-        // Line 7: moves for the critical path of the current solution.
-        let cp = now_schedule.move_candidates(problem.graph(), cfg.min_move_candidates);
-        table.window(&now_design, &cp, &mut window);
-        if window.is_empty() {
-            break;
-        }
-        // Bound the neighbourhood: rotate a deterministic window over
-        // the full move list so every move still gets its turn.
-        let cap = cfg.max_moves_per_iteration.max(1);
-        if window.len() > cap {
-            let offset = (stats.tabu_iterations.wrapping_sub(1) * cap) % window.len();
-            window.rotate_left(offset);
-            window.truncate(cap);
-        }
-
-        // The incumbent bound: the current solution's exact cost. A
-        // candidate that provably exceeds it aborts mid-placement.
-        // Deterministic (no racy window incumbent), so the pruned set
-        // is identical across thread counts and cache states.
-        let bound = if cfg.bounded {
-            Some(now_schedule.cost())
-        } else {
-            None
-        };
-        // The window's shared evaluation context: one O(n) base key
-        // (per-candidate keys are then O(1)), the base solution's
-        // checkpoints, the bound — the whole cache → splice → resume
-        // → bounded stack behind one facade.
-        let ceval = evaluator.candidate_eval(&now_design, cfg.incremental.then_some(&ckpts), bound);
-
-        // Evaluate the window in parallel (cost-only); results stay
-        // in move order. Each worker clones the base design once and
-        // applies/undoes one decision per candidate — no per-candidate
-        // design clone, no schedule materialization.
-        let evaluated = pool
-            .try_map_init(
-                &window,
-                || now_design.clone(),
-                |design, _, mv| {
-                    if cutoff.is_some_and(|c| Instant::now() >= c) {
-                        return Ok(None);
-                    }
-                    Ok(Some(ceval.eval_move(
-                        design,
-                        mv.process,
-                        table.decision(*mv),
-                    )?))
-                },
-            )
-            .map_err(|e: ftdes_sched::SchedError| OptError::from(e))?;
-        candidates.clear();
-        for (index, (mv, slot)) in window.iter().zip(evaluated).enumerate() {
-            if let Some((outcome, hit)) = slot {
-                if outcome.is_exact() {
-                    stats.record_eval(hit);
-                } else {
-                    stats.pruned += 1;
-                }
-                candidates.push(Candidate {
-                    index,
-                    mv: *mv,
-                    outcome,
-                });
-            }
-        }
-
-        let best_cost = best_schedule.cost();
-
-        // Lines 14–20 with bounded-evaluation resolution: run the
-        // selection, then exactly re-evaluate every pruned candidate
-        // whose lower bound is at or below the would-be winner — its
-        // true cost could still change the outcome. Repeat until the
-        // winner is exact and nothing below it is unresolved. Each
-        // pass resolves at least one candidate, the resolution set is
-        // a deterministic function of the (deterministic) bounds, and
-        // lower bounds never under-rank a candidate, so the final
-        // selection equals the all-exact selection bit for bit.
-        let selected = loop {
-            let Some(sel) = select_candidate(&candidates, best_cost, &tabu, &wait, cfg, n) else {
-                break None;
-            };
-            let (w_cost, w_index) = (candidates[sel].cost(), candidates[sel].index);
-            // When the winner is exact, a resolution only has to push
-            // each unresolved candidate past it — re-evaluate bounded
-            // by the winner's cost (still a certified classification,
-            // far cheaper than a full run). A pruned winner is
-            // resolved exactly.
-            let resolve_bound = candidates[sel].outcome.is_exact().then_some(w_cost);
-            let mut resolved_any = false;
-            for c in &mut candidates {
-                if !c.outcome.is_exact() && (c.outcome.cost(), c.index) <= (w_cost, w_index) {
-                    let (outcome, hit) = ceval.eval_move_bounded(
-                        &mut now_design,
-                        c.mv.process,
-                        table.decision(c.mv),
-                        resolve_bound,
-                    )?;
-                    if outcome.is_exact() {
-                        stats.record_eval(hit);
-                    } else {
-                        stats.pruned += 1;
-                    }
-                    debug_assert!(outcome.is_exact() || outcome.cost() > w_cost);
-                    c.outcome = outcome;
-                    resolved_any = true;
-                }
-            }
-            if !resolved_any {
-                break Some(sel);
-            }
-        };
-        let Some(selected) = selected else {
-            break;
-        };
-
-        let chosen = candidates.swap_remove(selected);
-        now_design.set_decision(chosen.mv.process, table.decision(chosen.mv).clone());
-        // Materialize the winner's schedule (the next iteration needs
-        // its critical path); one full run per iteration, counted —
-        // and the incremental engine records its checkpoints on it.
-        stats.evaluations += 1;
-        now_schedule = if cfg.incremental {
-            evaluator.schedule_recording(&now_design, &mut ckpts)?
-        } else {
-            evaluator.schedule(&now_design)?
-        };
-        debug_assert_eq!(now_schedule.cost(), chosen.cost());
-
-        // Lines 23–25: best-so-far and history updates.
-        if now_schedule.cost() < best_cost {
-            best_design = now_design.clone();
-            best_schedule = Arc::clone(&now_schedule);
-        }
-        for t in &mut tabu {
-            *t = t.saturating_sub(1);
-        }
-        for w in &mut wait {
-            *w += 1;
-        }
-        tabu[chosen.mv.process.index()] = tenure;
-        wait[chosen.mv.process.index()] = 0;
-    }
-
-    let best_schedule = Arc::try_unwrap(best_schedule).unwrap_or_else(|shared| (*shared).clone());
-    Ok((best_design, best_schedule))
+    let mut search = TabuSearch::new(
+        evaluator,
+        pool,
+        space,
+        (start_design, Arc::new(start_schedule)),
+        cfg,
+    );
+    search.run(stats, cutoff, None)?;
+    Ok(search.into_best())
 }
 
 #[cfg(test)]

@@ -55,7 +55,10 @@ use std::time::Duration;
 
 use ftdes_bench::jobs::SweepExec;
 use ftdes_core::repair::{repair, RepairBudget};
-use ftdes_core::{optimize, optimize_bus, BusOptConfig, Goal, Problem, SearchConfig, Strategy};
+use ftdes_core::{
+    optimize, optimize_bus, optimize_portfolio, BusOptConfig, Goal, PolicySpace, PortfolioConfig,
+    Problem, SearchConfig, Strategy,
+};
 use ftdes_faultsim::{adversarial_scenario, random_scenarios, simulate};
 use ftdes_gen::{comm_heavy, paper_workload, CommHeavyParams};
 use ftdes_io::delta::parse_delta_with;
@@ -217,6 +220,8 @@ struct Options {
     max_checkpoints: Option<u32>,
     deltas: Vec<String>,
     repair_ms: u64,
+    portfolio: usize,
+    epoch_candidates: usize,
 }
 
 impl Options {
@@ -234,6 +239,8 @@ impl Options {
             max_checkpoints: None,
             deltas: Vec::new(),
             repair_ms: 500,
+            portfolio: 0,
+            epoch_candidates: 4_096,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -274,6 +281,17 @@ impl Options {
                 }
                 "--gantt" => o.gantt = true,
                 "--bus-opt" => o.bus_opt = true,
+                "--portfolio" => {
+                    o.portfolio = value("--portfolio")?
+                        .parse()
+                        .map_err(|_| "invalid --portfolio".to_owned())?;
+                }
+                "--epoch-candidates" => {
+                    o.epoch_candidates = value("--epoch-candidates")?
+                        .parse::<usize>()
+                        .map_err(|_| "invalid --epoch-candidates".to_owned())?
+                        .max(1);
+                }
                 "--scenarios" => {
                     o.scenarios = value("--scenarios")?
                         .parse()
@@ -417,8 +435,51 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "solve" => {
-            let mut outcome = optimize(&problem, options.strategy, &options.search_config())
-                .map_err(|e| e.to_string())?;
+            let mut outcome = if options.portfolio > 0 {
+                // The portfolio diversifies the tabu phase of one
+                // policy space; the SFX/NFT baselines have no tabu
+                // phase worth diversifying.
+                let space = match options.strategy {
+                    Strategy::Mxr => PolicySpace::Mixed,
+                    Strategy::Mx => PolicySpace::ReexecutionOnly,
+                    Strategy::Mr => PolicySpace::ReplicationOnly,
+                    Strategy::Sfx | Strategy::Nft => {
+                        return Err(CliError::Usage(
+                            "--portfolio needs --strategy mxr|mx|mr".to_owned(),
+                        ))
+                    }
+                };
+                let pcfg = PortfolioConfig {
+                    workers: options.portfolio,
+                    epoch_candidates: options.epoch_candidates,
+                    seed: options.seed ^ PortfolioConfig::default().seed,
+                    ..PortfolioConfig::default()
+                };
+                let p = optimize_portfolio(&problem, space, &options.search_config(), &pcfg)
+                    .map_err(|e| e.to_string())?;
+                for w in &p.workers {
+                    println!(
+                        "worker {} [{}]: best = {}, iterations = {}, lookups = {}, adopted = {}",
+                        w.index,
+                        w.label,
+                        w.best
+                            .map_or_else(|| "-".to_owned(), |c| format!("{}", c.length)),
+                        w.tabu_iterations,
+                        w.lookups,
+                        w.adopted
+                    );
+                }
+                println!(
+                    "portfolio: {} workers, {} epochs, {} elite exchanges",
+                    p.workers.len(),
+                    p.epochs,
+                    p.exchanges
+                );
+                p.outcome
+            } else {
+                optimize(&problem, options.strategy, &options.search_config())
+                    .map_err(|e| e.to_string())?
+            };
             if options.bus_opt {
                 let bused = optimize_bus(&problem, &outcome.design, &BusOptConfig::default())
                     .map_err(|e| e.to_string())?;
@@ -848,6 +909,8 @@ fn usage() -> String {
     "usage: ftdes <solve|inject|repair|info|sweep> <problem.ftd | --family comm-heavy|paper> [flags]\n\
      flags: --strategy mxr|mx|mr|sfx|nft  --time-ms N  --goal deadline|length\n\
      \x20      --json out.json  --gantt  --bus-opt  --scenarios N  --seed S\n\
+     \x20      --portfolio N (diversified parallel tabu workers, mxr|mx|mr only)\n\
+     \x20      --epoch-candidates N (candidates per worker between elite exchanges)\n\
      repair: --delta kill-node:N1|degrade-node:N1:150|rescale-wcet:120|remove-process:P2\n\
      \x20      --delta add-process:name:N0=10ms,...  (repeatable)  --repair-ms N\n\
      generated instances: --family comm-heavy|paper  --procs N  --nodes N  --k N  --mu-ms N\n\
