@@ -73,9 +73,13 @@ fn main() {
     .expect("expands");
     let started = Instant::now();
     for _ in 0..reps {
-        let p =
-            ftdes_sched::priority::Priorities::compute(problem.graph(), &expanded, problem.bus())
-                .expect("acyclic");
+        let p = ftdes_sched::priority::Priorities::compute(
+            problem.graph(),
+            &expanded,
+            problem.bus(),
+            problem.schedule_options().priority,
+        )
+        .expect("acyclic");
         std::hint::black_box(p.rank(0.into()));
     }
     let priorities = started.elapsed();

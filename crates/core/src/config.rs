@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use ftdes_sched::PriorityStrategy;
+
 /// What the search optimizes for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Goal {
@@ -92,6 +94,14 @@ pub struct SearchConfig {
     /// *fixed* thread count the search stays fully deterministic.
     /// Off by default; the determinism test matrix runs with it off.
     pub adaptive_window: bool,
+    /// Ready-list priority strategy override for this search:
+    /// `Some(s)` re-derives the problem under strategy `s`
+    /// (partial-critical-path or mobility), `None` (the default)
+    /// inherits whatever the problem was built with
+    /// ([`crate::problem::Problem::with_priority_strategy`] /
+    /// `FTDES_PRIORITY`). The portfolio uses this to run a
+    /// mobility-ordered worker beside the tenure/window variants.
+    pub priority: Option<PriorityStrategy>,
 }
 
 impl SearchConfig {
@@ -131,6 +141,7 @@ impl Default for SearchConfig {
             incremental: true,
             bounded: true,
             adaptive_window: false,
+            priority: None,
         }
     }
 }

@@ -37,10 +37,14 @@
 //! * The engine toggles live on [`SearchConfig`]
 //!   (`incremental` / `bounded`) and [`problem::Problem`]
 //!   ([`problem::Problem::with_comm_lookahead`],
-//!   [`problem::Problem::with_flat_occupancy`],
+//!   [`problem::Problem::with_occupancy_backend`],
 //!   [`problem::Problem::with_sparse_wcet_lookup`]) — every one of
 //!   them is a pure throughput knob, bit-identical by the parity
 //!   tests in `tests/incremental.rs` and `tests/determinism.rs`.
+//!   [`problem::Problem::with_priority_strategy`] (and
+//!   [`SearchConfig::priority`]) select the ready-list priority
+//!   function instead — a **search-space knob** whose strategies
+//!   legitimately reach different designs.
 //!
 //! # Environment variables
 //!
@@ -52,6 +56,8 @@
 //! | `FTDES_NO_PARALLEL` | force single-threaded evaluation (overrides everything) |
 //! | `FTDES_NO_SPLICE` | disable the suffix-splicing engine (evaluation engine v3): new [`problem::Problem`]s evaluate candidates through the PR 2/3 checkpoint-resumed path instead. Set to anything but `0`/empty; [`problem::Problem::with_suffix_splice`] overrides per problem. Pure throughput knob — results are bit-identical either way |
 //! | `FTDES_MAX_CHECKPOINTS` | largest checkpoint count the move generators may assign per re-executable process (the third move axis). Default: `1` (axis off) while the fault model's `χ` is zero, `4` otherwise; [`problem::Problem::with_max_checkpoints`] overrides per problem. **Search-space knob** — unlike the throughput knobs it changes which designs are reachable |
+//! | `FTDES_OCC_BACKEND` | bus-slot occupancy backend for new [`problem::Problem`]s: `bitmap` (default), `indexed` (PR 3 round-sorted index), or `flat` (legacy tail scan); [`problem::Problem::with_occupancy_backend`] overrides per problem. Pure throughput knob — every backend books identical occurrences |
+//! | `FTDES_PRIORITY` | ready-list priority strategy for new [`problem::Problem`]s: `pcp` (partial-critical-path, default) or `mobility` (ALAP − ASAP float); [`problem::Problem::with_priority_strategy`] / [`SearchConfig::priority`] override per problem / per search. **Search-space knob** |
 //!
 //! Resolution order and details: [`parallel::effective_threads`].
 //! The benchmark harness (`ftdes-bench`) adds `FTDES_SEEDS` and
@@ -124,12 +130,14 @@ pub mod prelude {
     pub use crate::space::PolicySpace;
     pub use crate::strategy::{optimize, optimize_with_cache, overhead_percent, Outcome, Strategy};
     pub use crate::sweep::{sweep_fault_models, sweep_k, Sweep, SweepPoint};
+    pub use crate::{OccupancyBackend, PriorityStrategy};
 }
 
 pub use bus_opt::{optimize_bus, BusOptConfig, BusOptOutcome};
 pub use cache::{CachePool, CandidateEval, EvalCache, EvalOutcome, Evaluator};
 pub use config::{Goal, SearchConfig, SearchStats};
 pub use error::OptError;
+pub use ftdes_sched::{OccupancyBackend, PriorityStrategy};
 pub use parallel::{effective_threads, WorkerPool};
 pub use portfolio::{
     optimize_portfolio, optimize_portfolio_with_cache, PortfolioConfig, PortfolioOutcome,

@@ -41,13 +41,14 @@
 //! As everywhere else, a wall-clock `time_limit` is the one knob that
 //! trades that away (the cutoff lands wherever the machine got to).
 
+use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use ftdes_model::design::Design;
 use ftdes_model::ids::ProcessId;
-use ftdes_sched::{Schedule, ScheduleCost};
+use ftdes_sched::{PriorityStrategy, Schedule, ScheduleCost};
 
 use crate::cache::{EvalCache, Evaluator};
 use crate::config::{Goal, SearchConfig, SearchStats};
@@ -58,7 +59,7 @@ use crate::moves::candidate_decisions;
 use crate::parallel::{effective_threads, WorkerPool};
 use crate::problem::Problem;
 use crate::space::PolicySpace;
-use crate::strategy::Outcome;
+use crate::strategy::{resolve_priority, Outcome};
 use crate::tabu::{TabuPause, TabuSearch};
 
 /// Tunables of the portfolio engine.
@@ -79,10 +80,10 @@ pub struct PortfolioConfig {
     /// `w` applies `w` seeded decision changes to the greedy start).
     pub seed: u64,
     /// Diversify worker configurations along the strategy-ablation
-    /// axes (tenure ×2, window ÷2, tenure ÷2 without diversification,
-    /// window ×2, cycling by worker index). With `false` every worker
-    /// runs the base configuration and only the start perturbation
-    /// differs.
+    /// axes (mobility-ordered ready list, tenure ×2, window ÷2,
+    /// tenure ÷2 without diversification, window ×2, cycling by
+    /// worker index). With `false` every worker runs the base
+    /// configuration and only the start perturbation differs.
     pub diversify: bool,
 }
 
@@ -135,7 +136,7 @@ pub struct PortfolioOutcome {
 }
 
 /// What a worker publishes at the epoch barrier.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct EpochReport {
     alive: bool,
     finished: bool,
@@ -167,6 +168,22 @@ struct WorkerPrep {
     label: String,
     quota: usize,
     start: Design,
+    /// A re-derived problem when the worker's configuration overrides
+    /// the priority strategy (the mobility axis); `None` = the shared
+    /// problem. The shared cache stays sound either way — the
+    /// strategy participates in the evaluator's context fingerprint.
+    problem: Option<Problem>,
+}
+
+/// The evaluator a portfolio participant runs on: the shared
+/// memoization cache when enabled (context fingerprints keep entries
+/// from different priority strategies apart), uncached otherwise.
+fn evaluator_for<'p>(problem: &'p Problem, cache: &Arc<EvalCache>, enabled: bool) -> Evaluator<'p> {
+    if enabled {
+        Evaluator::with_shared_cache(problem, Arc::clone(cache))
+    } else {
+        Evaluator::with_cache(problem, false)
+    }
 }
 
 fn lcg_next(state: &mut u64) -> u64 {
@@ -237,16 +254,22 @@ fn worker_prep(
     };
     let mut axis = "base";
     if w > 0 && pcfg.diversify {
-        match (w - 1) % 4 {
+        match (w - 1) % 5 {
             0 => {
+                // First in the cycle so even a 2-worker portfolio
+                // fields a mobility-ordered search beside the base.
+                cfg.priority = Some(PriorityStrategy::Mobility);
+                axis = "mobility";
+            }
+            1 => {
                 cfg.tabu_tenure = Some(base.tenure_for(n) * 2);
                 axis = "tenure*2";
             }
-            1 => {
+            2 => {
                 cfg.max_moves_per_iteration = (base.max_moves_per_iteration / 2).max(8);
                 axis = "window/2";
             }
-            2 => {
+            3 => {
                 cfg.tabu_tenure = Some((base.tenure_for(n) / 2).max(2));
                 cfg.diversification = false;
                 axis = "tenure/2-nodiv";
@@ -262,11 +285,16 @@ fn worker_prep(
         let state = pcfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         perturb(problem, space, &mut start, w, state);
     }
+    let problem_override = match resolve_priority(problem, &cfg) {
+        Cow::Owned(p) => Some(p),
+        Cow::Borrowed(_) => None,
+    };
     WorkerPrep {
         quota: (pcfg.epoch_candidates / cfg.max_moves_per_iteration.max(1)).max(1),
         label: format!("w{w}:{axis}+p{w}"),
         cfg,
         start,
+        problem: problem_override,
     }
 }
 
@@ -317,6 +345,11 @@ pub fn optimize_portfolio_with_cache(
     pcfg: &PortfolioConfig,
     cache: &Arc<EvalCache>,
 ) -> Result<PortfolioOutcome, OptError> {
+    // A top-level priority override re-derives the shared problem
+    // once; the per-worker mobility axis re-derives again relative to
+    // this resolved base.
+    let resolved = resolve_priority(problem, cfg);
+    let problem = resolved.as_ref();
     let started = Instant::now();
     let cutoff = cfg.time_limit.map(|l| started + l);
     let workers = if pcfg.workers == 0 {
@@ -327,20 +360,12 @@ pub fn optimize_portfolio_with_cache(
     .max(1);
     let threads_per_worker = (effective_threads(cfg.threads) / workers).max(1);
 
-    let make_evaluator = || {
-        if cfg.eval_cache {
-            Evaluator::with_shared_cache(problem, Arc::clone(cache))
-        } else {
-            Evaluator::with_cache(problem, false)
-        }
-    };
-
     // Shared prologue (Fig. 6 steps 1–2) on the full pool width: the
     // portfolio diversifies the *tabu* phase, the construction and
     // greedy phases are identical for every worker anyway.
     let mut prologue_stats = SearchStats::default();
     let (greedy_design, greedy_schedule) = {
-        let evaluator = make_evaluator();
+        let evaluator = evaluator_for(problem, cache, cfg.eval_cache);
         let pool = WorkerPool::new(effective_threads(cfg.threads));
         let initial = initial_mpa(problem, space)?;
         greedy_mpa_with(
@@ -402,14 +427,19 @@ pub fn optimize_portfolio_with_cache(
                 &finals,
             );
             let (greedy_design, greedy_schedule) = (&greedy_design, &greedy_schedule);
-            let make_evaluator = &make_evaluator;
             scope.spawn(move || {
                 let mut stats = SearchStats::default();
                 let mut error: Option<OptError> = None;
                 let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
                 let mut adopted = 0usize;
 
-                let evaluator = make_evaluator();
+                // A mobility-axis worker searches its re-derived
+                // problem; the shared greedy start is still a valid
+                // (design, schedule) pair — `inject` and every
+                // candidate evaluation re-score under the worker's
+                // own evaluator.
+                let wproblem = prep.problem.as_ref().unwrap_or(problem);
+                let evaluator = evaluator_for(wproblem, cache, cfg.eval_cache);
                 let pool = WorkerPool::new(prep.cfg.threads);
                 // Build the worker's search: start from the shared
                 // greedy solution, then adopt the perturbed start (a
@@ -438,6 +468,9 @@ pub fn optimize_portfolio_with_cache(
                     }
                 };
                 let mut finished = false;
+                // Worker 0's previous-epoch report snapshot, for the
+                // fixed-point stop below.
+                let mut prev_snap: Vec<EpochReport> = Vec::new();
 
                 loop {
                     // Phase A: run one epoch quota (dead workers skip
@@ -497,16 +530,30 @@ pub fn optimize_portfolio_with_cache(
                             snap[ew].best.is_some_and(|(_, schedulable)| schedulable)
                         });
                         let all_finished = snap.iter().filter(|r| r.alive).all(|r| r.finished);
+                        // Adoption can revive a search that finished on
+                        // an empty neighbourhood, so `all_finished`
+                        // alone is not a stop. But a worker on a
+                        // diversified priority axis re-scores the
+                        // shared elite under its *own* ordering, so it
+                        // may count as an adopter forever without ever
+                        // matching the elite's reported cost. The
+                        // fixed-point test catches that: if everyone is
+                        // finished and no report moved since the last
+                        // epoch, further adoption cannot change
+                        // anything observable either.
+                        let fixed_point = all_finished && snap == prev_snap;
                         let mut t = tally.lock().expect("portfolio tally");
                         t.0 += 1;
                         let stop = elite.is_none()
                             || t.0 >= pcfg.max_epochs
                             || cutoff.is_some_and(|c| Instant::now() >= c)
                             || (cfg.goal == Goal::MeetDeadline && elite_schedulable)
-                            || (all_finished && adopters == 0);
+                            || (all_finished && adopters == 0)
+                            || fixed_point;
                         if !stop {
                             t.1 += adopters;
                         }
+                        prev_snap = snap;
                         *decision_slot.lock().expect("portfolio decision") =
                             Decision { stop, elite };
                     }

@@ -14,8 +14,8 @@ use ftdes_model::time::Time;
 use ftdes_model::wcet::{DenseWcet, WcetTable};
 use ftdes_sched::{
     list_schedule_recording, list_schedule_with, schedule_cost_bounded, schedule_cost_resumed,
-    schedule_cost_resumed_bus, CostOutcome, CostScratch, PlacementCheckpoints, SchedError,
-    SchedScratch, Schedule, ScheduleCost, ScheduleOptions,
+    schedule_cost_resumed_bus, CostOutcome, CostScratch, OccupancyBackend, PlacementCheckpoints,
+    PriorityStrategy, SchedError, SchedScratch, Schedule, ScheduleCost, ScheduleOptions,
 };
 use ftdes_ttp::config::BusConfig;
 
@@ -40,6 +40,32 @@ fn max_checkpoints_env() -> Option<u32> {
         std::env::var("FTDES_MAX_CHECKPOINTS")
             .ok()
             .and_then(|v| v.parse().ok())
+    })
+}
+
+/// The default occupancy backend: bitmap, unless the
+/// `FTDES_OCC_BACKEND` knob (`flat` / `indexed` / `bitmap`) overrides
+/// it for ablation runs. Read once.
+fn occupancy_backend_env() -> OccupancyBackend {
+    static VALUE: std::sync::OnceLock<OccupancyBackend> = std::sync::OnceLock::new();
+    *VALUE.get_or_init(|| {
+        std::env::var("FTDES_OCC_BACKEND")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    })
+}
+
+/// The default ready-list priority strategy: partial-critical-path,
+/// unless the `FTDES_PRIORITY` knob (`pcp` / `mobility`) overrides
+/// it. Read once.
+fn priority_strategy_env() -> PriorityStrategy {
+    static VALUE: std::sync::OnceLock<PriorityStrategy> = std::sync::OnceLock::new();
+    *VALUE.get_or_init(|| {
+        std::env::var("FTDES_PRIORITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
     })
 }
 
@@ -120,6 +146,8 @@ impl Problem {
             constraints: DesignConstraints::free(n),
             options: ScheduleOptions {
                 suffix_splice: splice_enabled_by_env(),
+                occupancy: occupancy_backend_env(),
+                priority: priority_strategy_env(),
                 ..ScheduleOptions::default()
             },
             max_checkpoints: max_checkpoints_env().unwrap_or(if fault_model.chi().is_zero() {
@@ -174,14 +202,36 @@ impl Problem {
         self
     }
 
-    /// Books bus messages through the legacy flat tail scan instead
-    /// of the per-(node, slot) occupancy index — the PR 2 booking
-    /// path, kept as a perf-ablation knob
-    /// ([`ScheduleOptions::indexed_occupancy`]). Both paths choose
-    /// identical slot occurrences, so results are bit-identical.
+    /// Selects the bus-slot occupancy backend
+    /// ([`ScheduleOptions::occupancy`]): the bit-packed saturation
+    /// bitmap (default), the PR 3 round-sorted index, or the legacy
+    /// flat tail scan. Every backend chooses identical slot
+    /// occurrences, so results are bit-identical — a pure perf
+    /// ablation knob, overridable globally with `FTDES_OCC_BACKEND`.
     #[must_use]
-    pub fn with_flat_occupancy(mut self) -> Self {
-        self.options.indexed_occupancy = false;
+    pub fn with_occupancy_backend(mut self, backend: OccupancyBackend) -> Self {
+        self.options.occupancy = backend;
+        self
+    }
+
+    /// Books bus messages through the legacy flat tail scan — the
+    /// PR 2 booking path, kept as a perf-ablation shorthand for
+    /// [`Problem::with_occupancy_backend`]`(OccupancyBackend::Flat)`.
+    #[must_use]
+    pub fn with_flat_occupancy(self) -> Self {
+        self.with_occupancy_backend(OccupancyBackend::Flat)
+    }
+
+    /// Selects the ready-list priority strategy
+    /// ([`ScheduleOptions::priority`]): partial-critical-path
+    /// (paper §5.1, default) or mobility (ALAP − ASAP float).
+    /// **Search-space knob** — strategies legitimately produce
+    /// different (both valid) designs, and the strategy participates
+    /// in the evaluator's cache-context fingerprint. Overridable
+    /// globally with `FTDES_PRIORITY`.
+    #[must_use]
+    pub fn with_priority_strategy(mut self, strategy: PriorityStrategy) -> Self {
+        self.options.priority = strategy;
         self
     }
 

@@ -97,7 +97,7 @@ pub fn apply_delta(
     }
 
     let opts = problem.schedule_options();
-    let mut new = Problem::new(
+    let new = Problem::new(
         applied.graph.clone(),
         problem.arch().clone(),
         applied.wcet.clone(),
@@ -107,10 +107,9 @@ pub fn apply_delta(
     .with_max_checkpoints(problem.max_checkpoints())
     .with_constraints(constraints)
     .with_comm_lookahead(opts.comm_lookahead)
-    .with_suffix_splice(opts.suffix_splice);
-    if !opts.indexed_occupancy {
-        new = new.with_flat_occupancy();
-    }
+    .with_suffix_splice(opts.suffix_splice)
+    .with_occupancy_backend(opts.occupancy)
+    .with_priority_strategy(opts.priority);
     Ok((new, applied))
 }
 

@@ -83,6 +83,19 @@ impl CommHeavyParams {
         }
     }
 
+    /// The high-density stress preset of the occupancy benchmarks:
+    /// [`CommHeavyParams::dense`] pushed to 24 edges per process and
+    /// a message/WCET cost ratio of 3, so placements are dominated by
+    /// booking thousands of messages into contended TDMA rounds — the
+    /// regime where the booking structure dominates per-candidate
+    /// cost (`occbench`, perfgate's `occupancy` gate).
+    #[must_use]
+    pub fn stress(processes: usize) -> Self {
+        CommHeavyParams::dense(processes)
+            .with_density(24.0)
+            .with_ratio(3.0)
+    }
+
     /// Sets the mean edges per process (builder style).
     #[must_use]
     pub fn with_density(mut self, edges_per_process: f64) -> Self {
@@ -227,6 +240,20 @@ mod tests {
                 params.edge_density
             );
         }
+    }
+
+    #[test]
+    fn stress_preset_is_denser_than_dense() {
+        let params = CommHeavyParams::stress(40);
+        assert_eq!(params.edge_density, 24.0);
+        let w = comm_heavy(&params, &arch(), 2);
+        w.graph.validate().unwrap();
+        assert!(
+            w.graph.edge_count()
+                > comm_heavy(&CommHeavyParams::dense(40), &arch(), 2)
+                    .graph
+                    .edge_count()
+        );
     }
 
     #[test]

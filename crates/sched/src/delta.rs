@@ -411,7 +411,7 @@ pub(crate) fn execute(
     }
 
     core.occupancy.clear();
-    core.occupancy.set_indexed(options.indexed_occupancy);
+    core.occupancy.set_backend(options.occupancy);
     let capacity = bus.slot_bytes();
     for slot in 0..slots {
         let dirty = sp.slot_dirty[slot];

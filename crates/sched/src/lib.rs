@@ -53,10 +53,18 @@
 //!   last *booking* the swap cannot affect (placement-prefix
 //!   checkpoints do not apply when slot timing shifts globally).
 //!
-//! Bus bookings go through a per-(node, slot) occupancy index (O(log
-//! occupied rounds) per booking; the legacy flat tail scan survives
-//! as the [`list::ScheduleOptions::indexed_occupancy`] ablation and
-//! as a debug-build parity assertion).
+//! Bus bookings go through a selectable [`OccupancyBackend`]
+//! ([`list::ScheduleOptions::occupancy`]): bit-packed per-(node,
+//! slot) saturation bitmaps — saturated words skipped whole, partial
+//! words threshold-scanned (default) — the PR 3 round-sorted
+//! occurrence index, or
+//! the legacy flat tail scan — every backend books identical
+//! occurrences (debug builds assert it per booking), so the older
+//! ones survive as ablations. The ready-list priority function is
+//! likewise selectable ([`priority::PriorityStrategy`]):
+//! partial-critical-path (paper §5.1, default) or mobility (ALAP −
+//! ASAP float) — unlike the occupancy backend, a genuine
+//! search-space knob.
 //!
 //! # Examples
 //!
@@ -108,6 +116,15 @@ pub mod stats;
 pub mod validate;
 
 pub use error::SchedError;
+
+/// Micro-bench access to the occupancy booking table (the booking
+/// structures themselves are crate-private engine internals). Not
+/// part of the public API surface.
+#[doc(hidden)]
+pub mod occ_bench {
+    pub use crate::occupancy::OccBench;
+}
+
 pub use incremental::{
     schedule_cost_resumed, schedule_cost_resumed_bus, schedule_cost_spliced, PlacementCheckpoints,
 };
@@ -116,5 +133,7 @@ pub use list::{
     list_schedule, list_schedule_recording, list_schedule_scratch, list_schedule_with,
     schedule_cost, schedule_cost_bounded, CostOutcome, CostScratch, SchedScratch, ScheduleOptions,
 };
+pub use occupancy::OccupancyBackend;
+pub use priority::PriorityStrategy;
 pub use schedule::{Bookings, Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding};
 pub use stats::{NodeLoad, ScheduleStats};

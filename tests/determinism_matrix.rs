@@ -10,6 +10,12 @@
 //! synchronization are throughput knobs, never search-space knobs.
 //! The one legitimate source of nondeterminism is a wall-clock
 //! `time_limit`, so every run here sets `time_limit: None`.
+//!
+//! The priority strategy (partial critical path vs mobility) is a
+//! *search-space* knob — different strategies legitimately walk
+//! different trajectories — so it gets its own matrix: a fixed
+//! strategy must still be bit-identical across threads and repeats,
+//! and the ≥ 2-worker portfolio must always field the mobility axis.
 
 use ftdes::core::greedy::greedy_mpa;
 use ftdes::core::initial::initial_mpa;
@@ -102,6 +108,39 @@ fn tabu_strategy_matrix_threads_and_repeats() {
                 );
             }
         }
+    }
+}
+
+/// The mobility priority strategy rides the same contract: it is a
+/// search-space knob (different trajectories than PCP are expected
+/// and tested elsewhere), but under a *fixed* strategy the trajectory
+/// must stay bit-identical across thread counts and repeats, on both
+/// the config-override and problem-builder spellings.
+#[test]
+fn mobility_strategy_matrix_threads_and_repeats() {
+    for (name, problem) in instances() {
+        let mobility_cfg = |threads| SearchConfig {
+            priority: Some(ftdes::core::PriorityStrategy::Mobility),
+            ..cfg(threads)
+        };
+        let reference = optimize(&problem, Strategy::Mxr, &mobility_cfg(1)).unwrap();
+        for threads in THREAD_MATRIX {
+            for repeat in 0..2 {
+                let run = optimize(&problem, Strategy::Mxr, &mobility_cfg(threads)).unwrap();
+                assert_outcomes_identical(
+                    &format!("{name}/mobility t={threads} r={repeat}"),
+                    &reference,
+                    &run,
+                );
+            }
+        }
+        // The problem-level builder is the same knob spelled
+        // differently — it must land on the identical trajectory.
+        let via_builder = problem
+            .clone()
+            .with_priority_strategy(ftdes::core::PriorityStrategy::Mobility);
+        let run = optimize(&via_builder, Strategy::Mxr, &cfg(1)).unwrap();
+        assert_outcomes_identical(&format!("{name}/mobility via-builder"), &reference, &run);
     }
 }
 
@@ -209,6 +248,30 @@ fn portfolio_matrix_workers_and_repeats() {
             }
         }
     }
+}
+
+/// The diversification cycle fields a mobility-ordered worker as the
+/// first diversified axis, so every ≥ 2-worker portfolio explores
+/// both priority strategies — and its trajectory is as repeatable as
+/// everyone else's (covered by the matrix above; this pins the
+/// roster so a cycle reshuffle can't silently drop the axis).
+#[test]
+fn portfolio_fields_a_mobility_worker() {
+    let (_, problem) = instances().remove(0);
+    let pcfg = PortfolioConfig {
+        workers: 2,
+        epoch_candidates: 200,
+        ..PortfolioConfig::default()
+    };
+    let run = optimize_portfolio(&problem, PolicySpace::Mixed, &cfg(0), &pcfg).unwrap();
+    assert!(
+        run.workers.iter().any(|w| w.label.contains("mobility")),
+        "no mobility-axis worker in {:?}",
+        run.workers
+            .iter()
+            .map(|w| w.label.clone())
+            .collect::<Vec<_>>()
+    );
 }
 
 /// The evaluation thread count under each portfolio worker is a pure

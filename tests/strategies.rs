@@ -96,6 +96,83 @@ fn sfx_never_beats_mxr_given_equal_budgets() {
 }
 
 #[test]
+fn mobility_ordering_produces_valid_designs() {
+    // The mobility priority strategy is a SEARCH-SPACE knob: it
+    // reorders the ready list, so costs may differ from the
+    // partial-critical-path default — but every design it yields must
+    // still be valid and reproducible, through both the config
+    // override and the problem-level builder.
+    for seed in 0..3 {
+        let base = problem(10, 3, 2, seed);
+        let via_cfg = optimize(
+            &base,
+            Strategy::Mxr,
+            &SearchConfig {
+                priority: Some(PriorityStrategy::Mobility),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        via_cfg
+            .design
+            .validate(
+                base.arch(),
+                base.wcet(),
+                base.fault_model(),
+                base.constraints(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid mobility design: {e}"));
+        let mobility_problem = base
+            .clone()
+            .with_priority_strategy(PriorityStrategy::Mobility);
+        assert_eq!(
+            mobility_problem.evaluate(&via_cfg.design).unwrap().length(),
+            via_cfg.length(),
+            "seed {seed}: mobility cost not reproducible"
+        );
+    }
+}
+
+#[test]
+fn mobility_and_pcp_explore_genuinely_different_orderings() {
+    // Ablation guard: if mobility collapsed into the PCP key the new
+    // strategy would be dead weight. Over a handful of seeds the two
+    // orderings must disagree on at least one greedy trajectory
+    // (identical final costs on some seeds are fine — identical
+    // trajectories everywhere are not).
+    let mut diverged = false;
+    for seed in 0..6 {
+        let base = problem(14, 3, 2, seed);
+        let run = |priority| {
+            optimize(
+                &base,
+                Strategy::Mxr,
+                &SearchConfig {
+                    goal: Goal::MinimizeLength,
+                    priority,
+                    time_limit: None,
+                    max_tabu_iterations: 20,
+                    ..SearchConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let pcp = run(Some(PriorityStrategy::PartialCriticalPath));
+        let mobility = run(Some(PriorityStrategy::Mobility));
+        if pcp.design != mobility.design
+            || pcp.stats.evaluations != mobility.stats.evaluations
+            || pcp.stats.greedy_steps != mobility.stats.greedy_steps
+        {
+            diverged = true;
+        }
+    }
+    assert!(
+        diverged,
+        "mobility ordering never diverged from partial critical path on any seed"
+    );
+}
+
+#[test]
 fn optimized_schedules_survive_fault_injection() {
     let problem = problem(9, 3, 2, 7);
     let outcome = optimize(&problem, Strategy::Mxr, &cfg()).unwrap();
