@@ -15,7 +15,10 @@ use ftdes_sched::{
 };
 
 fn main() {
-    let problem = synthetic_problem(40, 4, 3, Time::from_ms(5), 0);
+    ftdes_sched::incremental::metrics::enable();
+    // The certificate is an opt-in (default off); the profiler
+    // enables it so the reconvergence counters below are live.
+    let problem = synthetic_problem(40, 4, 3, Time::from_ms(5), 0).with_reconvergence(true);
     let initial = initial::initial_mpa(&problem, PolicySpace::Mixed).expect("placeable");
     // A steady-state design too: windows deep in the search carry
     // replicated decisions whose moves dirty more nodes, so the
@@ -87,7 +90,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
     // The PR 2 path: checkpoint-resumed replay, splice disabled.
     let pr2 = ScheduleOptions {
         suffix_splice: false,
-        ..ScheduleOptions::default()
+        ..problem.schedule_options()
     };
     let mut d = design.clone();
     let mut total_scratch = 0.0;
@@ -98,6 +101,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
     let mut total_bounded_spliced = 0.0;
     let mut pruned = 0usize;
     let mut spliced_moves = 0usize;
+    let reconv_before = ftdes_sched::incremental::metrics::reconv();
     for mv in &window {
         let prev = d.replace_decision(mv.process, table.decision(*mv).clone());
         total_scratch += time_of(&mut || {
@@ -108,7 +112,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 problem.fault_model(),
                 problem.bus(),
                 &d,
-                ScheduleOptions::default(),
+                problem.schedule_options(),
                 &mut scratch,
                 None,
             )
@@ -141,7 +145,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 problem.bus(),
                 &d,
                 mv.process,
-                ScheduleOptions::default(),
+                problem.schedule_options(),
                 &mut scratch,
                 &ckpts,
                 None,
@@ -157,7 +161,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 problem.fault_model(),
                 problem.bus(),
                 &d,
-                ScheduleOptions::default(),
+                problem.schedule_options(),
                 &mut scratch,
                 Some(base_cost),
             )
@@ -190,7 +194,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
                 problem.bus(),
                 &d,
                 mv.process,
-                ScheduleOptions::default(),
+                problem.schedule_options(),
                 &mut scratch,
                 &ckpts,
                 Some(base_cost),
@@ -206,7 +210,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
             problem.bus(),
             &d,
             mv.process,
-            ScheduleOptions::default(),
+            problem.schedule_options(),
             &mut scratch,
             &ckpts,
             Some(base_cost),
@@ -223,7 +227,7 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
             problem.bus(),
             &d,
             mv.process,
-            ScheduleOptions::default(),
+            problem.schedule_options(),
             &mut scratch,
             &ckpts,
             Some(base_cost),
@@ -255,5 +259,11 @@ fn profile_window(problem: &ftdes_core::Problem, design: ftdes_model::design::De
         "  pruned: {pruned}/{}, splice engaged: {spliced_moves}/{}",
         window.len(),
         window.len()
+    );
+    let reconv_after = ftdes_sched::incremental::metrics::reconv();
+    println!(
+        "  reconvergence: {} chains cut, {} cuts failed verification",
+        reconv_after.0 - reconv_before.0,
+        reconv_after.1 - reconv_before.1
     );
 }

@@ -15,10 +15,11 @@
 //!    candidates with the communication-aware engine, suffix splicing
 //!    disabled (`Problem::with_suffix_splice(false)`),
 //! 4. **incremental** — the current default path (evaluation engine
-//!    v3): candidates re-place only their certified affected cone and
+//!    v4): candidates re-place only their certified affected cone and
 //!    splice the base recording's per-node segments and per-slot bus
-//!    timelines for everything outside it, falling back to the PR 2
-//!    resume on ready-order divergence.
+//!    timelines for everything outside it, cutting node chains early
+//!    at runtime-verified reconvergence points, falling back to the
+//!    PR 2 resume on ready-order divergence.
 //!
 //! Because the search is deterministic in everything except the
 //! wall-clock cutoff, more candidates per second directly buy more
@@ -45,6 +46,20 @@
 //! }
 //! ```
 //!
+//! # One subprocess per section
+//!
+//! Every gated section runs in its **own child process** (the binary
+//! re-invokes itself with `FTDES_PERFGATE_SECTION=<name>` and collects
+//! the per-section JSON fragments): the full-placement arms of the
+//! occupancy gate — and, to a lesser degree, every other ratio in the
+//! file — are sensitive to allocator state, so letting one section
+//! churn the heap before another measurably bends the next section's
+//! ratio (historically ~0.10 absolute on the occupancy gate, which is
+//! why it used to be pinned first). A fresh process per section makes
+//! every floor independent of section order by construction.
+//! `FTDES_PERFGATE_SECTION=all` runs everything in-process instead
+//! (the automatic fallback when the binary cannot re-spawn itself).
+//!
 //! # The suffix-splice gate
 //!
 //! The fourth mode's own CI gate runs on a second **paper-family
@@ -59,11 +74,33 @@
 //! machine untouched and the engine's reuse is structural:
 //! `splice_candidate_rate_vs_pr3` carries the CI floor (1.2×).
 //!
-//! CI enforces the floors: ≥ 2× tabu iterations vs the legacy
-//! baseline, a candidate-rate gain vs the PR 1 path (both on the
-//! legacy workload), and ≥ 1.2× candidate rate vs the PR 3 path on
-//! the splice-gate workload — a regression against any predecessor
-//! fails.
+//! # The reconvergence gate
+//!
+//! The timing-aware reconvergence certificate (evaluation engine v4)
+//! attacks exactly the regime the splice gate documents as hopeless
+//! for v3: the **narrow machine** (the legacy 40 processes / 4 nodes /
+//! k = 3 paper workload), where a move node-chains most of the
+//! machine behind it and the cone covers nearly the whole suffix. A
+//! chain cut at a runtime-verified reconvergence point splices the
+//! rest of the node's recorded timeline instead of re-placing it.
+//! Both arms run the full default engine and differ only in
+//! [`Problem::with_reconvergence`] — a pure throughput knob (cuts are
+//! runtime-verified against the recording, so trajectories are
+//! bit-identical; `tests/reconv.rs` pins this).
+//!
+//! Measured reality (2026-08): on this dense workload the certificate
+//! is a **net loss** — 0.77–0.80× candidate rate vs the v3 cone.
+//! Chains cut succeed (~70–90% of attempted marks verify, arrival
+//! marks at ~91%), but each failed verification buys a full
+//! re-execute, the extended sweep taxes every candidate, and pending
+//! cuts blunt the bounded path's early pruning (spliced suffix
+//! completions are contingent until every mark verifies). That is why
+//! [`ScheduleOptions::reconvergence`] defaults **off** and the
+//! certificate is an opt-in for sparse, gap-rich systems.
+//! `reconv_speedup.reconv_candidate_rate_vs_off` therefore carries a
+//! **regression guard** floor (0.70×), not a speedup floor: it keeps
+//! the opt-in machinery from rotting below its measured envelope and
+//! documents the honest number the 1.10× aspiration did not reach.
 //!
 //! # The communication-heavy gate
 //!
@@ -78,9 +115,9 @@
 //! 1. **pr2** — incremental + bounded exactly as PR 2 shipped it:
 //!    the certified bus-wait lower bound disabled
 //!    (`Problem::with_comm_lookahead(false)`) and bus messages booked
-//!    through the legacy flat tail scan
-//!    (`Problem::with_flat_occupancy`), whose whole-table rescan per
-//!    overflowed round turns quadratic on congested buses,
+//!    through the legacy flat tail scan (`Problem::with_flat_occupancy`),
+//!    whose whole-table rescan per overflowed round turns quadratic on
+//!    congested buses,
 //! 2. **incremental** — the current default: the per-(node, slot)
 //!    occupancy index books in O(log occupied rounds), and the
 //!    bus-wait floor folds into the abort bound.
@@ -89,10 +126,9 @@
 //! admissible and both booking paths pick identical slot
 //! occurrences — it changes *how fast* a candidate is scored, never
 //! *which* candidate wins), so the candidate-rate ratio cleanly
-//! measures this PR's communication-aware additions.
-//! `BENCH_tabu.json` gains `comm_workload` / `comm_pr2` / `comm`
-//! sections and a `comm_candidate_rate_vs_pr2` ratio; CI enforces
-//! its floor (1.15×).
+//! measures the communication-aware additions. `BENCH_tabu.json`
+//! gains `comm_workload` / `comm_pr2` / `comm` sections and a
+//! `comm_candidate_rate_vs_pr2` ratio; CI enforces its floor (1.15×).
 //!
 //! # The occupancy gate
 //!
@@ -105,19 +141,23 @@
 //! partially-filled-but-unfitting rounds. Both arms run full
 //! from-scratch placements (checkpoint resume and bounded early-exit
 //! off — the cold-start / greedy / portfolio-prologue regime, where
-//! every candidate exercises the full booking table), and the gate
-//! runs as the **first** section of the binary: its full-placement
-//! arms are the most sensitive in the file to allocator state, and
-//! letting the other sections churn the heap first measurably
-//! depresses the ratio. The arms differ only in the backend: the
-//! round-sorted index (`occ_indexed`) vs the default bit-packed
-//! saturation bitmap (`occ`), which skips saturated words whole and
-//! walks partial words with a branch-light threshold scan. Like the
-//! comm gate, the backend is a pure throughput knob (bit-identical
-//! bookings), so `occ_speedup.occ_candidate_rate_vs_indexed` cleanly
-//! isolates the bitmap; CI enforces its floor (1.15×). The
-//! standalone `occbench` binary sweeps all three backends (flat /
-//! indexed / bitmap) into `BENCH_occ.json` for ablation.
+//! every candidate exercises the full booking table). The arms differ
+//! only in the backend: the round-sorted index (`occ_indexed`) vs the
+//! default bit-packed saturation bitmap (`occ`), which skips saturated
+//! words whole and walks partial words with a branch-light threshold
+//! scan. Like the comm gate, the backend is a pure throughput knob
+//! (bit-identical bookings), so
+//! `occ_speedup.occ_candidate_rate_vs_indexed` cleanly isolates the
+//! bitmap; CI enforces its floor (1.05×). The floor was re-calibrated
+//! down from 1.15× in PR 10: an A/B with function placement
+//! neutralized (`-C llvm-args=-align-all-functions=6`, both arms)
+//! shows the structural bitmap advantage on the 1-CPU container is
+//! ~1.07×, and the rest of the historical 1.2×+ readings was code
+//! *layout* luck that rerolls on any unrelated edit — a floor above
+//! the structural value keys the gate on the linker lottery, not on
+//! the backend. The standalone `occbench`
+//! binary sweeps all three backends (flat / indexed / bitmap) into
+//! `BENCH_occ.json` for ablation.
 //!
 //! # The multi-core portfolio section
 //!
@@ -150,13 +190,15 @@ use ftdes_model::time::Time;
 /// them) and a snapshot of every `FTDES_*` knob that can bend the
 /// numbers.
 fn environment_json() -> String {
-    const KNOBS: [&str; 10] = [
+    const KNOBS: [&str; 12] = [
         "FTDES_TIME_MS",
         "FTDES_SEEDS",
         "FTDES_THREADS",
         "FTDES_NO_PARALLEL",
         "RAYON_NUM_THREADS",
         "FTDES_NO_SPLICE",
+        "FTDES_RECONV",
+        "FTDES_NO_RECONV",
         "FTDES_MAX_CHECKPOINTS",
         "FTDES_SPLICE_METRICS",
         "FTDES_OCC_BACKEND",
@@ -218,6 +260,17 @@ const SPLICE_NODES: usize = 12;
 const SPLICE_FAULTS: u32 = 3;
 const SPLICE_SEEDS: u64 = 3;
 
+/// The reconvergence gate rides the **legacy narrow-machine workload**
+/// (40 processes / 4 nodes / k = 3) on purpose: that is the regime
+/// where a move node-chains most of the machine and the v3 cone has
+/// no suffix locality left — the regime the v4 chain cuts were built
+/// to recover. Measured, they do not pay here (0.77–0.80× candidate
+/// rate; see the module docs), so the floor on
+/// `reconv_candidate_rate_vs_off` is a regression guard for the
+/// opt-in machinery's overhead envelope, not a speedup claim.
+const RECONV_SEEDS: u64 = 3;
+const RECONV_FLOOR: f64 = 0.70;
+
 /// The occupancy gate workload ([`CommHeavyParams::stress`]: twenty-four
 /// edges per process, message/WCET ratio 3, k = 2 so replication
 /// multiplies the sends — thousands of messages fighting over
@@ -229,7 +282,8 @@ const SPLICE_SEEDS: u64 = 3;
 /// the backend — the PR 3 round-sorted index vs the default
 /// bit-packed bitmap — and walk bit-identical trajectories, so the
 /// candidate-rate ratio isolates exactly the booking structure. CI
-/// enforces the floor (1.15×) on
+/// enforces the floor (1.05×; see the module docs for the PR 10
+/// layout-neutralized re-calibration) on
 /// `occ_speedup.occ_candidate_rate_vs_indexed`.
 const OCC_PROCESSES: usize = 48;
 const OCC_FAULTS: u32 = 2;
@@ -249,6 +303,15 @@ const MULTICORE_WORKERS: [usize; 3] = [1, 2, 4];
 const MULTICORE_ITERATIONS: usize = 120;
 const MULTICORE_SEEDS: u64 = 2;
 const MULTICORE_FLOOR_4W: f64 = 1.3;
+
+/// Execution order of the per-section subprocesses. With one fresh
+/// process per section the order no longer affects any ratio; the
+/// occupancy gate simply keeps its historical first slot.
+const SECTIONS: [&str; 6] = ["occ", "paper", "splice", "comm", "reconv", "multicore"];
+
+/// Key order of the assembled `BENCH_tabu.json` (environment first
+/// for human readers; CI loads it as a dict and doesn't care).
+const ASSEMBLY: [&str; 6] = ["paper", "splice", "comm", "reconv", "occ", "multicore"];
 
 #[derive(Debug, Default, Clone, Copy)]
 struct ModeTotals {
@@ -362,6 +425,23 @@ fn run_pr2(problem: &Problem, budget: Duration) -> Outcome {
         .unwrap_or_else(|e| panic!("perfgate pr2 search: {e}"))
 }
 
+/// The v3 engine on the reconvergence gate: the full default path
+/// with only the chain cuts disabled. Pinned explicitly (rather than
+/// through `FTDES_NO_RECONV`) so the arm is what it says regardless
+/// of the environment.
+fn run_reconv_off(problem: &Problem, budget: Duration) -> Outcome {
+    let problem = problem.clone().with_reconvergence(false);
+    optimize(&problem, Strategy::Mxr, &gate_config(budget))
+        .unwrap_or_else(|e| panic!("perfgate reconv-off search: {e}"))
+}
+
+/// The v4 engine on the reconvergence gate, cuts pinned on.
+fn run_reconv_on(problem: &Problem, budget: Duration) -> Outcome {
+    let problem = problem.clone().with_reconvergence(true);
+    optimize(&problem, Strategy::Mxr, &gate_config(budget))
+        .unwrap_or_else(|e| panic!("perfgate reconv-on search: {e}"))
+}
+
 /// The occupancy gate's search configuration: [`gate_config`] with
 /// checkpoint resume *and* bounded early-exit off, so every candidate
 /// re-places (and re-books) the whole instance from scratch. The
@@ -417,19 +497,10 @@ fn ratio(a: f64, b: f64) -> f64 {
     a / b.max(f64::MIN_POSITIVE)
 }
 
-fn main() -> std::process::ExitCode {
-    if std::env::var("FTDES_SPLICE_METRICS").is_ok() {
-        ftdes_sched::incremental::metrics::enable();
-    }
+/// The occupancy-gate section: bit-packed bitmap vs round-sorted
+/// index under full from-scratch placements.
+fn section_occ() -> String {
     let budget = time_budget();
-
-    // The occupancy gate runs FIRST, before any other section touches
-    // the heap: its two arms run full from-scratch placements on the
-    // densest workload in the file, and their ratio is measurably
-    // depressed (~0.10 absolute) when the gate runs after the
-    // paper/splice/comm sections have churned the allocator — the
-    // other gates' resumed/bounded arms are far less sensitive.
-    // Section order changes nothing about what any gate measures.
     let mut occ_indexed = ModeTotals::default();
     let mut occ_bitmap = ModeTotals::default();
     let occ_params = CommHeavyParams::stress(OCC_PROCESSES);
@@ -458,7 +529,38 @@ fn main() -> std::process::ExitCode {
         occ_indexed.add(&indexed);
         occ_bitmap.add(&bitmap);
     }
+    let occ_cand_vs_indexed = ratio(
+        occ_bitmap.candidates_per_sec(),
+        occ_indexed.candidates_per_sec(),
+    );
+    let occ_iter_vs_indexed = ratio(
+        occ_bitmap.tabu_iterations as f64,
+        occ_indexed.tabu_iterations.max(1) as f64,
+    );
+    println!(
+        "occupancy (density {}), bitmap vs indexed: {occ_iter_vs_indexed:.2}x tabu iterations, \
+         {occ_cand_vs_indexed:.2}x candidate rate (floor 1.05x)",
+        occ_params.edge_density
+    );
+    format!(
+        "\"occ_workload\": {{\"family\": \"comm_heavy_stress\", \"processes\": {OCC_PROCESSES}, \
+         \"edge_density\": {}, \"msg_wcet_ratio\": {}, \"nodes\": {NODES}, \
+         \"k\": {OCC_FAULTS}, \"seeds\": {OCC_SEEDS}, \
+         \"budget_ms\": {}}},\n  \"occ_indexed\": {},\n  \"occ\": {},\n  \
+         \"occ_speedup\": {{\"tabu_iterations_vs_indexed\": {occ_iter_vs_indexed:.2}, \
+         \"occ_candidate_rate_vs_indexed\": {occ_cand_vs_indexed:.2}, \"floor\": 1.05}}",
+        occ_params.edge_density,
+        occ_params.msg_wcet_ratio,
+        budget.as_millis(),
+        occ_indexed.json(),
+        occ_bitmap.json(),
+    )
+}
 
+/// The legacy paper-workload section: baseline / pr1 / pr3 /
+/// incremental, plus the environment snapshot.
+fn section_paper() -> String {
+    let budget = time_budget();
     let mut baseline = ModeTotals::default();
     let mut pr1 = ModeTotals::default();
     let mut pr3 = ModeTotals::default();
@@ -519,6 +621,66 @@ fn main() -> std::process::ExitCode {
             cone_ns as f64 / 1e3 / (engaged + gated).max(1) as f64,
         );
     }
+
+    let iter_speedup = ratio(
+        incremental.tabu_iterations as f64,
+        baseline.tabu_iterations.max(1) as f64,
+    );
+    let cand_speedup = ratio(
+        incremental.candidates_per_sec(),
+        baseline.candidates_per_sec(),
+    );
+    let iter_vs_pr1 = ratio(
+        incremental.tabu_iterations as f64,
+        pr1.tabu_iterations.max(1) as f64,
+    );
+    let cand_vs_pr1 = ratio(incremental.candidates_per_sec(), pr1.candidates_per_sec());
+    let iter_vs_pr3 = ratio(
+        incremental.tabu_iterations as f64,
+        pr3.tabu_iterations.max(1) as f64,
+    );
+    let cand_vs_pr3 = ratio(incremental.candidates_per_sec(), pr3.candidates_per_sec());
+    // Informational only: under a wall-clock budget the modes
+    // truncate the trajectory at different points (stage midpoints,
+    // cutoffs), so per-seed best lengths can move either way.
+    let length_ratio = ratio(
+        incremental.best_length_us as f64,
+        baseline.best_length_us.max(1) as f64,
+    );
+    println!(
+        "vs legacy baseline: {iter_speedup:.2}x tabu iterations, {cand_speedup:.2}x candidate rate"
+    );
+    println!(
+        "vs PR 1 path:       {iter_vs_pr1:.2}x tabu iterations, {cand_vs_pr1:.2}x candidate rate \
+         (best-length ratio {length_ratio:.3})"
+    );
+    println!(
+        "vs PR 3 path:       {iter_vs_pr3:.2}x tabu iterations, {cand_vs_pr3:.2}x candidate rate \
+         (suffix splice on vs off; 4 nodes leave the cone no locality — informational)"
+    );
+    format!(
+        "\"environment\": {},\n  \
+         \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
+         \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"pr1\": {},\n  \
+         \"pr3\": {},\n  \
+         \"incremental\": {},\n  \"speedup\": {{\"tabu_iterations\": {iter_speedup:.2}, \
+         \"candidate_rate\": {cand_speedup:.2}, \"tabu_iterations_vs_pr1\": {iter_vs_pr1:.2}, \
+         \"candidate_rate_vs_pr1\": {cand_vs_pr1:.2}, \
+         \"tabu_iterations_vs_pr3\": {iter_vs_pr3:.2}, \
+         \"candidate_rate_vs_pr3\": {cand_vs_pr3:.2}, \
+         \"best_length_ratio\": {length_ratio:.3}}}",
+        environment_json(),
+        budget.as_millis(),
+        baseline.json(),
+        pr1.json(),
+        pr3.json(),
+        incremental.json(),
+    )
+}
+
+/// The suffix-splice gate section (paper family, 12 nodes).
+fn section_splice() -> String {
+    let budget = time_budget();
     let mut splice_pr3 = ModeTotals::default();
     let mut splice_incr = ModeTotals::default();
     println!(
@@ -550,7 +712,33 @@ fn main() -> std::process::ExitCode {
         splice_pr3.add(&resumed);
         splice_incr.add(&incr);
     }
+    let splice_cand_vs_pr3 = ratio(
+        splice_incr.candidates_per_sec(),
+        splice_pr3.candidates_per_sec(),
+    );
+    let splice_iter_vs_pr3 = ratio(
+        splice_incr.tabu_iterations as f64,
+        splice_pr3.tabu_iterations.max(1) as f64,
+    );
+    println!(
+        "splice gate ({SPLICE_NODES} nodes), suffix splice vs PR 3 path: \
+         {splice_iter_vs_pr3:.2}x tabu iterations, {splice_cand_vs_pr3:.2}x candidate rate"
+    );
+    format!(
+        "\"splice_workload\": {{\"family\": \"paper\", \"processes\": {SPLICE_PROCESSES}, \
+         \"nodes\": {SPLICE_NODES}, \"k\": {SPLICE_FAULTS}, \"seeds\": {SPLICE_SEEDS}, \
+         \"budget_ms\": {}}},\n  \"splice_pr3\": {},\n  \"splice\": {},\n  \
+         \"splice_speedup\": {{\"tabu_iterations_vs_pr3\": {splice_iter_vs_pr3:.2}, \
+         \"splice_candidate_rate_vs_pr3\": {splice_cand_vs_pr3:.2}}}",
+        budget.as_millis(),
+        splice_pr3.json(),
+        splice_incr.json(),
+    )
+}
 
+/// The communication-heavy gate section.
+fn section_comm() -> String {
+    let budget = time_budget();
     let mut comm_pr2 = ModeTotals::default();
     let mut comm_incr = ModeTotals::default();
     println!(
@@ -578,11 +766,87 @@ fn main() -> std::process::ExitCode {
         comm_pr2.add(&pr2);
         comm_incr.add(&incr);
     }
+    let comm_cand_vs_pr2 = ratio(
+        comm_incr.candidates_per_sec(),
+        comm_pr2.candidates_per_sec(),
+    );
+    let comm_iter_vs_pr2 = ratio(
+        comm_incr.tabu_iterations as f64,
+        comm_pr2.tabu_iterations.max(1) as f64,
+    );
+    println!(
+        "comm-heavy, bus-wait bound vs PR 2 path: {comm_iter_vs_pr2:.2}x tabu iterations, \
+         {comm_cand_vs_pr2:.2}x candidate rate"
+    );
+    format!(
+        "\"comm_workload\": {{\"family\": \"comm_heavy\", \"processes\": {COMM_PROCESSES}, \
+         \"edge_density\": {COMM_DENSITY}, \"msg_wcet_ratio\": {}, \"nodes\": {NODES}, \
+         \"k\": {COMM_FAULTS}, \"seeds\": {COMM_SEEDS}, \
+         \"budget_ms\": {}}},\n  \"comm_pr2\": {},\n  \"comm\": {},\n  \
+         \"comm_speedup\": {{\"tabu_iterations_vs_pr2\": {comm_iter_vs_pr2:.2}, \
+         \"comm_candidate_rate_vs_pr2\": {comm_cand_vs_pr2:.2}}}",
+        comm_params.msg_wcet_ratio,
+        budget.as_millis(),
+        comm_pr2.json(),
+        comm_incr.json(),
+    )
+}
 
-    // Multi-core portfolio sweep: fixed work per worker, wall-clock
-    // measured. `threads: 1` pins every worker's own evaluation to
-    // one thread so the sweep isolates seed-level (portfolio)
-    // parallelism from window parallelism.
+/// The reconvergence gate section (narrow machine, cuts on vs off).
+fn section_reconv() -> String {
+    let budget = time_budget();
+    let mut off = ModeTotals::default();
+    let mut on = ModeTotals::default();
+    println!(
+        "perfgate (reconvergence): {PROCESSES} processes / {NODES} nodes / k = {FAULTS}, \
+         {RECONV_SEEDS} seeds, {budget:?} per run per mode"
+    );
+    ftdes_sched::incremental::metrics::enable();
+    for seed in 0..RECONV_SEEDS {
+        let problem = synthetic_problem(PROCESSES, NODES, FAULTS, Time::from_ms(5), seed);
+        let o = run_reconv_off(&problem, budget);
+        let n = run_reconv_on(&problem, budget);
+        println!(
+            "  seed {seed}: reconv-off {} iters / {} evals (+{} hits, {} pruned) | \
+             reconv-on {} iters / {} evals (+{} hits, {} pruned)",
+            o.stats.tabu_iterations,
+            o.stats.evaluations,
+            o.stats.cache_hits,
+            o.stats.pruned,
+            n.stats.tabu_iterations,
+            n.stats.evaluations,
+            n.stats.cache_hits,
+            n.stats.pruned,
+        );
+        off.add(&o);
+        on.add(&n);
+    }
+    let (cuts, failed) = ftdes_sched::incremental::metrics::reconv();
+    let cand_vs_off = ratio(on.candidates_per_sec(), off.candidates_per_sec());
+    let iter_vs_off = ratio(on.tabu_iterations as f64, off.tabu_iterations.max(1) as f64);
+    println!(
+        "reconvergence gate ({NODES} nodes), certificate on vs off: {iter_vs_off:.2}x tabu \
+         iterations, {cand_vs_off:.2}x candidate rate (floor {RECONV_FLOOR}x; \
+         {cuts} chains cut, {failed} cuts failed verification)"
+    );
+    format!(
+        "\"reconv_workload\": {{\"family\": \"paper\", \"processes\": {PROCESSES}, \
+         \"nodes\": {NODES}, \"k\": {FAULTS}, \"seeds\": {RECONV_SEEDS}, \
+         \"budget_ms\": {}}},\n  \"reconv_off\": {},\n  \"reconv\": {},\n  \
+         \"reconv_speedup\": {{\"tabu_iterations_vs_off\": {iter_vs_off:.2}, \
+         \"reconv_candidate_rate_vs_off\": {cand_vs_off:.2}, \
+         \"chains_cut\": {cuts}, \"cuts_failed\": {failed}, \"floor\": {RECONV_FLOOR}}}",
+        budget.as_millis(),
+        off.json(),
+        on.json(),
+    )
+}
+
+/// The multi-core portfolio sweep: fixed work per worker, wall-clock
+/// measured. `threads: 1` pins every worker's own evaluation to one
+/// thread so the sweep isolates seed-level (portfolio) parallelism
+/// from window parallelism.
+fn section_multicore() -> String {
     println!(
         "perfgate (multicore): {PROCESSES} processes / {NODES} nodes / k = {FAULTS}, \
          {MULTICORE_SEEDS} seeds, {MULTICORE_ITERATIONS} iterations per worker, \
@@ -630,8 +894,14 @@ fn main() -> std::process::ExitCode {
         .zip(&mc_rates)
         .map(|(&w, &r)| format!("{:.1}", r / w.min(cores).max(1) as f64))
         .collect();
-    let multicore_json = format!(
-        "{{\"available_parallelism\": {cores}, \"iterations_per_worker\": {MULTICORE_ITERATIONS}, \
+    println!(
+        "multicore portfolio ({cores} cores): {mc_scaling_2w:.2}x aggregate candidate rate at \
+         2 workers, {mc_scaling_4w:.2}x at 4 workers \
+         (floor {MULTICORE_FLOOR_4W}x at 4 workers, non-gating)"
+    );
+    format!(
+        "\"multicore\": {{\"available_parallelism\": {cores}, \
+         \"iterations_per_worker\": {MULTICORE_ITERATIONS}, \
          \"seeds\": {MULTICORE_SEEDS}, \"workers\": {MULTICORE_WORKERS:?}, \
          \"elapsed_ms\": {mc_elapsed_ms:?}, \"candidates\": {mc_candidates:?}, \
          \"aggregate_candidate_rate\": [{}], \"per_core_candidate_rate\": [{}], \
@@ -644,149 +914,120 @@ fn main() -> std::process::ExitCode {
             .collect::<Vec<_>>()
             .join(", "),
         mc_per_core.join(", "),
-    );
+    )
+}
 
-    let iter_speedup = ratio(
-        incremental.tabu_iterations as f64,
-        baseline.tabu_iterations.max(1) as f64,
-    );
-    let cand_speedup = ratio(
-        incremental.candidates_per_sec(),
-        baseline.candidates_per_sec(),
-    );
-    let iter_vs_pr1 = ratio(
-        incremental.tabu_iterations as f64,
-        pr1.tabu_iterations.max(1) as f64,
-    );
-    let cand_vs_pr1 = ratio(incremental.candidates_per_sec(), pr1.candidates_per_sec());
-    let iter_vs_pr3 = ratio(
-        incremental.tabu_iterations as f64,
-        pr3.tabu_iterations.max(1) as f64,
-    );
-    let cand_vs_pr3 = ratio(incremental.candidates_per_sec(), pr3.candidates_per_sec());
-    // Informational only: under a wall-clock budget the modes
-    // truncate the trajectory at different points (stage midpoints,
-    // cutoffs), so per-seed best lengths can move either way.
-    let length_ratio = ratio(
-        incremental.best_length_us as f64,
-        baseline.best_length_us.max(1) as f64,
-    );
-    let comm_cand_vs_pr2 = ratio(
-        comm_incr.candidates_per_sec(),
-        comm_pr2.candidates_per_sec(),
-    );
-    let comm_iter_vs_pr2 = ratio(
-        comm_incr.tabu_iterations as f64,
-        comm_pr2.tabu_iterations.max(1) as f64,
-    );
-    let splice_cand_vs_pr3 = ratio(
-        splice_incr.candidates_per_sec(),
-        splice_pr3.candidates_per_sec(),
-    );
-    let splice_iter_vs_pr3 = ratio(
-        splice_incr.tabu_iterations as f64,
-        splice_pr3.tabu_iterations.max(1) as f64,
-    );
-    let occ_cand_vs_indexed = ratio(
-        occ_bitmap.candidates_per_sec(),
-        occ_indexed.candidates_per_sec(),
-    );
-    let occ_iter_vs_indexed = ratio(
-        occ_bitmap.tabu_iterations as f64,
-        occ_indexed.tabu_iterations.max(1) as f64,
-    );
-    let json = format!(
-        "{{\n  \"environment\": {},\n  \
-         \"workload\": {{\"processes\": {PROCESSES}, \"nodes\": {NODES}, \"k\": {FAULTS}, \
-         \"seeds\": {SEEDS}, \"budget_ms\": {}}},\n  \"baseline\": {},\n  \"pr1\": {},\n  \
-         \"pr3\": {},\n  \
-         \"incremental\": {},\n  \"speedup\": {{\"tabu_iterations\": {:.2}, \
-         \"candidate_rate\": {:.2}, \"tabu_iterations_vs_pr1\": {:.2}, \
-         \"candidate_rate_vs_pr1\": {:.2}, \"tabu_iterations_vs_pr3\": {:.2}, \
-         \"candidate_rate_vs_pr3\": {:.2}, \"best_length_ratio\": {:.3}}},\n  \
-         \"splice_workload\": {{\"family\": \"paper\", \"processes\": {SPLICE_PROCESSES}, \
-         \"nodes\": {SPLICE_NODES}, \"k\": {SPLICE_FAULTS}, \"seeds\": {SPLICE_SEEDS}, \
-         \"budget_ms\": {}}},\n  \"splice_pr3\": {},\n  \"splice\": {},\n  \
-         \"splice_speedup\": {{\"tabu_iterations_vs_pr3\": {:.2}, \
-         \"splice_candidate_rate_vs_pr3\": {:.2}}},\n  \
-         \"comm_workload\": {{\"family\": \"comm_heavy\", \"processes\": {COMM_PROCESSES}, \
-         \"edge_density\": {COMM_DENSITY}, \"msg_wcet_ratio\": {}, \"nodes\": {NODES}, \
-         \"k\": {COMM_FAULTS}, \"seeds\": {COMM_SEEDS}, \
-         \"budget_ms\": {}}},\n  \"comm_pr2\": {},\n  \"comm\": {},\n  \
-         \"comm_speedup\": {{\"tabu_iterations_vs_pr2\": {:.2}, \
-         \"comm_candidate_rate_vs_pr2\": {:.2}}},\n  \
-         \"occ_workload\": {{\"family\": \"comm_heavy_stress\", \"processes\": {OCC_PROCESSES}, \
-         \"edge_density\": {}, \"msg_wcet_ratio\": {}, \"nodes\": {NODES}, \
-         \"k\": {OCC_FAULTS}, \"seeds\": {OCC_SEEDS}, \
-         \"budget_ms\": {}}},\n  \"occ_indexed\": {},\n  \"occ\": {},\n  \
-         \"occ_speedup\": {{\"tabu_iterations_vs_indexed\": {:.2}, \
-         \"occ_candidate_rate_vs_indexed\": {:.2}, \"floor\": 1.15}},\n  \"multicore\": {}\n}}\n",
-        environment_json(),
-        budget.as_millis(),
-        baseline.json(),
-        pr1.json(),
-        pr3.json(),
-        incremental.json(),
-        iter_speedup,
-        cand_speedup,
-        iter_vs_pr1,
-        cand_vs_pr1,
-        iter_vs_pr3,
-        cand_vs_pr3,
-        length_ratio,
-        budget.as_millis(),
-        splice_pr3.json(),
-        splice_incr.json(),
-        splice_iter_vs_pr3,
-        splice_cand_vs_pr3,
-        comm_params.msg_wcet_ratio,
-        budget.as_millis(),
-        comm_pr2.json(),
-        comm_incr.json(),
-        comm_iter_vs_pr2,
-        comm_cand_vs_pr2,
-        occ_params.edge_density,
-        occ_params.msg_wcet_ratio,
-        budget.as_millis(),
-        occ_indexed.json(),
-        occ_bitmap.json(),
-        occ_iter_vs_indexed,
-        occ_cand_vs_indexed,
-        multicore_json,
-    );
+fn run_section(name: &str) -> Option<String> {
+    Some(match name {
+        "occ" => section_occ(),
+        "paper" => section_paper(),
+        "splice" => section_splice(),
+        "comm" => section_comm(),
+        "reconv" => section_reconv(),
+        "multicore" => section_multicore(),
+        _ => return None,
+    })
+}
+
+/// Runs every section inside this process (the pre-subprocess
+/// behaviour) — the fallback when the binary cannot re-spawn itself,
+/// and the explicit `FTDES_PERFGATE_SECTION=all` escape hatch.
+fn run_all_in_process() -> Vec<(String, String)> {
+    SECTIONS
+        .iter()
+        .map(|&s| {
+            (
+                s.to_string(),
+                run_section(s).expect("every listed section resolves"),
+            )
+        })
+        .collect()
+}
+
+/// Spawns one child per section (fresh heap each — see the module
+/// docs), falling back to in-process execution if spawning fails.
+fn run_all_sections() -> Vec<(String, String)> {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perfgate: cannot locate own binary ({e}); running sections in-process");
+            return run_all_in_process();
+        }
+    };
+    let mut fragments = Vec::new();
+    for &section in &SECTIONS {
+        let out_path = std::env::temp_dir().join(format!("perfgate_{section}.json"));
+        let status = std::process::Command::new(&exe)
+            .env("FTDES_PERFGATE_SECTION", section)
+            .env("FTDES_PERFGATE_OUT", &out_path)
+            .status();
+        let ok = matches!(&status, Ok(s) if s.success());
+        if !ok {
+            match status {
+                Ok(s) => panic!("perfgate: section '{section}' failed ({s})"),
+                Err(e) => {
+                    eprintln!(
+                        "perfgate: cannot spawn section '{section}' ({e}); \
+                         running all sections in-process"
+                    );
+                    return run_all_in_process();
+                }
+            }
+        }
+        let fragment = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("perfgate: section '{section}' left no output: {e}"));
+        let _ = std::fs::remove_file(&out_path);
+        fragments.push((section.to_string(), fragment));
+    }
+    fragments
+}
+
+fn main() -> std::process::ExitCode {
+    if std::env::var("FTDES_SPLICE_METRICS").is_ok() {
+        ftdes_sched::incremental::metrics::enable();
+    }
+
+    // Child mode: run one section, write its JSON fragment where the
+    // parent asked, exit.
+    if let Ok(section) = std::env::var("FTDES_PERFGATE_SECTION") {
+        if section != "all" {
+            let Some(fragment) = run_section(&section) else {
+                eprintln!("perfgate: unknown section '{section}' (valid: {SECTIONS:?}, all)");
+                return std::process::ExitCode::FAILURE;
+            };
+            if let Ok(out) = std::env::var("FTDES_PERFGATE_OUT") {
+                if let Err(e) = std::fs::write(&out, &fragment) {
+                    eprintln!("perfgate: cannot write section output {out}: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            } else {
+                println!("{fragment}");
+            }
+            return std::process::ExitCode::SUCCESS;
+        }
+    }
+
+    let fragments = if std::env::var("FTDES_PERFGATE_SECTION").as_deref() == Ok("all") {
+        run_all_in_process()
+    } else {
+        run_all_sections()
+    };
+
+    let ordered: Vec<&str> = ASSEMBLY
+        .iter()
+        .map(|&key| {
+            fragments
+                .iter()
+                .find(|(s, _)| s == key)
+                .map(|(_, f)| f.as_str())
+                .unwrap_or_else(|| panic!("perfgate: section '{key}' produced no fragment"))
+        })
+        .collect();
+    let json = format!("{{\n  {}\n}}\n", ordered.join(",\n  "));
     if let Err(e) = std::fs::write("BENCH_tabu.json", &json) {
         eprintln!("perfgate: cannot write BENCH_tabu.json: {e}");
         return std::process::ExitCode::FAILURE;
     }
     println!("\n{json}");
-    println!(
-        "vs legacy baseline: {iter_speedup:.2}x tabu iterations, {cand_speedup:.2}x candidate rate"
-    );
-    println!(
-        "vs PR 1 path:       {iter_vs_pr1:.2}x tabu iterations, {cand_vs_pr1:.2}x candidate rate \
-         (best-length ratio {length_ratio:.3})"
-    );
-    println!(
-        "vs PR 3 path:       {iter_vs_pr3:.2}x tabu iterations, {cand_vs_pr3:.2}x candidate rate \
-         (suffix splice on vs off; 4 nodes leave the cone no locality — informational)"
-    );
-    println!(
-        "splice gate ({SPLICE_NODES} nodes), suffix splice vs PR 3 path: \
-         {splice_iter_vs_pr3:.2}x tabu iterations, {splice_cand_vs_pr3:.2}x candidate rate"
-    );
-    println!(
-        "comm-heavy, bus-wait bound vs PR 2 path: {comm_iter_vs_pr2:.2}x tabu iterations, \
-         {comm_cand_vs_pr2:.2}x candidate rate"
-    );
-    println!(
-        "occupancy (density {}), bitmap vs indexed: {occ_iter_vs_indexed:.2}x tabu iterations, \
-         {occ_cand_vs_indexed:.2}x candidate rate (floor 1.15x)",
-        occ_params.edge_density
-    );
-    println!(
-        "multicore portfolio ({cores} cores): {mc_scaling_2w:.2}x aggregate candidate rate at \
-         2 workers, {mc_scaling_4w:.2}x at 4 workers \
-         (floor {MULTICORE_FLOOR_4W}x at 4 workers, non-gating)"
-    );
     std::process::ExitCode::SUCCESS
 }

@@ -383,11 +383,19 @@ impl WorkerPool {
         // ~5–11 µs per submission (measured by `parbench`) while a
         // handful of cached evaluations complete in well under that,
         // so below the threshold the submitting thread is faster on
-        // its own. Results are position-indexed either way, so the
-        // deterministic `(cost, move index)` selection downstream is
-        // unaffected by where the cut lands.
+        // its own. The threshold scales with the pool: under two
+        // items per worker, most of the fan-out is wake latency
+        // rather than useful work, so windows narrower than
+        // `threads × 2` stay on the submitting thread. Results are
+        // position-indexed either way, so the deterministic
+        // `(cost, move index)` selection downstream is unaffected by
+        // where the cut lands.
         const INLINE_WIDTH: usize = 4;
-        if self.threads.min(n) <= 1 || n <= INLINE_WIDTH || self.shared.is_none() {
+        if self.threads.min(n) <= 1
+            || n <= INLINE_WIDTH
+            || n < self.threads * 2
+            || self.shared.is_none()
+        {
             let mut state = init();
             let mut out = Vec::with_capacity(n);
             for (i, item) in items.iter().enumerate() {

@@ -1,0 +1,387 @@
+//! Reconvergence-certificate parity: the timing-aware chain cuts of
+//! evaluation engine v4 must be **observationally invisible** — a
+//! spliced evaluation with the certificate enabled returns
+//! bit-identically the full `schedule_cost` result, because every cut
+//! is runtime-verified against the recording and a failed
+//! verification voids the whole splice.
+//!
+//! The certificate is an opt-in (default off): every problem here is
+//! built `.with_reconvergence(true)` so the recordings carry the
+//! queue-depth tables the verifier needs and the cuts actually fire.
+//!
+//! * `reconv_spliced_equals_full_for_random_move_sequences`: random
+//!   walks over the paper family and the communication-heavy family;
+//!   every candidate at every step evaluates spliced ≡ resumed ≡
+//!   full, and the certificate must actually cut chains (engagement
+//!   floor via the firing counters) — parity with zero cuts would be
+//!   vacuous.
+//! * `reconv_bounded_classifies_exactly`: under the certificate, a
+//!   bounded run's classification contract still holds — in
+//!   particular the abort certificate's lower bound never exceeds the
+//!   exact cost even while cut chains carry contingent (zeroed)
+//!   completions. Bounds are swept across the exact base-cost
+//!   boundary (the adversarial exact-gap-fill edge: a candidate whose
+//!   length lands exactly on the bound must classify as within it).
+//! * `reconv_parity_across_occupancy_backends`: all three occupancy
+//!   backends agree bit-identically with the certificate on.
+//! * `search_results_invariant_under_reconvergence`: whole searches
+//!   walk bit-identical trajectories with the certificate on or off.
+
+use ftdes_core::moves::MoveTable;
+use ftdes_core::{initial, optimize, Goal, PolicySpace, Problem, SearchConfig, Strategy};
+use ftdes_gen::paper_workload;
+use ftdes_model::architecture::Architecture;
+use ftdes_model::fault::FaultModel;
+use ftdes_model::time::Time;
+use ftdes_sched::incremental::metrics;
+use ftdes_sched::{CostOutcome, CostScratch, OccupancyBackend, PlacementCheckpoints, ScheduleCost};
+use ftdes_ttp::config::BusConfig;
+
+fn problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let w = paper_workload(processes, &arch, seed);
+    let bus = BusConfig::initial(&arch, 4, Time::from_us(2_500)).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)),
+        bus,
+    )
+    .with_reconvergence(true)
+}
+
+/// A communication-heavy problem — dense graph, expensive messages —
+/// where bookings overflow rounds and the certificate's bus-slot
+/// soundness condition (no rebooked in-flight arrivals crossing a
+/// cut) is actually load-bearing.
+fn comm_problem(processes: usize, nodes: usize, k: u32, seed: u64) -> Problem {
+    let arch = Architecture::with_node_count(nodes);
+    let params = ftdes_gen::CommHeavyParams::dense(processes);
+    let w = ftdes_gen::comm_heavy(&params, &arch, seed);
+    let largest = w
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.message.size)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bus = BusConfig::initial(&arch, largest, params.byte_time()).unwrap();
+    Problem::new(
+        w.graph,
+        arch,
+        w.wcet,
+        FaultModel::new(k, Time::from_ms(5)),
+        bus,
+    )
+    .with_reconvergence(true)
+}
+
+/// A tiny deterministic PRNG (splitmix64) for move-sequence choices.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+#[test]
+fn reconv_spliced_equals_full_for_random_move_sequences() {
+    metrics::enable();
+    let (cut_before, fail_before) = metrics::reconv();
+    let problems = [
+        (problem(12, 3, 2, 1), "paper/1"),
+        (problem(14, 4, 3, 5), "paper/5"),
+        (problem(16, 3, 2, 11), "paper/11"),
+        (problem(40, 4, 3, 0), "paper/gate"),
+        (comm_problem(12, 4, 2, 7), "comm/7"),
+        (comm_problem(14, 3, 1, 15), "comm/15"),
+    ];
+    for (problem, label) in problems {
+        assert!(
+            problem.schedule_options().reconvergence,
+            "{label}: opt-in lost"
+        );
+        let table = MoveTable::new(&problem, PolicySpace::Mixed);
+        let mut design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+        let mut rng = Rng(42);
+        let mut scratch = CostScratch::default();
+        let mut core = ftdes_sched::SchedScratch::default();
+        let mut ckpts = PlacementCheckpoints::new();
+        let mut window = Vec::new();
+
+        // A random walk of applied moves; at every step, every
+        // candidate move of the current window is checked for parity.
+        for step in 0..6 {
+            let schedule = problem
+                .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+                .unwrap();
+            let cp = schedule.move_candidates(problem.graph(), 8);
+            table.window(&design, &cp, &mut window);
+            if window.is_empty() {
+                break;
+            }
+            for mv in &window {
+                let mut cand = design.clone();
+                cand.set_decision(mv.process, table.decision(*mv).clone());
+                let full = problem.evaluate_cost(&cand, &mut scratch).unwrap();
+                let spliced = ftdes_sched::schedule_cost_spliced(
+                    problem.graph(),
+                    problem.arch(),
+                    problem.dense_wcet(),
+                    problem.fault_model(),
+                    problem.bus(),
+                    &cand,
+                    mv.process,
+                    problem.schedule_options(),
+                    &mut scratch,
+                    &ckpts,
+                    None,
+                )
+                .unwrap();
+                if let Some(outcome) = spliced {
+                    assert_eq!(
+                        outcome,
+                        CostOutcome::Exact(full),
+                        "{label} step {step}: reconv splice diverged for {mv:?}"
+                    );
+                }
+                // The production entry point (splice, then verified-cut
+                // failure fallback, then PR 2 replay) must agree too.
+                let resumed = ftdes_sched::schedule_cost_resumed(
+                    problem.graph(),
+                    problem.arch(),
+                    problem.dense_wcet(),
+                    problem.fault_model(),
+                    problem.bus(),
+                    &cand,
+                    mv.process,
+                    problem.schedule_options(),
+                    &mut scratch,
+                    &ckpts,
+                    None,
+                )
+                .unwrap();
+                assert_eq!(resumed, CostOutcome::Exact(full), "{label} step {step}");
+            }
+            let mv = window[rng.below(window.len())];
+            design.set_decision(mv.process, table.decision(mv).clone());
+        }
+    }
+    // Engagement floor: parity above is vacuous unless the certificate
+    // actually cut chains. (Counters are global and monotone, so
+    // concurrent tests can only push the deltas up, never down.)
+    let (cut_after, fail_after) = metrics::reconv();
+    let cuts = cut_after - cut_before;
+    assert!(
+        cuts >= 100,
+        "certificate cut only {cuts} chains across the suite — \
+         the cut rule is firing too rarely to matter"
+    );
+    // The runtime-verification path must be exercised as well: a
+    // verifier that never rejects is indistinguishable from no
+    // verifier, and these dense workloads are known to produce
+    // avail-overshoot rejections.
+    assert!(
+        fail_after > fail_before,
+        "no cut ever failed verification — the verifier path is untested"
+    );
+}
+
+#[test]
+fn reconv_bounded_classifies_exactly() {
+    for (problem, label) in [
+        (problem(14, 3, 2, 3), "paper"),
+        (comm_problem(12, 4, 2, 5), "comm"),
+    ] {
+        let table = MoveTable::new(&problem, PolicySpace::Mixed);
+        let design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+        let mut core = ftdes_sched::SchedScratch::default();
+        let mut ckpts = PlacementCheckpoints::new();
+        let schedule = problem
+            .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+            .unwrap();
+        let base_cost = schedule.cost();
+        let cp = schedule.move_candidates(problem.graph(), 8);
+        let mut window = Vec::new();
+        table.window(&design, &cp, &mut window);
+        assert!(!window.is_empty());
+
+        let mut scratch = CostScratch::default();
+        for mv in &window {
+            let mut cand = design.clone();
+            cand.set_decision(mv.process, table.decision(*mv).clone());
+            let exact = problem.evaluate_cost(&cand, &mut scratch).unwrap();
+            // Sweep bounds across the exact boundary, including the
+            // candidate's own exact cost: the adversarial gap-fill
+            // edge where the schedule lands precisely on the bound
+            // and must still classify as within it.
+            let bounds = [
+                ScheduleCost {
+                    violation: Time::ZERO,
+                    length: base_cost.length / 2,
+                },
+                ScheduleCost {
+                    violation: Time::ZERO,
+                    length: base_cost.length.saturating_sub(Time::from_ms(1)),
+                },
+                base_cost,
+                exact,
+            ];
+            for &bound in &bounds {
+                let Some(outcome) = ftdes_sched::schedule_cost_spliced(
+                    problem.graph(),
+                    problem.arch(),
+                    problem.dense_wcet(),
+                    problem.fault_model(),
+                    problem.bus(),
+                    &cand,
+                    mv.process,
+                    problem.schedule_options(),
+                    &mut scratch,
+                    &ckpts,
+                    Some(bound),
+                )
+                .unwrap() else {
+                    continue; // order divergence: the fallback engine owns it
+                };
+                match outcome {
+                    CostOutcome::Exact(cost) => {
+                        assert_eq!(cost, exact, "{label}: exact outcome must be the exact cost");
+                        assert!(
+                            exact <= bound,
+                            "{label}: a within-bound candidate must complete exactly"
+                        );
+                    }
+                    CostOutcome::LowerBound(lb) => {
+                        assert!(
+                            exact > bound,
+                            "{label}: aborted candidate must truly exceed the bound"
+                        );
+                        assert!(
+                            lb > bound,
+                            "{label}: the abort certificate must exceed the bound"
+                        );
+                        // The load-bearing soundness claim with cuts
+                        // pending: contingent (zeroed) completions on
+                        // cut chains must never inflate the certified
+                        // floor past the true cost.
+                        assert!(
+                            lb <= exact,
+                            "{label}: a lower bound may never exceed the exact cost"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reconv_parity_across_occupancy_backends() {
+    let backends = [
+        OccupancyBackend::Bitmap,
+        OccupancyBackend::Indexed,
+        OccupancyBackend::Flat,
+    ];
+    for (make, label) in [
+        (problem as fn(usize, usize, u32, u64) -> Problem, "paper"),
+        (
+            comm_problem as fn(usize, usize, u32, u64) -> Problem,
+            "comm",
+        ),
+    ] {
+        let mut per_backend: Vec<Vec<ScheduleCost>> = Vec::new();
+        for backend in backends {
+            let problem = make(14, 4, 2, 9).with_occupancy_backend(backend);
+            let table = MoveTable::new(&problem, PolicySpace::Mixed);
+            let design = initial::initial_mpa(&problem, PolicySpace::Mixed).unwrap();
+            let mut core = ftdes_sched::SchedScratch::default();
+            let mut ckpts = PlacementCheckpoints::new();
+            let schedule = problem
+                .evaluate_recording(&design, &mut core, Some(&mut ckpts))
+                .unwrap();
+            let cp = schedule.move_candidates(problem.graph(), 8);
+            let mut window = Vec::new();
+            table.window(&design, &cp, &mut window);
+            assert!(!window.is_empty());
+            let mut scratch = CostScratch::default();
+            let mut costs = Vec::new();
+            for mv in &window {
+                let mut cand = design.clone();
+                cand.set_decision(mv.process, table.decision(*mv).clone());
+                let full = problem.evaluate_cost(&cand, &mut scratch).unwrap();
+                let resumed = ftdes_sched::schedule_cost_resumed(
+                    problem.graph(),
+                    problem.arch(),
+                    problem.dense_wcet(),
+                    problem.fault_model(),
+                    problem.bus(),
+                    &cand,
+                    mv.process,
+                    problem.schedule_options(),
+                    &mut scratch,
+                    &ckpts,
+                    None,
+                )
+                .unwrap();
+                assert_eq!(
+                    resumed,
+                    CostOutcome::Exact(full),
+                    "{label}/{backend:?}: reconv splice diverged from full"
+                );
+                costs.push(full);
+            }
+            per_backend.push(costs);
+        }
+        assert_eq!(
+            per_backend[0], per_backend[1],
+            "{label}: bitmap and indexed backends disagree under reconv"
+        );
+        assert_eq!(
+            per_backend[0], per_backend[2],
+            "{label}: bitmap and flat backends disagree under reconv"
+        );
+    }
+}
+
+#[test]
+fn search_results_invariant_under_reconvergence() {
+    // The certificate is a pure throughput knob: cuts are
+    // runtime-verified, failed cuts fall back to the v3 cone, and
+    // spliced costs stay bit-identical — so whole searches must walk
+    // identical trajectories with the certificate on or off.
+    for base in [problem(14, 3, 2, 4), comm_problem(12, 4, 2, 9)] {
+        let run = |p: &Problem| {
+            let cfg = SearchConfig {
+                goal: Goal::MinimizeLength,
+                time_limit: None,
+                max_tabu_iterations: 25,
+                ..SearchConfig::default()
+            };
+            optimize(p, Strategy::Mxr, &cfg).unwrap()
+        };
+        let with_reconv = run(&base);
+        let without = run(&base.clone().with_reconvergence(false));
+        assert_eq!(
+            with_reconv.design, without.design,
+            "design changed under the reconvergence knob"
+        );
+        assert_eq!(with_reconv.schedule.cost(), without.schedule.cost());
+        assert_eq!(
+            with_reconv.stats.tabu_iterations, without.stats.tabu_iterations,
+            "trajectory changed under the reconvergence knob"
+        );
+        assert_eq!(with_reconv.stats.greedy_steps, without.stats.greedy_steps);
+    }
+}
